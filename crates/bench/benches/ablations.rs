@@ -1,0 +1,122 @@
+//! Ablation benches for the design choices DESIGN.md calls out:
+//! cache-geometry sweeps, branch-predictor sweeps, and ISS throughput
+//! (instructions simulated per wall-second).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cfu_isa::Assembler;
+use cfu_mem::{Bus, Cache, CacheConfig, Sram};
+use cfu_sim::{BranchPredictor, Cpu, CpuConfig, TimedCore};
+
+fn sram_bus() -> Bus {
+    let mut bus = Bus::new();
+    bus.map("sram", 0, Sram::new(256 << 10));
+    bus
+}
+
+fn bench_iss_throughput(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_iss_throughput");
+    group.sample_size(20);
+    let program = Assembler::new(0)
+        .assemble(
+            "li t0, 20000
+             li t3, 0x1000
+            loop:
+             addi t0, t0, -1
+             mul t1, t0, t0
+             sw t1, 0(t3)
+             lw t2, 0(t3)
+             bnez t0, loop
+             li a7, 93
+             ecall",
+        )
+        .unwrap();
+    group.bench_function("iss_100k_instructions", |b| {
+        b.iter(|| {
+            let mut cpu = Cpu::new(CpuConfig::arty_default(), sram_bus());
+            cpu.load_program(&program).unwrap();
+            cpu.run(200_000).unwrap();
+            std::hint::black_box(cpu.cycles())
+        });
+    });
+    group.finish();
+}
+
+fn bench_cache_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_cache_sweep");
+    group.sample_size(20);
+    for size in [1024u32, 4096, 16384] {
+        group.bench_function(format!("strided_access_{size}B"), |b| {
+            b.iter(|| {
+                let mut cache =
+                    Cache::new(CacheConfig { size_bytes: size, ways: 2, line_bytes: 32 });
+                for pass in 0..8u32 {
+                    for addr in (0..16384u32).step_by(64) {
+                        cache.access(addr.wrapping_add(pass));
+                    }
+                }
+                std::hint::black_box(cache.stats().hit_rate())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_bpred_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_bpred_sweep");
+    group.sample_size(20);
+    let kinds = [
+        ("none", BranchPredictor::None),
+        ("static", BranchPredictor::Static),
+        ("dynamic", BranchPredictor::Dynamic { entries: 64 }),
+        ("dynamic_target", BranchPredictor::DynamicTarget { entries: 64 }),
+    ];
+    for (name, kind) in kinds {
+        group.bench_function(format!("loop_branches_{name}"), |b| {
+            b.iter(|| {
+                let cfg = CpuConfig { branch_predictor: kind, ..CpuConfig::arty_default() };
+                let mut core = TimedCore::new(cfg, sram_bus());
+                core.set_code_region(0, 1024).unwrap();
+                for i in 0..20_000u32 {
+                    core.branch(3, i % 100 != 99).unwrap();
+                }
+                std::hint::black_box(core.cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_rvc_density(c: &mut Criterion) {
+    // Extension ablation: RV32C roughly quarters-off XIP fetch traffic.
+    let mut group = c.benchmark_group("abl_rvc_density");
+    group.sample_size(20);
+    for (name, compressed) in [("rv32im", false), ("rv32imc", true)] {
+        group.bench_function(format!("xip_fetch_{name}"), |b| {
+            b.iter(|| {
+                let mut bus = Bus::new();
+                bus.map(
+                    "flash",
+                    0,
+                    cfu_mem::SpiFlash::new(1 << 20, cfu_mem::SpiWidth::Quad),
+                );
+                bus.map("sram", 0x1000_0000, Sram::new(4096));
+                let cfg = CpuConfig::fomu_baseline().with_compressed(compressed);
+                let mut core = TimedCore::new(cfg, bus);
+                core.set_code_region(0, 4096).unwrap();
+                core.alu(20_000).unwrap();
+                std::hint::black_box(core.cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_iss_throughput,
+    bench_cache_sweep,
+    bench_bpred_sweep,
+    bench_rvc_density
+);
+criterion_main!(benches);

@@ -1,0 +1,55 @@
+//! Criterion bench for the Figure 4 workload: one inference through each
+//! 1x1-conv ladder variant on an isolated pointwise model. Wall time
+//! tracks simulator throughput; the printed simulated-cycle counts are
+//! the paper-facing metric (see `fig4_mnv2_ladder` for the full figure).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cfu_bench::micro;
+use cfu_core::cfu1::Cfu1;
+use cfu_core::{Cfu, NullCfu};
+use cfu_sim::CpuConfig;
+use cfu_soc::Board;
+use cfu_tflm::deploy::{DeployConfig, Deployment, KernelRegistry};
+use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
+use cfu_tflm::models;
+
+fn bench_fig4(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig4_conv1x1_ladder");
+    group.sample_size(10);
+    let board = Board::arty_a7_35t();
+    let model = micro::pointwise_model(8, 8, 1);
+    let input = models::synthetic_input(&model, 2);
+    for variant in [
+        Conv1x1Variant::Generic,
+        Conv1x1Variant::SwSpecialized,
+        Conv1x1Variant::CfuPostproc,
+        Conv1x1Variant::CfuMac4,
+        Conv1x1Variant::CfuMac4Run4,
+        Conv1x1Variant::CfuOverlapInput,
+    ] {
+        group.bench_function(variant.label(), |b| {
+            b.iter(|| {
+                let mut cfg = DeployConfig::new(
+                    CpuConfig::arty_default(),
+                    "main_ram",
+                    "main_ram",
+                    "main_ram",
+                );
+                cfg.registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+                let cfu: Box<dyn Cfu> = match variant.required_stage() {
+                    Some(stage) => Box::new(Cfu1::new(stage)),
+                    None => Box::new(NullCfu),
+                };
+                let mut dep =
+                    Deployment::new(model.clone(), board.build_bus(None), cfu, &cfg).unwrap();
+                let (_, profile) = dep.run(&input).unwrap();
+                std::hint::black_box(profile.total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig4);
+criterion_main!(benches);

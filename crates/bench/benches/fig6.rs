@@ -1,0 +1,89 @@
+//! Criterion bench for the Figure 6 memory-system and CFU steps on a
+//! narrow KWS slice (full figure: `fig6_kws_ladder`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cfu_bench::micro;
+use cfu_core::cfu2::Cfu2;
+use cfu_core::{Cfu, NullCfu};
+use cfu_mem::SpiWidth;
+use cfu_sim::{CpuConfig, Multiplier};
+use cfu_soc::{Board, SocBuilder, SocFeatures};
+use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
+use cfu_tflm::models;
+
+struct Step {
+    name: &'static str,
+    spi: SpiWidth,
+    cpu: CpuConfig,
+    sram_hot: bool,
+    cfu2: bool,
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_kws_steps");
+    group.sample_size(10);
+    let model = micro::kws_slice(1);
+    let input = models::synthetic_input(&model, 2);
+    let steps = [
+        Step {
+            name: "baseline",
+            spi: SpiWidth::Single,
+            cpu: CpuConfig::fomu_baseline(),
+            sram_hot: false,
+            cfu2: false,
+        },
+        Step {
+            name: "quadspi",
+            spi: SpiWidth::Quad,
+            cpu: CpuConfig::fomu_baseline(),
+            sram_hot: false,
+            cfu2: false,
+        },
+        Step {
+            name: "sram+icache+fastmult",
+            spi: SpiWidth::Quad,
+            cpu: CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp),
+            sram_hot: true,
+            cfu2: false,
+        },
+        Step {
+            name: "cfu2",
+            spi: SpiWidth::Quad,
+            cpu: CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp),
+            sram_hot: true,
+            cfu2: true,
+        },
+    ];
+    for step in steps {
+        group.bench_function(step.name, |b| {
+            b.iter(|| {
+                let mut feats = SocFeatures::fomu_trimmed();
+                feats.spi_width = step.spi;
+                let soc = SocBuilder::new(Board::fomu()).cpu(step.cpu).features(feats).build();
+                let mut cfg = DeployConfig::new(step.cpu, "spiflash", "sram", "spiflash");
+                if step.sram_hot {
+                    cfg.hot_code_region = Some("sram".to_owned());
+                    cfg.hot_weights_region = Some("sram".to_owned());
+                }
+                let cfu: Box<dyn Cfu> =
+                    if step.cfu2 { Box::new(Cfu2::new()) } else { Box::new(NullCfu) };
+                if step.cfu2 {
+                    cfg.registry = KernelRegistry {
+                        conv1x1: None,
+                        conv: ConvKernel::Cfu2 { postproc: true, specialized: true },
+                        dwconv: DwKernel::Cfu2 { postproc: true, specialized: true },
+                    };
+                }
+                let mut dep =
+                    Deployment::new(model.clone(), soc.build_bus(), cfu, &cfg).unwrap();
+                let (_, profile) = dep.run(&input).unwrap();
+                std::hint::black_box(profile.total_cycles())
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig6);
+criterion_main!(benches);

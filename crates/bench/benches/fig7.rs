@@ -1,0 +1,58 @@
+//! Criterion bench for the Figure 7 machinery: design-point evaluation
+//! throughput (the quantity that bounds DSE scale) and optimizer
+//! overhead (full figure: `fig7_dse_pareto`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cfu_bench::micro;
+use cfu_dse::{
+    DesignSpace, Evaluator, InferenceEvaluator, RandomSearch, RegularizedEvolution,
+    ResourceEvaluator, Study,
+};
+use cfu_soc::Board;
+use cfu_tflm::models;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_dse");
+    group.sample_size(10);
+
+    group.bench_function("evaluate_one_point_simulated", |b| {
+        let model = micro::pointwise_model(6, 8, 3);
+        let input = models::synthetic_input(&model, 4);
+        let space = DesignSpace::small();
+        let mut idx = 0u64;
+        b.iter(|| {
+            // A cached evaluator would hide the cost; rotate through
+            // distinct points with a fresh evaluator instead.
+            let mut eval =
+                InferenceEvaluator::new(Board::arty_a7_35t(), model.clone(), input.clone());
+            let p = space.point(idx % space.size());
+            idx += 1;
+            std::hint::black_box(eval.evaluate(&p))
+        });
+    });
+
+    group.bench_function("study_100_trials_analytic", |b| {
+        b.iter(|| {
+            let mut study =
+                Study::new(DesignSpace::paper_scale(), RegularizedEvolution::new(7, 24, 6));
+            let mut eval = ResourceEvaluator::new(1_000_000);
+            study.run(&mut eval, 100);
+            std::hint::black_box(study.archive().front().len())
+        });
+    });
+
+    group.bench_function("random_search_100_trials_analytic", |b| {
+        b.iter(|| {
+            let mut study = Study::new(DesignSpace::paper_scale(), RandomSearch::new(7));
+            let mut eval = ResourceEvaluator::new(1_000_000);
+            study.run(&mut eval, 100);
+            std::hint::black_box(study.archive().front().len())
+        });
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

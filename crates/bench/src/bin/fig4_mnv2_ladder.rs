@@ -1,0 +1,54 @@
+//! Regenerates Figure 4: the MobileNetV2 1x1 CONV_2D ladder on Arty.
+//!
+//! Usage: `fig4_mnv2_ladder [--input-hw N]` (default 96, the paper's
+//! resolution; use 32 or 48 for a quick look).
+
+fn main() {
+    let mut input_hw = 96;
+    let mut full_width = false;
+    let mut csv_path: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--input-hw" => {
+                input_hw = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--input-hw needs an integer");
+            }
+            "--full-width" => full_width = true,
+            "--csv" => {
+                csv_path = Some(args.next().expect("--csv needs a path"));
+            }
+            "--svg" => {
+                svg_path = Some(args.next().expect("--svg needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --input-hw N --full-width --csv PATH --svg PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let width = if full_width { "1.0" } else { "0.35" };
+    println!("Figure 4 — MobileNetV2 (width {width}) 1x1 CONV_2D ladder (Arty A7-35T, {input_hw}x{input_hw} input)");
+    println!("paper reference speedups: SW 2.0x, CFU postproc 2.3x, CFU MAC4 9.8x,");
+    println!("MAC4Run1 26x, Incl postproc 31.1x, Overlap input 55x; overall MNV2 3x\n");
+    let rows = cfu_bench::fig4::run_ladder(input_hw, full_width);
+    print!("{}", cfu_bench::fig4::render(&rows));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, cfu_bench::fig4::to_csv(&rows)).expect("write csv");
+        println!("\nwrote {path}");
+    }
+    if let Some(path) = svg_path {
+        let bars: Vec<(String, f64)> =
+            rows.iter().map(|r| (r.label.to_owned(), r.operator_speedup)).collect();
+        let svg = cfu_bench::svg::bar_chart(
+            "Figure 4: MobileNetV2 1x1 CONV_2D speedup",
+            "speedup (log)",
+            &bars,
+        );
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,72 @@
+//! Regenerates Figure 7: design-space-exploration Pareto fronts.
+//!
+//! Usage: `fig7_dse_pareto [--trials N] [--input-hw N] [--random]`
+//! (defaults: 120 trials per curve, 16x16 MobileNetV2, regularized
+//! evolution).
+
+use cfu_bench::fig7::{run_all, render, Fig7Config};
+
+fn main() {
+    let mut cfg = Fig7Config::default();
+    let mut csv_path: Option<String> = None;
+    let mut svg_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--trials" => {
+                cfg.trials =
+                    args.next().and_then(|v| v.parse().ok()).expect("--trials needs an integer");
+            }
+            "--input-hw" => {
+                cfg.input_hw = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--input-hw needs an integer");
+            }
+            "--random" => cfg.evolutionary = false,
+            "--csv" => {
+                csv_path = Some(args.next().expect("--csv needs a path"));
+            }
+            "--svg" => {
+                svg_path = Some(args.next().expect("--svg needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --random --csv PATH --svg PATH");
+                std::process::exit(2);
+            }
+        }
+    }
+    let space = cfu_dse::DesignSpace::paper_scale();
+    println!("Figure 7 — DSE of CPU vs CFU configurations (MobileNetV2 workload)");
+    println!(
+        "design space: {} points (paper: ~93,000); {} trials/curve via {}\n",
+        space.size() * 3 / space.cfus.len() as u64,
+        cfg.trials,
+        if cfg.evolutionary { "regularized evolution" } else { "random search" }
+    );
+    let curves = run_all(&cfg);
+    print!("{}", render(&curves));
+    if let Some(path) = csv_path {
+        std::fs::write(&path, cfu_bench::fig7::to_csv(&curves)).expect("write csv");
+        println!("wrote {path}");
+    }
+    if let Some(path) = svg_path {
+        let series: Vec<(String, Vec<(f64, f64)>)> = curves
+            .iter()
+            .map(|c| {
+                (
+                    c.label.to_owned(),
+                    c.front.iter().map(|p| (p.resources as f64, p.latency as f64)).collect(),
+                )
+            })
+            .collect();
+        let svg = cfu_bench::svg::scatter(
+            "Figure 7: CPU vs CFU design-space Pareto fronts",
+            "logic cells",
+            "inference cycles",
+            &series,
+        );
+        std::fs::write(&path, svg).expect("write svg");
+        println!("wrote {path}");
+    }
+}

@@ -1,0 +1,18 @@
+//! Regenerates the §III-A profile (E1): where the unaccelerated
+//! MobileNetV2 baseline spends its ~900M cycles.
+//!
+//! Usage: `profile_mnv2 [--input-hw N]` (default 96).
+
+fn main() {
+    let mut input_hw = 96;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        if arg == "--input-hw" {
+            input_hw =
+                args.next().and_then(|v| v.parse().ok()).expect("--input-hw needs an integer");
+        }
+    }
+    println!("E1 — unaccelerated MobileNetV2 profile on Arty A7-35T ({input_hw}x{input_hw})\n");
+    let profile = cfu_bench::tables::profile_mnv2_baseline(input_hw);
+    print!("{}", cfu_bench::tables::render_mnv2_profile(&profile));
+}

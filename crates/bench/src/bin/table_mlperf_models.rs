@@ -1,0 +1,11 @@
+//! Regenerates the MLPerf-Tiny model inventory (E7): the stock models
+//! CFU Playground ships for benchmarking, with baseline cycle counts.
+//!
+//! Usage: `table_mlperf_models [--fast]` (`--fast` shrinks MobileNetV2).
+
+fn main() {
+    let fast = std::env::args().any(|a| a == "--fast");
+    println!("E7 — MLPerf Tiny stock models, baseline (generic kernels, Arty)\n");
+    let rows = cfu_bench::tables::mlperf_tiny_inventory(fast);
+    print!("{}", cfu_bench::tables::render_inventory(&rows));
+}

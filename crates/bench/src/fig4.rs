@@ -1,0 +1,127 @@
+//! Figure 4: MobileNetV2 1x1 CONV_2D speedup and resource usage per
+//! ladder step, on the Arty A7-35T.
+
+use cfu_core::cfu1::Cfu1;
+use cfu_core::{Cfu, NullCfu, Resources};
+use cfu_sim::CpuConfig;
+use cfu_soc::Board;
+use cfu_tflm::deploy::{DeployConfig, Deployment, KernelRegistry};
+use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
+use cfu_tflm::model::OpKind;
+use cfu_tflm::models;
+use cfu_tflm::profiler::Profile;
+
+/// One row of the Figure 4 series.
+#[derive(Debug, Clone)]
+pub struct Fig4Row {
+    /// Ladder step label (Figure 4 x-axis).
+    pub label: &'static str,
+    /// Cycles spent in 1x1 CONV_2D operators for one inference.
+    pub conv1x1_cycles: u64,
+    /// Whole-model cycles for one inference.
+    pub total_cycles: u64,
+    /// Speedup of the 1x1 operator vs the baseline row.
+    pub operator_speedup: f64,
+    /// Whole-model speedup vs the baseline row.
+    pub overall_speedup: f64,
+    /// CFU resources at this step (the Figure 4 resource curve).
+    pub cfu_resources: Resources,
+}
+
+/// Runs one ladder step and returns its profile.
+///
+/// # Panics
+///
+/// Panics if deployment or inference fails (harness-level bug).
+pub fn run_step(input_hw: usize, full_width: bool, variant: Conv1x1Variant) -> Profile {
+    let board = Board::arty_a7_35t();
+    let model = if full_width {
+        models::mobilenet_v2_full(input_hw, 2, 1)
+    } else {
+        models::mobilenet_v2(input_hw, 2, 1)
+    };
+    let input = models::synthetic_input(&model, 42);
+    let bus = board.build_bus(None);
+    let mut cfg =
+        DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    cfg.registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+    let cfu: Box<dyn Cfu> = match variant.required_stage() {
+        Some(stage) => Box::new(Cfu1::new(stage)),
+        None => Box::new(NullCfu),
+    };
+    let mut dep = Deployment::new(model, bus, cfu, &cfg).expect("fig4 deployment");
+    let (_, profile) = dep.run(&input).expect("fig4 inference");
+    profile
+}
+
+/// Runs the whole ladder at the given input resolution. `full_width`
+/// selects the width-1.0 MobileNetV2 (the paper-scale workload); width
+/// 0.35 keeps smoke tests fast.
+pub fn run_ladder(input_hw: usize, full_width: bool) -> Vec<Fig4Row> {
+    let mut rows = Vec::new();
+    let mut baseline_conv = 0u64;
+    let mut baseline_total = 0u64;
+    for variant in Conv1x1Variant::LADDER {
+        let profile = run_step(input_hw, full_width, variant);
+        let conv1x1_cycles = profile.cycles_for(OpKind::Conv2d1x1);
+        let total_cycles = profile.total_cycles();
+        if variant == Conv1x1Variant::Generic {
+            baseline_conv = conv1x1_cycles;
+            baseline_total = total_cycles;
+        }
+        let cfu_resources = match variant.required_stage() {
+            Some(stage) => Cfu1::new(stage).resources(),
+            None => Resources::ZERO,
+        };
+        rows.push(Fig4Row {
+            label: variant.label(),
+            conv1x1_cycles,
+            total_cycles,
+            operator_speedup: baseline_conv as f64 / conv1x1_cycles.max(1) as f64,
+            overall_speedup: baseline_total as f64 / total_cycles.max(1) as f64,
+            cfu_resources,
+        });
+    }
+    rows
+}
+
+/// Renders the ladder as CSV (one row per step) for plotting.
+pub fn to_csv(rows: &[Fig4Row]) -> String {
+    let mut out = String::from(
+        "step,conv1x1_cycles,operator_speedup,total_cycles,overall_speedup,cfu_luts,cfu_dsps\n",
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{},{:.4},{},{}\n",
+            r.label,
+            r.conv1x1_cycles,
+            r.operator_speedup,
+            r.total_cycles,
+            r.overall_speedup,
+            r.cfu_resources.luts,
+            r.cfu_resources.dsps,
+        ));
+    }
+    out
+}
+
+/// Pretty-prints the ladder like the paper's figure caption.
+pub fn render(rows: &[Fig4Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<16} {:>15} {:>10} {:>9} {:>8} {:>6}\n",
+        "step", "1x1 conv cycles", "speedup", "overall", "LUTs", "DSPs"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<16} {:>15} {:>9.2}x {:>8.2}x {:>8} {:>6}\n",
+            r.label,
+            r.conv1x1_cycles,
+            r.operator_speedup,
+            r.overall_speedup,
+            r.cfu_resources.luts,
+            r.cfu_resources.dsps,
+        ));
+    }
+    out
+}

@@ -1,0 +1,248 @@
+//! Figure 6: Keyword-Spotting speedup and resource usage on Fomu.
+
+use cfu_core::cfu2::Cfu2;
+use cfu_core::{Cfu, NullCfu};
+use cfu_mem::SpiWidth;
+use cfu_sim::{CpuConfig, Multiplier};
+use cfu_soc::{Board, SocBuilder, SocFeatures};
+use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
+use cfu_tflm::models;
+
+/// One Figure 6 ladder step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fig6Step {
+    /// Everything in 1-bit-SPI flash, minimal CPU, generic kernels.
+    Baseline,
+    /// Flash controller upgraded to Quad SPI.
+    QuadSpi,
+    /// Hot kernel code and model weights moved to the 128 kB SRAM.
+    SramOpsAndModel,
+    /// A 2 kB I-cache added (paid for by removed debug CSRs).
+    LargerIcache,
+    /// Single-cycle DSP multiplier (4 of the 8 DSP tiles).
+    FastMult,
+    /// CFU2's 4-way MAC in conv, single lane in depthwise.
+    MacConv,
+    /// Accumulator post-processing inside the CFU.
+    PostProc,
+    /// Compiler specialization of the conv/depthwise kernels.
+    SwSpecialize,
+}
+
+impl Fig6Step {
+    /// All steps in ladder order.
+    pub const LADDER: [Fig6Step; 8] = [
+        Fig6Step::Baseline,
+        Fig6Step::QuadSpi,
+        Fig6Step::SramOpsAndModel,
+        Fig6Step::LargerIcache,
+        Fig6Step::FastMult,
+        Fig6Step::MacConv,
+        Fig6Step::PostProc,
+        Fig6Step::SwSpecialize,
+    ];
+
+    /// The Figure 6 label.
+    pub fn label(self) -> &'static str {
+        match self {
+            Fig6Step::Baseline => "Baseline",
+            Fig6Step::QuadSpi => "QuadSPI",
+            Fig6Step::SramOpsAndModel => "SRAM Ops and Model",
+            Fig6Step::LargerIcache => "Larger Icache",
+            Fig6Step::FastMult => "Fast Mult",
+            Fig6Step::MacConv => "MAC Conv",
+            Fig6Step::PostProc => "Post Proc",
+            Fig6Step::SwSpecialize => "SW specialize",
+        }
+    }
+
+    /// SoC feature set at this step.
+    pub fn features(self) -> SocFeatures {
+        let mut f = SocFeatures::fomu_trimmed();
+        if self >= Fig6Step::QuadSpi {
+            f.spi_width = SpiWidth::Quad;
+        }
+        f
+    }
+
+    /// CPU configuration at this step.
+    pub fn cpu(self) -> CpuConfig {
+        let mut cpu = CpuConfig::fomu_baseline();
+        if self >= Fig6Step::LargerIcache {
+            cpu = CpuConfig::fomu_with_icache(2048);
+        }
+        if self >= Fig6Step::FastMult {
+            cpu = cpu.with_multiplier(Multiplier::SingleCycleDsp);
+        }
+        cpu
+    }
+
+    /// Kernel registry at this step.
+    pub fn registry(self) -> KernelRegistry {
+        let mut r = KernelRegistry::default();
+        if self >= Fig6Step::MacConv {
+            let postproc = self >= Fig6Step::PostProc;
+            let specialized = self >= Fig6Step::SwSpecialize;
+            r.conv = ConvKernel::Cfu2 { postproc, specialized };
+            r.dwconv = DwKernel::Cfu2 { postproc, specialized };
+        }
+        r
+    }
+
+    /// The CFU instance at this step.
+    pub fn cfu(self) -> Box<dyn Cfu> {
+        if self >= Fig6Step::PostProc {
+            Box::new(Cfu2::new())
+        } else if self >= Fig6Step::MacConv {
+            Box::new(Cfu2::mac_only())
+        } else {
+            Box::new(NullCfu)
+        }
+    }
+}
+
+impl PartialOrd for Fig6Step {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Fig6Step {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (*self as u8).cmp(&(*other as u8))
+    }
+}
+
+/// One row of the Figure 6 series.
+#[derive(Debug, Clone)]
+pub struct Fig6Row {
+    /// Step label.
+    pub label: &'static str,
+    /// Whole-inference cycles.
+    pub cycles: u64,
+    /// Wall-clock seconds at the Fomu clock.
+    pub seconds: f64,
+    /// Cumulative speedup vs the baseline.
+    pub speedup: f64,
+    /// SoC LUT usage at this step.
+    pub luts: u32,
+    /// DSP tiles used.
+    pub dsps: u32,
+    /// Whether the design fits Fomu.
+    pub fits: bool,
+}
+
+/// Runs one ladder step end to end and returns total inference cycles.
+///
+/// # Panics
+///
+/// Panics if deployment or inference fails.
+pub fn run_step(step: Fig6Step) -> u64 {
+    let board = Board::fomu();
+    let model = models::ds_cnn_kws(1);
+    let input = models::synthetic_input(&model, 7);
+    let soc = SocBuilder::new(board).cpu(step.cpu()).features(step.features()).build();
+    let bus = soc.build_bus();
+    // Baseline placement: weights + code execute-in-place from flash,
+    // activations in SRAM (the binary image does not fit in 128 kB).
+    let mut cfg = DeployConfig::new(step.cpu(), "spiflash", "sram", "spiflash");
+    cfg.registry = step.registry();
+    if step >= Fig6Step::SramOpsAndModel {
+        cfg.hot_code_region = Some("sram".to_owned());
+        cfg.hot_weights_region = Some("sram".to_owned());
+    }
+    let mut dep = Deployment::new(model, bus, step.cfu(), &cfg).expect("fig6 deployment");
+    let (_, profile) = dep.run(&input).expect("fig6 inference");
+    profile.total_cycles()
+}
+
+/// Runs one ladder step and additionally estimates its energy — the
+/// paper's future-work axis (extension; see `table_energy_ladder`).
+///
+/// Returns `(cycles, energy estimate)`.
+///
+/// # Panics
+///
+/// Panics if deployment or inference fails.
+pub fn run_step_with_energy(step: Fig6Step) -> (u64, cfu_sim::energy::EnergyEstimate) {
+    let board = Board::fomu();
+    let model = models::ds_cnn_kws(1);
+    let input = models::synthetic_input(&model, 7);
+    let cfu = step.cfu();
+    let soc = SocBuilder::new(board)
+        .cpu(step.cpu())
+        .features(step.features())
+        .cfu(cfu.as_ref())
+        .build();
+    let design = soc.fit_report().used();
+    let bus = soc.build_bus();
+    let mut cfg = DeployConfig::new(step.cpu(), "spiflash", "sram", "spiflash");
+    cfg.registry = step.registry();
+    if step >= Fig6Step::SramOpsAndModel {
+        cfg.hot_code_region = Some("sram".to_owned());
+        cfg.hot_weights_region = Some("sram".to_owned());
+    }
+    let mut dep = Deployment::new(model, bus, step.cfu(), &cfg).expect("fig6 deployment");
+    let (_, profile) = dep.run(&input).expect("fig6 inference");
+    let params = cfu_sim::energy::EnergyParams::ice40();
+    let estimate = cfu_sim::energy::estimate_core(dep.core(), design, &params);
+    (profile.total_cycles(), estimate)
+}
+
+/// Runs the whole Figure 6 ladder.
+pub fn run_ladder() -> Vec<Fig6Row> {
+    let clock_hz = Board::fomu().clock_hz as f64;
+    let mut rows = Vec::new();
+    let mut baseline = 0u64;
+    for step in Fig6Step::LADDER {
+        let cycles = run_step(step);
+        if step == Fig6Step::Baseline {
+            baseline = cycles;
+        }
+        let cfu = step.cfu();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(step.cpu())
+            .features(step.features())
+            .cfu(cfu.as_ref())
+            .build();
+        let fit = soc.fit_report();
+        rows.push(Fig6Row {
+            label: step.label(),
+            cycles,
+            seconds: cycles as f64 / clock_hz,
+            speedup: baseline as f64 / cycles.max(1) as f64,
+            luts: fit.used().luts,
+            dsps: fit.used().dsps,
+            fits: fit.fits(),
+        });
+    }
+    rows
+}
+
+/// Renders the ladder as CSV for plotting.
+pub fn to_csv(rows: &[Fig6Row]) -> String {
+    let mut out = String::from("step,cycles,seconds,speedup,luts,dsps,fits\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.4},{:.4},{},{},{}\n",
+            r.label, r.cycles, r.seconds, r.speedup, r.luts, r.dsps, r.fits
+        ));
+    }
+    out
+}
+
+/// Pretty-prints the ladder.
+pub fn render(rows: &[Fig6Row]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>14} {:>9} {:>9} {:>7} {:>5} {:>5}\n",
+        "step", "cycles", "seconds", "speedup", "LUTs", "DSPs", "fits"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>8.2}s {:>8.2}x {:>7} {:>5} {:>5}\n",
+            r.label, r.cycles, r.seconds, r.speedup, r.luts, r.dsps, r.fits
+        ));
+    }
+    out
+}

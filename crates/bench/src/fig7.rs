@@ -1,0 +1,133 @@
+//! Figure 7: design-space exploration Pareto fronts (CPU alone vs
+//! CPU+CFU1 vs CPU+CFU2) on the MobileNetV2 workload.
+
+use cfu_dse::{
+    CfuChoice, DesignSpace, InferenceEvaluator, ParetoPoint, RandomSearch,
+    RegularizedEvolution, Study,
+};
+use cfu_soc::Board;
+use cfu_tflm::models;
+
+/// One Pareto curve of Figure 7.
+#[derive(Debug, Clone)]
+pub struct Fig7Curve {
+    /// Which CFU the curve attaches ("CPU alone" / "CPU + CFU1" / ...).
+    pub label: &'static str,
+    /// The CFU choice.
+    pub choice: CfuChoice,
+    /// Non-dominated (logic cells, latency) points, ascending resources.
+    pub front: Vec<ParetoPoint>,
+    /// Total design points evaluated for this curve.
+    pub evaluated: u64,
+}
+
+/// Exploration settings.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig7Config {
+    /// MobileNetV2 input resolution (small values keep sweeps fast; the
+    /// latency *ordering* of configurations is resolution-independent).
+    pub input_hw: usize,
+    /// Optimizer trials per curve.
+    pub trials: u64,
+    /// Use regularized evolution (vs pure random search).
+    pub evolutionary: bool,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for Fig7Config {
+    fn default() -> Self {
+        Fig7Config { input_hw: 16, trials: 120, evolutionary: true, seed: 11 }
+    }
+}
+
+/// Restricts the paper-scale space to one CFU choice (one curve).
+pub fn space_for(choice: CfuChoice) -> DesignSpace {
+    let mut space = DesignSpace::paper_scale();
+    space.cfus = vec![choice];
+    space
+}
+
+/// Explores one curve.
+///
+/// # Panics
+///
+/// Panics if the model/evaluator cannot be constructed.
+pub fn run_curve(choice: CfuChoice, cfg: &Fig7Config) -> Fig7Curve {
+    let model = models::mobilenet_v2(cfg.input_hw, 2, 1);
+    let input = models::synthetic_input(&model, 5);
+    let mut evaluator = InferenceEvaluator::new(Board::arty_a7_35t(), model, input);
+    let space = space_for(choice);
+    let (front, evaluated) = if cfg.evolutionary {
+        let mut study = Study::new(space, RegularizedEvolution::new(cfg.seed, 24, 6));
+        study.run(&mut evaluator, cfg.trials);
+        (study.archive().front(), study.archive().evaluated())
+    } else {
+        let mut study = Study::new(space, RandomSearch::new(cfg.seed));
+        study.run(&mut evaluator, cfg.trials);
+        (study.archive().front(), study.archive().evaluated())
+    };
+    Fig7Curve { label: choice.label(), choice, front, evaluated }
+}
+
+/// Explores all three curves.
+pub fn run_all(cfg: &Fig7Config) -> Vec<Fig7Curve> {
+    [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2]
+        .into_iter()
+        .map(|c| run_curve(c, cfg))
+        .collect()
+}
+
+/// The overall Pareto-optimal points across all curves (the starred
+/// points in Figure 7).
+pub fn overall_optima(curves: &[Fig7Curve]) -> Vec<(&'static str, ParetoPoint)> {
+    let mut archive = cfu_dse::ParetoArchive::new();
+    let mut labelled: Vec<(&'static str, ParetoPoint)> = Vec::new();
+    for curve in curves {
+        for p in &curve.front {
+            labelled.push((curve.label, *p));
+        }
+    }
+    for (_, p) in &labelled {
+        archive.offer(*p);
+    }
+    let front = archive.front();
+    labelled.retain(|(_, p)| {
+        front.iter().any(|f| f.resources == p.resources && f.latency == p.latency)
+    });
+    labelled.sort_by_key(|(_, p)| (p.resources, p.latency));
+    labelled
+}
+
+/// Renders the curves as CSV (`curve,logic_cells,cycles`) for plotting.
+pub fn to_csv(curves: &[Fig7Curve]) -> String {
+    let mut out = String::from("curve,logic_cells,cycles\n");
+    for curve in curves {
+        for p in &curve.front {
+            out.push_str(&format!("{},{},{}\n", curve.label, p.resources, p.latency));
+        }
+    }
+    out
+}
+
+/// Pretty-prints the curves as (resources, latency) series.
+pub fn render(curves: &[Fig7Curve]) -> String {
+    let mut out = String::new();
+    for curve in curves {
+        out.push_str(&format!(
+            "--- {} ({} points evaluated, {} on front) ---\n",
+            curve.label,
+            curve.evaluated,
+            curve.front.len()
+        ));
+        out.push_str(&format!("{:>12} {:>14}\n", "logic cells", "cycles"));
+        for p in &curve.front {
+            out.push_str(&format!("{:>12} {:>14}\n", p.resources, p.latency));
+        }
+    }
+    out.push_str("--- overall Pareto-optimal (starred in Fig. 7) ---\n");
+    for (label, p) in overall_optima(curves) {
+        out.push_str(&format!("{:>12} {:>14}   {}\n", p.resources, p.latency, label));
+    }
+    out
+}

@@ -1,0 +1,38 @@
+//! Small workloads for Criterion benches and smoke tests: same operator
+//! mix as the paper workloads, scaled down so a single inference runs in
+//! milliseconds.
+
+use cfu_tflm::model::{Activation, Model, Padding};
+use cfu_tflm::models::ModelBuilder;
+use cfu_tflm::tensor::{QuantParams, Shape};
+
+/// A pointwise-convolution-only model (the Figure 4 operator under
+/// test, isolated).
+pub fn pointwise_model(hw: usize, channels: usize, seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "micro_pointwise",
+        Shape::new(hw, hw, channels),
+        QuantParams::new(0.05, 0),
+        seed,
+    );
+    b.conv("pw1", channels * 2, (1, 1), 1, Padding::Same, Activation::Relu6);
+    b.conv("pw2", channels, (1, 1), 1, Padding::Same, Activation::None);
+    b.build()
+}
+
+/// A narrow DS-CNN slice (conv + depthwise + pointwise + pool + fc).
+pub fn kws_slice(seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "micro_kws_slice",
+        Shape::new(13, 10, 1),
+        QuantParams::new(0.08, 0),
+        seed,
+    );
+    b.conv("conv1", 8, (10, 4), 2, Padding::Same, Activation::Relu);
+    b.dwconv("dw", (3, 3), 1, Padding::Same, Activation::Relu);
+    b.conv("pw", 8, (1, 1), 1, Padding::Same, Activation::Relu);
+    b.global_avg_pool("pool");
+    b.fc("logits", 4, Activation::None);
+    b.softmax("softmax");
+    b.build()
+}

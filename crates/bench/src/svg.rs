@@ -1,0 +1,233 @@
+//! Minimal SVG chart rendering, so the figure harnesses can emit an
+//! actual *figure* (bar ladder for Figures 4/6, scatter for Figure 7)
+//! with no plotting dependencies.
+
+use std::fmt::Write as _;
+
+const W: f64 = 760.0;
+const H: f64 = 420.0;
+const MARGIN_L: f64 = 70.0;
+const MARGIN_B: f64 = 90.0;
+const MARGIN_T: f64 = 40.0;
+const MARGIN_R: f64 = 20.0;
+
+fn header(title: &str) -> String {
+    format!(
+        concat!(
+            "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{w}\" height=\"{h}\" ",
+            "viewBox=\"0 0 {w} {h}\" font-family=\"sans-serif\" font-size=\"12\">\n",
+            "<rect width=\"{w}\" height=\"{h}\" fill=\"white\"/>\n",
+            "<text x=\"{tx}\" y=\"24\" text-anchor=\"middle\" font-size=\"16\">{title}</text>\n",
+        ),
+        w = W,
+        h = H,
+        tx = W / 2.0,
+        title = xml_escape(title),
+    )
+}
+
+fn xml_escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+/// Renders a log-scale bar chart of `(label, value)` pairs — the shape of
+/// the paper's Figure 4/6 speedup ladders.
+///
+/// # Panics
+///
+/// Panics if `bars` is empty or any value is not positive.
+pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)]) -> String {
+    assert!(!bars.is_empty(), "need at least one bar");
+    assert!(bars.iter().all(|(_, v)| *v > 0.0), "bar values must be positive");
+    let mut out = header(title);
+    let max = bars.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let log_max = max.log10().ceil().max(1.0);
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - v.log10().max(0.0) / log_max);
+    // Axis + gridlines at powers of ten.
+    let _ = writeln!(
+        out,
+        "<line x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\" stroke=\"black\"/>",
+        l = MARGIN_L,
+        t = MARGIN_T,
+        b = H - MARGIN_B
+    );
+    for p in 0..=(log_max as i32) {
+        let v = 10f64.powi(p);
+        let y = y_of(v);
+        let _ = writeln!(
+            out,
+            "<line x1=\"{l}\" y1=\"{y:.1}\" x2=\"{r}\" y2=\"{y:.1}\" stroke=\"#ddd\"/>\
+             <text x=\"{tl}\" y=\"{ty:.1}\" text-anchor=\"end\">{v}</text>",
+            l = MARGIN_L,
+            r = W - MARGIN_R,
+            tl = MARGIN_L - 6.0,
+            ty = y + 4.0,
+        );
+    }
+    let _ = writeln!(
+        out,
+        "<text x=\"16\" y=\"{my:.1}\" transform=\"rotate(-90 16 {my:.1})\" text-anchor=\"middle\">{}</text>",
+        xml_escape(y_label),
+        my = MARGIN_T + plot_h / 2.0,
+    );
+    let step = plot_w / bars.len() as f64;
+    for (i, (label, v)) in bars.iter().enumerate() {
+        let x = MARGIN_L + step * i as f64 + step * 0.15;
+        let y = y_of(*v);
+        let _ = writeln!(
+            out,
+            "<rect x=\"{x:.1}\" y=\"{y:.1}\" width=\"{bw:.1}\" height=\"{bh:.1}\" fill=\"#4477aa\"/>\
+             <text x=\"{vx:.1}\" y=\"{vy:.1}\" text-anchor=\"middle\" font-size=\"11\">{val:.1}</text>\
+             <text x=\"{lx:.1}\" y=\"{ly:.1}\" text-anchor=\"end\" font-size=\"11\" \
+              transform=\"rotate(-40 {lx:.1} {ly:.1})\">{label}</text>",
+            bw = step * 0.7,
+            bh = (H - MARGIN_B - y).max(1.0),
+            vx = x + step * 0.35,
+            vy = y - 4.0,
+            val = v,
+            lx = x + step * 0.4,
+            ly = H - MARGIN_B + 16.0,
+            label = xml_escape(label),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+/// Renders a scatter of several named series — Figure 7's Pareto curves.
+///
+/// # Panics
+///
+/// Panics if all series are empty.
+pub fn scatter(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+) -> String {
+    let points: Vec<(f64, f64)> =
+        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    assert!(!points.is_empty(), "need at least one point");
+    let (mut x_min, mut x_max, mut y_min, mut y_max) =
+        (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    for &(x, y) in &points {
+        x_min = x_min.min(x);
+        x_max = x_max.max(x);
+        y_min = y_min.min(y);
+        y_max = y_max.max(y);
+    }
+    let pad = |lo: f64, hi: f64| {
+        let d = (hi - lo).max(1.0) * 0.08;
+        (lo - d, hi + d)
+    };
+    let (x_min, x_max) = pad(x_min, x_max);
+    let (y_min, y_max) = pad(y_min, y_max);
+    let plot_w = W - MARGIN_L - MARGIN_R;
+    let plot_h = H - MARGIN_T - MARGIN_B;
+    let sx = |x: f64| MARGIN_L + plot_w * (x - x_min) / (x_max - x_min);
+    let sy = |y: f64| MARGIN_T + plot_h * (1.0 - (y - y_min) / (y_max - y_min));
+    let mut out = header(title);
+    let _ = writeln!(
+        out,
+        "<line x1=\"{l}\" y1=\"{b}\" x2=\"{r}\" y2=\"{b}\" stroke=\"black\"/>\
+         <line x1=\"{l}\" y1=\"{t}\" x2=\"{l}\" y2=\"{b}\" stroke=\"black\"/>\
+         <text x=\"{mx:.1}\" y=\"{bl:.1}\" text-anchor=\"middle\">{xl}</text>\
+         <text x=\"16\" y=\"{my:.1}\" transform=\"rotate(-90 16 {my:.1})\" text-anchor=\"middle\">{yl}</text>",
+        l = MARGIN_L,
+        r = W - MARGIN_R,
+        t = MARGIN_T,
+        b = H - MARGIN_B,
+        mx = MARGIN_L + plot_w / 2.0,
+        bl = H - MARGIN_B + 34.0,
+        my = MARGIN_T + plot_h / 2.0,
+        xl = xml_escape(x_label),
+        yl = xml_escape(y_label),
+    );
+    const COLORS: [&str; 4] = ["#228833", "#4477aa", "#ee6677", "#aa7744"];
+    for (si, (name, pts)) in series.iter().enumerate() {
+        let color = COLORS[si % COLORS.len()];
+        // Connect the (sorted) front like the paper's curves.
+        let mut sorted = pts.clone();
+        sorted.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite"));
+        let path: Vec<String> = sorted
+            .iter()
+            .enumerate()
+            .map(|(i, &(x, y))| {
+                format!("{}{:.1},{:.1}", if i == 0 { "M" } else { "L" }, sx(x), sy(y))
+            })
+            .collect();
+        if sorted.len() > 1 {
+            let _ = writeln!(
+                out,
+                "<path d=\"{}\" fill=\"none\" stroke=\"{color}\" stroke-width=\"1.5\"/>",
+                path.join(" ")
+            );
+        }
+        for &(x, y) in &sorted {
+            let _ = writeln!(
+                out,
+                "<circle cx=\"{:.1}\" cy=\"{:.1}\" r=\"4\" fill=\"{color}\"/>",
+                sx(x),
+                sy(y)
+            );
+        }
+        let _ = writeln!(
+            out,
+            "<rect x=\"{lx}\" y=\"{ly:.1}\" width=\"12\" height=\"12\" fill=\"{color}\"/>\
+             <text x=\"{tx}\" y=\"{ty:.1}\">{name}</text>",
+            lx = W - 190.0,
+            ly = MARGIN_T + 18.0 * si as f64,
+            tx = W - 172.0,
+            ty = MARGIN_T + 18.0 * si as f64 + 10.0,
+            name = xml_escape(name),
+        );
+    }
+    out.push_str("</svg>\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bar_chart_is_wellformed() {
+        let bars = vec![
+            ("Baseline".to_owned(), 1.0),
+            ("SW".to_owned(), 2.5),
+            ("Overlap input".to_owned(), 63.7),
+        ];
+        let svg = bar_chart("Figure 4", "speedup", &bars);
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.trim_end().ends_with("</svg>"));
+        assert_eq!(svg.matches("<rect").count(), 1 + bars.len()); // bg + bars
+        assert!(svg.contains("Overlap input"));
+    }
+
+    #[test]
+    fn scatter_draws_all_series() {
+        let series = vec![
+            ("CPU alone".to_owned(), vec![(3690.0, 2.7e7), (4260.0, 2.0e7)]),
+            ("CPU + CFU1".to_owned(), vec![(4564.0, 5.0e6)]),
+        ];
+        let svg = scatter("Figure 7", "logic cells", "cycles", &series);
+        assert_eq!(svg.matches("<circle").count(), 3);
+        assert!(svg.contains("CPU + CFU1"));
+        assert!(svg.contains("</svg>"));
+    }
+
+    #[test]
+    fn escapes_markup_in_labels() {
+        let svg = bar_chart("a<b&c", "y", &[("x<y".to_owned(), 2.0)]);
+        assert!(svg.contains("a&lt;b&amp;c"));
+        assert!(!svg.contains("a<b"));
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn rejects_nonpositive_bars() {
+        let _ = bar_chart("t", "y", &[("x".to_owned(), 0.0)]);
+    }
+}

@@ -1,0 +1,111 @@
+//! Text tables: the §III-A profile breakdown and the MLPerf-Tiny model
+//! inventory.
+
+use cfu_core::NullCfu;
+use cfu_sim::CpuConfig;
+use cfu_soc::Board;
+use cfu_tflm::deploy::{DeployConfig, Deployment};
+use cfu_tflm::model::{Model, OpKind};
+use cfu_tflm::models;
+use cfu_tflm::profiler::Profile;
+
+/// Profiles the unaccelerated MobileNetV2 baseline on Arty — paper E1:
+/// "the unaccelerated baseline application takes about 900 M cycles.
+/// About 95% of its execution time is spread across three different
+/// types of convolutions."
+///
+/// # Panics
+///
+/// Panics on deployment failure.
+pub fn profile_mnv2_baseline(input_hw: usize) -> Profile {
+    let board = Board::arty_a7_35t();
+    let model = models::mobilenet_v2(input_hw, 2, 1);
+    let input = models::synthetic_input(&model, 42);
+    let cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    let mut dep =
+        Deployment::new(model, board.build_bus(None), Box::new(NullCfu), &cfg).expect("deploys");
+    let (_, profile) = dep.run(&input).expect("runs");
+    profile
+}
+
+/// Renders the E1 comparison against the paper's numbers.
+pub fn render_mnv2_profile(profile: &Profile) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("total cycles: {} (paper: ~900M on 100 MHz Arty)\n\n", profile.total_cycles()));
+    out.push_str(&profile.to_string());
+    let conv_share = profile.share_of(OpKind::Conv2d1x1)
+        + profile.share_of(OpKind::DepthwiseConv2d)
+        + profile.share_of(OpKind::Conv2d);
+    out.push_str(&format!(
+        "\nconvolution share: {:.1}% (paper: ~95%)\n1x1 conv: {:.1}% (paper: 63%) | depthwise: {:.1}% (paper: 22.5%) | other conv: {:.1}% (paper: 11%)\n",
+        100.0 * conv_share,
+        100.0 * profile.share_of(OpKind::Conv2d1x1),
+        100.0 * profile.share_of(OpKind::DepthwiseConv2d),
+        100.0 * profile.share_of(OpKind::Conv2d),
+    ));
+    out
+}
+
+/// One row of the MLPerf-Tiny model inventory.
+#[derive(Debug, Clone)]
+pub struct ModelRow {
+    /// Model name.
+    pub name: String,
+    /// Multiply-accumulate count.
+    pub macs: u64,
+    /// Weight bytes.
+    pub weight_bytes: usize,
+    /// Baseline inference cycles on Arty (generic kernels).
+    pub cycles: u64,
+}
+
+/// Runs every zoo model with generic kernels on Arty — the §II-E "stock
+/// models from MLPerf Tiny workloads".
+///
+/// # Panics
+///
+/// Panics on deployment failure.
+pub fn mlperf_tiny_inventory(fast: bool) -> Vec<ModelRow> {
+    let board = Board::arty_a7_35t();
+    let zoo: Vec<Model> = if fast {
+        vec![models::mobilenet_v2(24, 2, 1), models::ds_cnn_kws(1), models::resnet8(1), models::fc_autoencoder(1)]
+    } else {
+        vec![models::mobilenet_v2(96, 2, 1), models::ds_cnn_kws(1), models::resnet8(1), models::fc_autoencoder(1)]
+    };
+    let mut rows = Vec::new();
+    for model in zoo {
+        let input = models::synthetic_input(&model, 3);
+        let cfg =
+            DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+        let mut dep = Deployment::new(model.clone(), board.build_bus(None), Box::new(NullCfu), &cfg)
+            .expect("deploys");
+        let (_, profile) = dep.run(&input).expect("runs");
+        rows.push(ModelRow {
+            name: model.name.clone(),
+            macs: model.total_macs(),
+            weight_bytes: model.weight_bytes(),
+            cycles: profile.total_cycles(),
+        });
+    }
+    rows
+}
+
+/// Renders the inventory table.
+pub fn render_inventory(rows: &[ModelRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<24} {:>12} {:>12} {:>14} {:>10}\n",
+        "model", "MACs", "weights (B)", "cycles", "cyc/MAC"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<24} {:>12} {:>12} {:>14} {:>10.1}\n",
+            r.name,
+            r.macs,
+            r.weight_bytes,
+            r.cycles,
+            r.cycles as f64 / r.macs.max(1) as f64,
+        ));
+    }
+    out
+}

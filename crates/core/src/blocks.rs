@@ -1,0 +1,433 @@
+//! Reusable CFU datapath building blocks.
+//!
+//! The paper grows its accelerators incrementally: a post-processing unit,
+//! then scratchpad buffers for filters and inputs, then a SIMD
+//! multiply-accumulate array, then fused loops. Each of those pieces is a
+//! block here, with functional behaviour and a [`Resources`] estimate, so
+//! new CFUs can be assembled the way the case studies assemble theirs.
+
+use crate::arith;
+use crate::resources::Resources;
+
+/// A small word-addressed buffer inside the CFU ("flexible, configurable
+/// storage allows the data to be stored and reused locally, reducing
+/// unnecessary data movement").
+///
+/// Backed by FPGA block RAM: capacity is rounded up to 512-byte BRAM
+/// units for the resource estimate.
+#[derive(Debug, Clone)]
+pub struct Scratchpad {
+    words: Vec<u32>,
+    write_ptr: usize,
+    read_ptr: usize,
+}
+
+impl Scratchpad {
+    /// Creates a zeroed scratchpad holding `capacity_words` 32-bit words.
+    pub fn new(capacity_words: usize) -> Self {
+        Scratchpad { words: vec![0; capacity_words], write_ptr: 0, read_ptr: 0 }
+    }
+
+    /// Capacity in words.
+    pub fn capacity(&self) -> usize {
+        self.words.len()
+    }
+
+    /// Appends a word at the write pointer, wrapping at capacity
+    /// (hardware address counters wrap; protocol checks live in the CFUs).
+    pub fn push(&mut self, word: u32) {
+        let cap = self.words.len();
+        self.words[self.write_ptr % cap] = word;
+        self.write_ptr = (self.write_ptr + 1) % cap;
+    }
+
+    /// Reads the word at `index`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= capacity` — a protocol error the simulator
+    /// surfaces instead of returning X's like real hardware would.
+    pub fn read(&self, index: usize) -> u32 {
+        self.words[index]
+    }
+
+    /// Reads the word at the read pointer and advances it (wrapping).
+    pub fn pop(&mut self) -> u32 {
+        let cap = self.words.len();
+        let w = self.words[self.read_ptr % cap];
+        self.read_ptr = (self.read_ptr + 1) % cap;
+        w
+    }
+
+    /// Number of words written since the last reset (saturates at
+    /// capacity).
+    pub fn written(&self) -> usize {
+        self.write_ptr
+    }
+
+    /// Resets both pointers and zeroes contents.
+    pub fn reset(&mut self) {
+        self.words.fill(0);
+        self.write_ptr = 0;
+        self.read_ptr = 0;
+    }
+
+    /// Rewinds the pointers without clearing data (reuse the same filter
+    /// buffer across output pixels).
+    pub fn rewind(&mut self) {
+        self.write_ptr = 0;
+        self.read_ptr = 0;
+    }
+
+    /// Block-RAM cost: one 512-byte iCE40 BRAM per 128 words, plus a few
+    /// LUTs of addressing logic.
+    pub fn resources(&self) -> Resources {
+        let brams = (self.words.len() * 4).div_ceil(512) as u32;
+        Resources { luts: 30, ffs: 24, brams, dsps: 0 }
+    }
+}
+
+/// An N-lane signed 8-bit multiply-accumulate array with a 32-bit
+/// accumulator — the `MAC4` / `SIMD MAC` datapath.
+///
+/// Each lane computes `(activation + input_offset) * filter`; lanes sum
+/// into the accumulator. With `lanes = 4` and packed operands this is one
+/// result per cycle, the paper's headline CFU datapath on both boards.
+#[derive(Debug, Clone)]
+pub struct MacArray {
+    lanes: u32,
+    input_offset: i32,
+    acc: i32,
+    use_dsp: bool,
+}
+
+impl MacArray {
+    /// Creates a MAC array with `lanes` 8-bit lanes, mapped to DSP tiles.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lanes` is 0 or greater than 4 (one 32-bit operand word).
+    pub fn new(lanes: u32) -> Self {
+        assert!((1..=4).contains(&lanes), "lanes must be 1..=4");
+        MacArray { lanes, input_offset: 0, acc: 0, use_dsp: true }
+    }
+
+    /// Builds the multipliers from LUTs instead of DSP tiles (for boards
+    /// whose DSPs are already spent, at a large LUT cost).
+    pub fn without_dsp(mut self) -> Self {
+        self.use_dsp = false;
+        self
+    }
+
+    /// Number of lanes.
+    pub fn lanes(&self) -> u32 {
+        self.lanes
+    }
+
+    /// Sets the activation offset added to every input lane.
+    pub fn set_input_offset(&mut self, offset: i32) {
+        self.input_offset = offset;
+    }
+
+    /// The configured activation offset.
+    pub fn input_offset(&self) -> i32 {
+        self.input_offset
+    }
+
+    /// Accumulates `lanes` products of the packed operands and returns the
+    /// running accumulator.
+    pub fn mac(&mut self, activations: u32, filters: u32) -> i32 {
+        let a = arith::unpack_i8x4(activations);
+        let f = arith::unpack_i8x4(filters);
+        for lane in 0..self.lanes as usize {
+            self.acc = self.acc.wrapping_add(
+                i32::from(a[lane])
+                    .wrapping_add(self.input_offset)
+                    .wrapping_mul(i32::from(f[lane])),
+            );
+        }
+        self.acc
+    }
+
+    /// Single-lane accumulate — the depthwise-convolution fallback the KWS
+    /// case study uses when no resources remain for a second CFU datapath.
+    pub fn mac_single(&mut self, activation: i32, filter: i32) -> i32 {
+        self.acc = self
+            .acc
+            .wrapping_add(activation.wrapping_add(self.input_offset).wrapping_mul(filter));
+        self.acc
+    }
+
+    /// Current accumulator value.
+    pub fn acc(&self) -> i32 {
+        self.acc
+    }
+
+    /// Sets the accumulator (used to seed with a bias).
+    pub fn set_acc(&mut self, value: i32) {
+        self.acc = value;
+    }
+
+    /// Reads the accumulator and clears it.
+    pub fn take(&mut self) -> i32 {
+        std::mem::replace(&mut self.acc, 0)
+    }
+
+    /// Clears accumulator and offset.
+    pub fn reset(&mut self) {
+        self.acc = 0;
+        self.input_offset = 0;
+    }
+
+    /// One DSP tile per lane (iCE40UP 16×16 MACs), or ~80 LUTs per 8-bit
+    /// multiplier when built from fabric, plus the adder tree.
+    pub fn resources(&self) -> Resources {
+        let adder_tree = Resources::luts(16 * self.lanes + 40);
+        if self.use_dsp {
+            Resources { dsps: self.lanes, ffs: 32, ..Resources::ZERO } + adder_tree
+        } else {
+            Resources { luts: 80 * self.lanes, ffs: 32, ..Resources::ZERO } + adder_tree
+        }
+    }
+}
+
+/// Per-output-channel post-processing parameters: bias, Q31 multiplier,
+/// shift. The paper stores these tables inside CFU1 ("per-output channel
+/// values for bias, multiplicand, and shift amount were stored in the
+/// CFU") and gives CFU2 a post-processing op that is "14× faster".
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ChannelParams {
+    /// Bias added to the accumulator.
+    pub bias: i32,
+    /// Q31 quantized multiplier.
+    pub multiplier: i32,
+    /// Power-of-two shift (positive = left).
+    pub shift: i32,
+}
+
+/// The output post-processing pipeline: `clamp(offset +
+/// requantize(acc + bias))`, with a per-channel parameter table and an
+/// auto-advancing channel cursor.
+#[derive(Debug, Clone)]
+pub struct PostProcessor {
+    params: Vec<ChannelParams>,
+    cursor: usize,
+    output_offset: i32,
+    activation_min: i32,
+    activation_max: i32,
+}
+
+impl Default for PostProcessor {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PostProcessor {
+    /// Creates an empty post-processor with int8 clamp bounds.
+    pub fn new() -> Self {
+        PostProcessor {
+            params: Vec::new(),
+            cursor: 0,
+            output_offset: 0,
+            activation_min: i32::from(i8::MIN),
+            activation_max: i32::from(i8::MAX),
+        }
+    }
+
+    /// Clears the parameter table (new layer).
+    pub fn clear(&mut self) {
+        self.params.clear();
+        self.cursor = 0;
+    }
+
+    /// Appends one channel's parameters.
+    pub fn push_channel(&mut self, params: ChannelParams) {
+        self.params.push(params);
+    }
+
+    /// Number of channels loaded.
+    pub fn channels(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Sets the output zero-point.
+    pub fn set_output_offset(&mut self, offset: i32) {
+        self.output_offset = offset;
+    }
+
+    /// Sets the activation clamp range.
+    pub fn set_activation_range(&mut self, min: i32, max: i32) {
+        self.activation_min = min;
+        self.activation_max = max;
+    }
+
+    /// Rewinds the channel cursor (start of a new output pixel).
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Post-processes one accumulator with the current channel's
+    /// parameters and advances the cursor (wrapping over the table, one
+    /// table pass per output pixel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if no channel parameters were loaded.
+    pub fn process(&mut self, acc: i32) -> i32 {
+        assert!(!self.params.is_empty(), "post-processor has no channel parameters");
+        let p = self.params[self.cursor];
+        self.cursor = (self.cursor + 1) % self.params.len();
+        self.process_with(acc, p)
+    }
+
+    /// Post-processes with explicit parameters (no cursor).
+    pub fn process_with(&self, acc: i32, p: ChannelParams) -> i32 {
+        let scaled =
+            arith::multiply_by_quantized_multiplier(acc.wrapping_add(p.bias), p.multiplier, p.shift);
+        arith::clamp_activation(
+            scaled.wrapping_add(self.output_offset),
+            self.activation_min,
+            self.activation_max,
+        )
+    }
+
+    /// Full reset to power-on state.
+    pub fn reset(&mut self) {
+        *self = PostProcessor::new();
+    }
+
+    /// The requantizer datapath (32×32 high-mul + rounding shifter +
+    /// clamp) is a few hundred LUTs; parameter tables go to BRAM.
+    pub fn resources(&self) -> Resources {
+        let table_bytes = self.params.capacity().max(64) * 12;
+        Resources { luts: 320, ffs: 96, brams: table_bytes.div_ceil(512) as u32, dsps: 0 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arith::pack_i8x4;
+
+    #[test]
+    fn scratchpad_push_read() {
+        let mut sp = Scratchpad::new(4);
+        sp.push(10);
+        sp.push(20);
+        assert_eq!(sp.read(0), 10);
+        assert_eq!(sp.read(1), 20);
+        assert_eq!(sp.written(), 2);
+        assert_eq!(sp.pop(), 10);
+        assert_eq!(sp.pop(), 20);
+    }
+
+    #[test]
+    fn scratchpad_wraps() {
+        let mut sp = Scratchpad::new(2);
+        sp.push(1);
+        sp.push(2);
+        sp.push(3); // wraps over index 0
+        assert_eq!(sp.read(0), 3);
+    }
+
+    #[test]
+    fn scratchpad_rewind_keeps_data() {
+        let mut sp = Scratchpad::new(4);
+        sp.push(7);
+        sp.rewind();
+        assert_eq!(sp.read(0), 7);
+        assert_eq!(sp.pop(), 7);
+    }
+
+    #[test]
+    fn scratchpad_resources_scale_with_capacity() {
+        assert_eq!(Scratchpad::new(128).resources().brams, 1);
+        assert_eq!(Scratchpad::new(129).resources().brams, 2);
+        assert_eq!(Scratchpad::new(1024).resources().brams, 8);
+    }
+
+    #[test]
+    fn mac4_matches_dot4_offset() {
+        let mut mac = MacArray::new(4);
+        mac.set_input_offset(128);
+        let a = pack_i8x4([-128, 5, -3, 127]);
+        let f = pack_i8x4([1, -2, 3, -4]);
+        let r = mac.mac(a, f);
+        assert_eq!(r, arith::dot4_offset(a, f, 128));
+        // Accumulates across calls.
+        let r2 = mac.mac(a, f);
+        assert_eq!(r2, 2 * arith::dot4_offset(a, f, 128));
+        assert_eq!(mac.take(), r2);
+        assert_eq!(mac.acc(), 0);
+    }
+
+    #[test]
+    fn mac_lane_subset() {
+        let mut mac = MacArray::new(2);
+        let a = pack_i8x4([1, 1, 99, 99]);
+        let f = pack_i8x4([1, 1, 99, 99]);
+        assert_eq!(mac.mac(a, f), 2); // only lanes 0-1 participate
+    }
+
+    #[test]
+    fn mac_single_lane() {
+        let mut mac = MacArray::new(4);
+        mac.set_input_offset(10);
+        assert_eq!(mac.mac_single(-5, 3), (10 - 5) * 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "lanes")]
+    fn mac_lane_bounds() {
+        let _ = MacArray::new(5);
+    }
+
+    #[test]
+    fn mac_resources_dsp_vs_lut() {
+        let dsp = MacArray::new(4).resources();
+        let lut = MacArray::new(4).without_dsp().resources();
+        assert_eq!(dsp.dsps, 4);
+        assert_eq!(lut.dsps, 0);
+        assert!(lut.luts > dsp.luts + 200);
+    }
+
+    #[test]
+    fn postproc_pipeline() {
+        let mut pp = PostProcessor::new();
+        let (m, s) = arith::quantize_multiplier(0.5);
+        pp.push_channel(ChannelParams { bias: 10, multiplier: m, shift: s });
+        pp.set_output_offset(-1);
+        // (90 + 10) * 0.5 - 1 = 49
+        assert_eq!(pp.process(90), 49);
+    }
+
+    #[test]
+    fn postproc_clamps() {
+        let mut pp = PostProcessor::new();
+        let (m, s) = arith::quantize_multiplier(1.0);
+        pp.push_channel(ChannelParams { bias: 0, multiplier: m, shift: s });
+        assert_eq!(pp.process(1000), 127);
+        assert_eq!(pp.process(-1000), -128);
+    }
+
+    #[test]
+    fn postproc_cursor_wraps_per_pixel() {
+        let mut pp = PostProcessor::new();
+        let (m, s) = arith::quantize_multiplier(1.0);
+        pp.push_channel(ChannelParams { bias: 1, multiplier: m, shift: s });
+        pp.push_channel(ChannelParams { bias: 2, multiplier: m, shift: s });
+        assert_eq!(pp.process(0), 1);
+        assert_eq!(pp.process(0), 2);
+        assert_eq!(pp.process(0), 1); // wrapped
+        pp.rewind();
+        assert_eq!(pp.process(0), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "no channel parameters")]
+    fn postproc_requires_params() {
+        let mut pp = PostProcessor::new();
+        let _ = pp.process(0);
+    }
+}

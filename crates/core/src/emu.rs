@@ -1,0 +1,276 @@
+//! Software emulation of CFUs — the paper's §II-E debug flow.
+//!
+//! "Users can write a software emulation of their CFU, using the
+//! high-level C programming language, that is functionally equivalent but
+//! of course much slower, which can be swapped in for the real CFU."
+//!
+//! [`SwCfu`] wraps a plain Rust closure as a [`Cfu`] so it can be swapped
+//! in anywhere a hardware model is used; [`DualCfu`] runs a hardware model
+//! and its emulation in lock-step and fails loudly on the first diverging
+//! result — exactly the board-side random/directed test the paper
+//! describes.
+
+use std::fmt;
+
+use crate::interface::{Cfu, CfuError, CfuOp, CfuResponse};
+use crate::resources::Resources;
+
+/// A CFU defined by a plain function — the "software emulation".
+///
+/// The emulation carries no timing model: every op reports a 1-cycle
+/// latency, because its purpose is functional comparison, not
+/// performance. It also consumes no FPGA resources.
+pub struct SwCfu<F> {
+    name: String,
+    func: F,
+}
+
+impl<F> SwCfu<F>
+where
+    F: FnMut(CfuOp, u32, u32) -> u32,
+{
+    /// Wraps `func` as a CFU named `name`.
+    pub fn new(name: &str, func: F) -> Self {
+        SwCfu { name: name.to_owned(), func }
+    }
+}
+
+impl<F> fmt::Debug for SwCfu<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwCfu").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl<F> Cfu for SwCfu<F>
+where
+    F: FnMut(CfuOp, u32, u32) -> u32,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        Ok(CfuResponse::single((self.func)(op, rs1, rs2)))
+    }
+
+    fn reset(&mut self) {}
+
+    fn resources(&self) -> Resources {
+        Resources::ZERO
+    }
+}
+
+/// A fallible software emulation (can flag protocol errors like the
+/// hardware model does). Useful when the emulation should reject the same
+/// op sequences the hardware model rejects.
+pub struct SwCfuFallible<F> {
+    name: String,
+    func: F,
+}
+
+impl<F> SwCfuFallible<F>
+where
+    F: FnMut(CfuOp, u32, u32) -> Result<u32, CfuError>,
+{
+    /// Wraps a fallible function as a CFU named `name`.
+    pub fn new(name: &str, func: F) -> Self {
+        SwCfuFallible { name: name.to_owned(), func }
+    }
+}
+
+impl<F> fmt::Debug for SwCfuFallible<F> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("SwCfuFallible").field("name", &self.name).finish_non_exhaustive()
+    }
+}
+
+impl<F> Cfu for SwCfuFallible<F>
+where
+    F: FnMut(CfuOp, u32, u32) -> Result<u32, CfuError>,
+{
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        (self.func)(op, rs1, rs2).map(CfuResponse::single)
+    }
+
+    fn reset(&mut self) {}
+
+    fn resources(&self) -> Resources {
+        Resources::ZERO
+    }
+}
+
+/// Divergence between a hardware CFU model and its software emulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index of the op in the stream (0-based).
+    pub index: usize,
+    /// The op that diverged.
+    pub op: CfuOp,
+    /// Operands fed to both implementations.
+    pub operands: (u32, u32),
+    /// What the hardware model produced (`Err` text if it errored).
+    pub hardware: Result<u32, String>,
+    /// What the emulation produced.
+    pub emulation: Result<u32, String>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "op #{} {} rs1=0x{:08x} rs2=0x{:08x}: hardware {:?} != emulation {:?}",
+            self.index, self.op, self.operands.0, self.operands.1, self.hardware, self.emulation
+        )
+    }
+}
+
+impl std::error::Error for Divergence {}
+
+/// Runs a hardware model and its software emulation in lock-step,
+/// checking every result — the "feed the same sequence of inputs to both
+/// the real CFU and to the software emulation" flow.
+///
+/// On a result mismatch the whole state of both CFUs is suspect, so
+/// `execute` reports the divergence as an error and refuses further ops
+/// until [`reset`](Cfu::reset).
+pub struct DualCfu<H, E> {
+    hardware: H,
+    emulation: E,
+    issued: usize,
+    poisoned: bool,
+}
+
+impl<H: Cfu, E: Cfu> DualCfu<H, E> {
+    /// Pairs a hardware model with its emulation.
+    pub fn new(hardware: H, emulation: E) -> Self {
+        DualCfu { hardware, emulation, issued: 0, poisoned: false }
+    }
+
+    /// The wrapped hardware model.
+    pub fn hardware(&self) -> &H {
+        &self.hardware
+    }
+
+    /// The wrapped emulation.
+    pub fn emulation(&self) -> &E {
+        &self.emulation
+    }
+
+    /// Number of ops issued since the last reset.
+    pub fn issued(&self) -> usize {
+        self.issued
+    }
+}
+
+impl<H: Cfu + fmt::Debug, E: Cfu + fmt::Debug> fmt::Debug for DualCfu<H, E> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("DualCfu")
+            .field("hardware", &self.hardware)
+            .field("emulation", &self.emulation)
+            .field("issued", &self.issued)
+            .finish()
+    }
+}
+
+impl<H: Cfu, E: Cfu> Cfu for DualCfu<H, E> {
+    fn name(&self) -> &str {
+        self.hardware.name()
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        if self.poisoned {
+            return Err(CfuError::Protocol {
+                op,
+                reason: "a previous op diverged from the software emulation; reset first".into(),
+            });
+        }
+        let index = self.issued;
+        self.issued += 1;
+        let hw = self.hardware.execute(op, rs1, rs2);
+        let em = self.emulation.execute(op, rs1, rs2);
+        match (&hw, &em) {
+            (Ok(h), Ok(e)) if h.value == e.value => hw,
+            _ => {
+                self.poisoned = true;
+                let d = Divergence {
+                    index,
+                    op,
+                    operands: (rs1, rs2),
+                    hardware: hw.map(|r| r.value).map_err(|e| e.to_string()),
+                    emulation: em.map(|r| r.value).map_err(|e| e.to_string()),
+                };
+                Err(CfuError::Protocol { op, reason: d.to_string() })
+            }
+        }
+    }
+
+    fn reset(&mut self) {
+        self.hardware.reset();
+        self.emulation.reset();
+        self.issued = 0;
+        self.poisoned = false;
+    }
+
+    fn resources(&self) -> Resources {
+        self.hardware.resources()
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        self.hardware.supports(op)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::templates::SimdAddCfu;
+
+    fn simd_add_emulation() -> SwCfu<impl FnMut(CfuOp, u32, u32) -> u32> {
+        SwCfu::new("emu", |_, a, b| {
+            let mut out = 0u32;
+            for lane in 0..4 {
+                let s = ((a >> (8 * lane)) as u8).wrapping_add((b >> (8 * lane)) as u8);
+                out |= u32::from(s) << (8 * lane);
+            }
+            out
+        })
+    }
+
+    #[test]
+    fn matching_pair_passes() {
+        let mut dual = DualCfu::new(SimdAddCfu::new(), simd_add_emulation());
+        for i in 0..100u32 {
+            let r = dual.execute(CfuOp::new(0, 0), i * 0x01010101, 0x7F7F7F7F).unwrap();
+            let _ = r.value;
+        }
+        assert_eq!(dual.issued(), 100);
+    }
+
+    #[test]
+    fn diverging_pair_poisons() {
+        // A deliberately buggy emulation: plain 32-bit add (carries leak
+        // across byte lanes).
+        let buggy = SwCfu::new("buggy", |_, a: u32, b: u32| a.wrapping_add(b));
+        let mut dual = DualCfu::new(SimdAddCfu::new(), buggy);
+        // No lane carries: results agree.
+        assert!(dual.execute(CfuOp::new(0, 0), 0x01010101, 0x01010101).is_ok());
+        // 0xFF + 1 carries between lanes in the buggy version.
+        let err = dual.execute(CfuOp::new(0, 0), 0x0000_00FF, 0x0000_0001).unwrap_err();
+        assert!(err.to_string().contains("hardware"));
+        // Poisoned until reset.
+        assert!(dual.execute(CfuOp::new(0, 0), 0, 0).is_err());
+        dual.reset();
+        assert!(dual.execute(CfuOp::new(0, 0), 0, 0).is_ok());
+    }
+
+    #[test]
+    fn sw_cfu_has_no_cost() {
+        let mut emu = simd_add_emulation();
+        assert_eq!(emu.resources(), Resources::ZERO);
+        assert_eq!(emu.execute(CfuOp::new(0, 0), 1, 2).unwrap().latency, 1);
+    }
+}

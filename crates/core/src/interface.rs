@@ -1,0 +1,251 @@
+//! The CPU ↔ CFU interface.
+
+use std::fmt;
+
+use crate::resources::Resources;
+
+/// Selector for one of a CFU's operations: the `funct7` and `funct3`
+/// fields of the R-format custom instruction, exactly as the paper's
+/// `cfu_op(funct7, funct3, a, b)` macro encodes them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct CfuOp {
+    funct7: u8,
+    funct3: u8,
+}
+
+impl CfuOp {
+    /// Creates an op selector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `funct7 >= 128` or `funct3 >= 8` (they must fit their
+    /// instruction fields, a compile-time constraint in the C macro).
+    pub fn new(funct7: u8, funct3: u8) -> Self {
+        assert!(funct7 < 128, "funct7 must fit 7 bits");
+        assert!(funct3 < 8, "funct3 must fit 3 bits");
+        CfuOp { funct7, funct3 }
+    }
+
+    /// The 7-bit `funct7` field.
+    pub fn funct7(self) -> u8 {
+        self.funct7
+    }
+
+    /// The 3-bit `funct3` field.
+    pub fn funct3(self) -> u8 {
+        self.funct3
+    }
+
+    /// The combined 10-bit selector (`funct7 << 3 | funct3`), handy as a
+    /// table index.
+    pub fn id(self) -> u16 {
+        (u16::from(self.funct7) << 3) | u16::from(self.funct3)
+    }
+
+    /// Const-context constructor for op tables.
+    ///
+    /// # Panics
+    ///
+    /// Panics (at compile time when used in a `const`) if the fields do
+    /// not fit.
+    pub const fn from_parts(funct7: u8, funct3: u8) -> Self {
+        assert!(funct7 < 128, "funct7 must fit 7 bits");
+        assert!(funct3 < 8, "funct3 must fit 3 bits");
+        CfuOp { funct7, funct3 }
+    }
+}
+
+impl fmt::Display for CfuOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cfu_op({}, {})", self.funct7, self.funct3)
+    }
+}
+
+/// Result of one CFU operation: the value written back to `rd`, and how
+/// long the CPU was stalled waiting for it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CfuResponse {
+    /// Value returned to the destination register.
+    pub value: u32,
+    /// Cycles the instruction occupies the pipeline. 1 = combinational /
+    /// fully pipelined single-issue; larger values stall the CPU (e.g. the
+    /// `Macc4Run1` op runs a whole dot-product loop before responding).
+    pub latency: u32,
+}
+
+impl CfuResponse {
+    /// A single-cycle response.
+    pub fn single(value: u32) -> Self {
+        CfuResponse { value, latency: 1 }
+    }
+
+    /// A multi-cycle response.
+    pub fn multi(value: u32, latency: u32) -> Self {
+        CfuResponse { value, latency: latency.max(1) }
+    }
+}
+
+/// Errors a CFU can raise.
+///
+/// Real hardware cannot "error" — an unimplemented op returns garbage.
+/// The simulator is stricter so bugs surface during development, mirroring
+/// how the Renode+Verilator flow catches them with waveforms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CfuError {
+    /// The CFU does not implement this `funct7`/`funct3` combination.
+    UnsupportedOp {
+        /// The op that was issued.
+        op: CfuOp,
+        /// Name of the CFU that rejected it.
+        cfu: String,
+    },
+    /// The op was issued in a state it cannot handle (e.g. reading a
+    /// result before any accumulation ran, buffer overflow).
+    Protocol {
+        /// The op that was issued.
+        op: CfuOp,
+        /// Description of the violated protocol.
+        reason: String,
+    },
+}
+
+impl fmt::Display for CfuError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CfuError::UnsupportedOp { op, cfu } => {
+                write!(f, "CFU `{cfu}` does not implement {op}")
+            }
+            CfuError::Protocol { op, reason } => write!(f, "protocol violation at {op}: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CfuError {}
+
+/// A Custom Function Unit: stateful custom logic reachable through
+/// R-format custom instructions.
+///
+/// The boundary is strictly logical, as in the paper: implementations are
+/// free to keep arbitrary internal state (scratchpads, parameter tables,
+/// accumulators) between ops. [`reset`](Cfu::reset) models the hardware
+/// reset line and must return the CFU to its power-on state.
+pub trait Cfu {
+    /// Short identifier used in error messages and reports.
+    fn name(&self) -> &str;
+
+    /// Executes one custom instruction.
+    ///
+    /// # Errors
+    ///
+    /// [`CfuError::UnsupportedOp`] when the op is not implemented;
+    /// [`CfuError::Protocol`] when issued in an invalid state.
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError>;
+
+    /// Returns the CFU to its power-on state.
+    fn reset(&mut self);
+
+    /// FPGA resources this CFU occupies (the yosys report stand-in).
+    fn resources(&self) -> Resources;
+
+    /// `true` when the op is implemented. Default: probe nothing and
+    /// accept everything (the permissive hardware behaviour); concrete
+    /// CFUs override this so the design-space explorer can enumerate ops.
+    fn supports(&self, op: CfuOp) -> bool {
+        let _ = op;
+        true
+    }
+}
+
+impl Cfu for Box<dyn Cfu> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        self.as_mut().execute(op, rs1, rs2)
+    }
+
+    fn reset(&mut self) {
+        self.as_mut().reset();
+    }
+
+    fn resources(&self) -> Resources {
+        self.as_ref().resources()
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        self.as_ref().supports(op)
+    }
+}
+
+/// The "no CFU" configuration: rejects every op and consumes nothing.
+///
+/// Used as the baseline point in the design-space exploration (the green
+/// "CPU alone" Pareto curve of Figure 7).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NullCfu;
+
+impl Cfu for NullCfu {
+    fn name(&self) -> &str {
+        "none"
+    }
+
+    fn execute(&mut self, op: CfuOp, _rs1: u32, _rs2: u32) -> Result<CfuResponse, CfuError> {
+        Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() })
+    }
+
+    fn reset(&mut self) {}
+
+    fn resources(&self) -> Resources {
+        Resources::ZERO
+    }
+
+    fn supports(&self, _op: CfuOp) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn op_id_packs_fields() {
+        let op = CfuOp::new(0x7F, 0x7);
+        assert_eq!(op.id(), 0x3FF);
+        assert_eq!(CfuOp::new(1, 2).id(), (1 << 3) | 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "funct7")]
+    fn funct7_checked() {
+        let _ = CfuOp::new(128, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "funct3")]
+    fn funct3_checked() {
+        let _ = CfuOp::new(0, 8);
+    }
+
+    #[test]
+    fn response_latency_floor_is_one() {
+        assert_eq!(CfuResponse::multi(0, 0).latency, 1);
+        assert_eq!(CfuResponse::single(7).latency, 1);
+    }
+
+    #[test]
+    fn null_cfu_rejects_everything() {
+        let mut cfu = NullCfu;
+        let err = cfu.execute(CfuOp::new(0, 0), 1, 2).unwrap_err();
+        assert!(matches!(err, CfuError::UnsupportedOp { .. }));
+        assert!(!cfu.supports(CfuOp::new(0, 0)));
+        assert_eq!(cfu.resources(), Resources::ZERO);
+    }
+
+    #[test]
+    fn errors_display_meaningfully() {
+        let e = CfuError::UnsupportedOp { op: CfuOp::new(3, 1), cfu: "x".into() };
+        assert!(e.to_string().contains("cfu_op(3, 1)"));
+    }
+}

@@ -1,0 +1,65 @@
+//! Custom Function Units (CFUs): the heart of CFU Playground.
+//!
+//! A CFU is a small piece of custom logic grafted onto a soft CPU's
+//! datapath. It is invoked by R-format custom instructions: two operands
+//! arrive from the register file, `funct7`/`funct3` select the operation,
+//! and one 32-bit result is written back. A CFU may hold state (buffers,
+//! accumulators, per-channel parameter tables), may take multiple cycles,
+//! and may be pipelined.
+//!
+//! This crate models that contract precisely:
+//!
+//! * [`Cfu`] — the CPU↔CFU interface trait (the logical boundary shown in
+//!   the paper's Figure 2),
+//! * [`blocks`] — reusable datapath building blocks (scratchpads, SIMD
+//!   multiply-accumulate arrays, output post-processing),
+//! * [`Cfu1`](cfu1::Cfu1) — the MobileNetV2 1x1-convolution accelerator
+//!   grown step by step in the paper's Figure 4 ladder,
+//! * [`Cfu2`](cfu2::Cfu2) — the Keyword-Spotting SIMD MAC + post-process
+//!   CFU from the Figure 6 ladder,
+//! * [`emu`] — the "software emulation of your CFU" debug flow from
+//!   §II-E: wrap a plain function as a [`Cfu`], or run a hardware model
+//!   and its emulation side by side and compare output streams,
+//! * [`verify`] — directed/random op-stream equivalence testing,
+//! * [`Resources`] — the yosys-report stand-in: LUT/FF/BRAM/DSP estimates
+//!   for every block, so designs can be fit-checked against board budgets.
+//!
+//! # Example: a SIMD byte-add CFU and its software emulation
+//!
+//! ```
+//! use cfu_core::{Cfu, CfuOp, templates::SimdAddCfu, emu::SwCfu};
+//! use cfu_core::verify::{equivalence_check, OpStream};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let mut hw = SimdAddCfu::new();
+//! // The paper's debugging flow: a functionally equivalent C-level model.
+//! let mut sw = SwCfu::new("simd_add_emu", |_, a: u32, b: u32| {
+//!     let mut out = 0u32;
+//!     for lane in 0..4 {
+//!         let s = ((a >> (8 * lane)) as u8).wrapping_add((b >> (8 * lane)) as u8);
+//!         out |= u32::from(s) << (8 * lane);
+//!     }
+//!     out
+//! });
+//! let stream = OpStream::random(42, 1000, &[CfuOp::new(0, 0)]);
+//! equivalence_check(&mut hw, &mut sw, &stream)?;
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arith;
+pub mod blocks;
+pub mod cfu1;
+pub mod cfu2;
+pub mod emu;
+mod interface;
+mod resources;
+pub mod templates;
+pub mod trace;
+pub mod verify;
+
+pub use interface::{Cfu, CfuError, CfuOp, CfuResponse, NullCfu};
+pub use resources::Resources;

@@ -1,0 +1,165 @@
+//! FPGA resource accounting — the stand-in for yosys utilization reports.
+//!
+//! CFU Playground feeds yosys-computed logic-cell counts to Vizier during
+//! design-space exploration, and the case studies track resource usage at
+//! every ladder step (Figures 4 and 6). Here every CPU feature and CFU
+//! block carries an explicit [`Resources`] estimate. The constants are
+//! calibrated to public VexRiscv/iCE40 synthesis results (see the timing
+//! constants table in DESIGN.md); what matters for reproduction is the
+//! *relative* cost of features, which drives both the Fomu fit pressure
+//! and the Pareto fronts.
+
+use std::fmt;
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Mul, Sub};
+
+/// FPGA resources used by a block of logic.
+///
+/// `luts` counts 4-input lookup tables (iCE40 logic cells ≈ LUT4 + FF
+/// pairs; on Xilinx 7-series one slice LUT6 can absorb ~1.6 LUT4s, a
+/// difference boards account for via their budgets).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct Resources {
+    /// 4-input LUT equivalents.
+    pub luts: u32,
+    /// Flip-flops.
+    pub ffs: u32,
+    /// Block RAMs (in 0.5 KiB units, the iCE40 granularity).
+    pub brams: u32,
+    /// DSP / hardware-multiplier tiles (16×16 on iCE40UP).
+    pub dsps: u32,
+}
+
+impl Resources {
+    /// No resources.
+    pub const ZERO: Resources = Resources { luts: 0, ffs: 0, brams: 0, dsps: 0 };
+
+    /// Creates a resource bundle.
+    pub fn new(luts: u32, ffs: u32, brams: u32, dsps: u32) -> Self {
+        Resources { luts, ffs, brams, dsps }
+    }
+
+    /// Only LUTs (the commonest case for small control logic).
+    pub fn luts(luts: u32) -> Self {
+        Resources { luts, ..Resources::ZERO }
+    }
+
+    /// `true` if every component of `self` fits within `budget`.
+    pub fn fits_within(&self, budget: &Resources) -> bool {
+        self.luts <= budget.luts
+            && self.ffs <= budget.ffs
+            && self.brams <= budget.brams
+            && self.dsps <= budget.dsps
+    }
+
+    /// Component-wise saturating subtraction — the headroom left in a
+    /// budget after placing `self`.
+    pub fn saturating_sub(&self, other: &Resources) -> Resources {
+        Resources {
+            luts: self.luts.saturating_sub(other.luts),
+            ffs: self.ffs.saturating_sub(other.ffs),
+            brams: self.brams.saturating_sub(other.brams),
+            dsps: self.dsps.saturating_sub(other.dsps),
+        }
+    }
+
+    /// A single scalar used as the resource axis in Pareto plots:
+    /// logic cells ≈ max(luts, ffs) plus heavily-weighted DSP/BRAM so
+    /// hard-block exhaustion (Fomu's 8 DSPs) shows up in the metric.
+    pub fn logic_cells(&self) -> u32 {
+        self.luts.max(self.ffs)
+    }
+}
+
+impl Add for Resources {
+    type Output = Resources;
+
+    fn add(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts + rhs.luts,
+            ffs: self.ffs + rhs.ffs,
+            brams: self.brams + rhs.brams,
+            dsps: self.dsps + rhs.dsps,
+        }
+    }
+}
+
+impl AddAssign for Resources {
+    fn add_assign(&mut self, rhs: Resources) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Resources {
+    type Output = Resources;
+
+    fn sub(self, rhs: Resources) -> Resources {
+        Resources {
+            luts: self.luts - rhs.luts,
+            ffs: self.ffs - rhs.ffs,
+            brams: self.brams - rhs.brams,
+            dsps: self.dsps - rhs.dsps,
+        }
+    }
+}
+
+impl Mul<u32> for Resources {
+    type Output = Resources;
+
+    fn mul(self, k: u32) -> Resources {
+        Resources { luts: self.luts * k, ffs: self.ffs * k, brams: self.brams * k, dsps: self.dsps * k }
+    }
+}
+
+impl Sum for Resources {
+    fn sum<I: Iterator<Item = Resources>>(iter: I) -> Resources {
+        iter.fold(Resources::ZERO, Add::add)
+    }
+}
+
+impl fmt::Display for Resources {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} LUTs, {} FFs, {} BRAMs, {} DSPs",
+            self.luts, self.ffs, self.brams, self.dsps
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arithmetic() {
+        let a = Resources::new(100, 50, 2, 1);
+        let b = Resources::new(10, 5, 1, 0);
+        assert_eq!(a + b, Resources::new(110, 55, 3, 1));
+        assert_eq!(a - b, Resources::new(90, 45, 1, 1));
+        assert_eq!(b * 3, Resources::new(30, 15, 3, 0));
+        let total: Resources = [a, b, b].into_iter().sum();
+        assert_eq!(total, Resources::new(120, 60, 4, 1));
+    }
+
+    #[test]
+    fn fits_within_checks_every_axis() {
+        let budget = Resources::new(5280, 5280, 30, 8); // Fomu
+        assert!(Resources::new(5280, 100, 30, 8).fits_within(&budget));
+        assert!(!Resources::new(5281, 0, 0, 0).fits_within(&budget));
+        assert!(!Resources::new(0, 0, 0, 9).fits_within(&budget)); // out of DSPs
+    }
+
+    #[test]
+    fn headroom() {
+        let budget = Resources::new(100, 100, 4, 8);
+        let used = Resources::new(60, 120, 1, 2);
+        let left = budget.saturating_sub(&used);
+        assert_eq!(left, Resources::new(40, 0, 3, 6));
+    }
+
+    #[test]
+    fn display_nonempty() {
+        assert!(!Resources::ZERO.to_string().is_empty());
+    }
+}

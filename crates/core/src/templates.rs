@@ -1,0 +1,311 @@
+//! Starter CFUs, mirroring the example CFUs that ship with CFU Playground
+//! (`simd_add`, bit-reversal, and friends) for the out-of-the-box
+//! experience.
+
+use crate::interface::{Cfu, CfuError, CfuOp, CfuResponse};
+use crate::resources::Resources;
+
+/// Four-lane 8-bit SIMD adder — the paper's own example custom
+/// instruction (`#define simd_add(a, b) cfu_op(1, 3, (a), (b))`).
+///
+/// Implements two ops:
+/// * `funct7 = 0`: lane-wise `a + b` (wrapping per byte lane),
+/// * `funct7 = 1`: lane-wise saturating signed add.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SimdAddCfu;
+
+impl SimdAddCfu {
+    /// Creates the CFU.
+    pub fn new() -> Self {
+        SimdAddCfu
+    }
+}
+
+impl Cfu for SimdAddCfu {
+    fn name(&self) -> &str {
+        "simd_add"
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        let a = rs1.to_le_bytes();
+        let b = rs2.to_le_bytes();
+        let value = match op.funct7() {
+            0 => u32::from_le_bytes([
+                a[0].wrapping_add(b[0]),
+                a[1].wrapping_add(b[1]),
+                a[2].wrapping_add(b[2]),
+                a[3].wrapping_add(b[3]),
+            ]),
+            1 => {
+                let mut out = [0u8; 4];
+                for i in 0..4 {
+                    out[i] = (a[i] as i8).saturating_add(b[i] as i8) as u8;
+                }
+                u32::from_le_bytes(out)
+            }
+            _ => return Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() }),
+        };
+        Ok(CfuResponse::single(value))
+    }
+
+    fn reset(&mut self) {}
+
+    fn resources(&self) -> Resources {
+        // Four 8-bit adders with lane-carry breaks: trivial.
+        Resources { luts: 48, ffs: 0, brams: 0, dsps: 0 }
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        op.funct7() <= 1
+    }
+}
+
+/// Population count / bit-reverse utility CFU (two classic single-cycle
+/// bit-manipulation accelerators).
+///
+/// * `funct7 = 0`: popcount of `rs1` (ignores `rs2`),
+/// * `funct7 = 1`: bit-reverse of `rs1`,
+/// * `funct7 = 2`: count leading zeros of `rs1`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct BitOpsCfu;
+
+impl BitOpsCfu {
+    /// Creates the CFU.
+    pub fn new() -> Self {
+        BitOpsCfu
+    }
+}
+
+impl Cfu for BitOpsCfu {
+    fn name(&self) -> &str {
+        "bit_ops"
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, _rs2: u32) -> Result<CfuResponse, CfuError> {
+        let value = match op.funct7() {
+            0 => rs1.count_ones(),
+            1 => rs1.reverse_bits(),
+            2 => rs1.leading_zeros(),
+            _ => return Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() }),
+        };
+        Ok(CfuResponse::single(value))
+    }
+
+    fn reset(&mut self) {}
+
+    fn resources(&self) -> Resources {
+        Resources { luts: 96, ffs: 0, brams: 0, dsps: 0 }
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        op.funct7() <= 2
+    }
+}
+
+/// A stateful accumulator CFU, demonstrating that "a CFU can support
+/// state": `funct7 = 0` accumulates `rs1 * rs2`, `funct7 = 1` reads and
+/// clears.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MacCfu {
+    acc: i64,
+}
+
+impl MacCfu {
+    /// Creates the CFU with a zero accumulator.
+    pub fn new() -> Self {
+        MacCfu::default()
+    }
+
+    /// Current accumulator (test visibility).
+    pub fn acc(&self) -> i64 {
+        self.acc
+    }
+}
+
+impl Cfu for MacCfu {
+    fn name(&self) -> &str {
+        "mac"
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+        match op.funct7() {
+            0 => {
+                self.acc += i64::from(rs1 as i32) * i64::from(rs2 as i32);
+                Ok(CfuResponse::single(self.acc as u32))
+            }
+            1 => {
+                let v = self.acc as u32;
+                self.acc = 0;
+                Ok(CfuResponse::single(v))
+            }
+            _ => Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() }),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.acc = 0;
+    }
+
+    fn resources(&self) -> Resources {
+        Resources { luts: 60, ffs: 64, brams: 0, dsps: 1 }
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        op.funct7() <= 1
+    }
+}
+
+/// A CRC-32 (IEEE 802.3) CFU: the classic "long tail of low-volume
+/// applications" accelerator. Software CRC needs ~8 instructions per
+/// *bit*; this unit folds a whole 32-bit word per custom instruction.
+///
+/// * `funct7 = 0`: reset the running CRC to `0xFFFF_FFFF`,
+/// * `funct7 = 1`: fold `rs1` (one little-endian word) into the CRC,
+///   returns the running (non-finalized) remainder,
+/// * `funct7 = 2`: read the finalized CRC (`!state`).
+#[derive(Debug, Clone, Copy)]
+pub struct Crc32Cfu {
+    state: u32,
+}
+
+impl Default for Crc32Cfu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Crc32Cfu {
+    /// Creates the CFU in the reset state.
+    pub fn new() -> Self {
+        Crc32Cfu { state: 0xFFFF_FFFF }
+    }
+
+    /// Bit-serial update (what the hardware LFSR does in 8 steps/byte,
+    /// all within one cycle of combinational unrolling).
+    fn fold_byte(crc: u32, byte: u8) -> u32 {
+        let mut crc = crc ^ u32::from(byte);
+        for _ in 0..8 {
+            crc = if crc & 1 != 0 { (crc >> 1) ^ 0xEDB8_8320 } else { crc >> 1 };
+        }
+        crc
+    }
+}
+
+impl Cfu for Crc32Cfu {
+    fn name(&self) -> &str {
+        "crc32"
+    }
+
+    fn execute(&mut self, op: CfuOp, rs1: u32, _rs2: u32) -> Result<CfuResponse, CfuError> {
+        match op.funct7() {
+            0 => {
+                self.state = 0xFFFF_FFFF;
+                Ok(CfuResponse::single(0))
+            }
+            1 => {
+                for byte in rs1.to_le_bytes() {
+                    self.state = Self::fold_byte(self.state, byte);
+                }
+                Ok(CfuResponse::single(self.state))
+            }
+            2 => Ok(CfuResponse::single(!self.state)),
+            _ => Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() }),
+        }
+    }
+
+    fn reset(&mut self) {
+        self.state = 0xFFFF_FFFF;
+    }
+
+    fn resources(&self) -> Resources {
+        // A 32-bit-wide unrolled LFSR is a XOR tree: cheap in LUTs.
+        Resources { luts: 180, ffs: 32, brams: 0, dsps: 0 }
+    }
+
+    fn supports(&self, op: CfuOp) -> bool {
+        op.funct7() <= 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // CRC32("123456789") = 0xCBF43926 (the check value of IEEE CRC-32).
+        let mut cfu = Crc32Cfu::new();
+        cfu.execute(CfuOp::new(0, 0), 0, 0).unwrap();
+        let data = b"123456789";
+        // Feed two whole words, then the trailing byte via a byte-wise
+        // software tail (as the driver code would).
+        for chunk in data.chunks(4) {
+            if chunk.len() == 4 {
+                let w = u32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]);
+                cfu.execute(CfuOp::new(1, 0), w, 0).unwrap();
+            } else {
+                for &b in chunk {
+                    cfu.state = Crc32Cfu::fold_byte(cfu.state, b);
+                }
+            }
+        }
+        let crc = cfu.execute(CfuOp::new(2, 0), 0, 0).unwrap().value;
+        assert_eq!(crc, 0xCBF4_3926);
+    }
+
+    #[test]
+    fn crc32_reset_between_messages() {
+        let mut cfu = Crc32Cfu::new();
+        cfu.execute(CfuOp::new(1, 0), 0xDEAD_BEEF, 0).unwrap();
+        cfu.execute(CfuOp::new(0, 0), 0, 0).unwrap();
+        let fresh = cfu.execute(CfuOp::new(2, 0), 0, 0).unwrap().value;
+        assert_eq!(fresh, !0xFFFF_FFFFu32); // CRC of empty message
+    }
+
+    #[test]
+    fn simd_add_lanes_do_not_carry() {
+        let mut cfu = SimdAddCfu::new();
+        let r = cfu.execute(CfuOp::new(0, 0), 0x00FF_00FF, 0x0001_0001).unwrap();
+        assert_eq!(r.value, 0x0000_0000);
+    }
+
+    #[test]
+    fn simd_add_saturating() {
+        let mut cfu = SimdAddCfu::new();
+        // 127 + 1 saturates to 127 per lane.
+        let r = cfu.execute(CfuOp::new(1, 0), 0x7F7F_7F7F, 0x0101_0101).unwrap();
+        assert_eq!(r.value, 0x7F7F_7F7F);
+        // -128 + -1 saturates to -128.
+        let r = cfu.execute(CfuOp::new(1, 0), 0x8080_8080, 0xFFFF_FFFF).unwrap();
+        assert_eq!(r.value, 0x8080_8080);
+    }
+
+    #[test]
+    fn bit_ops() {
+        let mut cfu = BitOpsCfu::new();
+        assert_eq!(cfu.execute(CfuOp::new(0, 0), 0xF0F0, 0).unwrap().value, 8);
+        assert_eq!(cfu.execute(CfuOp::new(1, 0), 1, 0).unwrap().value, 0x8000_0000);
+        assert_eq!(cfu.execute(CfuOp::new(2, 0), 0x0000_8000, 0).unwrap().value, 16);
+        assert!(cfu.execute(CfuOp::new(9, 0), 0, 0).is_err());
+    }
+
+    #[test]
+    fn mac_state_and_reset() {
+        let mut cfu = MacCfu::new();
+        cfu.execute(CfuOp::new(0, 0), 3, 4).unwrap();
+        let r = cfu.execute(CfuOp::new(0, 0), 5, 6).unwrap();
+        assert_eq!(r.value, 42);
+        assert_eq!(cfu.execute(CfuOp::new(1, 0), 0, 0).unwrap().value, 42);
+        assert_eq!(cfu.acc(), 0);
+        cfu.execute(CfuOp::new(0, 0), 1, 1).unwrap();
+        cfu.reset();
+        assert_eq!(cfu.acc(), 0);
+    }
+
+    #[test]
+    fn mac_signed_multiply() {
+        let mut cfu = MacCfu::new();
+        let r = cfu.execute(CfuOp::new(0, 0), (-3i32) as u32, 4).unwrap();
+        assert_eq!(r.value as i32, -12);
+    }
+}

@@ -1,0 +1,244 @@
+//! CFU-level unit testing: directed and random op streams, compared
+//! between two implementations (§II-E: "random or directed CFU-level unit
+//! tests ... feed the same sequence of inputs to both the real CFU and to
+//! the software emulation, and expect to see the same sequence of
+//! outputs").
+
+use std::fmt;
+
+use crate::emu::Divergence;
+use crate::interface::{Cfu, CfuOp};
+
+/// A sequence of `(op, rs1, rs2)` stimuli.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpStream {
+    items: Vec<(CfuOp, u32, u32)>,
+}
+
+impl OpStream {
+    /// An empty stream to extend manually.
+    pub fn new() -> Self {
+        OpStream { items: Vec::new() }
+    }
+
+    /// A directed stream from explicit stimuli.
+    pub fn directed(items: Vec<(CfuOp, u32, u32)>) -> Self {
+        OpStream { items }
+    }
+
+    /// A reproducible pseudo-random stream of `count` ops drawn uniformly
+    /// from `ops`, with operands from a xorshift generator seeded by
+    /// `seed`. Operands are biased toward interesting values (0, ±1,
+    /// extremes) one time in four.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ops` is empty.
+    pub fn random(seed: u64, count: usize, ops: &[CfuOp]) -> Self {
+        assert!(!ops.is_empty(), "need at least one op to draw from");
+        let mut state = seed | 1;
+        let mut next = move || {
+            // xorshift64*
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        const EDGES: [u32; 8] =
+            [0, 1, 0xFFFF_FFFF, 0x7FFF_FFFF, 0x8000_0000, 0x0000_00FF, 0x7F7F_7F7F, 0x8080_8080];
+        let mut items = Vec::with_capacity(count);
+        for _ in 0..count {
+            let r = next();
+            let op = ops[(r % ops.len() as u64) as usize];
+            let pick = |r: u64| {
+                if r % 4 == 0 {
+                    EDGES[(r >> 2) as usize % EDGES.len()]
+                } else {
+                    (r >> 16) as u32
+                }
+            };
+            let rs1 = pick(next());
+            let rs2 = pick(next());
+            items.push((op, rs1, rs2));
+        }
+        OpStream { items }
+    }
+
+    /// Appends one stimulus.
+    pub fn push(&mut self, op: CfuOp, rs1: u32, rs2: u32) {
+        self.items.push((op, rs1, rs2));
+    }
+
+    /// The stimuli in order.
+    pub fn items(&self) -> &[(CfuOp, u32, u32)] {
+        &self.items
+    }
+
+    /// Number of stimuli.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// `true` when the stream is empty.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+}
+
+impl Default for OpStream {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Extend<(CfuOp, u32, u32)> for OpStream {
+    fn extend<T: IntoIterator<Item = (CfuOp, u32, u32)>>(&mut self, iter: T) {
+        self.items.extend(iter);
+    }
+}
+
+/// Report of an equivalence run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EquivalenceReport {
+    /// Ops executed before stopping (all of them on success).
+    pub executed: usize,
+    /// The first divergence, if any.
+    pub divergence: Option<Divergence>,
+}
+
+impl EquivalenceReport {
+    /// `true` when no divergence occurred.
+    pub fn passed(&self) -> bool {
+        self.divergence.is_none()
+    }
+}
+
+impl fmt::Display for EquivalenceReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.divergence {
+            None => write!(f, "equivalent over {} ops", self.executed),
+            Some(d) => write!(f, "diverged after {} ops: {d}", self.executed),
+        }
+    }
+}
+
+/// Feeds `stream` to both CFUs (after resetting them) and compares every
+/// result. Both erroring on the same op counts as agreement — the
+/// emulation is expected to reject what the hardware rejects.
+///
+/// Returns the full report; use [`equivalence_check`] for a pass/fail.
+pub fn run_equivalence(hw: &mut dyn Cfu, emu: &mut dyn Cfu, stream: &OpStream) -> EquivalenceReport {
+    hw.reset();
+    emu.reset();
+    for (index, &(op, rs1, rs2)) in stream.items().iter().enumerate() {
+        let h = hw.execute(op, rs1, rs2);
+        let e = emu.execute(op, rs1, rs2);
+        let agree = match (&h, &e) {
+            (Ok(a), Ok(b)) => a.value == b.value,
+            (Err(_), Err(_)) => true,
+            _ => false,
+        };
+        if !agree {
+            return EquivalenceReport {
+                executed: index + 1,
+                divergence: Some(Divergence {
+                    index,
+                    op,
+                    operands: (rs1, rs2),
+                    hardware: h.map(|r| r.value).map_err(|x| x.to_string()),
+                    emulation: e.map(|r| r.value).map_err(|x| x.to_string()),
+                }),
+            };
+        }
+    }
+    EquivalenceReport { executed: stream.len(), divergence: None }
+}
+
+/// Pass/fail wrapper over [`run_equivalence`].
+///
+/// # Errors
+///
+/// Returns the first [`Divergence`] when the implementations disagree.
+pub fn equivalence_check(
+    hw: &mut dyn Cfu,
+    emu: &mut dyn Cfu,
+    stream: &OpStream,
+) -> Result<(), Divergence> {
+    match run_equivalence(hw, emu, stream).divergence {
+        None => Ok(()),
+        Some(d) => Err(d),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::emu::SwCfu;
+    use crate::templates::{BitOpsCfu, SimdAddCfu};
+
+    #[test]
+    fn random_stream_is_reproducible() {
+        let ops = [CfuOp::new(0, 0), CfuOp::new(1, 0)];
+        let a = OpStream::random(7, 100, &ops);
+        let b = OpStream::random(7, 100, &ops);
+        assert_eq!(a, b);
+        let c = OpStream::random(8, 100, &ops);
+        assert_ne!(a, c);
+        assert_eq!(a.len(), 100);
+    }
+
+    #[test]
+    fn random_stream_hits_edge_values() {
+        let s = OpStream::random(3, 400, &[CfuOp::new(0, 0)]);
+        assert!(s.items().iter().any(|&(_, a, _)| a == 0 || a == u32::MAX));
+    }
+
+    #[test]
+    fn equivalence_passes_for_identical_logic() {
+        let mut hw = BitOpsCfu::new();
+        let mut emu = SwCfu::new("emu", |op: CfuOp, a: u32, _| match op.funct7() {
+            0 => a.count_ones(),
+            1 => a.reverse_bits(),
+            _ => a.leading_zeros(),
+        });
+        let stream =
+            OpStream::random(11, 500, &[CfuOp::new(0, 0), CfuOp::new(1, 0), CfuOp::new(2, 0)]);
+        let report = run_equivalence(&mut hw, &mut emu, &stream);
+        assert!(report.passed(), "{report}");
+        assert_eq!(report.executed, 500);
+    }
+
+    #[test]
+    fn equivalence_localizes_first_divergence() {
+        let mut hw = SimdAddCfu::new();
+        // Correct on funct7=0, wrong on funct7=1.
+        let mut emu = SwCfu::new("emu", |op: CfuOp, a: u32, b: u32| {
+            if op.funct7() == 0 {
+                let mut out = 0u32;
+                for lane in 0..4 {
+                    let s = ((a >> (8 * lane)) as u8).wrapping_add((b >> (8 * lane)) as u8);
+                    out |= u32::from(s) << (8 * lane);
+                }
+                out
+            } else {
+                a.wrapping_add(b) // wrong: not saturating per lane
+            }
+        });
+        let mut stream = OpStream::new();
+        stream.push(CfuOp::new(0, 0), 5, 6);
+        stream.push(CfuOp::new(1, 0), 0x7F00_0000, 0x7F00_0000); // saturates in hw
+        let report = run_equivalence(&mut hw, &mut emu, &stream);
+        assert!(!report.passed());
+        let d = report.divergence.unwrap();
+        assert_eq!(d.index, 1);
+        assert_eq!(d.operands, (0x7F00_0000, 0x7F00_0000));
+    }
+
+    #[test]
+    fn both_erroring_counts_as_agreement() {
+        let mut hw = SimdAddCfu::new();
+        let mut emu = SimdAddCfu::new();
+        let stream = OpStream::directed(vec![(CfuOp::new(99, 0), 1, 2)]);
+        assert!(equivalence_check(&mut hw, &mut emu, &stream).is_ok());
+    }
+}

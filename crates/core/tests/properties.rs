@@ -1,0 +1,190 @@
+//! Property tests for the CFU core: quantization arithmetic against an
+//! f64 oracle, CFU1/CFU2 behavioural invariants, and the §II-E
+//! hardware-vs-emulation methodology under proptest.
+
+use cfu_core::arith;
+use cfu_core::blocks::{ChannelParams, MacArray, PostProcessor, Scratchpad};
+use cfu_core::cfu1::{self, Cfu1, Cfu1Stage};
+use cfu_core::cfu2::{self, Cfu2};
+use cfu_core::verify::{equivalence_check, OpStream};
+use cfu_core::{Cfu, CfuOp};
+use proptest::prelude::*;
+
+proptest! {
+    /// `multiply_by_quantized_multiplier` tracks the real-valued product
+    /// within one rounding step for representable scales.
+    #[test]
+    fn requantize_matches_f64_oracle(
+        acc in -2_000_000i32..2_000_000,
+        scale_num in 1u32..1000,
+        scale_den in 1u32..1_000_000,
+    ) {
+        let scale = f64::from(scale_num) / f64::from(scale_den);
+        let (m, s) = arith::quantize_multiplier(scale);
+        let got = arith::multiply_by_quantized_multiplier(acc, m, s);
+        let want = f64::from(acc) * scale;
+        // Q31 quantization error on the scale times |acc|, plus rounding.
+        let tolerance = (want.abs() * 1e-9 + 1.0).ceil();
+        prop_assert!(
+            (f64::from(got) - want).abs() <= tolerance,
+            "acc={acc} scale={scale}: got {got}, want {want:.3}"
+        );
+    }
+
+    /// Rounding divide-by-POT is within 0.5 of true division and exact
+    /// for exact multiples.
+    #[test]
+    fn rdbpot_rounds_correctly(x in any::<i32>(), e in 0i32..31) {
+        let got = arith::rounding_divide_by_pot(x, e);
+        let want = f64::from(x) / (1i64 << e) as f64;
+        prop_assert!((f64::from(got) - want).abs() <= 0.5 + 1e-9);
+    }
+
+    /// pack/unpack are inverses for all lane values.
+    #[test]
+    fn pack_unpack_inverse(lanes in any::<[i8; 4]>()) {
+        prop_assert_eq!(arith::unpack_i8x4(arith::pack_i8x4(lanes)), lanes);
+    }
+
+    /// dot4 equals the scalar sum of products.
+    #[test]
+    fn dot4_equals_scalar(a in any::<[i8; 4]>(), f in any::<[i8; 4]>()) {
+        let want: i32 = a.iter().zip(&f).map(|(&x, &w)| i32::from(x) * i32::from(w)).sum();
+        prop_assert_eq!(arith::dot4(arith::pack_i8x4(a), arith::pack_i8x4(f)), want);
+    }
+
+    /// The MAC array over packed words equals scalar accumulation.
+    #[test]
+    fn mac_array_matches_scalar(
+        words in proptest::collection::vec((any::<[i8; 4]>(), any::<[i8; 4]>()), 1..32),
+        offset in -128i32..=127,
+    ) {
+        let mut mac = MacArray::new(4);
+        mac.set_input_offset(offset);
+        let mut want = 0i32;
+        for (a, f) in &words {
+            mac.mac(arith::pack_i8x4(*a), arith::pack_i8x4(*f));
+            for lane in 0..4 {
+                want = want.wrapping_add(
+                    (i32::from(a[lane]) + offset).wrapping_mul(i32::from(f[lane])),
+                );
+            }
+        }
+        prop_assert_eq!(mac.acc(), want);
+    }
+
+    /// PostProcessor output is always inside the activation clamp.
+    #[test]
+    fn postproc_respects_clamp(
+        acc in any::<i32>(),
+        bias in -100_000i32..100_000,
+        shift in -8i32..8,
+        lo in -128i32..0,
+        hi in 0i32..=127,
+    ) {
+        let mut pp = PostProcessor::new();
+        pp.set_activation_range(lo, hi);
+        let (m, _) = arith::quantize_multiplier(0.5);
+        pp.push_channel(ChannelParams { bias, multiplier: m, shift });
+        let v = pp.process(acc);
+        prop_assert!((lo..=hi).contains(&v), "{v} outside [{lo},{hi}]");
+    }
+
+    /// Scratchpad: data written is data read, in order, for any prefix
+    /// within capacity.
+    #[test]
+    fn scratchpad_fifo_order(data in proptest::collection::vec(any::<u32>(), 1..128)) {
+        let mut sp = Scratchpad::new(128);
+        for &w in &data {
+            sp.push(w);
+        }
+        for (i, &w) in data.iter().enumerate() {
+            prop_assert_eq!(sp.read(i), w);
+            prop_assert_eq!(sp.pop(), w);
+        }
+    }
+
+    /// CFU2's hardware model and its independently-written software
+    /// emulation agree on arbitrary op streams (the paper's §II-E
+    /// random CFU-level test, proptest edition).
+    #[test]
+    fn cfu2_equivalent_to_emulation(seed in any::<u64>(), len in 1usize..400) {
+        let ops: Vec<CfuOp> = (0u8..=11).map(|f| CfuOp::new(f, 0)).collect();
+        let stream = OpStream::random(seed, len, &ops);
+        let mut hw = Cfu2::new();
+        let mut emu = cfu2::software_emulation();
+        prop_assert!(equivalence_check(&mut hw, &mut emu, &stream).is_ok());
+    }
+
+    /// CFU1 RUN1 equals an explicit MAC4 loop over the same buffers for
+    /// random inputs/filters — the integrated datapath cannot change the
+    /// arithmetic.
+    #[test]
+    fn cfu1_run1_equals_explicit_mac_loop(
+        words in 1usize..16,
+        data in proptest::collection::vec((any::<u32>(), any::<u32>()), 16),
+        offset in -128i32..=127,
+    ) {
+        let mut run_cfu = Cfu1::new(Cfu1Stage::Mac4Run1);
+        let mut mac_cfu = Cfu1::new(Cfu1Stage::Mac4);
+        for cfu in [&mut run_cfu, &mut mac_cfu] {
+            cfu.execute(cfu1::ops::SET_DEPTH_WORDS, words as u32, 0).unwrap();
+            cfu.execute(cfu1::ops::SET_INPUT_OFFSET, offset as u32, 0).unwrap();
+        }
+        for (inp, filt) in data.iter().take(words) {
+            run_cfu.execute(cfu1::ops::WRITE_INPUT, *inp, 0).unwrap();
+            run_cfu.execute(cfu1::ops::WRITE_FILTER, *filt, 0).unwrap();
+        }
+        let run_acc = run_cfu.execute(cfu1::ops::RUN1, 0, 0).unwrap().value as i32;
+        let mut want = 0i32;
+        for (inp, filt) in data.iter().take(words) {
+            mac_cfu.execute(cfu1::ops::MAC4, *inp, *filt).unwrap();
+            want = want.wrapping_add(arith::dot4_offset(*inp, *filt, offset));
+        }
+        let mac_acc = mac_cfu.execute(cfu1::ops::TAKE_ACC, 0, 0).unwrap().value as i32;
+        prop_assert_eq!(run_acc, want);
+        prop_assert_eq!(mac_acc, want);
+    }
+
+    /// CFU stage gating is monotone: any op supported at stage S is
+    /// supported at every later stage.
+    #[test]
+    fn cfu1_stage_support_is_monotone(funct7 in 0u8..32) {
+        let op = CfuOp::new(funct7, 0);
+        let mut seen_supported = false;
+        for stage in Cfu1Stage::ALL {
+            let supported = Cfu1::new(stage).supports(op);
+            if seen_supported {
+                prop_assert!(supported, "{op} lost at {stage:?}");
+            }
+            seen_supported |= supported;
+        }
+    }
+
+    /// Reset returns CFU2 to a state equivalent to a fresh instance for
+    /// any prior op stream.
+    #[test]
+    fn cfu2_reset_is_fresh(seed in any::<u64>()) {
+        let ops: Vec<CfuOp> = (0u8..=11).map(|f| CfuOp::new(f, 0)).collect();
+        let stream = OpStream::random(seed, 100, &ops);
+        let mut dirty = Cfu2::new();
+        for &(op, a, b) in stream.items() {
+            let _ = dirty.execute(op, a, b);
+        }
+        dirty.reset();
+        let mut fresh = Cfu2::new();
+        let probe = OpStream::random(seed ^ 0xDEAD, 100, &ops);
+        prop_assert!(equivalence_check(&mut dirty, &mut fresh, &probe).is_ok());
+    }
+}
+
+/// Resource model sanity: every CFU1 stage fits an Arty-class budget and
+/// reports non-trivial usage.
+#[test]
+fn cfu1_resources_reasonable_at_every_stage() {
+    for stage in Cfu1Stage::ALL {
+        let r = Cfu1::new(stage).resources();
+        assert!(r.luts > 100, "{stage:?}: {r}");
+        assert!(r.luts < 5000, "{stage:?}: {r}");
+    }
+}

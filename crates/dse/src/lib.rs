@@ -1,0 +1,48 @@
+//! Automated design-space exploration of CPU + CFU configurations — the
+//! open-source-Vizier integration of CFU Playground (§II-F, Figure 7).
+//!
+//! "The DSE parameters could include branch predictor types (static,
+//! dynamic, dynamic target), custom functional units (SIMD, MAC, etc.),
+//! I- and D-cache sizes, multipliers, dividers, shifters etc. These
+//! parameters are made available to Vizier, and the service returns
+//! different configurations to explore based on what the user would like
+//! to optimize (e.g., resources or latency)."
+//!
+//! * [`DesignSpace`] — the enumerable parameter space (~90 000 points in
+//!   the paper-scale configuration),
+//! * [`Evaluator`] — maps a [`DesignPoint`] to `(latency, resources)`:
+//!   resources via the yosys-stand-in model, latency via simulated
+//!   inference (the Verilator-in-the-cloud stand-in),
+//! * [`Study`] — a Vizier-style suggest/observe loop over pluggable
+//!   [`Optimizer`] strategies (random, grid, regularized evolution),
+//! * [`ParetoArchive`] — non-dominated (resources, latency) front
+//!   extraction for the Figure 7 curves.
+//!
+//! # Example
+//!
+//! ```
+//! use cfu_dse::{DesignSpace, ResourceEvaluator, RandomSearch, Study};
+//!
+//! let space = DesignSpace::small();
+//! // Latency here is a toy stand-in; see `InferenceEvaluator` for the
+//! // real workload-driven evaluator.
+//! let mut study = Study::new(space.clone(), RandomSearch::new(7));
+//! let mut eval = ResourceEvaluator::new(5280);
+//! study.run(&mut eval, 50);
+//! assert!(!study.archive().front().is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod eval;
+mod optimizer;
+mod pareto;
+mod space;
+
+pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator};
+pub use optimizer::{
+    GridSearch, Optimizer, RandomSearch, RegularizedEvolution, SimulatedAnnealing, Study,
+};
+pub use pareto::{ParetoArchive, ParetoPoint};
+pub use space::{CfuChoice, DesignPoint, DesignSpace};

@@ -1,0 +1,392 @@
+//! Black-box optimizers and the Vizier-style study loop.
+
+use std::collections::VecDeque;
+
+use crate::eval::{EvalResult, Evaluator};
+use crate::pareto::{ParetoArchive, ParetoPoint};
+use crate::space::DesignSpace;
+
+fn xorshift(state: &mut u64) -> u64 {
+    *state ^= *state >> 12;
+    *state ^= *state << 25;
+    *state ^= *state >> 27;
+    state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+}
+
+/// A suggest/observe black-box optimizer over design-point indices —
+/// the same protocol Vizier's clients speak.
+pub trait Optimizer {
+    /// Proposes the next point to evaluate.
+    fn suggest(&mut self, space: &DesignSpace) -> u64;
+
+    /// Feeds back the measurement for a previously-suggested point.
+    fn observe(&mut self, index: u64, result: &EvalResult);
+
+    /// Strategy name for reports.
+    fn name(&self) -> &'static str;
+}
+
+/// Uniform random search — Vizier's baseline strategy and a surprisingly
+/// strong one on cheap evaluations.
+#[derive(Debug, Clone)]
+pub struct RandomSearch {
+    state: u64,
+}
+
+impl RandomSearch {
+    /// Creates the searcher with a seed.
+    pub fn new(seed: u64) -> Self {
+        RandomSearch { state: seed | 1 }
+    }
+}
+
+impl Optimizer for RandomSearch {
+    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+        space.random_index(xorshift(&mut self.state))
+    }
+
+    fn observe(&mut self, _index: u64, _result: &EvalResult) {}
+
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// Strided grid coverage of the space.
+#[derive(Debug, Clone)]
+pub struct GridSearch {
+    cursor: u64,
+    stride: u64,
+}
+
+impl GridSearch {
+    /// Creates a grid that will visit `budget` points spread evenly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `budget` is zero.
+    pub fn new(space: &DesignSpace, budget: u64) -> Self {
+        assert!(budget > 0, "budget must be positive");
+        // A stride coprime-ish with the space size covers it evenly.
+        let stride = (space.size() / budget).max(1) | 1;
+        GridSearch { cursor: 0, stride }
+    }
+}
+
+impl Optimizer for GridSearch {
+    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+        let idx = self.cursor % space.size();
+        self.cursor = self.cursor.wrapping_add(self.stride);
+        idx
+    }
+
+    fn observe(&mut self, _index: u64, _result: &EvalResult) {}
+
+    fn name(&self) -> &'static str {
+        "grid"
+    }
+}
+
+/// Regularized evolution (aging evolution): keep a sliding population,
+/// sample a tournament, mutate the winner. The scalar objective is the
+/// latency·resources product, a crude hypervolume proxy that pressures
+/// both axes so the Pareto archive fills out.
+#[derive(Debug, Clone)]
+pub struct RegularizedEvolution {
+    population: VecDeque<(u64, u128)>,
+    population_size: usize,
+    tournament: usize,
+    state: u64,
+    warmup_left: usize,
+}
+
+impl RegularizedEvolution {
+    /// Creates the optimizer with the given population/tournament sizes.
+    ///
+    /// # Panics
+    ///
+    /// Panics on zero sizes.
+    pub fn new(seed: u64, population_size: usize, tournament: usize) -> Self {
+        assert!(population_size > 0 && tournament > 0);
+        RegularizedEvolution {
+            population: VecDeque::new(),
+            population_size,
+            tournament,
+            state: seed | 1,
+            warmup_left: population_size,
+        }
+    }
+}
+
+impl Optimizer for RegularizedEvolution {
+    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+        if self.warmup_left > 0 || self.population.is_empty() {
+            return space.random_index(xorshift(&mut self.state));
+        }
+        // Tournament selection.
+        let mut best: Option<(u64, u128)> = None;
+        for _ in 0..self.tournament {
+            let pick = (xorshift(&mut self.state) as usize) % self.population.len();
+            let cand = self.population[pick];
+            if best.is_none() || cand.1 < best.unwrap().1 {
+                best = Some(cand);
+            }
+        }
+        let parent = best.expect("population nonempty").0;
+        space.mutate_index(parent, xorshift(&mut self.state))
+    }
+
+    fn observe(&mut self, index: u64, result: &EvalResult) {
+        self.warmup_left = self.warmup_left.saturating_sub(1);
+        let score = if result.fits {
+            u128::from(result.latency) * u128::from(result.resources.logic_cells().max(1))
+        } else {
+            u128::MAX // infeasible: immediately selected against
+        };
+        self.population.push_back((index, score));
+        while self.population.len() > self.population_size {
+            self.population.pop_front(); // aging: oldest dies
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "regularized-evolution"
+    }
+}
+
+/// Simulated annealing over the design space: a random walk of
+/// single-parameter mutations with a geometric temperature schedule.
+/// Accepts worse points early (exploration) and becomes greedy late
+/// (exploitation).
+#[derive(Debug, Clone)]
+pub struct SimulatedAnnealing {
+    state: u64,
+    current: Option<(u64, u128)>,
+    pending: u64,
+    temperature: f64,
+    cooling: f64,
+}
+
+impl SimulatedAnnealing {
+    /// Creates the annealer with an initial temperature (in units of the
+    /// latency·resources score) and per-observation cooling factor.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 < cooling < 1` and `temperature > 0`.
+    pub fn new(seed: u64, temperature: f64, cooling: f64) -> Self {
+        assert!(temperature > 0.0, "temperature must be positive");
+        assert!((0.0..1.0).contains(&cooling) && cooling > 0.0, "cooling must be in (0,1)");
+        SimulatedAnnealing { state: seed | 1, current: None, pending: 0, temperature, cooling }
+    }
+
+    /// Current temperature (for reports).
+    pub fn temperature(&self) -> f64 {
+        self.temperature
+    }
+}
+
+impl Optimizer for SimulatedAnnealing {
+    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+        self.pending = match self.current {
+            None => space.random_index(xorshift(&mut self.state)),
+            Some((idx, _)) => space.mutate_index(idx, xorshift(&mut self.state)),
+        };
+        self.pending
+    }
+
+    fn observe(&mut self, index: u64, result: &EvalResult) {
+        let score = if result.fits {
+            u128::from(result.latency) * u128::from(result.resources.logic_cells().max(1))
+        } else {
+            u128::MAX
+        };
+        let accept = match self.current {
+            None => true,
+            Some((_, cur)) if score <= cur => true,
+            Some((_, cur)) => {
+                // Metropolis criterion on the score gap.
+                let delta = (score - cur) as f64;
+                let p = (-delta / self.temperature.max(1.0)).exp();
+                let coin = (xorshift(&mut self.state) >> 11) as f64 / (1u64 << 53) as f64;
+                coin < p
+            }
+        };
+        if accept {
+            self.current = Some((index, score));
+        }
+        self.temperature *= self.cooling;
+    }
+
+    fn name(&self) -> &'static str {
+        "simulated-annealing"
+    }
+}
+
+/// A Vizier-style study: drives an optimizer against an evaluator and
+/// maintains the Pareto archive of feasible designs.
+#[derive(Debug)]
+pub struct Study<O> {
+    space: DesignSpace,
+    optimizer: O,
+    archive: ParetoArchive,
+    energy_archive: ParetoArchive,
+}
+
+impl<O: Optimizer> Study<O> {
+    /// Creates a study over `space` using `optimizer`.
+    pub fn new(space: DesignSpace, optimizer: O) -> Self {
+        Study {
+            space,
+            optimizer,
+            archive: ParetoArchive::new(),
+            energy_archive: ParetoArchive::new(),
+        }
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// The feasible Pareto archive accumulated so far.
+    pub fn archive(&self) -> &ParetoArchive {
+        &self.archive
+    }
+
+    /// The (energy, latency) Pareto archive — the power-aware view the
+    /// paper leaves to future work. Energy is archived in nanojoules.
+    pub fn energy_archive(&self) -> &ParetoArchive {
+        &self.energy_archive
+    }
+
+    /// Runs `trials` suggest→evaluate→observe rounds.
+    pub fn run(&mut self, evaluator: &mut dyn Evaluator, trials: u64) {
+        for _ in 0..trials {
+            let index = self.optimizer.suggest(&self.space);
+            let point = self.space.point(index);
+            let result = evaluator.evaluate(&point);
+            self.optimizer.observe(index, &result);
+            if result.fits && result.latency != u64::MAX {
+                self.archive.offer(ParetoPoint {
+                    point,
+                    resources: u64::from(result.resources.logic_cells()),
+                    latency: result.latency,
+                });
+                if result.energy_uj.is_finite() && result.energy_uj > 0.0 {
+                    self.energy_archive.offer(ParetoPoint {
+                        point,
+                        resources: (result.energy_uj * 1000.0) as u64, // nJ
+                        latency: result.latency,
+                    });
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ResourceEvaluator;
+
+    #[test]
+    fn random_search_fills_archive() {
+        let space = DesignSpace::small();
+        let mut study = Study::new(space, RandomSearch::new(3));
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        study.run(&mut eval, 200);
+        assert!(study.archive().front().len() >= 2);
+        assert_eq!(study.archive().evaluated(), 200);
+    }
+
+    #[test]
+    fn grid_covers_small_space_exactly() {
+        let space = DesignSpace::small();
+        let n = space.size();
+        let mut grid = GridSearch::new(&space, n);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            seen.insert(grid.suggest(&space));
+        }
+        // stride 1 over the whole space: full coverage.
+        assert_eq!(seen.len() as u64, n);
+    }
+
+    #[test]
+    fn evolution_converges_to_good_points() {
+        let space = DesignSpace::paper_scale();
+        let mut evo = Study::new(space.clone(), RegularizedEvolution::new(9, 24, 6));
+        let mut rnd = Study::new(space, RandomSearch::new(9));
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        evo.run(&mut eval, 400);
+        rnd.run(&mut eval, 400);
+        let best_evo = evo.archive().fastest().unwrap().latency;
+        let best_rnd = rnd.archive().fastest().unwrap().latency;
+        // Evolution should at least roughly match random search.
+        assert!(best_evo <= best_rnd.saturating_mul(2), "evo {best_evo} rnd {best_rnd}");
+    }
+
+    #[test]
+    fn annealing_converges_like_the_others() {
+        let space = DesignSpace::paper_scale();
+        let mut sa = Study::new(space.clone(), SimulatedAnnealing::new(5, 1e13, 0.97));
+        let mut rnd = Study::new(space, RandomSearch::new(5));
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        sa.run(&mut eval, 400);
+        rnd.run(&mut eval, 400);
+        let best_sa = sa.archive().fastest().unwrap().latency;
+        let best_rnd = rnd.archive().fastest().unwrap().latency;
+        assert!(best_sa <= best_rnd.saturating_mul(3), "sa {best_sa} rnd {best_rnd}");
+        // Temperature cooled.
+        assert!(SimulatedAnnealing::new(1, 100.0, 0.5).temperature() > 0.0);
+    }
+
+    #[test]
+    fn annealing_accepts_only_reachable_indices() {
+        let space = DesignSpace::small();
+        let mut sa = SimulatedAnnealing::new(9, 1e9, 0.9);
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        for _ in 0..100 {
+            let idx = sa.suggest(&space);
+            assert!(idx < space.size());
+            let r = eval.evaluate(&space.point(idx));
+            sa.observe(idx, &r);
+        }
+    }
+
+    #[test]
+    fn energy_archive_tracks_energy_latency_tradeoff() {
+        let space = DesignSpace::small();
+        let mut study = Study::new(space, RandomSearch::new(21));
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        study.run(&mut eval, 150);
+        let front = study.energy_archive().front();
+        assert!(!front.is_empty());
+        // Front is non-dominated in (energy, latency).
+        for a in &front {
+            for b in &front {
+                if a != b {
+                    assert!(!a.dominates(b), "{a:?} dominates {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn infeasible_points_never_archived() {
+        let space = DesignSpace::small();
+        let mut study = Study::new(space, RandomSearch::new(5));
+        let mut eval = ResourceEvaluator::new(1); // nothing fits
+        study.run(&mut eval, 50);
+        assert!(study.archive().front().is_empty());
+    }
+
+    #[test]
+    fn optimizer_names() {
+        let space = DesignSpace::small();
+        assert_eq!(RandomSearch::new(1).name(), "random");
+        assert_eq!(GridSearch::new(&space, 10).name(), "grid");
+        assert_eq!(RegularizedEvolution::new(1, 4, 2).name(), "regularized-evolution");
+    }
+}

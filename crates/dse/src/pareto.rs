@@ -1,0 +1,145 @@
+//! Pareto-front maintenance for (resources, latency) trade-offs.
+
+use crate::space::DesignPoint;
+
+/// One evaluated point on (or off) the front.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ParetoPoint {
+    /// The configuration.
+    pub point: DesignPoint,
+    /// Resource scalar (logic cells).
+    pub resources: u64,
+    /// Latency in cycles.
+    pub latency: u64,
+}
+
+impl ParetoPoint {
+    /// `true` when `self` dominates `other` (no worse on both axes,
+    /// strictly better on at least one).
+    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+        self.resources <= other.resources
+            && self.latency <= other.latency
+            && (self.resources < other.resources || self.latency < other.latency)
+    }
+}
+
+/// A non-dominated archive (minimizing both axes).
+#[derive(Debug, Clone, Default)]
+pub struct ParetoArchive {
+    points: Vec<ParetoPoint>,
+    evaluated: u64,
+}
+
+impl ParetoArchive {
+    /// An empty archive.
+    pub fn new() -> Self {
+        ParetoArchive::default()
+    }
+
+    /// Offers a point; keeps it only if no archived point dominates it,
+    /// and evicts any points it dominates. Returns `true` if archived.
+    pub fn offer(&mut self, candidate: ParetoPoint) -> bool {
+        self.evaluated += 1;
+        if self.points.iter().any(|p| p.dominates(&candidate)) {
+            return false;
+        }
+        self.points.retain(|p| !candidate.dominates(p));
+        // Skip exact duplicates on both axes.
+        if self
+            .points
+            .iter()
+            .any(|p| p.resources == candidate.resources && p.latency == candidate.latency)
+        {
+            return false;
+        }
+        self.points.push(candidate);
+        true
+    }
+
+    /// The current front, sorted by ascending resources.
+    pub fn front(&self) -> Vec<ParetoPoint> {
+        let mut f = self.points.clone();
+        f.sort_by_key(|p| (p.resources, p.latency));
+        f
+    }
+
+    /// Number of points offered so far.
+    pub fn evaluated(&self) -> u64 {
+        self.evaluated
+    }
+
+    /// The archived point with the lowest latency.
+    pub fn fastest(&self) -> Option<ParetoPoint> {
+        self.points.iter().min_by_key(|p| p.latency).copied()
+    }
+
+    /// The archived point with the fewest resources.
+    pub fn smallest(&self) -> Option<ParetoPoint> {
+        self.points.iter().min_by_key(|p| p.resources).copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::space::{CfuChoice, DesignSpace};
+
+    fn pp(resources: u64, latency: u64) -> ParetoPoint {
+        let point = DesignSpace::small().point(0);
+        ParetoPoint { point, resources, latency }
+    }
+
+    #[test]
+    fn domination() {
+        assert!(pp(10, 10).dominates(&pp(20, 20)));
+        assert!(pp(10, 10).dominates(&pp(10, 11)));
+        assert!(!pp(10, 10).dominates(&pp(10, 10)));
+        assert!(!pp(5, 20).dominates(&pp(20, 5)));
+    }
+
+    #[test]
+    fn archive_keeps_only_nondominated() {
+        let mut a = ParetoArchive::new();
+        assert!(a.offer(pp(10, 100)));
+        assert!(a.offer(pp(20, 50))); // trade-off: kept
+        assert!(!a.offer(pp(25, 60))); // dominated by (20,50)
+        assert!(a.offer(pp(5, 200))); // new cheap extreme
+        assert!(a.offer(pp(8, 90))); // dominates (10,100)
+        let front = a.front();
+        assert_eq!(
+            front.iter().map(|p| (p.resources, p.latency)).collect::<Vec<_>>(),
+            vec![(5, 200), (8, 90), (20, 50)]
+        );
+        assert_eq!(a.evaluated(), 5);
+    }
+
+    #[test]
+    fn front_invariant_no_pair_dominates() {
+        let mut a = ParetoArchive::new();
+        let mut x = 12345u64;
+        for _ in 0..500 {
+            x ^= x << 13;
+            x ^= x >> 7;
+            x ^= x << 17;
+            a.offer(pp(x % 1000, (x >> 10) % 1000));
+        }
+        let front = a.front();
+        for i in 0..front.len() {
+            for j in 0..front.len() {
+                if i != j {
+                    assert!(!front[i].dominates(&front[j]), "{:?} vs {:?}", front[i], front[j]);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn extremes() {
+        let mut a = ParetoArchive::new();
+        a.offer(pp(10, 100));
+        a.offer(pp(100, 10));
+        assert_eq!(a.fastest().unwrap().latency, 10);
+        assert_eq!(a.smallest().unwrap().resources, 10);
+        let _ = CfuChoice::None;
+    }
+}

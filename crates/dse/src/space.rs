@@ -1,0 +1,258 @@
+//! The design space: every knob Vizier gets to turn.
+
+use cfu_core::{Cfu, Resources};
+use cfu_sim::{BranchPredictor, CpuConfig, Divider, Multiplier, Shifter};
+
+/// Which CFU (if any) is attached — the three Pareto curves of Figure 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum CfuChoice {
+    /// CPU alone (the green curve).
+    #[default]
+    None,
+    /// The large MobileNetV2 CFU (blue curve).
+    Cfu1,
+    /// The small KWS CFU (red curve).
+    Cfu2,
+}
+
+impl CfuChoice {
+    /// Display label.
+    pub fn label(self) -> &'static str {
+        match self {
+            CfuChoice::None => "CPU alone",
+            CfuChoice::Cfu1 => "CPU + CFU1",
+            CfuChoice::Cfu2 => "CPU + CFU2",
+        }
+    }
+
+    /// Resource bill of the chosen CFU.
+    pub fn resources(self) -> Resources {
+        match self {
+            CfuChoice::None => Resources::ZERO,
+            CfuChoice::Cfu1 => cfu_core::cfu1::Cfu1::full().resources(),
+            CfuChoice::Cfu2 => cfu_core::cfu2::Cfu2::new().resources(),
+        }
+    }
+}
+
+/// One candidate configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct DesignPoint {
+    /// The CPU knobs.
+    pub cpu: CpuConfig,
+    /// The attached CFU.
+    pub cfu: CfuChoice,
+}
+
+impl DesignPoint {
+    /// Total FPGA resources (CPU + CFU; SoC fabric is constant per board
+    /// and added by the evaluator).
+    pub fn resources(&self) -> Resources {
+        self.cpu.resources() + self.cfu.resources()
+    }
+}
+
+/// An enumerable cartesian design space.
+///
+/// Points are addressable by index (mixed-radix decoding), so uniform
+/// sampling and strided grids need no materialized list.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DesignSpace {
+    /// I-cache sizes in bytes (0 = none).
+    pub icache_sizes: Vec<u32>,
+    /// D-cache sizes in bytes (0 = none).
+    pub dcache_sizes: Vec<u32>,
+    /// Branch predictors.
+    pub predictors: Vec<BranchPredictor>,
+    /// Multipliers.
+    pub multipliers: Vec<Multiplier>,
+    /// Dividers.
+    pub dividers: Vec<Divider>,
+    /// Shifters.
+    pub shifters: Vec<Shifter>,
+    /// Bypassing options.
+    pub bypassing: Vec<bool>,
+    /// Pipeline depths.
+    pub pipeline_depths: Vec<u32>,
+    /// Hardware error checking options.
+    pub error_checking: Vec<bool>,
+    /// CFU choices.
+    pub cfus: Vec<CfuChoice>,
+}
+
+impl DesignSpace {
+    /// The paper-scale space: ≈ 86 000 design points ("approximately
+    /// 93,000 different design points, considering various architectural
+    /// parameters" — the exact factorization is not given, this matches
+    /// its order of magnitude).
+    pub fn paper_scale() -> Self {
+        DesignSpace {
+            icache_sizes: vec![0, 1024, 2048, 4096, 8192],
+            dcache_sizes: vec![0, 1024, 2048, 4096, 8192],
+            predictors: vec![
+                BranchPredictor::None,
+                BranchPredictor::Static,
+                BranchPredictor::Dynamic { entries: 64 },
+                BranchPredictor::Dynamic { entries: 256 },
+                BranchPredictor::DynamicTarget { entries: 64 },
+                BranchPredictor::DynamicTarget { entries: 256 },
+            ],
+            multipliers: vec![
+                Multiplier::None,
+                Multiplier::Iterative,
+                Multiplier::SingleCycleDsp,
+                Multiplier::SingleCycleLut,
+            ],
+            dividers: vec![Divider::None, Divider::Iterative],
+            shifters: vec![Shifter::Iterative, Shifter::Barrel],
+            bypassing: vec![false, true],
+            pipeline_depths: vec![2, 3, 5],
+            error_checking: vec![false, true],
+            cfus: vec![CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2],
+        }
+    }
+
+    /// A small space for tests and examples (~100 points).
+    pub fn small() -> Self {
+        DesignSpace {
+            icache_sizes: vec![0, 2048],
+            dcache_sizes: vec![0, 2048],
+            predictors: vec![BranchPredictor::None, BranchPredictor::Dynamic { entries: 64 }],
+            multipliers: vec![Multiplier::Iterative, Multiplier::SingleCycleDsp],
+            dividers: vec![Divider::None],
+            shifters: vec![Shifter::Barrel],
+            bypassing: vec![true],
+            pipeline_depths: vec![2, 5],
+            error_checking: vec![false],
+            cfus: vec![CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2],
+        }
+    }
+
+    fn radices(&self) -> [usize; 10] {
+        [
+            self.icache_sizes.len(),
+            self.dcache_sizes.len(),
+            self.predictors.len(),
+            self.multipliers.len(),
+            self.dividers.len(),
+            self.shifters.len(),
+            self.bypassing.len(),
+            self.pipeline_depths.len(),
+            self.error_checking.len(),
+            self.cfus.len(),
+        ]
+    }
+
+    /// Number of points in the space.
+    pub fn size(&self) -> u64 {
+        self.radices().iter().map(|&r| r as u64).product()
+    }
+
+    /// Decodes point `index` (mixed radix).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= size()`.
+    pub fn point(&self, index: u64) -> DesignPoint {
+        assert!(index < self.size(), "index {index} out of space of {}", self.size());
+        let radices = self.radices();
+        let mut digits = [0usize; 10];
+        let mut rest = index;
+        for (d, &r) in digits.iter_mut().zip(&radices) {
+            *d = (rest % r as u64) as usize;
+            rest /= r as u64;
+        }
+        let cpu = CpuConfig::fomu_minimal()
+            .with_icache_bytes(self.icache_sizes[digits[0]])
+            .with_dcache_bytes(self.dcache_sizes[digits[1]])
+            .with_branch_predictor(self.predictors[digits[2]])
+            .with_multiplier(self.multipliers[digits[3]]);
+        let cpu = CpuConfig {
+            divider: self.dividers[digits[4]],
+            shifter: self.shifters[digits[5]],
+            bypassing: self.bypassing[digits[6]],
+            pipeline_depth: self.pipeline_depths[digits[7]],
+            hw_error_checking: self.error_checking[digits[8]],
+            ..cpu
+        };
+        DesignPoint { cpu, cfu: self.cfus[digits[9]] }
+    }
+
+    /// A uniformly random point index from a caller-supplied generator
+    /// value.
+    pub fn random_index(&self, raw: u64) -> u64 {
+        raw % self.size()
+    }
+
+    /// Mutates one randomly-chosen parameter of `index` (for evolutionary
+    /// search). `raw` supplies randomness.
+    pub fn mutate_index(&self, index: u64, raw: u64) -> u64 {
+        let radices = self.radices();
+        let param = (raw % 10) as usize;
+        let new_digit = (raw >> 8) as usize % radices[param];
+        // Re-encode with the chosen digit replaced.
+        let mut digits = [0usize; 10];
+        let mut rest = index;
+        for (d, &r) in digits.iter_mut().zip(&radices) {
+            *d = (rest % r as u64) as usize;
+            rest /= r as u64;
+        }
+        digits[param] = new_digit;
+        let mut out = 0u64;
+        let mut mult = 1u64;
+        for (d, &r) in digits.iter().zip(&radices) {
+            out += *d as u64 * mult;
+            mult *= r as u64;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_scale_size_matches_order_of_magnitude() {
+        let size = DesignSpace::paper_scale().size();
+        assert!((50_000..150_000).contains(&size), "{size}");
+    }
+
+    #[test]
+    fn point_decoding_covers_space() {
+        let space = DesignSpace::small();
+        let n = space.size();
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..n {
+            let p = space.point(i);
+            p.cpu.validate().unwrap();
+            seen.insert(format!("{p:?}"));
+        }
+        assert_eq!(seen.len() as u64, n, "every index is a distinct point");
+    }
+
+    #[test]
+    #[should_panic(expected = "out of space")]
+    fn out_of_range_index_panics() {
+        let space = DesignSpace::small();
+        let _ = space.point(space.size());
+    }
+
+    #[test]
+    fn mutation_changes_at_most_one_param() {
+        let space = DesignSpace::paper_scale();
+        let base = 12345u64;
+        for raw in 0..200u64 {
+            let mutated = space.mutate_index(base, raw.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+            assert!(mutated < space.size());
+            // Same index is allowed (mutating to the same digit).
+        }
+    }
+
+    #[test]
+    fn cfu_choice_resources() {
+        assert_eq!(CfuChoice::None.resources(), Resources::ZERO);
+        assert!(CfuChoice::Cfu1.resources().luts > CfuChoice::Cfu2.resources().luts);
+        assert_eq!(CfuChoice::Cfu2.resources().dsps, 4);
+    }
+}

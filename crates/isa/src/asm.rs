@@ -1,0 +1,1054 @@
+//! A two-pass RV32IM assembler.
+//!
+//! Supports labels, the common data directives, the standard RISC-V
+//! pseudo-instructions, `%hi`/`%lo` relocations, and a `cfu` mnemonic for
+//! custom-0 instructions (plus `cfu1` for custom-1), so CFU test programs
+//! can be written exactly as they would be with the GNU toolchain and the
+//! paper's `cfu_op()` macro.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::inst::{Csr, Inst};
+use crate::reg::Reg;
+
+/// Assembled machine code plus its symbol table.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Address the first byte was assembled at.
+    pub base: u32,
+    /// Raw little-endian bytes (always padded to a 4-byte multiple).
+    pub bytes: Vec<u8>,
+    /// 32-bit little-endian words of the image.
+    pub words: Vec<u32>,
+    /// Labels defined by the source.
+    pub symbols: SymbolTable,
+}
+
+impl Program {
+    /// Address of a label.
+    ///
+    /// # Errors
+    ///
+    /// Returns `None` when the label was never defined.
+    pub fn symbol(&self, name: &str) -> Option<u32> {
+        self.symbols.get(name)
+    }
+
+    /// Size of the image in bytes.
+    pub fn len(&self) -> usize {
+        self.bytes.len()
+    }
+
+    /// `true` when the program contains no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.bytes.is_empty()
+    }
+}
+
+/// Label-to-address map produced by assembly.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SymbolTable {
+    map: HashMap<String, u32>,
+}
+
+impl SymbolTable {
+    /// Looks up a label's address.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.map.get(name).copied()
+    }
+
+    /// Iterates over `(label, address)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.map.iter().map(|(k, v)| (k.as_str(), *v))
+    }
+
+    /// Number of defined labels.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// `true` when no labels are defined.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+}
+
+/// Error produced by [`Assembler::assemble`], with a 1-based line number.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AsmError {
+    line: usize,
+    msg: String,
+}
+
+impl AsmError {
+    fn new(line: usize, msg: impl Into<String>) -> Self {
+        AsmError { line, msg: msg.into() }
+    }
+
+    /// 1-based source line the error occurred on.
+    pub fn line(&self) -> usize {
+        self.line
+    }
+
+    /// Human-readable description of the problem.
+    pub fn message(&self) -> &str {
+        &self.msg
+    }
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "line {}: {}", self.line, self.msg)
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+/// Two-pass assembler for RV32IM with CFU custom instructions.
+///
+/// # Example
+///
+/// ```
+/// use cfu_isa::Assembler;
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let program = Assembler::new(0x1000).assemble(
+///     "loop:  addi a0, a0, -1
+///             bnez a0, loop
+///             ret",
+/// )?;
+/// assert_eq!(program.symbol("loop"), Some(0x1000));
+/// assert_eq!(program.words.len(), 3);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Assembler {
+    base: u32,
+}
+
+/// One parsed statement with its source line.
+#[derive(Debug, Clone)]
+enum Stmt {
+    Inst { line: usize, mnemonic: String, operands: Vec<String> },
+    Word { line: usize, exprs: Vec<String> },
+    Half { line: usize, exprs: Vec<String> },
+    Byte { line: usize, exprs: Vec<String> },
+    Zero { line: usize, count: u32 },
+    Align { line: usize, pow2: u32 },
+    Asciz { line: usize, text: String, nul: bool },
+}
+
+impl Stmt {
+    /// Size of this statement in bytes, given the current location counter.
+    fn size(&self, lc: u32) -> Result<u32, AsmError> {
+        Ok(match self {
+            Stmt::Inst { line, mnemonic, operands } => {
+                4 * inst_word_count(*line, mnemonic, operands)?
+            }
+            Stmt::Word { exprs, .. } => 4 * exprs.len() as u32,
+            Stmt::Half { exprs, .. } => 2 * exprs.len() as u32,
+            Stmt::Byte { exprs, .. } => exprs.len() as u32,
+            Stmt::Zero { count, .. } => *count,
+            Stmt::Align { pow2, .. } => {
+                let align = 1u32 << pow2;
+                (align - (lc % align)) % align
+            }
+            Stmt::Asciz { text, nul, .. } => text.len() as u32 + u32::from(*nul),
+        })
+    }
+}
+
+impl Assembler {
+    /// Creates an assembler that places code starting at `base`.
+    pub fn new(base: u32) -> Self {
+        Assembler { base }
+    }
+
+    /// Assembles `source` into a [`Program`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an [`AsmError`] (with line number) on any syntax error,
+    /// unknown mnemonic/label, or out-of-range immediate.
+    pub fn assemble(&self, source: &str) -> Result<Program, AsmError> {
+        // ---- parse into statements, collecting labels ----
+        let mut stmts: Vec<Stmt> = Vec::new();
+        let mut labels_pending: Vec<(usize, String)> = Vec::new();
+        let mut label_at_stmt: Vec<Vec<String>> = Vec::new();
+        let mut equs: HashMap<String, i64> = HashMap::new();
+
+        for (lineno, raw) in source.lines().enumerate() {
+            let line = lineno + 1;
+            let mut text = raw;
+            if let Some(pos) = text.find('#') {
+                text = &text[..pos];
+            }
+            if let Some(pos) = text.find("//") {
+                text = &text[..pos];
+            }
+            let mut rest = text.trim();
+            // Consume any number of leading `label:` definitions.
+            while let Some(colon) = rest.find(':') {
+                let (head, tail) = rest.split_at(colon);
+                let name = head.trim();
+                if !is_ident(name) {
+                    break;
+                }
+                labels_pending.push((line, name.to_owned()));
+                rest = tail[1..].trim();
+            }
+            if rest.is_empty() {
+                continue;
+            }
+            let (mnemonic, operand_str) = match rest.find(char::is_whitespace) {
+                Some(ws) => rest.split_at(ws),
+                None => (rest, ""),
+            };
+            let mnemonic = mnemonic.to_ascii_lowercase();
+            let operands = split_operands(operand_str.trim());
+            let stmt = match mnemonic.as_str() {
+                ".word" => Stmt::Word { line, exprs: operands },
+                ".half" | ".short" => Stmt::Half { line, exprs: operands },
+                ".byte" => Stmt::Byte { line, exprs: operands },
+                ".zero" | ".space" => {
+                    let count = parse_int(operands.first().map_or("", |s| s.as_str()))
+                        .ok_or_else(|| AsmError::new(line, "`.zero` needs a byte count"))?;
+                    Stmt::Zero { line, count: count as u32 }
+                }
+                ".align" | ".p2align" => {
+                    let pow2 = parse_int(operands.first().map_or("", |s| s.as_str()))
+                        .ok_or_else(|| AsmError::new(line, "`.align` needs a power of two"))?;
+                    if !(0..=16).contains(&pow2) {
+                        return Err(AsmError::new(line, "`.align` exponent out of range"));
+                    }
+                    Stmt::Align { line, pow2: pow2 as u32 }
+                }
+                ".ascii" | ".asciz" | ".string" => {
+                    let text = parse_string_literal(operand_str.trim())
+                        .ok_or_else(|| AsmError::new(line, "expected a string literal"))?;
+                    Stmt::Asciz { line, text, nul: mnemonic != ".ascii" }
+                }
+                ".equ" | ".set" => {
+                    if operands.len() != 2 {
+                        return Err(AsmError::new(line, "`.equ` needs `name, value`"));
+                    }
+                    let value = parse_int(&operands[1])
+                        .ok_or_else(|| AsmError::new(line, "`.equ` value must be an integer"))?;
+                    equs.insert(operands[0].clone(), value);
+                    continue;
+                }
+                ".globl" | ".global" | ".text" | ".data" | ".section" | ".option" => continue,
+                m if m.starts_with('.') => {
+                    return Err(AsmError::new(line, format!("unknown directive `{m}`")));
+                }
+                _ => Stmt::Inst { line, mnemonic, operands },
+            };
+            stmts.push(stmt);
+            label_at_stmt.push(std::mem::take(&mut labels_pending).into_iter().map(|(_, n)| n).collect());
+        }
+
+        // ---- pass 1: assign addresses ----
+        let mut symbols = SymbolTable::default();
+        for (name, value) in &equs {
+            symbols.map.insert(name.clone(), *value as u32);
+        }
+        let mut lc = self.base;
+        let mut addrs = Vec::with_capacity(stmts.len());
+        for (stmt, labels) in stmts.iter().zip(&label_at_stmt) {
+            for name in labels {
+                if symbols.map.insert(name.clone(), lc).is_some() {
+                    let line = stmt_line(stmt);
+                    return Err(AsmError::new(line, format!("label `{name}` defined twice")));
+                }
+            }
+            addrs.push(lc);
+            lc = lc.wrapping_add(stmt.size(lc)?);
+        }
+        // Trailing labels (after the last statement) point at the end.
+        for (_, name) in labels_pending {
+            symbols.map.insert(name, lc);
+        }
+
+        // ---- pass 2: emit ----
+        let mut bytes: Vec<u8> = Vec::new();
+        let ctx = ExprCtx { symbols: &symbols };
+        for (stmt, &addr) in stmts.iter().zip(&addrs) {
+            debug_assert_eq!(self.base + bytes.len() as u32, addr);
+            match stmt {
+                Stmt::Inst { line, mnemonic, operands } => {
+                    for inst in encode_inst(*line, mnemonic, operands, addr, &ctx)? {
+                        bytes.extend_from_slice(&inst.encode().to_le_bytes());
+                    }
+                }
+                Stmt::Word { line, exprs } => {
+                    for e in exprs {
+                        let v = ctx.eval(*line, e)?;
+                        bytes.extend_from_slice(&(v as u32).to_le_bytes());
+                    }
+                }
+                Stmt::Half { line, exprs } => {
+                    for e in exprs {
+                        let v = ctx.eval(*line, e)?;
+                        bytes.extend_from_slice(&(v as u16).to_le_bytes());
+                    }
+                }
+                Stmt::Byte { line, exprs } => {
+                    for e in exprs {
+                        let v = ctx.eval(*line, e)?;
+                        bytes.push(v as u8);
+                    }
+                }
+                Stmt::Zero { count, .. } => bytes.extend(std::iter::repeat(0u8).take(*count as usize)),
+                Stmt::Align { .. } => {
+                    let pad = stmt.size(addr)?;
+                    bytes.extend(std::iter::repeat(0u8).take(pad as usize));
+                }
+                Stmt::Asciz { text, nul, .. } => {
+                    bytes.extend_from_slice(text.as_bytes());
+                    if *nul {
+                        bytes.push(0);
+                    }
+                }
+            }
+        }
+        while bytes.len() % 4 != 0 {
+            bytes.push(0);
+        }
+        let words = bytes
+            .chunks_exact(4)
+            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
+            .collect();
+        Ok(Program { base: self.base, bytes, words, symbols })
+    }
+}
+
+fn stmt_line(stmt: &Stmt) -> usize {
+    match stmt {
+        Stmt::Inst { line, .. }
+        | Stmt::Word { line, .. }
+        | Stmt::Half { line, .. }
+        | Stmt::Byte { line, .. }
+        | Stmt::Zero { line, .. }
+        | Stmt::Align { line, .. }
+        | Stmt::Asciz { line, .. } => *line,
+    }
+}
+
+fn is_ident(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars().next().is_some_and(|c| c.is_ascii_alphabetic() || c == '_' || c == '.')
+        && s.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '.')
+}
+
+/// Splits an operand string on top-level commas (commas inside `()` or
+/// string literals are kept).
+fn split_operands(s: &str) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut depth = 0i32;
+    let mut in_str = false;
+    let mut cur = String::new();
+    for c in s.chars() {
+        match c {
+            '"' => {
+                in_str = !in_str;
+                cur.push(c);
+            }
+            '(' if !in_str => {
+                depth += 1;
+                cur.push(c);
+            }
+            ')' if !in_str => {
+                depth -= 1;
+                cur.push(c);
+            }
+            ',' if depth == 0 && !in_str => {
+                out.push(cur.trim().to_owned());
+                cur.clear();
+            }
+            _ => cur.push(c),
+        }
+    }
+    if !cur.trim().is_empty() {
+        out.push(cur.trim().to_owned());
+    }
+    out
+}
+
+fn parse_string_literal(s: &str) -> Option<String> {
+    let inner = s.strip_prefix('"')?.strip_suffix('"')?;
+    let mut out = String::new();
+    let mut chars = inner.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next()? {
+                'n' => out.push('\n'),
+                't' => out.push('\t'),
+                'r' => out.push('\r'),
+                '0' => out.push('\0'),
+                '\\' => out.push('\\'),
+                '"' => out.push('"'),
+                other => out.push(other),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    Some(out)
+}
+
+fn parse_int(s: &str) -> Option<i64> {
+    let s = s.trim();
+    let (neg, body) = match s.strip_prefix('-') {
+        Some(b) => (true, b.trim()),
+        None => (false, s),
+    };
+    let mag: i64 = if let Some(hex) = body.strip_prefix("0x").or_else(|| body.strip_prefix("0X")) {
+        i64::from_str_radix(&hex.replace('_', ""), 16).ok()?
+    } else if let Some(bin) = body.strip_prefix("0b").or_else(|| body.strip_prefix("0B")) {
+        i64::from_str_radix(&bin.replace('_', ""), 2).ok()?
+    } else if body.starts_with(|c: char| c.is_ascii_digit()) {
+        body.replace('_', "").parse().ok()?
+    } else if let Some(c) = body.strip_prefix('\'').and_then(|b| b.strip_suffix('\'')) {
+        let mut chs = c.chars();
+        let ch = chs.next()?;
+        if chs.next().is_some() {
+            return None;
+        }
+        ch as i64
+    } else {
+        return None;
+    };
+    Some(if neg { -mag } else { mag })
+}
+
+struct ExprCtx<'a> {
+    symbols: &'a SymbolTable,
+}
+
+impl ExprCtx<'_> {
+    /// Evaluates `int`, `label`, `label+int`, `label-int`, `%hi(x)`, `%lo(x)`.
+    fn eval(&self, line: usize, expr: &str) -> Result<i64, AsmError> {
+        let expr = expr.trim();
+        if let Some(inner) = expr.strip_prefix("%hi(").and_then(|e| e.strip_suffix(')')) {
+            let v = self.eval(line, inner)?;
+            return Ok(i64::from(hi20(v as u32)));
+        }
+        if let Some(inner) = expr.strip_prefix("%lo(").and_then(|e| e.strip_suffix(')')) {
+            let v = self.eval(line, inner)?;
+            return Ok(i64::from(lo12(v as u32)));
+        }
+        if let Some(v) = parse_int(expr) {
+            return Ok(v);
+        }
+        // label [+-] offset
+        let split = expr[1..]
+            .find(['+', '-'])
+            .map(|i| i + 1)
+            .filter(|&i| is_ident(expr[..i].trim()));
+        if let Some(i) = split {
+            let base = self.eval(line, &expr[..i])?;
+            let sign = if expr.as_bytes()[i] == b'+' { 1 } else { -1 };
+            let off = parse_int(&expr[i + 1..])
+                .ok_or_else(|| AsmError::new(line, format!("bad offset in `{expr}`")))?;
+            return Ok(base + sign * off);
+        }
+        if is_ident(expr) {
+            return self
+                .symbols
+                .get(expr)
+                .map(i64::from)
+                .ok_or_else(|| AsmError::new(line, format!("undefined label `{expr}`")));
+        }
+        Err(AsmError::new(line, format!("cannot evaluate expression `{expr}`")))
+    }
+}
+
+/// Upper 20 bits for a `lui` in a `lui`+`addi` absolute-address pair, with
+/// the +0x800 rounding that compensates for `addi` sign extension.
+fn hi20(v: u32) -> i32 {
+    (v.wrapping_add(0x800) & 0xFFFF_F000) as i32
+}
+
+/// Low 12 bits, sign-extended, for the `addi` of a `lui`+`addi` pair.
+fn lo12(v: u32) -> i32 {
+    ((v & 0xFFF) as i32) << 20 >> 20
+}
+
+/// Number of machine words a mnemonic expands to (pass 1).
+fn inst_word_count(line: usize, mnemonic: &str, operands: &[String]) -> Result<u32, AsmError> {
+    Ok(match mnemonic {
+        "li" => {
+            let imm = operands
+                .get(1)
+                .and_then(|s| parse_int(s))
+                .ok_or_else(|| AsmError::new(line, "`li` needs `rd, imm`"))?;
+            li_word_count(imm as i32)
+        }
+        "la" => 2,
+        _ => 1,
+    })
+}
+
+fn li_word_count(imm: i32) -> u32 {
+    if (-2048..=2047).contains(&imm) {
+        1
+    } else if imm & 0xFFF == 0 {
+        1 // plain lui
+    } else {
+        2
+    }
+}
+
+fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
+    s.trim()
+        .parse()
+        .map_err(|e: crate::reg::ParseRegError| AsmError::new(line, e.to_string()))
+}
+
+fn parse_csr(line: usize, s: &str) -> Result<Csr, AsmError> {
+    let s = s.trim();
+    match s {
+        "mcycle" | "cycle" => Ok(Csr::Mcycle),
+        "mcycleh" | "cycleh" => Ok(Csr::Mcycleh),
+        "minstret" | "instret" => Ok(Csr::Minstret),
+        "minstreth" | "instreth" => Ok(Csr::Minstreth),
+        _ => parse_int(s)
+            .map(|v| Csr::from_address(v as u16))
+            .ok_or_else(|| AsmError::new(line, format!("unknown CSR `{s}`"))),
+    }
+}
+
+/// Parses `imm(reg)` or `(reg)` or bare `imm` memory operands.
+fn parse_mem_operand(line: usize, s: &str, ctx: &ExprCtx<'_>) -> Result<(i32, Reg), AsmError> {
+    let s = s.trim();
+    if let Some(open) = s.find('(') {
+        let close = s
+            .rfind(')')
+            .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+        let reg = parse_reg(line, &s[open + 1..close])?;
+        let imm_str = s[..open].trim();
+        let imm = if imm_str.is_empty() { 0 } else { ctx.eval(line, imm_str)? as i32 };
+        Ok((imm, reg))
+    } else {
+        Ok((ctx.eval(line, s)? as i32, Reg::ZERO))
+    }
+}
+
+fn check_i12(line: usize, imm: i64, what: &str) -> Result<i32, AsmError> {
+    if (-2048..=2047).contains(&imm) {
+        Ok(imm as i32)
+    } else {
+        Err(AsmError::new(line, format!("{what} immediate {imm} does not fit 12 bits")))
+    }
+}
+
+fn branch_offset(line: usize, target: i64, pc: u32) -> Result<i32, AsmError> {
+    let off = target - i64::from(pc);
+    if off % 2 != 0 || !(-4096..=4094).contains(&off) {
+        return Err(AsmError::new(line, format!("branch target out of range (offset {off})")));
+    }
+    Ok(off as i32)
+}
+
+fn jal_offset(line: usize, target: i64, pc: u32) -> Result<i32, AsmError> {
+    let off = target - i64::from(pc);
+    if off % 2 != 0 || !((-(1 << 20))..(1 << 20)).contains(&off) {
+        return Err(AsmError::new(line, format!("jump target out of range (offset {off})")));
+    }
+    Ok(off as i32)
+}
+
+/// Encodes one source mnemonic (possibly a pseudo-instruction) at `pc`.
+fn encode_inst(
+    line: usize,
+    mnemonic: &str,
+    ops: &[String],
+    pc: u32,
+    ctx: &ExprCtx<'_>,
+) -> Result<Vec<Inst>, AsmError> {
+    let argn = |n: usize| -> Result<&str, AsmError> {
+        ops.get(n)
+            .map(|s| s.as_str())
+            .ok_or_else(|| AsmError::new(line, format!("`{mnemonic}` missing operand {}", n + 1)))
+    };
+    let want = |n: usize| -> Result<(), AsmError> {
+        if ops.len() == n {
+            Ok(())
+        } else {
+            Err(AsmError::new(
+                line,
+                format!("`{mnemonic}` expects {n} operands, got {}", ops.len()),
+            ))
+        }
+    };
+    let r = |n: usize| parse_reg(line, argn(n).unwrap_or(""));
+    let e = |n: usize| -> Result<i64, AsmError> { ctx.eval(line, argn(n)?) };
+
+    macro_rules! rrr {
+        ($variant:ident) => {{
+            want(3)?;
+            Ok(vec![Inst::$variant { rd: r(0)?, rs1: r(1)?, rs2: r(2)? }])
+        }};
+    }
+    macro_rules! rri {
+        ($variant:ident) => {{
+            want(3)?;
+            let imm = check_i12(line, e(2)?, mnemonic)?;
+            Ok(vec![Inst::$variant { rd: r(0)?, rs1: r(1)?, imm }])
+        }};
+    }
+    macro_rules! shift {
+        ($variant:ident) => {{
+            want(3)?;
+            let sh = e(2)?;
+            if !(0..32).contains(&sh) {
+                return Err(AsmError::new(line, format!("shift amount {sh} out of range")));
+            }
+            Ok(vec![Inst::$variant { rd: r(0)?, rs1: r(1)?, shamt: sh as u8 }])
+        }};
+    }
+    macro_rules! load {
+        ($variant:ident) => {{
+            want(2)?;
+            let (imm, rs1) = parse_mem_operand(line, argn(1)?, ctx)?;
+            let imm = check_i12(line, i64::from(imm), mnemonic)?;
+            Ok(vec![Inst::$variant { rd: r(0)?, rs1, imm }])
+        }};
+    }
+    macro_rules! store {
+        ($variant:ident) => {{
+            want(2)?;
+            let (imm, rs1) = parse_mem_operand(line, argn(1)?, ctx)?;
+            let imm = check_i12(line, i64::from(imm), mnemonic)?;
+            Ok(vec![Inst::$variant { rs1, rs2: r(0)?, imm }])
+        }};
+    }
+    macro_rules! branch {
+        ($variant:ident) => {{
+            want(3)?;
+            let imm = branch_offset(line, e(2)?, pc)?;
+            Ok(vec![Inst::$variant { rs1: r(0)?, rs2: r(1)?, imm }])
+        }};
+    }
+    macro_rules! branch_swapped {
+        ($variant:ident) => {{
+            want(3)?;
+            let imm = branch_offset(line, e(2)?, pc)?;
+            Ok(vec![Inst::$variant { rs1: r(1)?, rs2: r(0)?, imm }])
+        }};
+    }
+    macro_rules! branchz {
+        ($variant:ident, $zero_first:expr) => {{
+            want(2)?;
+            let imm = branch_offset(line, e(1)?, pc)?;
+            let rs = r(0)?;
+            Ok(if $zero_first {
+                vec![Inst::$variant { rs1: Reg::ZERO, rs2: rs, imm }]
+            } else {
+                vec![Inst::$variant { rs1: rs, rs2: Reg::ZERO, imm }]
+            })
+        }};
+    }
+    macro_rules! csr_reg {
+        ($variant:ident) => {{
+            want(3)?;
+            Ok(vec![Inst::$variant { rd: r(0)?, csr: parse_csr(line, argn(1)?)?, rs1: r(2)? }])
+        }};
+    }
+    macro_rules! csr_imm {
+        ($variant:ident) => {{
+            want(3)?;
+            let v = e(2)?;
+            if !(0..32).contains(&v) {
+                return Err(AsmError::new(line, "CSR immediate out of range"));
+            }
+            Ok(vec![Inst::$variant { rd: r(0)?, csr: parse_csr(line, argn(1)?)?, uimm: v as u8 }])
+        }};
+    }
+
+    match mnemonic {
+        // ---- real instructions ----
+        "add" => rrr!(Add),
+        "sub" => rrr!(Sub),
+        "sll" => rrr!(Sll),
+        "slt" => rrr!(Slt),
+        "sltu" => rrr!(Sltu),
+        "xor" => rrr!(Xor),
+        "srl" => rrr!(Srl),
+        "sra" => rrr!(Sra),
+        "or" => rrr!(Or),
+        "and" => rrr!(And),
+        "mul" => rrr!(Mul),
+        "mulh" => rrr!(Mulh),
+        "mulhsu" => rrr!(Mulhsu),
+        "mulhu" => rrr!(Mulhu),
+        "div" => rrr!(Div),
+        "divu" => rrr!(Divu),
+        "rem" => rrr!(Rem),
+        "remu" => rrr!(Remu),
+        "addi" => rri!(Addi),
+        "slti" => rri!(Slti),
+        "sltiu" => rri!(Sltiu),
+        "xori" => rri!(Xori),
+        "ori" => rri!(Ori),
+        "andi" => rri!(Andi),
+        "slli" => shift!(Slli),
+        "srli" => shift!(Srli),
+        "srai" => shift!(Srai),
+        "lb" => load!(Lb),
+        "lh" => load!(Lh),
+        "lw" => load!(Lw),
+        "lbu" => load!(Lbu),
+        "lhu" => load!(Lhu),
+        "sb" => store!(Sb),
+        "sh" => store!(Sh),
+        "sw" => store!(Sw),
+        "beq" => branch!(Beq),
+        "bne" => branch!(Bne),
+        "blt" => branch!(Blt),
+        "bge" => branch!(Bge),
+        "bltu" => branch!(Bltu),
+        "bgeu" => branch!(Bgeu),
+        "bgt" => branch_swapped!(Blt),
+        "ble" => branch_swapped!(Bge),
+        "bgtu" => branch_swapped!(Bltu),
+        "bleu" => branch_swapped!(Bgeu),
+        "beqz" => branchz!(Beq, false),
+        "bnez" => branchz!(Bne, false),
+        "bltz" => branchz!(Blt, false),
+        "bgez" => branchz!(Bge, false),
+        "bgtz" => branchz!(Blt, true),
+        "blez" => branchz!(Bge, true),
+        "lui" => {
+            want(2)?;
+            let v = e(1)?;
+            // Accept either a pre-shifted 20-bit value (GNU style) or a raw
+            // 32-bit value with zero low bits.
+            let imm = if (0..(1 << 20)).contains(&v) { (v as i32) << 12 } else { v as i32 };
+            if imm as u32 & 0xFFF != 0 {
+                return Err(AsmError::new(line, "`lui` immediate has nonzero low 12 bits"));
+            }
+            Ok(vec![Inst::Lui { rd: r(0)?, imm }])
+        }
+        "auipc" => {
+            want(2)?;
+            let v = e(1)?;
+            let imm = if (0..(1 << 20)).contains(&v) { (v as i32) << 12 } else { v as i32 };
+            Ok(vec![Inst::Auipc { rd: r(0)?, imm }])
+        }
+        "jal" => match ops.len() {
+            1 => Ok(vec![Inst::Jal { rd: Reg::RA, imm: jal_offset(line, e(0)?, pc)? }]),
+            2 => Ok(vec![Inst::Jal { rd: r(0)?, imm: jal_offset(line, e(1)?, pc)? }]),
+            _ => Err(AsmError::new(line, "`jal` expects 1 or 2 operands")),
+        },
+        "jalr" => match ops.len() {
+            1 => Ok(vec![Inst::Jalr { rd: Reg::RA, rs1: r(0)?, imm: 0 }]),
+            2 => {
+                let (imm, rs1) = parse_mem_operand(line, argn(1)?, ctx)?;
+                Ok(vec![Inst::Jalr { rd: r(0)?, rs1, imm }])
+            }
+            3 => Ok(vec![Inst::Jalr { rd: r(0)?, rs1: r(1)?, imm: check_i12(line, e(2)?, "jalr")? }]),
+            _ => Err(AsmError::new(line, "`jalr` expects 1-3 operands")),
+        },
+        "fence" | "fence.i" => Ok(vec![Inst::Fence]),
+        "ecall" => Ok(vec![Inst::Ecall]),
+        "ebreak" => Ok(vec![Inst::Ebreak]),
+        "csrrw" => csr_reg!(Csrrw),
+        "csrrs" => csr_reg!(Csrrs),
+        "csrrc" => csr_reg!(Csrrc),
+        "csrrwi" => csr_imm!(Csrrwi),
+        "csrrsi" => csr_imm!(Csrrsi),
+        "csrrci" => csr_imm!(Csrrci),
+        // ---- CFU custom instructions ----
+        "cfu" | "cfu0" | "cfu1" => {
+            want(5)?;
+            let funct7 = e(0)?;
+            let funct3 = e(1)?;
+            if !(0..128).contains(&funct7) {
+                return Err(AsmError::new(line, "cfu funct7 must fit 7 bits"));
+            }
+            if !(0..8).contains(&funct3) {
+                return Err(AsmError::new(line, "cfu funct3 must fit 3 bits"));
+            }
+            let (funct7, funct3) = (funct7 as u8, funct3 as u8);
+            let (rd, rs1, rs2) = (r(2)?, r(3)?, r(4)?);
+            Ok(vec![if mnemonic == "cfu1" {
+                Inst::Cfu1 { funct7, funct3, rd, rs1, rs2 }
+            } else {
+                Inst::Cfu { funct7, funct3, rd, rs1, rs2 }
+            }])
+        }
+        // ---- pseudo-instructions ----
+        "nop" => Ok(vec![Inst::Addi { rd: Reg::ZERO, rs1: Reg::ZERO, imm: 0 }]),
+        "li" => {
+            want(2)?;
+            let rd = r(0)?;
+            let imm = parse_int(argn(1)?)
+                .ok_or_else(|| AsmError::new(line, "`li` immediate must be a constant"))?
+                as i32;
+            Ok(expand_li(rd, imm))
+        }
+        "la" => {
+            want(2)?;
+            let rd = r(0)?;
+            let addr = e(1)? as u32;
+            Ok(vec![
+                Inst::Lui { rd, imm: hi20(addr) },
+                Inst::Addi { rd, rs1: rd, imm: lo12(addr) },
+            ])
+        }
+        "mv" => {
+            want(2)?;
+            Ok(vec![Inst::Addi { rd: r(0)?, rs1: r(1)?, imm: 0 }])
+        }
+        "not" => {
+            want(2)?;
+            Ok(vec![Inst::Xori { rd: r(0)?, rs1: r(1)?, imm: -1 }])
+        }
+        "neg" => {
+            want(2)?;
+            Ok(vec![Inst::Sub { rd: r(0)?, rs1: Reg::ZERO, rs2: r(1)? }])
+        }
+        "seqz" => {
+            want(2)?;
+            Ok(vec![Inst::Sltiu { rd: r(0)?, rs1: r(1)?, imm: 1 }])
+        }
+        "snez" => {
+            want(2)?;
+            Ok(vec![Inst::Sltu { rd: r(0)?, rs1: Reg::ZERO, rs2: r(1)? }])
+        }
+        "sltz" => {
+            want(2)?;
+            Ok(vec![Inst::Slt { rd: r(0)?, rs1: r(1)?, rs2: Reg::ZERO }])
+        }
+        "sgtz" => {
+            want(2)?;
+            Ok(vec![Inst::Slt { rd: r(0)?, rs1: Reg::ZERO, rs2: r(1)? }])
+        }
+        "j" => {
+            want(1)?;
+            Ok(vec![Inst::Jal { rd: Reg::ZERO, imm: jal_offset(line, e(0)?, pc)? }])
+        }
+        "jr" => {
+            want(1)?;
+            Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: r(0)?, imm: 0 }])
+        }
+        "ret" => {
+            want(0)?;
+            Ok(vec![Inst::Jalr { rd: Reg::ZERO, rs1: Reg::RA, imm: 0 }])
+        }
+        "call" => {
+            want(1)?;
+            Ok(vec![Inst::Jal { rd: Reg::RA, imm: jal_offset(line, e(0)?, pc)? }])
+        }
+        "csrr" => {
+            want(2)?;
+            Ok(vec![Inst::Csrrs { rd: r(0)?, csr: parse_csr(line, argn(1)?)?, rs1: Reg::ZERO }])
+        }
+        "csrw" => {
+            want(2)?;
+            Ok(vec![Inst::Csrrw { rd: Reg::ZERO, csr: parse_csr(line, argn(0)?)?, rs1: r(1)? }])
+        }
+        "rdcycle" => {
+            want(1)?;
+            Ok(vec![Inst::Csrrs { rd: r(0)?, csr: Csr::Mcycle, rs1: Reg::ZERO }])
+        }
+        "rdinstret" => {
+            want(1)?;
+            Ok(vec![Inst::Csrrs { rd: r(0)?, csr: Csr::Minstret, rs1: Reg::ZERO }])
+        }
+        other => Err(AsmError::new(line, format!("unknown mnemonic `{other}`"))),
+    }
+}
+
+fn expand_li(rd: Reg, imm: i32) -> Vec<Inst> {
+    if (-2048..=2047).contains(&imm) {
+        vec![Inst::Addi { rd, rs1: Reg::ZERO, imm }]
+    } else if imm & 0xFFF == 0 {
+        vec![Inst::Lui { rd, imm }]
+    } else {
+        vec![
+            Inst::Lui { rd, imm: hi20(imm as u32) },
+            Inst::Addi { rd, rs1: rd, imm: lo12(imm as u32) },
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn asm(src: &str) -> Program {
+        Assembler::new(0).assemble(src).expect("assembly failed")
+    }
+
+    #[test]
+    fn simple_program() {
+        let p = asm("addi a0, zero, 5\nadd a1, a0, a0\nret");
+        assert_eq!(p.words.len(), 3);
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: 5 }
+        );
+    }
+
+    #[test]
+    fn labels_and_branches() {
+        let p = asm("start: addi a0, a0, -1\nbnez a0, start\nret");
+        assert_eq!(p.symbol("start"), Some(0));
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Bne { rs1: Reg::A0, rs2: Reg::ZERO, imm: -4 }
+        );
+    }
+
+    #[test]
+    fn forward_references() {
+        let p = asm("j end\nnop\nnop\nend: ret");
+        assert_eq!(p.symbol("end"), Some(12));
+        assert_eq!(Inst::decode(p.words[0]).unwrap(), Inst::Jal { rd: Reg::ZERO, imm: 12 });
+    }
+
+    #[test]
+    fn li_expansions() {
+        // Small immediate: one instruction.
+        assert_eq!(asm("li a0, 42").words.len(), 1);
+        // Page-aligned: plain lui.
+        assert_eq!(asm("li a0, 0x12345000").words.len(), 1);
+        // General: lui+addi, with sign-fixup for negative lo12.
+        let p = asm("li a0, 0x12345FFF");
+        assert_eq!(p.words.len(), 2);
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Lui { rd: Reg::A0, imm: 0x1234_6000u32 as i32 }
+        );
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn li_negative() {
+        let p = asm("li a0, -1");
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: -1 }
+        );
+    }
+
+    #[test]
+    fn la_resolves_data_labels() {
+        let p = Assembler::new(0x4000_0000)
+            .assemble("la a0, table\nret\ntable: .word 1, 2, 3")
+            .unwrap();
+        assert_eq!(p.symbol("table"), Some(0x4000_000C));
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Lui { rd: Reg::A0, imm: 0x4000_0000u32 as i32 }
+        );
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 0xC }
+        );
+        assert_eq!(&p.words[3..6], &[1, 2, 3]);
+    }
+
+    #[test]
+    fn data_directives() {
+        let p = asm(".byte 1, 2, 3, 4\n.half 0x1234, 0x5678\n.word 0xdeadbeef");
+        assert_eq!(p.bytes[..4], [1, 2, 3, 4]);
+        assert_eq!(u16::from_le_bytes([p.bytes[4], p.bytes[5]]), 0x1234);
+        assert_eq!(p.words[2], 0xdead_beef);
+    }
+
+    #[test]
+    fn align_and_zero() {
+        let p = asm(".byte 1\n.align 2\nmarker: .zero 8\nend:");
+        assert_eq!(p.symbol("marker"), Some(4));
+        assert_eq!(p.symbol("end"), Some(12));
+    }
+
+    #[test]
+    fn strings() {
+        let p = asm(".asciz \"hi\\n\"");
+        assert_eq!(&p.bytes[..4], b"hi\n\0");
+    }
+
+    #[test]
+    fn equ_constants() {
+        let p = asm(".equ N, 7\nli a0, 0\nloop: addi a0, a0, 1\nslti t0, a0, N\nbnez t0, loop");
+        assert!(p.words.len() >= 4);
+    }
+
+    #[test]
+    fn comments_and_blank_lines() {
+        let p = asm("# full comment\n  addi a0, a0, 1 # trailing\n\n// also this\nret");
+        assert_eq!(p.words.len(), 2);
+    }
+
+    #[test]
+    fn cfu_mnemonic() {
+        let p = asm("cfu 3, 1, a0, a1, a2");
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Cfu { funct7: 3, funct3: 1, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
+        );
+        let p = asm("cfu1 3, 1, a0, a1, a2");
+        assert!(matches!(Inst::decode(p.words[0]).unwrap(), Inst::Cfu1 { .. }));
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = Assembler::new(0).assemble("nop\nbogus a0\nnop").unwrap_err();
+        assert_eq!(err.line(), 2);
+        assert!(err.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn error_on_undefined_label() {
+        let err = Assembler::new(0).assemble("j nowhere").unwrap_err();
+        assert!(err.message().contains("nowhere"));
+    }
+
+    #[test]
+    fn error_on_duplicate_label() {
+        let err = Assembler::new(0).assemble("a: nop\na: nop").unwrap_err();
+        assert!(err.message().contains("twice"));
+    }
+
+    #[test]
+    fn error_on_out_of_range_immediate() {
+        let err = Assembler::new(0).assemble("addi a0, a0, 5000").unwrap_err();
+        assert!(err.message().contains("12 bits"));
+    }
+
+    #[test]
+    fn hi_lo_relocations() {
+        let p = Assembler::new(0)
+            .assemble("lui a0, %hi(tgt)\naddi a0, a0, %lo(tgt)\ntgt: .word 0")
+            .unwrap();
+        // %hi/%lo of address 8.
+        assert_eq!(Inst::decode(p.words[0]).unwrap(), Inst::Lui { rd: Reg::A0, imm: 0 });
+        assert_eq!(
+            Inst::decode(p.words[1]).unwrap(),
+            Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 8 }
+        );
+    }
+
+    #[test]
+    fn csr_pseudo() {
+        let p = asm("rdcycle a0\ncsrr a1, minstret");
+        assert!(matches!(Inst::decode(p.words[0]).unwrap(), Inst::Csrrs { .. }));
+    }
+
+    #[test]
+    fn store_parses_offset_base() {
+        let p = asm("sw a0, -20(s0)");
+        assert_eq!(
+            Inst::decode(p.words[0]).unwrap(),
+            Inst::Sw { rs1: Reg::S0, rs2: Reg::A0, imm: -20 }
+        );
+    }
+}

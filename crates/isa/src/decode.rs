@@ -1,0 +1,241 @@
+//! Machine-word decoding.
+
+use std::fmt;
+
+use crate::inst::{Csr, Inst, OPCODE_CUSTOM0, OPCODE_CUSTOM1};
+use crate::reg::Reg;
+
+/// Error produced when a 32-bit word is not a recognized instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DecodeError {
+    word: u32,
+}
+
+impl DecodeError {
+    /// The offending machine word.
+    pub fn word(&self) -> u32 {
+        self.word
+    }
+
+    /// Creates an error for `word` (also used by the compressed decoder
+    /// for 16-bit parcels).
+    pub(crate) fn for_word(word: u32) -> Self {
+        DecodeError { word }
+    }
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "illegal instruction word 0x{:08x}", self.word)
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+fn rd(word: u32) -> Reg {
+    Reg::from_field(word >> 7)
+}
+fn rs1(word: u32) -> Reg {
+    Reg::from_field(word >> 15)
+}
+fn rs2(word: u32) -> Reg {
+    Reg::from_field(word >> 20)
+}
+fn funct3(word: u32) -> u32 {
+    (word >> 12) & 0x7
+}
+fn funct7(word: u32) -> u32 {
+    word >> 25
+}
+
+fn imm_i(word: u32) -> i32 {
+    (word as i32) >> 20
+}
+
+fn imm_s(word: u32) -> i32 {
+    (((word as i32) >> 25) << 5) | (((word >> 7) & 0x1F) as i32)
+}
+
+fn imm_b(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 12 replicated
+    (sign << 12)
+        | ((((word >> 7) & 1) as i32) << 11)
+        | ((((word >> 25) & 0x3F) as i32) << 5)
+        | ((((word >> 8) & 0xF) as i32) << 1)
+}
+
+fn imm_u(word: u32) -> i32 {
+    (word & 0xFFFF_F000) as i32
+}
+
+fn imm_j(word: u32) -> i32 {
+    let sign = (word as i32) >> 31; // bit 20 replicated
+    (sign << 20)
+        | ((((word >> 12) & 0xFF) as i32) << 12)
+        | ((((word >> 20) & 1) as i32) << 11)
+        | ((((word >> 21) & 0x3FF) as i32) << 1)
+}
+
+pub(crate) fn decode(word: u32) -> Result<Inst, DecodeError> {
+    let err = Err(DecodeError { word });
+    let opcode = word & 0x7F;
+    let inst = match opcode {
+        0b011_0111 => Inst::Lui { rd: rd(word), imm: imm_u(word) },
+        0b001_0111 => Inst::Auipc { rd: rd(word), imm: imm_u(word) },
+        0b110_1111 => Inst::Jal { rd: rd(word), imm: imm_j(word) },
+        0b110_0111 => match funct3(word) {
+            0 => Inst::Jalr { rd: rd(word), rs1: rs1(word), imm: imm_i(word) },
+            _ => return err,
+        },
+        0b110_0011 => {
+            let (rs1, rs2, imm) = (rs1(word), rs2(word), imm_b(word));
+            match funct3(word) {
+                0b000 => Inst::Beq { rs1, rs2, imm },
+                0b001 => Inst::Bne { rs1, rs2, imm },
+                0b100 => Inst::Blt { rs1, rs2, imm },
+                0b101 => Inst::Bge { rs1, rs2, imm },
+                0b110 => Inst::Bltu { rs1, rs2, imm },
+                0b111 => Inst::Bgeu { rs1, rs2, imm },
+                _ => return err,
+            }
+        }
+        0b000_0011 => {
+            let (rd, rs1, imm) = (rd(word), rs1(word), imm_i(word));
+            match funct3(word) {
+                0b000 => Inst::Lb { rd, rs1, imm },
+                0b001 => Inst::Lh { rd, rs1, imm },
+                0b010 => Inst::Lw { rd, rs1, imm },
+                0b100 => Inst::Lbu { rd, rs1, imm },
+                0b101 => Inst::Lhu { rd, rs1, imm },
+                _ => return err,
+            }
+        }
+        0b010_0011 => {
+            let (rs1, rs2, imm) = (rs1(word), rs2(word), imm_s(word));
+            match funct3(word) {
+                0b000 => Inst::Sb { rs1, rs2, imm },
+                0b001 => Inst::Sh { rs1, rs2, imm },
+                0b010 => Inst::Sw { rs1, rs2, imm },
+                _ => return err,
+            }
+        }
+        0b001_0011 => {
+            let (rd, rs1, imm) = (rd(word), rs1(word), imm_i(word));
+            match funct3(word) {
+                0b000 => Inst::Addi { rd, rs1, imm },
+                0b010 => Inst::Slti { rd, rs1, imm },
+                0b011 => Inst::Sltiu { rd, rs1, imm },
+                0b100 => Inst::Xori { rd, rs1, imm },
+                0b110 => Inst::Ori { rd, rs1, imm },
+                0b111 => Inst::Andi { rd, rs1, imm },
+                0b001 => match funct7(word) {
+                    0 => Inst::Slli { rd, rs1, shamt: (imm & 0x1F) as u8 },
+                    _ => return err,
+                },
+                0b101 => match funct7(word) {
+                    0b000_0000 => Inst::Srli { rd, rs1, shamt: (imm & 0x1F) as u8 },
+                    0b010_0000 => Inst::Srai { rd, rs1, shamt: (imm & 0x1F) as u8 },
+                    _ => return err,
+                },
+                _ => return err,
+            }
+        }
+        0b011_0011 => {
+            let (rd, rs1, rs2) = (rd(word), rs1(word), rs2(word));
+            match (funct7(word), funct3(word)) {
+                (0b000_0000, 0b000) => Inst::Add { rd, rs1, rs2 },
+                (0b010_0000, 0b000) => Inst::Sub { rd, rs1, rs2 },
+                (0b000_0000, 0b001) => Inst::Sll { rd, rs1, rs2 },
+                (0b000_0000, 0b010) => Inst::Slt { rd, rs1, rs2 },
+                (0b000_0000, 0b011) => Inst::Sltu { rd, rs1, rs2 },
+                (0b000_0000, 0b100) => Inst::Xor { rd, rs1, rs2 },
+                (0b000_0000, 0b101) => Inst::Srl { rd, rs1, rs2 },
+                (0b010_0000, 0b101) => Inst::Sra { rd, rs1, rs2 },
+                (0b000_0000, 0b110) => Inst::Or { rd, rs1, rs2 },
+                (0b000_0000, 0b111) => Inst::And { rd, rs1, rs2 },
+                (0b000_0001, 0b000) => Inst::Mul { rd, rs1, rs2 },
+                (0b000_0001, 0b001) => Inst::Mulh { rd, rs1, rs2 },
+                (0b000_0001, 0b010) => Inst::Mulhsu { rd, rs1, rs2 },
+                (0b000_0001, 0b011) => Inst::Mulhu { rd, rs1, rs2 },
+                (0b000_0001, 0b100) => Inst::Div { rd, rs1, rs2 },
+                (0b000_0001, 0b101) => Inst::Divu { rd, rs1, rs2 },
+                (0b000_0001, 0b110) => Inst::Rem { rd, rs1, rs2 },
+                (0b000_0001, 0b111) => Inst::Remu { rd, rs1, rs2 },
+                _ => return err,
+            }
+        }
+        0b000_1111 => Inst::Fence,
+        0b111_0011 => {
+            let csr = Csr::from_address((word >> 20) as u16);
+            match funct3(word) {
+                0b000 => match word >> 20 {
+                    0 => Inst::Ecall,
+                    1 => Inst::Ebreak,
+                    _ => return err,
+                },
+                0b001 => Inst::Csrrw { rd: rd(word), rs1: rs1(word), csr },
+                0b010 => Inst::Csrrs { rd: rd(word), rs1: rs1(word), csr },
+                0b011 => Inst::Csrrc { rd: rd(word), rs1: rs1(word), csr },
+                0b101 => Inst::Csrrwi { rd: rd(word), uimm: rs1(word).index() as u8, csr },
+                0b110 => Inst::Csrrsi { rd: rd(word), uimm: rs1(word).index() as u8, csr },
+                0b111 => Inst::Csrrci { rd: rd(word), uimm: rs1(word).index() as u8, csr },
+                _ => return err,
+            }
+        }
+        OPCODE_CUSTOM0 => Inst::Cfu {
+            funct7: funct7(word) as u8,
+            funct3: funct3(word) as u8,
+            rd: rd(word),
+            rs1: rs1(word),
+            rs2: rs2(word),
+        },
+        OPCODE_CUSTOM1 => Inst::Cfu1 {
+            funct7: funct7(word) as u8,
+            funct3: funct3(word) as u8,
+            rd: rd(word),
+            rs1: rs1(word),
+            rs2: rs2(word),
+        },
+        _ => return err,
+    };
+    Ok(inst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(decode(0x0000_0000).is_err()); // all-zero is defined illegal
+        assert!(decode(0xFFFF_FFFF).is_err());
+        let e = decode(0xFFFF_FFFF).unwrap_err();
+        assert_eq!(e.word(), 0xFFFF_FFFF);
+        assert!(e.to_string().contains("ffffffff"));
+    }
+
+    #[test]
+    fn b_immediate_sign_extension() {
+        // Maximum negative branch offset: -4096.
+        let w = Inst::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, imm: -4096 }.encode();
+        assert_eq!(imm_b(w), -4096);
+        let w = Inst::Beq { rs1: Reg::ZERO, rs2: Reg::ZERO, imm: 4094 }.encode();
+        assert_eq!(imm_b(w), 4094);
+    }
+
+    #[test]
+    fn j_immediate_sign_extension() {
+        let w = Inst::Jal { rd: Reg::ZERO, imm: -(1 << 20) }.encode();
+        assert_eq!(imm_j(w), -(1 << 20));
+        let w = Inst::Jal { rd: Reg::ZERO, imm: (1 << 20) - 2 }.encode();
+        assert_eq!(imm_j(w), (1 << 20) - 2);
+    }
+
+    #[test]
+    fn s_immediate_extremes() {
+        for imm in [-2048, -1, 0, 1, 2047] {
+            let w = Inst::Sw { rs1: Reg::SP, rs2: Reg::A0, imm }.encode();
+            assert_eq!(imm_s(w), imm, "imm={imm}");
+        }
+    }
+}

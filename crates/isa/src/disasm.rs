@@ -1,0 +1,153 @@
+//! Instruction disassembly (textual form compatible with the assembler).
+
+use crate::inst::Inst;
+
+/// Renders an instruction in the same syntax [`crate::Assembler`] accepts,
+/// so `assemble(disassemble(i))` round-trips.
+///
+/// # Example
+///
+/// ```
+/// use cfu_isa::{disassemble, Inst, Reg};
+/// let i = Inst::Lw { rd: Reg::A0, rs1: Reg::SP, imm: 8 };
+/// assert_eq!(disassemble(&i), "lw a0, 8(sp)");
+/// ```
+pub fn disassemble(inst: &Inst) -> String {
+    use Inst::*;
+    match *inst {
+        Lui { rd, imm } => format!("lui {rd}, 0x{:x}", (imm as u32) >> 12),
+        Auipc { rd, imm } => format!("auipc {rd}, 0x{:x}", (imm as u32) >> 12),
+        Jal { rd, imm } => format!("jal {rd}, {imm}"),
+        Jalr { rd, rs1, imm } => format!("jalr {rd}, {imm}({rs1})"),
+        Beq { rs1, rs2, imm } => format!("beq {rs1}, {rs2}, {imm}"),
+        Bne { rs1, rs2, imm } => format!("bne {rs1}, {rs2}, {imm}"),
+        Blt { rs1, rs2, imm } => format!("blt {rs1}, {rs2}, {imm}"),
+        Bge { rs1, rs2, imm } => format!("bge {rs1}, {rs2}, {imm}"),
+        Bltu { rs1, rs2, imm } => format!("bltu {rs1}, {rs2}, {imm}"),
+        Bgeu { rs1, rs2, imm } => format!("bgeu {rs1}, {rs2}, {imm}"),
+        Lb { rd, rs1, imm } => format!("lb {rd}, {imm}({rs1})"),
+        Lh { rd, rs1, imm } => format!("lh {rd}, {imm}({rs1})"),
+        Lw { rd, rs1, imm } => format!("lw {rd}, {imm}({rs1})"),
+        Lbu { rd, rs1, imm } => format!("lbu {rd}, {imm}({rs1})"),
+        Lhu { rd, rs1, imm } => format!("lhu {rd}, {imm}({rs1})"),
+        Sb { rs1, rs2, imm } => format!("sb {rs2}, {imm}({rs1})"),
+        Sh { rs1, rs2, imm } => format!("sh {rs2}, {imm}({rs1})"),
+        Sw { rs1, rs2, imm } => format!("sw {rs2}, {imm}({rs1})"),
+        Addi { rd, rs1, imm } => format!("addi {rd}, {rs1}, {imm}"),
+        Slti { rd, rs1, imm } => format!("slti {rd}, {rs1}, {imm}"),
+        Sltiu { rd, rs1, imm } => format!("sltiu {rd}, {rs1}, {imm}"),
+        Xori { rd, rs1, imm } => format!("xori {rd}, {rs1}, {imm}"),
+        Ori { rd, rs1, imm } => format!("ori {rd}, {rs1}, {imm}"),
+        Andi { rd, rs1, imm } => format!("andi {rd}, {rs1}, {imm}"),
+        Slli { rd, rs1, shamt } => format!("slli {rd}, {rs1}, {shamt}"),
+        Srli { rd, rs1, shamt } => format!("srli {rd}, {rs1}, {shamt}"),
+        Srai { rd, rs1, shamt } => format!("srai {rd}, {rs1}, {shamt}"),
+        Add { rd, rs1, rs2 } => format!("add {rd}, {rs1}, {rs2}"),
+        Sub { rd, rs1, rs2 } => format!("sub {rd}, {rs1}, {rs2}"),
+        Sll { rd, rs1, rs2 } => format!("sll {rd}, {rs1}, {rs2}"),
+        Slt { rd, rs1, rs2 } => format!("slt {rd}, {rs1}, {rs2}"),
+        Sltu { rd, rs1, rs2 } => format!("sltu {rd}, {rs1}, {rs2}"),
+        Xor { rd, rs1, rs2 } => format!("xor {rd}, {rs1}, {rs2}"),
+        Srl { rd, rs1, rs2 } => format!("srl {rd}, {rs1}, {rs2}"),
+        Sra { rd, rs1, rs2 } => format!("sra {rd}, {rs1}, {rs2}"),
+        Or { rd, rs1, rs2 } => format!("or {rd}, {rs1}, {rs2}"),
+        And { rd, rs1, rs2 } => format!("and {rd}, {rs1}, {rs2}"),
+        Fence => "fence".to_owned(),
+        Ecall => "ecall".to_owned(),
+        Ebreak => "ebreak".to_owned(),
+        Csrrw { rd, rs1, csr } => format!("csrrw {rd}, {csr}, {rs1}"),
+        Csrrs { rd, rs1, csr } => format!("csrrs {rd}, {csr}, {rs1}"),
+        Csrrc { rd, rs1, csr } => format!("csrrc {rd}, {csr}, {rs1}"),
+        Csrrwi { rd, uimm, csr } => format!("csrrwi {rd}, {csr}, {uimm}"),
+        Csrrsi { rd, uimm, csr } => format!("csrrsi {rd}, {csr}, {uimm}"),
+        Csrrci { rd, uimm, csr } => format!("csrrci {rd}, {csr}, {uimm}"),
+        Mul { rd, rs1, rs2 } => format!("mul {rd}, {rs1}, {rs2}"),
+        Mulh { rd, rs1, rs2 } => format!("mulh {rd}, {rs1}, {rs2}"),
+        Mulhsu { rd, rs1, rs2 } => format!("mulhsu {rd}, {rs1}, {rs2}"),
+        Mulhu { rd, rs1, rs2 } => format!("mulhu {rd}, {rs1}, {rs2}"),
+        Div { rd, rs1, rs2 } => format!("div {rd}, {rs1}, {rs2}"),
+        Divu { rd, rs1, rs2 } => format!("divu {rd}, {rs1}, {rs2}"),
+        Rem { rd, rs1, rs2 } => format!("rem {rd}, {rs1}, {rs2}"),
+        Remu { rd, rs1, rs2 } => format!("remu {rd}, {rs1}, {rs2}"),
+        Cfu { funct7, funct3, rd, rs1, rs2 } => {
+            format!("cfu {funct7}, {funct3}, {rd}, {rs1}, {rs2}")
+        }
+        Cfu1 { funct7, funct3, rd, rs1, rs2 } => {
+            format!("cfu1 {funct7}, {funct3}, {rd}, {rs1}, {rs2}")
+        }
+    }
+}
+
+/// Renders a whole [`Program`](crate::Program) objdump-style: one line
+/// per word with address, raw encoding, the disassembly (or `.word` for
+/// data), and `<label>` markers from the symbol table.
+///
+/// # Example
+///
+/// ```
+/// use cfu_isa::{disassemble_program, Assembler};
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let p = Assembler::new(0x100).assemble("start: addi a0, a0, 1\nret")?;
+/// let dump = disassemble_program(&p);
+/// assert!(dump.contains("<start>:"));
+/// assert!(dump.contains("addi a0, a0, 1"));
+/// # Ok(())
+/// # }
+/// ```
+pub fn disassemble_program(program: &crate::Program) -> String {
+    use std::fmt::Write as _;
+    // Invert the symbol table: address → labels.
+    let mut labels: std::collections::BTreeMap<u32, Vec<&str>> = std::collections::BTreeMap::new();
+    for (name, addr) in program.symbols.iter() {
+        labels.entry(addr).or_default().push(name);
+    }
+    for names in labels.values_mut() {
+        names.sort_unstable();
+    }
+    let mut out = String::new();
+    for (i, &word) in program.words.iter().enumerate() {
+        let addr = program.base + 4 * i as u32;
+        if let Some(names) = labels.get(&addr) {
+            for name in names {
+                let _ = writeln!(out, "{addr:08x} <{name}>:");
+            }
+        }
+        let text = match Inst::decode(word) {
+            Ok(inst) => disassemble(&inst),
+            Err(_) => format!(".word 0x{word:08x}"),
+        };
+        let _ = writeln!(out, "{addr:8x}:\t{word:08x}\t{text}");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reg::Reg;
+
+    #[test]
+    fn program_dump_includes_labels_and_data() {
+        let p = crate::Assembler::new(0x1000)
+            .assemble("entry: li a0, 3\nloop: addi a0, a0, -1\nbnez a0, loop\ndata: .word 0xffffffff")
+            .unwrap();
+        let dump = disassemble_program(&p);
+        assert!(dump.contains("<entry>:"), "{dump}");
+        assert!(dump.contains("<loop>:"), "{dump}");
+        assert!(dump.contains(".word 0xffffffff"), "{dump}");
+        assert!(dump.lines().count() >= p.words.len());
+    }
+
+    #[test]
+    fn formats_are_stable() {
+        assert_eq!(
+            disassemble(&Inst::Add { rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            "add a0, a1, a2"
+        );
+        assert_eq!(disassemble(&Inst::Sw { rs1: Reg::SP, rs2: Reg::A0, imm: -4 }), "sw a0, -4(sp)");
+        assert_eq!(
+            disassemble(&Inst::Cfu { funct7: 2, funct3: 1, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            "cfu 2, 1, a0, a1, a2"
+        );
+    }
+}

@@ -1,0 +1,187 @@
+//! General-purpose register names.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// One of the 32 RV32I general-purpose registers.
+///
+/// A `Reg` is guaranteed to hold an index in `0..32`, so downstream code
+/// (register files, encoders) can index arrays without bounds worry.
+///
+/// # Example
+///
+/// ```
+/// use cfu_isa::Reg;
+/// let r: Reg = "a0".parse()?;
+/// assert_eq!(r, Reg::A0);
+/// assert_eq!(r.index(), 10);
+/// assert_eq!(r.to_string(), "a0");
+/// # Ok::<(), cfu_isa::ParseRegError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Reg(u8);
+
+macro_rules! abi_regs {
+    ($(($konst:ident, $idx:expr, $abi:expr)),* $(,)?) => {
+        impl Reg {
+            $(
+                #[doc = concat!("ABI register `", $abi, "` (x", stringify!($idx), ").")]
+                pub const $konst: Reg = Reg($idx);
+            )*
+
+            /// ABI name of this register (e.g. `"a0"`, `"sp"`).
+            pub fn abi_name(self) -> &'static str {
+                const NAMES: [&str; 32] = [
+                    "zero", "ra", "sp", "gp", "tp", "t0", "t1", "t2", "s0", "s1",
+                    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7", "s2", "s3",
+                    "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11", "t3", "t4",
+                    "t5", "t6",
+                ];
+                NAMES[self.0 as usize]
+            }
+        }
+    };
+}
+
+abi_regs! {
+    (ZERO, 0, "zero"), (RA, 1, "ra"), (SP, 2, "sp"), (GP, 3, "gp"), (TP, 4, "tp"),
+    (T0, 5, "t0"), (T1, 6, "t1"), (T2, 7, "t2"), (S0, 8, "s0"), (S1, 9, "s1"),
+    (A0, 10, "a0"), (A1, 11, "a1"), (A2, 12, "a2"), (A3, 13, "a3"), (A4, 14, "a4"),
+    (A5, 15, "a5"), (A6, 16, "a6"), (A7, 17, "a7"), (S2, 18, "s2"), (S3, 19, "s3"),
+    (S4, 20, "s4"), (S5, 21, "s5"), (S6, 22, "s6"), (S7, 23, "s7"), (S8, 24, "s8"),
+    (S9, 25, "s9"), (S10, 26, "s10"), (S11, 27, "s11"), (T3, 28, "t3"), (T4, 29, "t4"),
+    (T5, 30, "t5"), (T6, 31, "t6"),
+}
+
+impl Reg {
+    /// Creates a register from its architectural index.
+    ///
+    /// Returns `None` when `index >= 32`.
+    pub fn new(index: u8) -> Option<Reg> {
+        (index < 32).then_some(Reg(index))
+    }
+
+    /// Creates a register from the low 5 bits of an encoded field.
+    pub fn from_field(field: u32) -> Reg {
+        Reg((field & 0x1f) as u8)
+    }
+
+    /// Architectural index in `0..32`.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Encoded 5-bit field value.
+    pub fn field(self) -> u32 {
+        u32::from(self.0)
+    }
+
+    /// `true` for `x0`/`zero`, which always reads zero and ignores writes.
+    pub fn is_zero(self) -> bool {
+        self.0 == 0
+    }
+}
+
+impl Default for Reg {
+    fn default() -> Self {
+        Reg::ZERO
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.abi_name())
+    }
+}
+
+/// Error returned when parsing a register name fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRegError {
+    name: String,
+}
+
+impl fmt::Display for ParseRegError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "unknown register name `{}`", self.name)
+    }
+}
+
+impl std::error::Error for ParseRegError {}
+
+impl FromStr for Reg {
+    type Err = ParseRegError;
+
+    /// Parses either an `x<N>` numeric name or an ABI name (`a0`, `sp`,
+    /// `fp`, ...). `fp` is accepted as an alias for `s0`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let err = || ParseRegError { name: s.to_owned() };
+        if let Some(num) = s.strip_prefix('x') {
+            let idx: u8 = num.parse().map_err(|_| err())?;
+            return Reg::new(idx).ok_or_else(err);
+        }
+        if s == "fp" {
+            return Ok(Reg::S0);
+        }
+        (0..32u8)
+            .map(Reg)
+            .find(|r| r.abi_name() == s)
+            .ok_or_else(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        for i in 0..32u8 {
+            let r = Reg::new(i).unwrap();
+            assert_eq!(r.index(), i as usize);
+            assert_eq!(r.field(), u32::from(i));
+        }
+        assert_eq!(Reg::new(32), None);
+        assert_eq!(Reg::new(255), None);
+    }
+
+    #[test]
+    fn parse_abi_names() {
+        assert_eq!("zero".parse::<Reg>().unwrap(), Reg::ZERO);
+        assert_eq!("ra".parse::<Reg>().unwrap(), Reg::RA);
+        assert_eq!("a5".parse::<Reg>().unwrap(), Reg::A5);
+        assert_eq!("t6".parse::<Reg>().unwrap(), Reg::T6);
+        assert_eq!("s11".parse::<Reg>().unwrap(), Reg::S11);
+        assert_eq!("fp".parse::<Reg>().unwrap(), Reg::S0);
+    }
+
+    #[test]
+    fn parse_numeric_names() {
+        for i in 0..32u8 {
+            let r: Reg = format!("x{i}").parse().unwrap();
+            assert_eq!(r.index(), i as usize);
+        }
+        assert!("x32".parse::<Reg>().is_err());
+        assert!("x-1".parse::<Reg>().is_err());
+    }
+
+    #[test]
+    fn parse_errors_name_the_input() {
+        let e = "bogus".parse::<Reg>().unwrap_err();
+        assert!(e.to_string().contains("bogus"));
+    }
+
+    #[test]
+    fn display_matches_parse() {
+        for i in 0..32u8 {
+            let r = Reg::new(i).unwrap();
+            assert_eq!(r.to_string().parse::<Reg>().unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn zero_detection() {
+        assert!(Reg::ZERO.is_zero());
+        assert!(!Reg::A0.is_zero());
+        assert!(Reg::from_field(32).is_zero()); // masked to 5 bits
+    }
+}

@@ -1,0 +1,397 @@
+//! The system bus: an address map routing accesses to devices.
+
+use std::fmt;
+
+use crate::device::{BusDevice, ReadResult};
+
+use crate::error::MemError;
+
+/// Opaque handle identifying a mapped region on a [`Bus`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RegionId(usize);
+
+/// Description of one mapped region.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RegionInfo {
+    /// Region name (e.g. `"rom"`, `"sram"`, `"main_ram"`).
+    pub name: String,
+    /// First address of the region.
+    pub base: u32,
+    /// Size in bytes.
+    pub size: u32,
+    /// `true` when the device rejects stores.
+    pub rom: bool,
+}
+
+impl RegionInfo {
+    /// `true` when `addr` falls inside this region.
+    pub fn contains(&self, addr: u32) -> bool {
+        addr >= self.base && u64::from(addr) < u64::from(self.base) + u64::from(self.size)
+    }
+
+    /// One-past-the-last address (as u64 to avoid overflow at 4 GiB).
+    pub fn end(&self) -> u64 {
+        u64::from(self.base) + u64::from(self.size)
+    }
+}
+
+/// Per-device traffic counters, used by the profiler to attribute memory
+/// time the way the paper's profiling step does ("flash ROM accesses were
+/// slower than they should be").
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DeviceStats {
+    /// Number of read transactions.
+    pub reads: u64,
+    /// Number of write transactions.
+    pub writes: u64,
+    /// Bytes read.
+    pub bytes_read: u64,
+    /// Bytes written.
+    pub bytes_written: u64,
+    /// Total device cycles spent in reads.
+    pub read_cycles: u64,
+    /// Total device cycles spent in writes.
+    pub write_cycles: u64,
+}
+
+impl DeviceStats {
+    /// Total cycles across reads and writes.
+    pub fn total_cycles(&self) -> u64 {
+        self.read_cycles + self.write_cycles
+    }
+}
+
+struct Mapped {
+    info: RegionInfo,
+    device: Box<dyn BusDevice>,
+    stats: DeviceStats,
+}
+
+impl fmt::Debug for Mapped {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Mapped").field("info", &self.info).field("stats", &self.stats).finish()
+    }
+}
+
+/// The system interconnect: routes addresses to devices and accounts
+/// cycles and traffic per device.
+///
+/// Regions must not overlap; [`map`](Bus::map) panics if they do, because
+/// an overlapping LiteX CSR map is a build-time error there too.
+#[derive(Debug, Default)]
+pub struct Bus {
+    regions: Vec<Mapped>,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Maps `device` at `base`, returning a handle for stats queries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the new region overlaps an existing one or wraps past the
+    /// end of the 32-bit address space.
+    pub fn map(&mut self, name: &str, base: u32, device: impl BusDevice + 'static) -> RegionId {
+        let size = device.size();
+        let info = RegionInfo { name: name.to_owned(), base, size, rom: device.is_rom() };
+        assert!(info.end() <= 1 << 32, "region `{name}` wraps the address space");
+        for existing in &self.regions {
+            let e = &existing.info;
+            assert!(
+                info.end() <= u64::from(e.base) || u64::from(info.base) >= e.end(),
+                "region `{name}` [{:#x},{:#x}) overlaps `{}` [{:#x},{:#x})",
+                info.base,
+                info.end(),
+                e.name,
+                e.base,
+                e.end(),
+            );
+        }
+        self.regions.push(Mapped { info, device: Box::new(device), stats: DeviceStats::default() });
+        RegionId(self.regions.len() - 1)
+    }
+
+    /// Looks up the region containing `addr`.
+    pub fn region_of(&self, addr: u32) -> Option<(RegionId, &RegionInfo)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.info.contains(addr))
+            .map(|(i, m)| (RegionId(i), &m.info))
+    }
+
+    /// Looks up a region by name.
+    pub fn region_by_name(&self, name: &str) -> Option<(RegionId, &RegionInfo)> {
+        self.regions
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.info.name == name)
+            .map(|(i, m)| (RegionId(i), &m.info))
+    }
+
+    /// All mapped regions, in mapping order.
+    pub fn regions(&self) -> impl Iterator<Item = (RegionId, &RegionInfo)> {
+        self.regions.iter().enumerate().map(|(i, m)| (RegionId(i), &m.info))
+    }
+
+    /// Traffic statistics for a region.
+    pub fn stats(&self, id: RegionId) -> DeviceStats {
+        self.regions[id.0].stats
+    }
+
+    /// Clears all per-device statistics and timing state (open rows,
+    /// sequential-burst trackers) without touching contents.
+    pub fn reset_stats(&mut self) {
+        for m in &mut self.regions {
+            m.stats = DeviceStats::default();
+            m.device.reset_timing();
+        }
+    }
+
+    fn route(&mut self, addr: u32, len: usize) -> Result<(usize, u32), MemError> {
+        let idx = self
+            .regions
+            .iter()
+            .position(|m| m.info.contains(addr))
+            .ok_or(MemError::Unmapped { addr })?;
+        let info = &self.regions[idx].info;
+        if u64::from(addr) + len as u64 > info.end() {
+            return Err(MemError::OutOfBounds { addr, len });
+        }
+        Ok((idx, addr - info.base))
+    }
+
+    /// Reads `buf.len()` bytes at `addr`, returning device cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`] for holes in the map, or any device error
+    /// with the *absolute* fault address.
+    pub fn read(&mut self, addr: u32, buf: &mut [u8]) -> Result<u64, MemError> {
+        let (idx, offset) = self.route(addr, buf.len())?;
+        let m = &mut self.regions[idx];
+        let cycles = m.device.read(offset, buf).map_err(|e| rebase(e, m.info.base))?;
+        m.stats.reads += 1;
+        m.stats.bytes_read += buf.len() as u64;
+        m.stats.read_cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Writes `data` at `addr`, returning device cycles consumed.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`], [`MemError::ReadOnly`] (ROM regions) or
+    /// [`MemError::OutOfBounds`].
+    pub fn write(&mut self, addr: u32, data: &[u8]) -> Result<u64, MemError> {
+        let (idx, offset) = self.route(addr, data.len())?;
+        let m = &mut self.regions[idx];
+        let cycles = m.device.write(offset, data).map_err(|e| rebase(e, m.info.base))?;
+        m.stats.writes += 1;
+        m.stats.bytes_written += data.len() as u64;
+        m.stats.write_cycles += cycles;
+        Ok(cycles)
+    }
+
+    /// Reads a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Bus::read).
+    pub fn read_u32(&mut self, addr: u32) -> Result<ReadResult<u32>, MemError> {
+        let mut b = [0u8; 4];
+        let cycles = self.read(addr, &mut b)?;
+        Ok(ReadResult { value: u32::from_le_bytes(b), cycles })
+    }
+
+    /// Reads a little-endian 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Bus::read).
+    pub fn read_u16(&mut self, addr: u32) -> Result<ReadResult<u16>, MemError> {
+        let mut b = [0u8; 2];
+        let cycles = self.read(addr, &mut b)?;
+        Ok(ReadResult { value: u16::from_le_bytes(b), cycles })
+    }
+
+    /// Reads one byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Bus::read).
+    pub fn read_u8(&mut self, addr: u32) -> Result<ReadResult<u8>, MemError> {
+        let mut b = [0u8; 1];
+        let cycles = self.read(addr, &mut b)?;
+        Ok(ReadResult { value: b[0], cycles })
+    }
+
+    /// Writes a little-endian 32-bit word.
+    ///
+    /// # Errors
+    ///
+    /// As [`write`](Bus::write).
+    pub fn write_u32(&mut self, addr: u32, value: u32) -> Result<u64, MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Writes a little-endian 16-bit halfword.
+    ///
+    /// # Errors
+    ///
+    /// As [`write`](Bus::write).
+    pub fn write_u16(&mut self, addr: u32, value: u16) -> Result<u64, MemError> {
+        self.write(addr, &value.to_le_bytes())
+    }
+
+    /// Writes one byte.
+    ///
+    /// # Errors
+    ///
+    /// As [`write`](Bus::write).
+    pub fn write_u8(&mut self, addr: u32, value: u8) -> Result<u64, MemError> {
+        self.write(addr, &[value])
+    }
+
+    /// Loader back-door: installs `data` at `addr` bypassing ROM write
+    /// protection and consuming no simulated time.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`] / [`MemError::OutOfBounds`].
+    pub fn load_image(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
+        let (idx, offset) = self.route(addr, data.len())?;
+        let m = &mut self.regions[idx];
+        m.device.poke(offset, data).map_err(|e| rebase(e, m.info.base))
+    }
+
+    /// Downcasts the device in `id`'s region to a concrete type, for
+    /// peripherals that expose host-side state (see
+    /// [`BusDevice::as_any`]). Returns `None` when the device does not
+    /// opt in or the type does not match.
+    pub fn device_as<T: 'static>(&self, id: RegionId) -> Option<&T> {
+        self.regions[id.0].device.as_any()?.downcast_ref::<T>()
+    }
+
+    /// Timing-free read for debuggers and golden-test checks.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`] / [`MemError::OutOfBounds`].
+    pub fn peek(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), MemError> {
+        let (idx, offset) = self.route(addr, buf.len())?;
+        let m = &mut self.regions[idx];
+        m.device.read(offset, buf).map_err(|e| rebase(e, m.info.base))?;
+        m.device.reset_timing();
+        Ok(())
+    }
+}
+
+/// Converts a device-relative fault address into an absolute one.
+fn rebase(e: MemError, base: u32) -> MemError {
+    match e {
+        MemError::OutOfBounds { addr, len } => MemError::OutOfBounds { addr: base + addr, len },
+        MemError::ReadOnly { addr } => MemError::ReadOnly { addr: base + addr },
+        MemError::Misaligned { addr, required } => {
+            MemError::Misaligned { addr: base + addr, required }
+        }
+        MemError::Unmapped { addr } => MemError::Unmapped { addr: base + addr },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::flash::{SpiFlash, SpiWidth};
+    use crate::sram::Sram;
+
+    fn demo_bus() -> Bus {
+        let mut bus = Bus::new();
+        bus.map("rom", 0x0000_0000, SpiFlash::new(4096, SpiWidth::Single));
+        bus.map("sram", 0x1000_0000, Sram::new(1024));
+        bus
+    }
+
+    #[test]
+    fn routes_to_correct_device() {
+        let mut bus = demo_bus();
+        bus.write_u32(0x1000_0004, 7).unwrap();
+        assert_eq!(bus.read_u32(0x1000_0004).unwrap().value, 7);
+        let (_, info) = bus.region_of(0x1000_0004).unwrap();
+        assert_eq!(info.name, "sram");
+    }
+
+    #[test]
+    fn unmapped_hole_faults() {
+        let mut bus = demo_bus();
+        assert_eq!(bus.read_u32(0x2000_0000), Err(MemError::Unmapped { addr: 0x2000_0000 }));
+    }
+
+    #[test]
+    fn rom_write_fault_is_absolute() {
+        let mut bus = demo_bus();
+        assert_eq!(bus.write_u8(0x0000_0010, 1), Err(MemError::ReadOnly { addr: 0x10 }));
+    }
+
+    #[test]
+    fn access_straddling_region_end_faults() {
+        let mut bus = demo_bus();
+        assert!(matches!(
+            bus.read_u32(0x1000_0000 + 1022),
+            Err(MemError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "overlaps")]
+    fn overlapping_map_panics() {
+        let mut bus = demo_bus();
+        bus.map("bad", 0x0000_0800, Sram::new(8192));
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut bus = demo_bus();
+        let (sram, _) = bus.region_by_name("sram").unwrap();
+        bus.write_u32(0x1000_0000, 1).unwrap();
+        bus.read_u32(0x1000_0000).unwrap();
+        bus.read_u32(0x1000_0000).unwrap();
+        let s = bus.stats(sram);
+        assert_eq!(s.reads, 2);
+        assert_eq!(s.writes, 1);
+        assert_eq!(s.bytes_read, 8);
+        assert!(s.total_cycles() >= 3);
+        bus.reset_stats();
+        assert_eq!(bus.stats(sram), DeviceStats::default());
+    }
+
+    #[test]
+    fn load_image_bypasses_rom_protection() {
+        let mut bus = demo_bus();
+        bus.load_image(0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(bus.read_u32(0).unwrap().value, u32::from_le_bytes([1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn peek_does_not_change_stats() {
+        let mut bus = demo_bus();
+        let (rom, _) = bus.region_by_name("rom").unwrap();
+        let mut b = [0u8; 4];
+        bus.peek(0, &mut b).unwrap();
+        // peek routes through the device but stats shouldn't count it... it
+        // does touch the device read path; assert only that reads counter is
+        // untouched by design (stats recorded in Bus::read, not device).
+        assert_eq!(bus.stats(rom).reads, 0);
+    }
+
+    #[test]
+    fn regions_iteration() {
+        let bus = demo_bus();
+        let names: Vec<_> = bus.regions().map(|(_, i)| i.name.clone()).collect();
+        assert_eq!(names, ["rom", "sram"]);
+    }
+}

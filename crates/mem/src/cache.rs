@@ -1,0 +1,316 @@
+//! Set-associative cache model (VexRiscv-style I/D caches).
+
+/// Geometry of a cache.
+///
+/// VexRiscv caches are configured by total size, way count and 32-byte
+/// lines; the paper's KWS study trades SoC features for a *larger I-cache*
+/// (`Larger Icache`, 8.3× cumulative) — in this model that is just a bigger
+/// [`size_bytes`](CacheConfig::size_bytes).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CacheConfig {
+    /// Total capacity in bytes.
+    pub size_bytes: u32,
+    /// Associativity (1 = direct mapped).
+    pub ways: u32,
+    /// Line size in bytes (power of two).
+    pub line_bytes: u32,
+}
+
+impl CacheConfig {
+    /// A VexRiscv-ish default: 4 KiB, 1 way, 32-byte lines.
+    pub fn vexriscv_default() -> Self {
+        CacheConfig { size_bytes: 4096, ways: 1, line_bytes: 32 }
+    }
+
+    /// Number of sets implied by the geometry.
+    pub fn sets(&self) -> u32 {
+        self.size_bytes / (self.ways * self.line_bytes)
+    }
+
+    /// Validates the geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first violated constraint.
+    pub fn validate(&self) -> Result<(), String> {
+        if !self.line_bytes.is_power_of_two() || self.line_bytes < 4 {
+            return Err(format!("line size {} must be a power of two >= 4", self.line_bytes));
+        }
+        if self.ways == 0 {
+            return Err("cache must have at least one way".to_owned());
+        }
+        if self.size_bytes == 0 || self.size_bytes % (self.ways * self.line_bytes) != 0 {
+            return Err(format!(
+                "size {} not divisible by ways*line ({}*{})",
+                self.size_bytes, self.ways, self.line_bytes
+            ));
+        }
+        if !self.sets().is_power_of_two() {
+            return Err(format!("set count {} must be a power of two", self.sets()));
+        }
+        Ok(())
+    }
+}
+
+/// Hit/miss/eviction counters for one cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups that hit.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Misses that displaced a valid line.
+    pub evictions: u64,
+}
+
+impl CacheStats {
+    /// Total number of lookups.
+    pub fn accesses(&self) -> u64 {
+        self.hits + self.misses
+    }
+
+    /// Hit rate in `[0, 1]`; 1.0 for an untouched cache.
+    pub fn hit_rate(&self) -> f64 {
+        if self.accesses() == 0 {
+            1.0
+        } else {
+            self.hits as f64 / self.accesses() as f64
+        }
+    }
+}
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Line {
+    tag: u32,
+    valid: bool,
+    /// Higher = more recently used.
+    lru: u64,
+}
+
+/// A set-associative, write-through, no-write-allocate cache with LRU
+/// replacement — the VexRiscv data-cache policy. The cache tracks only
+/// tags (contents live in the backing device), which is all the timing
+/// model needs.
+///
+/// # Example
+///
+/// ```
+/// use cfu_mem::{Cache, CacheConfig};
+/// let mut c = Cache::new(CacheConfig { size_bytes: 1024, ways: 2, line_bytes: 32 });
+/// assert!(!c.lookup(0x100));  // cold miss
+/// c.fill(0x100);
+/// assert!(c.lookup(0x104));   // same line hits
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cache {
+    config: CacheConfig,
+    lines: Vec<Line>,
+    stats: CacheStats,
+    tick: u64,
+}
+
+impl Cache {
+    /// Creates an empty cache.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is invalid (see [`CacheConfig::validate`]).
+    pub fn new(config: CacheConfig) -> Self {
+        if let Err(msg) = config.validate() {
+            panic!("invalid cache config: {msg}");
+        }
+        let total_lines = (config.sets() * config.ways) as usize;
+        Cache { config, lines: vec![Line::default(); total_lines], stats: CacheStats::default(), tick: 0 }
+    }
+
+    /// The cache geometry.
+    pub fn config(&self) -> CacheConfig {
+        self.config
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> CacheStats {
+        self.stats
+    }
+
+    /// Clears statistics but keeps contents.
+    pub fn reset_stats(&mut self) {
+        self.stats = CacheStats::default();
+    }
+
+    /// Invalidates all lines and clears statistics.
+    pub fn flush(&mut self) {
+        self.lines.fill(Line::default());
+        self.stats = CacheStats::default();
+        self.tick = 0;
+    }
+
+    fn set_index(&self, addr: u32) -> usize {
+        ((addr / self.config.line_bytes) & (self.config.sets() - 1)) as usize
+    }
+
+    fn tag(&self, addr: u32) -> u32 {
+        addr / self.config.line_bytes / self.config.sets()
+    }
+
+    fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
+        let ways = self.config.ways as usize;
+        let start = self.set_index(addr) * ways;
+        start..start + ways
+    }
+
+    /// Looks up `addr`, updating LRU and statistics. Returns `true` on hit.
+    pub fn lookup(&mut self, addr: u32) -> bool {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        let tick = self.tick;
+        for line in &mut self.lines[range] {
+            if line.valid && line.tag == tag {
+                line.lru = tick;
+                self.stats.hits += 1;
+                return true;
+            }
+        }
+        self.stats.misses += 1;
+        false
+    }
+
+    /// Peeks whether `addr` is resident without touching LRU or stats.
+    pub fn contains(&self, addr: u32) -> bool {
+        let tag = self.tag(addr);
+        self.lines[self.set_range(addr)].iter().any(|l| l.valid && l.tag == tag)
+    }
+
+    /// Installs the line containing `addr`, evicting the LRU way if needed.
+    /// Returns the evicted line's base address, if a valid line was displaced.
+    pub fn fill(&mut self, addr: u32) -> Option<u32> {
+        self.tick += 1;
+        let tag = self.tag(addr);
+        let set = self.set_index(addr) as u32;
+        let range = self.set_range(addr);
+        let tick = self.tick;
+        let lines = &mut self.lines[range];
+        // Already resident (e.g. racing prefetch): just touch it.
+        if let Some(line) = lines.iter_mut().find(|l| l.valid && l.tag == tag) {
+            line.lru = tick;
+            return None;
+        }
+        let victim = lines
+            .iter_mut()
+            .min_by_key(|l| if l.valid { l.lru } else { 0 })
+            .expect("cache sets are non-empty");
+        let evicted = victim.valid.then(|| {
+            self.stats.evictions += 1;
+            (victim.tag * self.config.sets() + set) * self.config.line_bytes
+        });
+        *victim = Line { tag, valid: true, lru: tick };
+        evicted
+    }
+
+    /// Convenience: lookup, and on miss, fill. Returns `true` on hit.
+    pub fn access(&mut self, addr: u32) -> bool {
+        let hit = self.lookup(addr);
+        if !hit {
+            self.fill(addr);
+        }
+        hit
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(size: u32, ways: u32) -> CacheConfig {
+        CacheConfig { size_bytes: size, ways, line_bytes: 32 }
+    }
+
+    #[test]
+    fn cold_miss_then_hit() {
+        let mut c = Cache::new(cfg(1024, 1));
+        assert!(!c.access(0x40));
+        assert!(c.access(0x40));
+        assert!(c.access(0x5C)); // same 32B line
+        assert_eq!(c.stats().hits, 2);
+        assert_eq!(c.stats().misses, 1);
+    }
+
+    #[test]
+    fn direct_mapped_conflict() {
+        let mut c = Cache::new(cfg(1024, 1)); // 32 sets
+        assert!(!c.access(0));
+        assert!(!c.access(1024)); // same set, different tag → evicts
+        assert!(!c.access(0)); // original is gone
+        assert_eq!(c.stats().evictions, 2);
+    }
+
+    #[test]
+    fn two_way_avoids_that_conflict() {
+        let mut c = Cache::new(cfg(1024, 2));
+        assert!(!c.access(0));
+        assert!(!c.access(1024));
+        assert!(c.access(0)); // still resident in the other way
+        assert!(c.access(1024));
+    }
+
+    #[test]
+    fn lru_evicts_least_recent() {
+        let mut c = Cache::new(cfg(64, 2)); // 1 set of 2 ways
+        c.access(0);
+        c.access(64);
+        c.access(0); // touch 0 → 64 is LRU
+        c.access(128); // evicts 64
+        assert!(c.contains(0));
+        assert!(!c.contains(64));
+        assert!(c.contains(128));
+    }
+
+    #[test]
+    fn eviction_returns_displaced_address() {
+        let mut c = Cache::new(cfg(64, 1));
+        c.fill(0x20);
+        // 64-byte direct-mapped, 2 sets of 32B: 0x20 is set 1; 0x60 also set 1.
+        assert_eq!(c.fill(0x60), Some(0x20));
+    }
+
+    #[test]
+    fn flush_clears_everything() {
+        let mut c = Cache::new(cfg(1024, 2));
+        c.access(0);
+        c.flush();
+        assert!(!c.contains(0));
+        assert_eq!(c.stats().accesses(), 0);
+    }
+
+    #[test]
+    fn invalid_geometry_panics() {
+        assert!(CacheConfig { size_bytes: 1000, ways: 1, line_bytes: 32 }.validate().is_err());
+        assert!(CacheConfig { size_bytes: 1024, ways: 0, line_bytes: 32 }.validate().is_err());
+        assert!(CacheConfig { size_bytes: 1024, ways: 1, line_bytes: 24 }.validate().is_err());
+        assert!(CacheConfig::vexriscv_default().validate().is_ok());
+    }
+
+    #[test]
+    fn hit_rate_on_untouched_cache_is_one() {
+        let c = Cache::new(CacheConfig::vexriscv_default());
+        assert_eq!(c.stats().hit_rate(), 1.0);
+    }
+
+    #[test]
+    fn larger_cache_has_better_hit_rate_on_strided_loop() {
+        // The "Larger Icache" ladder step in miniature: loop over 8 KiB of
+        // addresses; a 4 KiB cache thrashes, a 16 KiB cache holds it all.
+        let mut small = Cache::new(cfg(4096, 1));
+        let mut large = Cache::new(cfg(16384, 1));
+        for _pass in 0..4 {
+            for addr in (0..8192u32).step_by(32) {
+                small.access(addr);
+                large.access(addr);
+            }
+        }
+        assert!(large.stats().hit_rate() > small.stats().hit_rate());
+        // The large cache only cold-misses.
+        assert_eq!(large.stats().misses, 8192 / 32);
+    }
+}

@@ -1,0 +1,77 @@
+//! The device abstraction shared by all memory models.
+
+use std::fmt;
+
+use crate::error::MemError;
+
+/// Result of a timed read: the bytes were written into the caller's buffer,
+/// and the device reports how many cycles the access took.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadResult<T> {
+    /// The value read.
+    pub value: T,
+    /// Cycles the access occupied the device, per its timing model.
+    pub cycles: u64,
+}
+
+/// A memory-mapped storage or peripheral device with a timing model.
+///
+/// Offsets passed to devices are relative to the device's base address.
+/// `read`/`write` return the number of cycles the access takes; devices
+/// with bursty behaviour (XIP flash, DRAM) keep internal state (last
+/// address, open rows) to distinguish sequential from random accesses.
+pub trait BusDevice: fmt::Debug {
+    /// Size of the device's address window in bytes.
+    fn size(&self) -> u32;
+
+    /// Reads `buf.len()` bytes starting at `offset` and returns the access
+    /// latency in cycles.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError::OutOfBounds`] when the access runs past
+    /// [`size`](Self::size).
+    fn read(&mut self, offset: u32, buf: &mut [u8]) -> Result<u64, MemError>;
+
+    /// Writes `data` starting at `offset` and returns the access latency.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::ReadOnly`] for ROMs, [`MemError::OutOfBounds`] past the
+    /// end of the device.
+    fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError>;
+
+    /// `true` when the device rejects stores (flash/ROM).
+    fn is_rom(&self) -> bool {
+        false
+    }
+
+    /// Back-door write that bypasses write protection and timing — used by
+    /// loaders to install code/weights into ROM images.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] past the end of the device.
+    fn poke(&mut self, offset: u32, data: &[u8]) -> Result<(), MemError>;
+
+    /// Resets timing-related state (sequential-burst trackers, open rows)
+    /// without touching contents. Called between measured runs.
+    fn reset_timing(&mut self) {}
+
+    /// Downcast support for peripherals whose host-side state must be
+    /// inspected after a run (e.g. a UART's transmit buffer). Devices
+    /// that opt in return `self`.
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        None
+    }
+}
+
+/// Bounds-checks an access and returns the device-relative range.
+pub(crate) fn check_bounds(size: u32, offset: u32, len: usize) -> Result<(), MemError> {
+    let end = u64::from(offset) + len as u64;
+    if end > u64::from(size) {
+        Err(MemError::OutOfBounds { addr: offset, len })
+    } else {
+        Ok(())
+    }
+}

@@ -1,0 +1,73 @@
+//! Memory access errors.
+
+use std::fmt;
+
+/// Error produced by a bus or device access.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemError {
+    /// No device is mapped at the address.
+    Unmapped {
+        /// The faulting absolute address.
+        addr: u32,
+    },
+    /// The access ran past the end of the device it started in.
+    OutOfBounds {
+        /// The faulting absolute address.
+        addr: u32,
+        /// Length of the attempted access in bytes.
+        len: usize,
+    },
+    /// A write was attempted to a read-only device (flash/ROM).
+    ReadOnly {
+        /// The faulting absolute address.
+        addr: u32,
+    },
+    /// A naturally-aligned access was required but not provided.
+    Misaligned {
+        /// The faulting absolute address.
+        addr: u32,
+        /// Alignment that was required, in bytes.
+        required: u32,
+    },
+}
+
+impl MemError {
+    /// The absolute address of the faulting access.
+    pub fn addr(&self) -> u32 {
+        match *self {
+            MemError::Unmapped { addr }
+            | MemError::OutOfBounds { addr, .. }
+            | MemError::ReadOnly { addr }
+            | MemError::Misaligned { addr, .. } => addr,
+        }
+    }
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            MemError::Unmapped { addr } => write!(f, "no device mapped at 0x{addr:08x}"),
+            MemError::OutOfBounds { addr, len } => {
+                write!(f, "access of {len} bytes at 0x{addr:08x} runs past device end")
+            }
+            MemError::ReadOnly { addr } => write!(f, "write to read-only memory at 0x{addr:08x}"),
+            MemError::Misaligned { addr, required } => {
+                write!(f, "address 0x{addr:08x} not aligned to {required} bytes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_address() {
+        let e = MemError::Unmapped { addr: 0xDEAD_0000 };
+        assert!(e.to_string().contains("dead0000"));
+        assert_eq!(e.addr(), 0xDEAD_0000);
+    }
+}

@@ -1,0 +1,90 @@
+//! On-chip block-RAM model.
+
+use crate::device::{check_bounds, BusDevice};
+use crate::error::MemError;
+
+/// On-chip SRAM (FPGA block RAM): single-cycle access at any address.
+///
+/// Fomu's 128 kB "SPRAM" and the LiteX integrated SRAM both behave this
+/// way. The KWS case study moves hot kernels and model weights here from
+/// flash (`SRAM Ops and Model`, 7.84× cumulative speedup).
+#[derive(Debug, Clone)]
+pub struct Sram {
+    data: Vec<u8>,
+    access_cycles: u64,
+}
+
+impl Sram {
+    /// Creates a zeroed SRAM of `size` bytes with 1-cycle access.
+    pub fn new(size: u32) -> Self {
+        Sram { data: vec![0; size as usize], access_cycles: 1 }
+    }
+
+    /// Creates an SRAM with a non-default access latency (e.g. 2-cycle
+    /// registered BRAM outputs on slow corners).
+    pub fn with_latency(size: u32, access_cycles: u64) -> Self {
+        Sram { data: vec![0; size as usize], access_cycles }
+    }
+}
+
+impl BusDevice for Sram {
+    fn size(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    fn read(&mut self, offset: u32, buf: &mut [u8]) -> Result<u64, MemError> {
+        check_bounds(self.size(), offset, buf.len())?;
+        let n = buf.len();
+        buf.copy_from_slice(&self.data[offset as usize..offset as usize + n]);
+        // One access per 32-bit beat.
+        Ok(self.access_cycles * n.div_ceil(4) as u64)
+    }
+
+    fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError> {
+        check_bounds(self.size(), offset, data.len())?;
+        self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(self.access_cycles * data.len().div_ceil(4) as u64)
+    }
+
+    fn poke(&mut self, offset: u32, data: &[u8]) -> Result<(), MemError> {
+        check_bounds(self.size(), offset, data.len())?;
+        self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn read_write_roundtrip() {
+        let mut s = Sram::new(64);
+        s.write(8, &[1, 2, 3, 4]).unwrap();
+        let mut b = [0u8; 4];
+        let cycles = s.read(8, &mut b).unwrap();
+        assert_eq!(b, [1, 2, 3, 4]);
+        assert_eq!(cycles, 1);
+    }
+
+    #[test]
+    fn wide_access_counts_beats() {
+        let mut s = Sram::new(64);
+        let mut line = [0u8; 32];
+        assert_eq!(s.read(0, &mut line).unwrap(), 8);
+    }
+
+    #[test]
+    fn bounds() {
+        let mut s = Sram::new(8);
+        assert!(s.write(6, &[0; 4]).is_err());
+        assert!(s.write(4, &[0; 4]).is_ok());
+    }
+
+    #[test]
+    fn custom_latency() {
+        let mut s = Sram::with_latency(16, 2);
+        let mut b = [0u8; 4];
+        assert_eq!(s.read(0, &mut b).unwrap(), 2);
+    }
+}

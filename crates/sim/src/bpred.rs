@@ -1,0 +1,177 @@
+//! Branch-predictor models with real state.
+
+use crate::config::BranchPredictor;
+
+/// Outcome of consulting the predictor for one branch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Whether the predictor believed the branch would be taken.
+    pub taken: bool,
+    /// Whether the target was also predicted (BTB hit) — without it a
+    /// correctly-predicted taken branch still pays a 1-cycle redirect.
+    pub target_known: bool,
+}
+
+/// Stateful branch predictor, instantiated from a
+/// [`BranchPredictor`] configuration.
+///
+/// # Example
+///
+/// ```
+/// use cfu_sim::{BranchPredictor, PredictorState};
+/// let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 16 });
+/// // Train a loop-back branch: after two taken outcomes it predicts taken.
+/// p.update(0x100, true);
+/// p.update(0x100, true);
+/// assert!(p.predict(0x100, -4).taken);
+/// ```
+#[derive(Debug, Clone)]
+pub struct PredictorState {
+    kind: BranchPredictor,
+    /// 2-bit saturating counters (0..=3), indexed by PC.
+    counters: Vec<u8>,
+    /// Valid bits for the BTB (DynamicTarget only).
+    btb_valid: Vec<bool>,
+    hits: u64,
+    misses: u64,
+}
+
+impl PredictorState {
+    /// Creates predictor state for `kind`.
+    pub fn new(kind: BranchPredictor) -> Self {
+        let entries = match kind {
+            BranchPredictor::Dynamic { entries } | BranchPredictor::DynamicTarget { entries } => {
+                entries as usize
+            }
+            _ => 0,
+        };
+        PredictorState {
+            kind,
+            counters: vec![1; entries], // weakly not-taken
+            btb_valid: vec![false; entries],
+            hits: 0,
+            misses: 0,
+        }
+    }
+
+    /// The configuration this state was built from.
+    pub fn kind(&self) -> BranchPredictor {
+        self.kind
+    }
+
+    fn index(&self, pc: u32) -> usize {
+        ((pc >> 2) as usize) & (self.counters.len() - 1)
+    }
+
+    /// Predicts the branch at `pc` with signed `offset`.
+    pub fn predict(&self, pc: u32, offset: i32) -> Prediction {
+        match self.kind {
+            BranchPredictor::None => Prediction { taken: false, target_known: false },
+            BranchPredictor::Static => {
+                // Backward taken, forward not taken; target computed in
+                // decode, so a taken hit still redirects early (treat as
+                // known).
+                Prediction { taken: offset < 0, target_known: true }
+            }
+            BranchPredictor::Dynamic { .. } => {
+                let taken = self.counters[self.index(pc)] >= 2;
+                Prediction { taken, target_known: true }
+            }
+            BranchPredictor::DynamicTarget { .. } => {
+                let i = self.index(pc);
+                Prediction { taken: self.counters[i] >= 2, target_known: self.btb_valid[i] }
+            }
+        }
+    }
+
+    /// Records the actual outcome and returns whether the earlier
+    /// prediction (recomputed here) was correct.
+    pub fn update(&mut self, pc: u32, taken: bool) -> bool {
+        let predicted = self.predict(pc, if taken { -4 } else { 4 });
+        match self.kind {
+            BranchPredictor::None | BranchPredictor::Static => {}
+            BranchPredictor::Dynamic { .. } | BranchPredictor::DynamicTarget { .. } => {
+                let i = self.index(pc);
+                let c = &mut self.counters[i];
+                *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
+                if taken {
+                    self.btb_valid[i] = true;
+                }
+            }
+        }
+        let correct = predicted.taken == taken;
+        if correct {
+            self.hits += 1;
+        } else {
+            self.misses += 1;
+        }
+        correct
+    }
+
+    /// (correct, incorrect) prediction counts.
+    pub fn stats(&self) -> (u64, u64) {
+        (self.hits, self.misses)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_never_predicts_taken() {
+        let p = PredictorState::new(BranchPredictor::None);
+        assert!(!p.predict(0, -4).taken);
+        assert!(!p.predict(0, 4).taken);
+    }
+
+    #[test]
+    fn static_is_btfn() {
+        let p = PredictorState::new(BranchPredictor::Static);
+        assert!(p.predict(0, -4).taken);
+        assert!(!p.predict(0, 8).taken);
+    }
+
+    #[test]
+    fn dynamic_learns_bias() {
+        let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 16 });
+        assert!(!p.predict(0x40, -4).taken); // starts weakly not-taken
+        p.update(0x40, true);
+        p.update(0x40, true);
+        assert!(p.predict(0x40, -4).taken);
+        p.update(0x40, false);
+        p.update(0x40, false);
+        p.update(0x40, false);
+        assert!(!p.predict(0x40, -4).taken);
+    }
+
+    #[test]
+    fn dynamic_target_learns_targets() {
+        let mut p = PredictorState::new(BranchPredictor::DynamicTarget { entries: 16 });
+        assert!(!p.predict(0x80, -4).target_known);
+        p.update(0x80, true);
+        assert!(p.predict(0x80, -4).target_known);
+    }
+
+    #[test]
+    fn aliasing_uses_modulo_indexing() {
+        let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 4 });
+        // pc 0x0 and pc 0x10 alias in a 4-entry table (index = pc>>2 & 3).
+        p.update(0x0, true);
+        p.update(0x0, true);
+        assert!(p.predict(0x10, -4).taken);
+    }
+
+    #[test]
+    fn accuracy_on_loop_pattern() {
+        // A 100-iteration loop: dynamic predictor should be right ~99%.
+        let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 64 });
+        for _ in 0..3 {
+            for i in 0..100 {
+                p.update(0x200, i != 99);
+            }
+        }
+        let (hits, misses) = p.stats();
+        assert!(hits > 290, "hits={hits} misses={misses}");
+    }
+}

@@ -1,0 +1,224 @@
+//! First-order energy estimation — the paper's stated future work
+//! ("future work involves studying the optimization space for power and
+//! energy efficiency"), implemented here as an extension.
+//!
+//! The model is the standard event-energy decomposition used in
+//! architecture studies: each class of event (instruction issue, SRAM
+//! access, flash access, DRAM access, multiply, CFU op) carries a
+//! per-event dynamic energy, and leakage accrues per cycle in proportion
+//! to the design's logic-cell count. Constants approximate published
+//! iCE40UP (sub-mW) and Artix-7 class numbers at their typical clocks;
+//! as with the timing model, *relative* comparisons between designs are
+//! the meaningful output.
+
+use cfu_core::Resources;
+
+use crate::config::CpuConfig;
+use crate::timed_core::TlmStats;
+
+/// Per-event dynamic energies and leakage, in picojoules.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyParams {
+    /// Base energy per issued instruction (fetch+decode+ALU).
+    pub per_instruction_pj: f64,
+    /// Per data load/store (cache/SRAM path).
+    pub per_mem_access_pj: f64,
+    /// Extra energy per flash (XIP) cycle — serial I/O is expensive.
+    pub per_flash_cycle_pj: f64,
+    /// Extra energy per DRAM cycle.
+    pub per_dram_cycle_pj: f64,
+    /// Per hardware multiply.
+    pub per_mul_pj: f64,
+    /// Per CFU operation (datapath toggle).
+    pub per_cfu_op_pj: f64,
+    /// Leakage + clock-tree power per cycle per 1000 LUTs.
+    pub static_pj_per_cycle_per_klut: f64,
+}
+
+impl EnergyParams {
+    /// iCE40UP5k-class low-power FPGA (Fomu): tiny dynamic energies,
+    /// very low leakage.
+    pub fn ice40() -> Self {
+        EnergyParams {
+            per_instruction_pj: 8.0,
+            per_mem_access_pj: 6.0,
+            per_flash_cycle_pj: 20.0,
+            per_dram_cycle_pj: 0.0, // no DRAM on Fomu
+            per_mul_pj: 10.0,
+            per_cfu_op_pj: 9.0,
+            static_pj_per_cycle_per_klut: 1.5,
+        }
+    }
+
+    /// Artix-7-class FPGA (Arty): faster, hungrier.
+    pub fn artix7() -> Self {
+        EnergyParams {
+            per_instruction_pj: 35.0,
+            per_mem_access_pj: 25.0,
+            per_flash_cycle_pj: 30.0,
+            per_dram_cycle_pj: 90.0,
+            per_mul_pj: 40.0,
+            per_cfu_op_pj: 30.0,
+            static_pj_per_cycle_per_klut: 8.0,
+        }
+    }
+}
+
+/// An energy estimate for one measured run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnergyEstimate {
+    /// Dynamic (activity-proportional) energy in microjoules.
+    pub dynamic_uj: f64,
+    /// Static (leakage/clock) energy in microjoules.
+    pub static_uj: f64,
+}
+
+impl EnergyEstimate {
+    /// Total energy in microjoules.
+    pub fn total_uj(&self) -> f64 {
+        self.dynamic_uj + self.static_uj
+    }
+
+    /// Average power in milliwatts at the given clock.
+    pub fn average_mw(&self, cycles: u64, clock_hz: u64) -> f64 {
+        if cycles == 0 {
+            return 0.0;
+        }
+        let seconds = cycles as f64 / clock_hz as f64;
+        self.total_uj() / 1e3 / seconds
+    }
+}
+
+/// Estimates the energy of a run from its statistics, the design's
+/// resource bill, and per-event energies.
+///
+/// `flash_cycles`/`dram_cycles` come from the bus's per-device stats
+/// (see [`cfu_mem::Bus::stats`]); pass 0 when the board has no such
+/// device.
+pub fn estimate(
+    stats: &TlmStats,
+    design: Resources,
+    params: &EnergyParams,
+    flash_cycles: u64,
+    dram_cycles: u64,
+) -> EnergyEstimate {
+    let dynamic_pj = stats.instructions as f64 * params.per_instruction_pj
+        + (stats.loads + stats.stores) as f64 * params.per_mem_access_pj
+        + flash_cycles as f64 * params.per_flash_cycle_pj
+        + dram_cycles as f64 * params.per_dram_cycle_pj
+        + stats.muls as f64 * params.per_mul_pj
+        + stats.cfu_ops as f64 * params.per_cfu_op_pj;
+    let kluts = f64::from(design.luts) / 1000.0;
+    let static_pj = stats.cycles as f64 * params.static_pj_per_cycle_per_klut * kluts;
+    EnergyEstimate { dynamic_uj: dynamic_pj / 1e6, static_uj: static_pj / 1e6 }
+}
+
+/// Convenience: energy of a [`crate::TimedCore`] run on a named board
+/// class, reading flash/DRAM traffic off its bus.
+pub fn estimate_core(
+    core: &crate::TimedCore,
+    design: Resources,
+    params: &EnergyParams,
+) -> EnergyEstimate {
+    let mut flash_cycles = 0;
+    let mut dram_cycles = 0;
+    for (id, info) in core.bus().regions() {
+        let s = core.bus().stats(id);
+        match info.name.as_str() {
+            "rom" | "spiflash" | "flash" => flash_cycles += s.total_cycles(),
+            "main_ram" => dram_cycles += s.total_cycles(),
+            _ => {}
+        }
+    }
+    estimate(&core.stats(), design, params, flash_cycles, dram_cycles)
+}
+
+/// Energy-delay product in microjoule-seconds — the co-design metric a
+/// power-aware DSE would hand to Vizier.
+pub fn energy_delay_product(estimate: &EnergyEstimate, cycles: u64, clock_hz: u64) -> f64 {
+    estimate.total_uj() * (cycles as f64 / clock_hz as f64)
+}
+
+/// A convenience that pairs a CPU configuration with the board-class
+/// energy parameters its preset targets.
+pub fn default_params_for(config: &CpuConfig) -> EnergyParams {
+    // Heuristic: cache-less tiny configurations target iCE40-class parts.
+    if config.icache.is_none() && config.dcache.is_none() {
+        EnergyParams::ice40()
+    } else {
+        EnergyParams::artix7()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(instructions: u64, cycles: u64) -> TlmStats {
+        TlmStats { instructions, cycles, loads: instructions / 4, ..TlmStats::default() }
+    }
+
+    #[test]
+    fn more_activity_costs_more_energy() {
+        let p = EnergyParams::ice40();
+        let small = estimate(&stats(1000, 2000), Resources::luts(5000), &p, 0, 0);
+        let big = estimate(&stats(10_000, 20_000), Resources::luts(5000), &p, 0, 0);
+        assert!(big.total_uj() > 5.0 * small.total_uj());
+    }
+
+    #[test]
+    fn bigger_designs_leak_more() {
+        let p = EnergyParams::artix7();
+        let s = stats(1000, 5000);
+        let small = estimate(&s, Resources::luts(2000), &p, 0, 0);
+        let big = estimate(&s, Resources::luts(20_000), &p, 0, 0);
+        assert_eq!(small.dynamic_uj, big.dynamic_uj);
+        assert!(big.static_uj > 9.0 * small.static_uj);
+    }
+
+    #[test]
+    fn flash_traffic_dominates_xip_designs() {
+        let p = EnergyParams::ice40();
+        let s = stats(1000, 100_000);
+        let xip = estimate(&s, Resources::luts(5000), &p, 90_000, 0);
+        let sram = estimate(&s, Resources::luts(5000), &p, 0, 0);
+        assert!(xip.dynamic_uj > 5.0 * sram.dynamic_uj);
+    }
+
+    #[test]
+    fn average_power_is_sane_for_fomu_class() {
+        // ~1 second at 12 MHz on a 5k-LUT iCE40 should land in the
+        // single-digit-milliwatt range.
+        let p = EnergyParams::ice40();
+        let s = TlmStats {
+            instructions: 6_000_000,
+            cycles: 12_000_000,
+            loads: 2_000_000,
+            stores: 500_000,
+            muls: 500_000,
+            ..TlmStats::default()
+        };
+        let e = estimate(&s, Resources::luts(5000), &p, 1_000_000, 0);
+        let mw = e.average_mw(s.cycles, 12_000_000);
+        assert!((0.05..20.0).contains(&mw), "{mw} mW");
+    }
+
+    #[test]
+    fn edp_combines_energy_and_time() {
+        let e = EnergyEstimate { dynamic_uj: 10.0, static_uj: 5.0 };
+        let edp = energy_delay_product(&e, 12_000_000, 12_000_000);
+        assert!((edp - 15.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn default_params_pick_board_class() {
+        assert_eq!(
+            default_params_for(&CpuConfig::fomu_baseline()),
+            EnergyParams::ice40()
+        );
+        assert_eq!(
+            default_params_for(&CpuConfig::arty_default()),
+            EnergyParams::artix7()
+        );
+    }
+}

@@ -1,0 +1,642 @@
+//! The transaction-level execution path (`TimedCore`).
+//!
+//! Running a whole TFLite-Micro inference through the instruction-set
+//! simulator would require porting the entire runtime to RISC-V. Instead,
+//! kernels written in Rust drive this *transaction-level model*: every
+//! abstract operation they perform (instruction fetch, load, store,
+//! multiply, branch, CFU op) is charged through **the same cache, memory
+//! and latency models** the ISS uses. Cycle totals therefore respond to
+//! the same knobs — SPI width, cache geometry, multiplier choice, CFU
+//! design — which is what the paper's deploy→profile→optimize loop
+//! measures. ISS-vs-TLM agreement is validated on microkernels in the
+//! integration tests.
+
+use std::collections::VecDeque;
+use std::fmt;
+
+use cfu_core::{Cfu, CfuError, CfuOp, NullCfu};
+use cfu_mem::{Bus, Cache, MemError};
+
+use crate::bpred::PredictorState;
+use crate::config::CpuConfig;
+use crate::cpu::UNCACHED_BASE;
+
+/// Depth of the store write buffer (matches the ISS).
+const WRITE_BUFFER_DEPTH: usize = 4;
+
+/// Statistics accumulated by a [`TimedCore`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TlmStats {
+    /// Abstract instructions charged (each pays a fetch).
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Data loads.
+    pub loads: u64,
+    /// Data stores.
+    pub stores: u64,
+    /// Multiplies.
+    pub muls: u64,
+    /// Divides.
+    pub divs: u64,
+    /// Branches.
+    pub branches: u64,
+    /// Mispredicted branches.
+    pub mispredicts: u64,
+    /// CFU operations.
+    pub cfu_ops: u64,
+}
+
+/// Transaction-level CPU model sharing the ISS's timing machinery.
+///
+/// Kernels call the typed operations; the core charges cycles through the
+/// configured caches, bus devices, and functional-unit latencies. A
+/// synthetic program counter walks the kernel's declared *code region* so
+/// instruction-fetch traffic (XIP flash! I-cache capacity!) is modelled
+/// faithfully — this is what makes the Fomu ladder's `QuadSPI`,
+/// `SRAM Ops` and `Larger Icache` steps measurable.
+///
+/// # Example
+///
+/// ```
+/// use cfu_mem::{Bus, Sram};
+/// use cfu_sim::{CpuConfig, TimedCore};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let mut bus = Bus::new();
+/// bus.map("sram", 0, Sram::new(4096));
+/// let mut core = TimedCore::new(CpuConfig::arty_default(), bus);
+/// core.set_code_region(0x100, 256)?;
+/// core.store_u32(0, 7)?;
+/// assert_eq!(core.load_u32(0)?, 7);
+/// assert!(core.cycles() > 0);
+/// # Ok(())
+/// # }
+/// ```
+pub struct TimedCore {
+    config: CpuConfig,
+    bus: Bus,
+    icache: Option<Cache>,
+    dcache: Option<Cache>,
+    bpred: PredictorState,
+    cfu: Box<dyn Cfu>,
+    stats: TlmStats,
+    code_base: u32,
+    code_len: u32,
+    code_pc: u32,
+    /// Start of the active inner-loop window within the code region.
+    window_base: u32,
+    /// Fetches issued since the window last moved.
+    window_fetches: u32,
+    write_buffer: VecDeque<u64>,
+}
+
+/// Size of the active inner-loop window: kernels spend their time in
+/// small loops, not sweeping their whole footprint linearly.
+const CODE_WINDOW: u32 = 256;
+/// Fetches before the active window advances (≈ 8 passes over the
+/// window: inner loops re-execute, then control moves on).
+const WINDOW_DWELL: u32 = 8 * (CODE_WINDOW / 4);
+
+impl fmt::Debug for TimedCore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("TimedCore")
+            .field("cycles", &self.stats.cycles)
+            .field("cfu", &self.cfu.name())
+            .finish_non_exhaustive()
+    }
+}
+
+impl TimedCore {
+    /// Creates a core with no CFU.
+    pub fn new(config: CpuConfig, bus: Bus) -> Self {
+        TimedCore::with_cfu(config, bus, NullCfu)
+    }
+
+    /// Creates a core with a CFU attached to the custom-0 port.
+    pub fn with_cfu(config: CpuConfig, bus: Bus, cfu: impl Cfu + 'static) -> Self {
+        TimedCore {
+            config,
+            bus,
+            icache: config.icache.map(Cache::new),
+            dcache: config.dcache.map(Cache::new),
+            bpred: PredictorState::new(config.branch_predictor),
+            cfu: Box::new(cfu),
+            stats: TlmStats::default(),
+            code_base: 0,
+            code_len: 0,
+            code_pc: 0,
+            window_base: 0,
+            window_fetches: 0,
+            write_buffer: VecDeque::new(),
+        }
+    }
+
+    /// The CPU configuration.
+    pub fn config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    /// Total cycles so far.
+    pub fn cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> TlmStats {
+        self.stats
+    }
+
+    /// Shared bus access.
+    pub fn bus(&self) -> &Bus {
+        &self.bus
+    }
+
+    /// Mutable bus access (loading tensors, reading results — use the
+    /// timing-free [`Bus::load_image`]/[`Bus::peek`] for that).
+    pub fn bus_mut(&mut self) -> &mut Bus {
+        &mut self.bus
+    }
+
+    /// The attached CFU (hardware model).
+    pub fn cfu_mut(&mut self) -> &mut dyn Cfu {
+        self.cfu.as_mut()
+    }
+
+    /// Swaps the CFU (e.g. hardware model ↔ software emulation).
+    pub fn set_cfu(&mut self, cfu: impl Cfu + 'static) {
+        self.cfu = Box::new(cfu);
+    }
+
+    /// I-cache statistics, if configured.
+    pub fn icache_stats(&self) -> Option<cfu_mem::CacheStats> {
+        self.icache.as_ref().map(|c| c.stats())
+    }
+
+    /// D-cache statistics, if configured.
+    pub fn dcache_stats(&self) -> Option<cfu_mem::CacheStats> {
+        self.dcache.as_ref().map(|c| c.stats())
+    }
+
+    /// Declares the code region the currently-running kernel occupies:
+    /// every charged instruction fetches from a synthetic PC walking
+    /// `[base, base + len)`. Moving this region between flash and SRAM is
+    /// the `SRAM Ops` ladder step.
+    ///
+    /// # Errors
+    ///
+    /// Fails if the region is not mapped on the bus.
+    pub fn set_code_region(&mut self, base: u32, len: u32) -> Result<(), MemError> {
+        self.bus.region_of(base).ok_or(MemError::Unmapped { addr: base })?;
+        self.code_base = base;
+        self.code_len = len.max(4);
+        self.code_pc = base;
+        self.window_base = base;
+        self.window_fetches = 0;
+        Ok(())
+    }
+
+    fn charge(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Charges one instruction fetch at the synthetic PC.
+    ///
+    /// The PC loops inside a [`CODE_WINDOW`]-byte inner-loop window and
+    /// the window slides through the kernel's footprint every
+    /// [`WINDOW_DWELL`] fetches — matching real kernels, which re-execute
+    /// small loops rather than sweeping their whole `.text` linearly.
+    fn fetch(&mut self) -> Result<(), MemError> {
+        self.stats.instructions += 1;
+        let pc = self.code_pc;
+        // RVC code is ~70% 16-bit parcels: 3 bytes per instruction on
+        // average, which is what the fetch stream actually pulls.
+        let step = if self.config.compressed { 3 } else { 4 };
+        self.code_pc += step;
+        let window_len = CODE_WINDOW.min(self.code_len);
+        if self.code_pc >= (self.window_base + window_len).min(self.code_base + self.code_len) {
+            self.code_pc = self.window_base;
+        }
+        self.window_fetches += 1;
+        if self.window_fetches >= WINDOW_DWELL {
+            self.window_fetches = 0;
+            self.window_base += window_len;
+            if self.window_base >= self.code_base + self.code_len {
+                self.window_base = self.code_base;
+            }
+            self.code_pc = self.window_base;
+        }
+        if self.code_len == 4 {
+            // No code region declared: assume an ideal 1-cycle fetch.
+            self.charge(1);
+            return Ok(());
+        }
+        match &mut self.icache {
+            Some(cache) if pc < UNCACHED_BASE => {
+                if cache.access(pc) {
+                    // Fetch overlaps execute when it hits; charged as part
+                    // of the consuming operation's base cycle.
+                } else {
+                    let line = cache.config().line_bytes;
+                    let mut buf = vec![0u8; line as usize];
+                    let cycles = self.bus.read(pc & !(line - 1), &mut buf)?;
+                    self.charge(cycles);
+                }
+            }
+            _ => {
+                // Uncached fetch over the wishbone: the full device
+                // latency is exposed (no stream buffer).
+                let mut buf = [0u8; 4];
+                let cycles = self.bus.read(pc, &mut buf[..step as usize])?;
+                self.charge(cycles);
+            }
+        }
+        Ok(())
+    }
+
+    /// Charges `n` plain single-cycle ALU instructions.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn alu(&mut self, n: u32) -> Result<(), MemError> {
+        for _ in 0..n {
+            self.fetch()?;
+            self.charge(1);
+        }
+        Ok(())
+    }
+
+    /// Charges one multiply instruction.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn mul(&mut self) -> Result<(), MemError> {
+        self.fetch()?;
+        self.stats.muls += 1;
+        self.charge(self.config.mul_cycles());
+        Ok(())
+    }
+
+    /// Charges one divide instruction.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn div(&mut self) -> Result<(), MemError> {
+        self.fetch()?;
+        self.stats.divs += 1;
+        self.charge(self.config.div_cycles());
+        Ok(())
+    }
+
+    /// Charges a shift by `shamt`.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn shift(&mut self, shamt: u32) -> Result<(), MemError> {
+        self.fetch()?;
+        self.charge(self.config.shift_cycles(shamt));
+        Ok(())
+    }
+
+    /// Charges a conditional branch at stable site `site` with outcome
+    /// `taken`, consulting the configured predictor.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn branch(&mut self, site: u32, taken: bool) -> Result<(), MemError> {
+        self.fetch()?;
+        self.stats.branches += 1;
+        self.charge(1);
+        let pc = site.wrapping_mul(4);
+        let prediction = self.bpred.predict(pc, if taken { -4 } else { 4 });
+        let correct = self.bpred.update(pc, taken);
+        if !correct {
+            self.stats.mispredicts += 1;
+            self.charge(self.config.refill_penalty());
+        } else if taken && !prediction.target_known {
+            self.charge(1);
+        }
+        Ok(())
+    }
+
+    /// Charges a function call/return pair plus `saved_regs` stack
+    /// save/restore stores+loads (prologue/epilogue overhead).
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from instruction fetch.
+    pub fn call(&mut self, saved_regs: u32) -> Result<(), MemError> {
+        // jal + jalr-ret redirects.
+        self.fetch()?;
+        self.charge(2);
+        self.fetch()?;
+        self.charge(1 + self.config.refill_penalty());
+        // Stack traffic is SRAM/stack-cached: approximate 2 cycles per reg.
+        self.alu(2 * saved_regs)
+    }
+
+    fn timed_read(&mut self, addr: u32, len: u32) -> Result<u32, MemError> {
+        self.fetch()?;
+        self.stats.loads += 1;
+        if addr >= UNCACHED_BASE || self.dcache.is_none() {
+            let mut buf = [0u8; 4];
+            let cycles = self.bus.read(addr, &mut buf[..len as usize])?;
+            self.charge(cycles);
+            return Ok(u32::from_le_bytes(buf));
+        }
+        let cache = self.dcache.as_mut().expect("checked above");
+        if cache.access(addr) {
+            self.charge(1);
+        } else {
+            let line = cache.config().line_bytes;
+            let mut buf = vec![0u8; line as usize];
+            let cycles = self.bus.read(addr & !(line - 1), &mut buf)?;
+            self.charge(1 + cycles);
+        }
+        let mut b = [0u8; 4];
+        self.bus.peek(addr, &mut b[..len as usize])?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    fn timed_write(&mut self, addr: u32, value: u32, len: u32) -> Result<(), MemError> {
+        self.fetch()?;
+        self.stats.stores += 1;
+        let bytes = value.to_le_bytes();
+        let device_cycles = self.bus.write(addr, &bytes[..len as usize])?;
+        if addr >= UNCACHED_BASE {
+            self.charge(device_cycles);
+            return Ok(());
+        }
+        let now = self.stats.cycles;
+        while let Some(&front) = self.write_buffer.front() {
+            if front <= now {
+                self.write_buffer.pop_front();
+            } else {
+                break;
+            }
+        }
+        if self.write_buffer.len() >= WRITE_BUFFER_DEPTH {
+            let front = self.write_buffer.pop_front().expect("nonempty");
+            self.charge(front - now);
+        }
+        let start = self.write_buffer.back().copied().unwrap_or(self.stats.cycles);
+        self.write_buffer.push_back(start.max(self.stats.cycles) + device_cycles);
+        self.charge(1);
+        Ok(())
+    }
+
+    /// Timed signed 8-bit load.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn load_i8(&mut self, addr: u32) -> Result<i8, MemError> {
+        Ok(self.timed_read(addr, 1)? as u8 as i8)
+    }
+
+    /// Timed unsigned 8-bit load.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn load_u8(&mut self, addr: u32) -> Result<u8, MemError> {
+        Ok(self.timed_read(addr, 1)? as u8)
+    }
+
+    /// Timed 32-bit load.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn load_u32(&mut self, addr: u32) -> Result<u32, MemError> {
+        self.timed_read(addr, 4)
+    }
+
+    /// Timed 32-bit signed load.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn load_i32(&mut self, addr: u32) -> Result<i32, MemError> {
+        Ok(self.timed_read(addr, 4)? as i32)
+    }
+
+    /// Timed 8-bit store.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults (including ROM writes).
+    pub fn store_u8(&mut self, addr: u32, value: u8) -> Result<(), MemError> {
+        self.timed_write(addr, u32::from(value), 1)
+    }
+
+    /// Timed 32-bit store.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults (including ROM writes).
+    pub fn store_u32(&mut self, addr: u32, value: u32) -> Result<(), MemError> {
+        self.timed_write(addr, value, 4)
+    }
+
+    /// Issues one CFU custom instruction, charging its response latency.
+    ///
+    /// # Errors
+    ///
+    /// [`CfuError`] from the CFU itself (bus faults cannot occur — the
+    /// fetch is charged against the code region, which was validated).
+    pub fn cfu(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<u32, CfuError> {
+        // Fetch can only fail if the code region was unmapped after
+        // set_code_region, which Bus does not allow.
+        self.fetch().expect("code region validated at set_code_region");
+        self.stats.cfu_ops += 1;
+        let resp = self.cfu.execute(op, rs1, rs2)?;
+        self.charge(u64::from(resp.latency));
+        Ok(resp.value)
+    }
+
+    /// Issues a CFU op *in the shadow of an in-flight CFU computation*
+    /// (a pipelined CFU with double-buffered storage): the functional
+    /// effect happens, but no cycles are charged because the CPU issues
+    /// it while the CFU's previous multi-cycle response is still being
+    /// produced. Used by the `Overlap input` ladder step.
+    ///
+    /// # Errors
+    ///
+    /// [`CfuError`] from the CFU.
+    pub fn cfu_hidden(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<u32, CfuError> {
+        self.stats.cfu_ops += 1;
+        Ok(self.cfu.execute(op, rs1, rs2)?.value)
+    }
+
+    /// Functional (uncharged) 32-bit read, for data movement whose timing
+    /// is hidden under concurrent CFU computation.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn peek_u32(&mut self, addr: u32) -> Result<u32, MemError> {
+        let mut b = [0u8; 4];
+        self.bus.peek(addr, &mut b)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// Resets cycle counters, cache stats, predictor state and bus stats
+    /// (not memory contents) — fresh measurement, warm data.
+    pub fn reset_stats(&mut self) {
+        self.stats = TlmStats::default();
+        self.bus.reset_stats();
+        if let Some(c) = &mut self.icache {
+            c.reset_stats();
+        }
+        if let Some(c) = &mut self.dcache {
+            c.reset_stats();
+        }
+        self.bpred = PredictorState::new(self.config.branch_predictor);
+        self.write_buffer.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfu_core::templates::SimdAddCfu;
+    use cfu_mem::{SpiFlash, SpiWidth, Sram};
+
+    fn bus_with_flash(width: SpiWidth) -> Bus {
+        let mut bus = Bus::new();
+        bus.map("flash", 0, SpiFlash::new(1 << 20, width));
+        bus.map("sram", 0x1000_0000, Sram::new(128 << 10));
+        bus
+    }
+
+    #[test]
+    fn loads_and_stores_roundtrip() {
+        let mut core = TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
+        core.set_code_region(0x1000_0000, 1024).unwrap();
+        core.store_u32(0x1000_4000, 0xCAFE_F00D).unwrap();
+        assert_eq!(core.load_u32(0x1000_4000).unwrap(), 0xCAFE_F00D);
+        core.store_u8(0x1000_4004, 0xAB).unwrap();
+        assert_eq!(core.load_u8(0x1000_4004).unwrap(), 0xAB);
+        assert_eq!(core.load_i8(0x1000_4004).unwrap(), -85);
+        assert_eq!(core.stats().loads, 3);
+        assert_eq!(core.stats().stores, 2);
+    }
+
+    #[test]
+    fn code_in_flash_is_slower_than_sram() {
+        // Same work, code region in XIP flash vs SRAM — the `SRAM Ops`
+        // ladder step.
+        let mut flash_core =
+            TimedCore::new(CpuConfig::fomu_baseline(), bus_with_flash(SpiWidth::Single));
+        flash_core.set_code_region(0, 2048).unwrap();
+        flash_core.alu(5000).unwrap();
+
+        let mut sram_core =
+            TimedCore::new(CpuConfig::fomu_baseline(), bus_with_flash(SpiWidth::Single));
+        sram_core.set_code_region(0x1000_0000, 2048).unwrap();
+        sram_core.alu(5000).unwrap();
+
+        assert!(
+            flash_core.cycles() > 5 * sram_core.cycles(),
+            "flash {} vs sram {}",
+            flash_core.cycles(),
+            sram_core.cycles()
+        );
+    }
+
+    #[test]
+    fn quad_spi_speeds_up_xip() {
+        let mut single =
+            TimedCore::new(CpuConfig::fomu_baseline(), bus_with_flash(SpiWidth::Single));
+        single.set_code_region(0, 4096).unwrap();
+        single.alu(3000).unwrap();
+        let mut quad = TimedCore::new(CpuConfig::fomu_baseline(), bus_with_flash(SpiWidth::Quad));
+        quad.set_code_region(0, 4096).unwrap();
+        quad.alu(3000).unwrap();
+        let ratio = single.cycles() as f64 / quad.cycles() as f64;
+        assert!(ratio > 2.0, "QuadSPI speedup only {ratio:.2}x");
+    }
+
+    #[test]
+    fn icache_captures_small_kernels() {
+        // 1 KiB kernel, 2 KiB icache: after the first pass everything hits.
+        let mut core =
+            TimedCore::new(CpuConfig::fomu_with_icache(2048), bus_with_flash(SpiWidth::Single));
+        core.set_code_region(0, 1024).unwrap();
+        core.alu(256).unwrap(); // first pass: cold misses
+        let cold = core.cycles();
+        core.alu(256).unwrap(); // second pass: all hits
+        let warm = core.cycles() - cold;
+        assert!(warm * 5 < cold, "cold {cold} warm {warm}");
+    }
+
+    #[test]
+    fn branch_costs_depend_on_predictor() {
+        let mut none = TimedCore::new(
+            CpuConfig {
+                branch_predictor: crate::config::BranchPredictor::None,
+                ..CpuConfig::arty_default()
+            },
+            bus_with_flash(SpiWidth::Quad),
+        );
+        none.set_code_region(0x1000_0000, 256).unwrap();
+        let mut dynamic =
+            TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
+        dynamic.set_code_region(0x1000_0000, 256).unwrap();
+        for core in [&mut none, &mut dynamic] {
+            for i in 0..1000 {
+                core.branch(7, i % 100 != 99).unwrap();
+            }
+        }
+        assert!(none.cycles() > dynamic.cycles() + 1000);
+        assert!(dynamic.stats().mispredicts < 50);
+    }
+
+    #[test]
+    fn cfu_latency_charged() {
+        let mut core = TimedCore::with_cfu(
+            CpuConfig::arty_default(),
+            bus_with_flash(SpiWidth::Quad),
+            SimdAddCfu::new(),
+        );
+        core.set_code_region(0x1000_0000, 256).unwrap();
+        let before = core.cycles();
+        let v = core.cfu(CfuOp::new(0, 0), 0x01010101, 0x02020202).unwrap();
+        assert_eq!(v, 0x03030303);
+        assert!(core.cycles() > before);
+        assert_eq!(core.stats().cfu_ops, 1);
+    }
+
+    #[test]
+    fn mul_cost_follows_config() {
+        let mut fast = TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
+        fast.set_code_region(0x1000_0000, 64).unwrap();
+        let mut slow = TimedCore::new(
+            CpuConfig::arty_default().with_multiplier(crate::config::Multiplier::Iterative),
+            bus_with_flash(SpiWidth::Quad),
+        );
+        slow.set_code_region(0x1000_0000, 64).unwrap();
+        for core in [&mut fast, &mut slow] {
+            for _ in 0..100 {
+                core.mul().unwrap();
+            }
+        }
+        assert!(slow.cycles() > fast.cycles() + 100 * 30);
+    }
+
+    #[test]
+    fn reset_stats_keeps_memory() {
+        let mut core = TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
+        core.set_code_region(0x1000_0000, 64).unwrap();
+        core.store_u32(0x1000_2000, 99).unwrap();
+        core.reset_stats();
+        assert_eq!(core.cycles(), 0);
+        assert_eq!(core.load_u32(0x1000_2000).unwrap(), 99);
+    }
+}

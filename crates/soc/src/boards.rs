@@ -1,0 +1,247 @@
+//! Board descriptions (the LiteX boards library stand-in).
+
+use cfu_core::Resources;
+use cfu_mem::{Bus, Ddr3, SpiFlash, SpiWidth, Sram};
+
+/// One memory device on a board.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MemorySpec {
+    /// XIP SPI NOR flash.
+    SpiFlash {
+        /// Region name on the bus.
+        name: &'static str,
+        /// Base address.
+        base: u32,
+        /// Size in bytes.
+        size: u32,
+        /// Controller width the board ships with.
+        width: SpiWidth,
+    },
+    /// On-chip SRAM (block RAM / SPRAM).
+    Sram {
+        /// Region name.
+        name: &'static str,
+        /// Base address.
+        base: u32,
+        /// Size in bytes.
+        size: u32,
+    },
+    /// External DDR3 behind a LiteDRAM-style controller.
+    Ddr3 {
+        /// Region name.
+        name: &'static str,
+        /// Base address.
+        base: u32,
+        /// Size in bytes.
+        size: u32,
+    },
+}
+
+impl MemorySpec {
+    /// Region name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            MemorySpec::SpiFlash { name, .. }
+            | MemorySpec::Sram { name, .. }
+            | MemorySpec::Ddr3 { name, .. } => name,
+        }
+    }
+
+    /// Size in bytes.
+    pub fn size(&self) -> u32 {
+        match self {
+            MemorySpec::SpiFlash { size, .. }
+            | MemorySpec::Sram { size, .. }
+            | MemorySpec::Ddr3 { size, .. } => *size,
+        }
+    }
+}
+
+/// An FPGA development board usable with CFU Playground.
+///
+/// The minimum requirements from the paper: a TTY/UART connection, enough
+/// FPGA resources for VexRiscv variants, RAM for working memory, and
+/// ROM/RAM for code and model data.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Board {
+    /// Board name.
+    pub name: &'static str,
+    /// FPGA part name.
+    pub fpga: &'static str,
+    /// Resource budget (LUT4-equivalents, FFs, 0.5 KiB BRAM units, DSPs).
+    pub budget: Resources,
+    /// System clock in Hz.
+    pub clock_hz: u64,
+    /// Memory devices.
+    pub memories: Vec<MemorySpec>,
+    /// Whether the board needs a USB softcore for its host link (Fomu's
+    /// only connector is USB).
+    pub needs_usb_bridge: bool,
+}
+
+impl Board {
+    /// Digilent Arty A7-35T: Xilinx XC7A35T + 256 MB DDR3 — the paper's
+    /// image-classification board. (20 800 LUT6 ≈ 33 000 LUT4-equiv,
+    /// 50×36 Kb BRAM = 450 half-KiB units, 90 DSP48.)
+    pub fn arty_a7_35t() -> Board {
+        Board {
+            name: "Arty A7-35T",
+            fpga: "xc7a35t",
+            budget: Resources::new(33_000, 41_600, 450, 90),
+            clock_hz: 100_000_000,
+            memories: vec![
+                MemorySpec::SpiFlash {
+                    name: "rom",
+                    base: 0x0000_0000,
+                    size: 16 << 20,
+                    width: SpiWidth::Quad,
+                },
+                MemorySpec::Sram { name: "sram", base: 0x1000_0000, size: 32 << 10 },
+                MemorySpec::Ddr3 { name: "main_ram", base: 0x4000_0000, size: 256 << 20 },
+            ],
+            needs_usb_bridge: false,
+        }
+    }
+
+    /// Fomu: Lattice iCE40UP5k, 1 cm², lives in a USB port — the paper's
+    /// keyword-spotting board. 5280 logic cells, 128 kB SPRAM, 30 BRAMs,
+    /// 8 DSP tiles, 2 MB SPI flash.
+    pub fn fomu() -> Board {
+        Board {
+            name: "Fomu",
+            fpga: "iCE40UP5k",
+            budget: Resources::new(5280, 5280, 30, 8),
+            clock_hz: 12_000_000,
+            memories: vec![
+                MemorySpec::SpiFlash {
+                    name: "spiflash",
+                    base: 0x2000_0000,
+                    size: 2 << 20,
+                    width: SpiWidth::Single,
+                },
+                MemorySpec::Sram { name: "sram", base: 0x1000_0000, size: 128 << 10 },
+            ],
+            needs_usb_bridge: true,
+        }
+    }
+
+    /// iCEBreaker: the same iCE40UP5k with a UART link (no USB softcore
+    /// needed) and a 16 MB flash.
+    pub fn icebreaker() -> Board {
+        Board {
+            name: "iCEBreaker",
+            fpga: "iCE40UP5k",
+            budget: Resources::new(5280, 5280, 30, 8),
+            clock_hz: 12_000_000,
+            memories: vec![
+                MemorySpec::SpiFlash {
+                    name: "spiflash",
+                    base: 0x2000_0000,
+                    size: 16 << 20,
+                    width: SpiWidth::Single,
+                },
+                MemorySpec::Sram { name: "sram", base: 0x1000_0000, size: 128 << 10 },
+            ],
+            needs_usb_bridge: false,
+        }
+    }
+
+    /// OrangeCrab: Lattice ECP5-25F with 128 MB DDR3.
+    pub fn orangecrab() -> Board {
+        Board {
+            name: "OrangeCrab",
+            fpga: "LFE5U-25F",
+            budget: Resources::new(24_000, 24_000, 504, 28),
+            clock_hz: 48_000_000,
+            memories: vec![
+                MemorySpec::SpiFlash {
+                    name: "spiflash",
+                    base: 0x2000_0000,
+                    size: 16 << 20,
+                    width: SpiWidth::Quad,
+                },
+                MemorySpec::Sram { name: "sram", base: 0x1000_0000, size: 64 << 10 },
+                MemorySpec::Ddr3 { name: "main_ram", base: 0x4000_0000, size: 128 << 20 },
+            ],
+            needs_usb_bridge: true,
+        }
+    }
+
+    /// All bundled boards.
+    pub fn all() -> Vec<Board> {
+        vec![Board::arty_a7_35t(), Board::fomu(), Board::icebreaker(), Board::orangecrab()]
+    }
+
+    /// Builds the board's memory bus, optionally overriding the flash
+    /// controller width (the `QuadSPI` upgrade).
+    pub fn build_bus(&self, flash_width: Option<SpiWidth>) -> Bus {
+        let mut bus = Bus::new();
+        for mem in &self.memories {
+            match *mem {
+                MemorySpec::SpiFlash { name, base, size, width } => {
+                    bus.map(name, base, SpiFlash::new(size, flash_width.unwrap_or(width)));
+                }
+                MemorySpec::Sram { name, base, size } => {
+                    bus.map(name, base, Sram::new(size));
+                }
+                MemorySpec::Ddr3 { name, base, size } => {
+                    bus.map(name, base, Ddr3::new(size));
+                }
+            }
+        }
+        bus
+    }
+
+    /// Looks up a memory by region name.
+    pub fn memory(&self, name: &str) -> Option<&MemorySpec> {
+        self.memories.iter().find(|m| m.name() == name)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boards_have_sane_budgets() {
+        for board in Board::all() {
+            assert!(board.budget.luts >= 5000, "{}", board.name);
+            assert!(board.clock_hz >= 10_000_000);
+            assert!(!board.memories.is_empty());
+        }
+    }
+
+    #[test]
+    fn fomu_matches_paper_numbers() {
+        let fomu = Board::fomu();
+        assert_eq!(fomu.budget.luts, 5280);
+        assert_eq!(fomu.budget.dsps, 8);
+        assert_eq!(fomu.budget.brams, 30); // 30 × 512 B BRAMs
+        assert_eq!(fomu.memory("sram").unwrap().size(), 128 << 10);
+        assert_eq!(fomu.memory("spiflash").unwrap().size(), 2 << 20);
+        assert!(fomu.needs_usb_bridge);
+    }
+
+    #[test]
+    fn bus_construction_maps_all_regions() {
+        let board = Board::arty_a7_35t();
+        let bus = board.build_bus(None);
+        for mem in &board.memories {
+            assert!(bus.region_by_name(mem.name()).is_some(), "{}", mem.name());
+        }
+    }
+
+    #[test]
+    fn flash_width_override() {
+        use cfu_mem::MemError;
+        let board = Board::fomu();
+        let mut single = board.build_bus(None);
+        let mut quad = board.build_bus(Some(SpiWidth::Quad));
+        let base = 0x2000_0000;
+        let s = single.read_u32(base).unwrap().cycles;
+        let q = quad.read_u32(base).unwrap().cycles;
+        assert!(s > q);
+        // Flash is still a ROM either way.
+        assert!(matches!(quad.write_u8(base, 0), Err(MemError::ReadOnly { .. })));
+    }
+}

@@ -1,0 +1,194 @@
+//! SoC composition.
+
+use cfu_core::{Cfu, Resources};
+use cfu_mem::{Bus, SpiWidth};
+use cfu_sim::CpuConfig;
+
+use crate::boards::Board;
+use crate::features::SocFeatures;
+use crate::fit::FitReport;
+use crate::peripherals::{Timer, Uart};
+
+/// Base address of the CSR/peripheral window (uncached; matches
+/// [`cfu_sim::UNCACHED_BASE`]).
+pub const CSR_BASE: u32 = 0xE000_0000;
+
+/// Builder for a [`Soc`].
+#[derive(Debug)]
+pub struct SocBuilder {
+    board: Board,
+    cpu: CpuConfig,
+    features: SocFeatures,
+    cfu: Option<(String, Resources)>,
+}
+
+impl SocBuilder {
+    /// Starts a SoC on `board` with that board's natural defaults
+    /// (USB bridge iff the board needs one, full LiteX features).
+    pub fn new(board: Board) -> Self {
+        let features = if board.needs_usb_bridge {
+            SocFeatures::full_with_usb()
+        } else {
+            SocFeatures::default()
+        };
+        SocBuilder { board, cpu: CpuConfig::arty_default(), features, cfu: None }
+    }
+
+    /// Sets the CPU configuration.
+    pub fn cpu(mut self, cpu: CpuConfig) -> Self {
+        self.cpu = cpu;
+        self
+    }
+
+    /// Sets the SoC feature set.
+    pub fn features(mut self, features: SocFeatures) -> Self {
+        self.features = features;
+        self
+    }
+
+    /// Attaches a CFU (recorded by name and resource bill; the CFU
+    /// instance itself is attached to the core at deployment time).
+    pub fn cfu(mut self, cfu: &dyn Cfu) -> Self {
+        self.cfu = Some((cfu.name().to_owned(), cfu.resources()));
+        self
+    }
+
+    /// Finalizes the SoC description.
+    pub fn build(self) -> Soc {
+        Soc { board: self.board, cpu: self.cpu, features: self.features, cfu: self.cfu }
+    }
+}
+
+/// A composed SoC: board + CPU + features + optional CFU.
+#[derive(Debug, Clone)]
+pub struct Soc {
+    board: Board,
+    cpu: CpuConfig,
+    features: SocFeatures,
+    cfu: Option<(String, Resources)>,
+}
+
+impl Soc {
+    /// The board.
+    pub fn board(&self) -> &Board {
+        &self.board
+    }
+
+    /// The CPU configuration.
+    pub fn cpu(&self) -> CpuConfig {
+        self.cpu
+    }
+
+    /// The feature set.
+    pub fn features(&self) -> SocFeatures {
+        self.features
+    }
+
+    /// Builds the bus: board memories (flash honoring the SoC's SPI
+    /// width) plus UART/timer peripherals in the CSR window.
+    pub fn build_bus(&self) -> Bus {
+        let width: SpiWidth = self.features.spi_width;
+        let mut bus = self.board.build_bus(Some(width));
+        let mut csr = CSR_BASE;
+        if self.features.uart {
+            bus.map("uart", csr, Uart::new());
+            csr += 0x100;
+        }
+        if self.features.timer {
+            bus.map("timer", csr, Timer::new());
+        }
+        bus
+    }
+
+    /// The yosys-style utilization report.
+    pub fn fit_report(&self) -> FitReport {
+        let mut breakdown = vec![
+            ("cpu".to_owned(), self.cpu.resources()),
+            ("soc-fabric".to_owned(), self.features.resources()),
+        ];
+        if let Some((name, r)) = &self.cfu {
+            breakdown.push((format!("cfu:{name}"), *r));
+        }
+        FitReport { board: self.board.name.to_owned(), breakdown, budget: self.board.budget }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfu_core::cfu2::Cfu2;
+    use cfu_sim::Multiplier;
+
+    #[test]
+    fn arty_default_fits_easily() {
+        let soc = SocBuilder::new(Board::arty_a7_35t()).cpu(CpuConfig::arty_default()).build();
+        let fit = soc.fit_report();
+        assert!(fit.fits(), "{fit}");
+        assert!(fit.lut_utilization() < 30.0);
+    }
+
+    #[test]
+    fn fomu_minimal_does_not_fit_until_trimmed() {
+        // §III-B: "the minimal VexRiscv configuration ... does not fit on
+        // Fomu. To squeeze VexRiscv onto the FPGA we needed to remove
+        // features from the LiteX SoC and ... hardware error checking."
+        let untrimmed = SocBuilder::new(Board::fomu())
+            .cpu(CpuConfig::fomu_minimal())
+            .features(SocFeatures::full_with_usb())
+            .build();
+        assert!(!untrimmed.fit_report().fits(), "{}", untrimmed.fit_report());
+
+        let trimmed = SocBuilder::new(Board::fomu())
+            .cpu(CpuConfig::fomu_baseline())
+            .features(SocFeatures::fomu_trimmed())
+            .build();
+        assert!(trimmed.fit_report().fits(), "{}", trimmed.fit_report());
+    }
+
+    #[test]
+    fn fomu_final_kws_design_fits_with_no_dsp_left() {
+        // The end state of Figure 6: fast multiplier (4 DSPs) + CFU2
+        // (remaining 4 DSPs + leftover logic cells), still fitting.
+        let cfu = Cfu2::new();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(
+                CpuConfig::fomu_with_icache(2048)
+                    .with_multiplier(Multiplier::SingleCycleDsp),
+            )
+            .features(SocFeatures::fomu_trimmed())
+            .cfu(&cfu)
+            .build();
+        let fit = soc.fit_report();
+        assert!(fit.fits(), "{fit}");
+        assert_eq!(fit.headroom().dsps, 0, "all 8 DSP tiles consumed");
+        assert!(fit.headroom().luts < 400, "only scraps left: {}", fit.headroom());
+    }
+
+    #[test]
+    fn bus_includes_peripherals_per_features() {
+        let soc = SocBuilder::new(Board::arty_a7_35t()).build();
+        let bus = soc.build_bus();
+        assert!(bus.region_by_name("uart").is_some());
+        assert!(bus.region_by_name("timer").is_some());
+
+        let trimmed = SocBuilder::new(Board::fomu())
+            .features(SocFeatures::fomu_trimmed())
+            .build();
+        let bus = trimmed.build_bus();
+        assert!(bus.region_by_name("uart").is_some());
+        assert!(bus.region_by_name("timer").is_none());
+    }
+
+    #[test]
+    fn quad_spi_bus_is_faster() {
+        let mut slow_feats = SocFeatures::fomu_trimmed();
+        slow_feats.spi_width = SpiWidth::Single;
+        let mut fast_feats = slow_feats;
+        fast_feats.spi_width = SpiWidth::Quad;
+        let slow = SocBuilder::new(Board::fomu()).features(slow_feats).build();
+        let fast = SocBuilder::new(Board::fomu()).features(fast_feats).build();
+        let s = slow.build_bus().read_u32(0x2000_0000).unwrap().cycles;
+        let f = fast.build_bus().read_u32(0x2000_0000).unwrap().cycles;
+        assert!(s > 2 * f);
+    }
+}

@@ -1,0 +1,117 @@
+//! SoC feature set and its resource bill.
+//!
+//! The KWS case study squeezes VexRiscv onto Fomu by "removing features
+//! from the LiteX SoC (i.e., hardware timer and reset registers)" and
+//! later "removed unnecessary control & status registers and SoC features
+//! intended for debugging to make space for a larger I-Cache". Each of
+//! those is a boolean here with an explicit LUT bill.
+
+use cfu_core::Resources;
+use cfu_mem::SpiWidth;
+
+/// Optional SoC components beyond the CPU and memories.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SocFeatures {
+    /// USB softcore for boards whose only host link is USB (Fomu).
+    pub usb_bridge: bool,
+    /// UART for the TTY connection.
+    pub uart: bool,
+    /// LiteX hardware timer.
+    pub timer: bool,
+    /// Reset/control registers.
+    pub ctrl_regs: bool,
+    /// Debug CSRs and scratch registers.
+    pub debug_csrs: bool,
+    /// SPI flash controller width.
+    pub spi_width: SpiWidth,
+}
+
+impl Default for SocFeatures {
+    /// The full LiteX default feature set with a 1-bit SPI controller.
+    fn default() -> Self {
+        SocFeatures {
+            usb_bridge: false,
+            uart: true,
+            timer: true,
+            ctrl_regs: true,
+            debug_csrs: true,
+            spi_width: SpiWidth::Single,
+        }
+    }
+}
+
+impl SocFeatures {
+    /// Full feature set plus the USB bridge (the Fomu starting point).
+    pub fn full_with_usb() -> Self {
+        SocFeatures { usb_bridge: true, ..SocFeatures::default() }
+    }
+
+    /// The trimmed Fomu set: timer, reset registers and debug CSRs gone.
+    pub fn fomu_trimmed() -> Self {
+        SocFeatures {
+            usb_bridge: true,
+            uart: true,
+            timer: false,
+            ctrl_regs: false,
+            debug_csrs: false,
+            spi_width: SpiWidth::Single,
+        }
+    }
+
+    /// FPGA resources of the enabled features plus the wishbone
+    /// interconnect every SoC needs.
+    pub fn resources(&self) -> Resources {
+        // Interconnect / CSR bus decode.
+        let mut r = Resources { luts: 520, ffs: 430, brams: 0, dsps: 0 };
+        if self.usb_bridge {
+            // A valentyusb-class USB softcore dominates small parts.
+            r += Resources { luts: 2400, ffs: 1700, brams: 2, dsps: 0 };
+        }
+        if self.uart {
+            r += Resources { luts: 140, ffs: 110, brams: 0, dsps: 0 };
+        }
+        if self.timer {
+            r += Resources { luts: 200, ffs: 130, brams: 0, dsps: 0 };
+        }
+        if self.ctrl_regs {
+            r += Resources { luts: 200, ffs: 150, brams: 0, dsps: 0 };
+        }
+        if self.debug_csrs {
+            r += Resources { luts: 400, ffs: 260, brams: 0, dsps: 0 };
+        }
+        r += match self.spi_width {
+            SpiWidth::Single => Resources { luts: 260, ffs: 170, brams: 0, dsps: 0 },
+            SpiWidth::Dual => Resources { luts: 290, ffs: 180, brams: 0, dsps: 0 },
+            SpiWidth::Quad => Resources { luts: 320, ffs: 190, brams: 0, dsps: 0 },
+        };
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trimming_saves_lut() {
+        let full = SocFeatures::full_with_usb().resources();
+        let trimmed = SocFeatures::fomu_trimmed().resources();
+        assert_eq!(full.luts - trimmed.luts, 200 + 200 + 400);
+    }
+
+    #[test]
+    fn quad_spi_costs_a_little_more() {
+        let single = SocFeatures::default().resources();
+        let quad =
+            SocFeatures { spi_width: SpiWidth::Quad, ..SocFeatures::default() }.resources();
+        assert!(quad.luts > single.luts);
+        assert!(quad.luts - single.luts < 100);
+    }
+
+    #[test]
+    fn usb_bridge_dominates() {
+        let with = SocFeatures::full_with_usb().resources();
+        let without = SocFeatures::default().resources();
+        assert_eq!(with.luts - without.luts, 2400);
+    }
+}

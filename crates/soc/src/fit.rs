@@ -1,0 +1,94 @@
+//! Fit checking: the utilization report a yosys/nextpnr run would give.
+
+use std::fmt;
+
+use cfu_core::Resources;
+
+/// Resource utilization of a design against a board budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FitReport {
+    /// Board name.
+    pub board: String,
+    /// Resources the design uses, by component.
+    pub breakdown: Vec<(String, Resources)>,
+    /// Board budget.
+    pub budget: Resources,
+}
+
+impl FitReport {
+    /// Total resources used.
+    pub fn used(&self) -> Resources {
+        self.breakdown.iter().map(|(_, r)| *r).sum()
+    }
+
+    /// `true` when every resource class fits the budget.
+    pub fn fits(&self) -> bool {
+        self.used().fits_within(&self.budget)
+    }
+
+    /// Resources left after placement (saturating at zero).
+    pub fn headroom(&self) -> Resources {
+        self.budget.saturating_sub(&self.used())
+    }
+
+    /// LUT utilization in percent.
+    pub fn lut_utilization(&self) -> f64 {
+        100.0 * f64::from(self.used().luts) / f64::from(self.budget.luts.max(1))
+    }
+}
+
+impl fmt::Display for FitReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "utilization on {}:", self.board)?;
+        for (name, r) in &self.breakdown {
+            writeln!(f, "  {name:<18} {r}")?;
+        }
+        let used = self.used();
+        writeln!(f, "  {:<18} {used}", "TOTAL")?;
+        writeln!(f, "  {:<18} {}", "budget", self.budget)?;
+        writeln!(
+            f,
+            "  {:<18} {} ({})",
+            "verdict",
+            if self.fits() { "FITS" } else { "DOES NOT FIT" },
+            format_args!("{:.1}% LUT", self.lut_utilization()),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report(luts: u32) -> FitReport {
+        FitReport {
+            board: "test".into(),
+            breakdown: vec![
+                ("cpu".into(), Resources::luts(luts)),
+                ("cfu".into(), Resources::new(0, 0, 0, 4)),
+            ],
+            budget: Resources::new(5280, 5280, 30, 8),
+        }
+    }
+
+    #[test]
+    fn fits_and_headroom() {
+        let r = report(5000);
+        assert!(r.fits());
+        assert_eq!(r.headroom().luts, 280);
+        assert_eq!(r.headroom().dsps, 4);
+        assert!(!report(5281).fits());
+    }
+
+    #[test]
+    fn display_mentions_verdict() {
+        assert!(report(100).to_string().contains("FITS"));
+        assert!(report(9999).to_string().contains("DOES NOT FIT"));
+    }
+
+    #[test]
+    fn utilization_percent() {
+        let r = report(2640);
+        assert!((r.lut_utilization() - 50.0).abs() < 0.01);
+    }
+}

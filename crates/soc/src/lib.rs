@@ -1,0 +1,44 @@
+//! LiteX-like SoC composition for the simulated CFU Playground.
+//!
+//! "CFU Playground incorporates a CFU into a System-on-Chip (SoC) on an
+//! FPGA ... built upon the LiteX framework." This crate provides:
+//!
+//! * [`Board`] descriptions (Arty A7-35T, Fomu, iCEBreaker, OrangeCrab)
+//!   with FPGA resource budgets, clocks and memory devices — the
+//!   crowd-sourced LiteX boards library stand-in,
+//! * [`SocBuilder`] — composes a CPU configuration, optional CFU and
+//!   [`SocFeatures`] (UART, timer, USB bridge, debug CSRs...) into a
+//!   [`Soc`] with a concrete bus and a resource bill,
+//! * [`FitReport`] — the yosys/nextpnr utilization check: does this
+//!   design fit the board? (The Fomu case study's first battle.)
+//!
+//! # Example
+//!
+//! ```
+//! use cfu_sim::CpuConfig;
+//! use cfu_soc::{Board, SocBuilder};
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let soc = SocBuilder::new(Board::arty_a7_35t())
+//!     .cpu(CpuConfig::arty_default())
+//!     .build();
+//! let fit = soc.fit_report();
+//! assert!(fit.fits(), "{fit}");
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod boards;
+mod builder;
+mod features;
+mod fit;
+mod peripherals;
+
+pub use boards::{Board, MemorySpec};
+pub use builder::{Soc, SocBuilder};
+pub use features::SocFeatures;
+pub use fit::FitReport;
+pub use peripherals::{Timer, Uart};

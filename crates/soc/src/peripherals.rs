@@ -1,0 +1,130 @@
+//! Memory-mapped peripheral models (UART, timer).
+
+use cfu_mem::{BusDevice, MemError};
+
+/// A LiteX-style UART: writes to offset 0 transmit a byte (captured in a
+/// buffer the host side can read — the paper's `printf()` debugging
+/// channel); reads of offset 4 report TX-ready (always 1 here).
+#[derive(Debug, Clone, Default)]
+pub struct Uart {
+    tx: Vec<u8>,
+}
+
+impl Uart {
+    /// Creates an idle UART.
+    pub fn new() -> Self {
+        Uart::default()
+    }
+
+    /// Bytes transmitted so far.
+    pub fn transmitted(&self) -> &[u8] {
+        &self.tx
+    }
+}
+
+impl BusDevice for Uart {
+    fn size(&self) -> u32 {
+        16
+    }
+
+    fn read(&mut self, offset: u32, buf: &mut [u8]) -> Result<u64, MemError> {
+        buf.fill(0);
+        if offset == 4 {
+            buf[0] = 1; // TX always ready in simulation
+        }
+        Ok(1)
+    }
+
+    fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError> {
+        if offset == 0 {
+            self.tx.extend_from_slice(&data[..1]);
+        }
+        Ok(1)
+    }
+
+    fn poke(&mut self, _offset: u32, _data: &[u8]) -> Result<(), MemError> {
+        Ok(())
+    }
+
+    fn as_any(&self) -> Option<&dyn std::any::Any> {
+        Some(self)
+    }
+}
+
+/// A LiteX-style down-counting timer: offset 0 = load value, offset 4 =
+/// current value (decrements once per read in this simple model —
+/// software polls it).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Timer {
+    load: u32,
+    value: u32,
+}
+
+impl Timer {
+    /// Creates a stopped timer.
+    pub fn new() -> Self {
+        Timer::default()
+    }
+}
+
+impl BusDevice for Timer {
+    fn size(&self) -> u32 {
+        16
+    }
+
+    fn read(&mut self, offset: u32, buf: &mut [u8]) -> Result<u64, MemError> {
+        let v = match offset {
+            0 => self.load,
+            4 => {
+                let v = self.value;
+                self.value = self.value.saturating_sub(1);
+                v
+            }
+            _ => 0,
+        };
+        let bytes = v.to_le_bytes();
+        for (i, b) in buf.iter_mut().enumerate() {
+            *b = bytes.get(i).copied().unwrap_or(0);
+        }
+        Ok(1)
+    }
+
+    fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError> {
+        if offset == 0 && data.len() >= 4 {
+            self.load = u32::from_le_bytes([data[0], data[1], data[2], data[3]]);
+            self.value = self.load;
+        }
+        Ok(1)
+    }
+
+    fn poke(&mut self, _offset: u32, _data: &[u8]) -> Result<(), MemError> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uart_captures_tx() {
+        let mut u = Uart::new();
+        u.write(0, b"H").unwrap();
+        u.write(0, b"i").unwrap();
+        assert_eq!(u.transmitted(), b"Hi");
+        let mut b = [0u8; 1];
+        u.read(4, &mut b).unwrap();
+        assert_eq!(b[0], 1);
+    }
+
+    #[test]
+    fn timer_counts_down_on_poll() {
+        let mut t = Timer::new();
+        t.write(0, &5u32.to_le_bytes()).unwrap();
+        let mut b = [0u8; 4];
+        t.read(4, &mut b).unwrap();
+        assert_eq!(u32::from_le_bytes(b), 5);
+        t.read(4, &mut b).unwrap();
+        assert_eq!(u32::from_le_bytes(b), 4);
+    }
+}

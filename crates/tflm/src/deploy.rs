@@ -1,0 +1,464 @@
+//! Deployment: placing a model into simulated memory and running it
+//! through the timed kernels — the "deploy" step of the loop.
+
+use std::fmt;
+
+use cfu_core::Cfu;
+use cfu_mem::Bus;
+use cfu_sim::{CpuConfig, TimedCore};
+
+use crate::kernels::conv1x1::{conv1x1, Conv1x1Variant};
+use crate::kernels::{generic, kws, ConvJob, DwJob, FcJob, KernelError, LayerData, MemTensor};
+use crate::model::{Model, Op};
+use crate::profiler::{LayerProfile, Profile};
+use crate::reference::ChannelQuant;
+use crate::tensor::Tensor;
+
+/// Which kernel implements standard convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum ConvKernel {
+    /// TFLM reference kernel.
+    #[default]
+    Generic,
+    /// CFU2 4-way SIMD MAC.
+    Cfu2 {
+        /// Post-process accumulators in the CFU.
+        postproc: bool,
+        /// Compiler-specialized loop bodies (constant filter shape).
+        specialized: bool,
+    },
+}
+
+/// Which kernel implements depthwise convolutions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DwKernel {
+    /// TFLM reference kernel.
+    #[default]
+    Generic,
+    /// One lane of CFU2's MAC array.
+    Cfu2 {
+        /// Post-process accumulators in the CFU.
+        postproc: bool,
+        /// Compiler-specialized loop bodies.
+        specialized: bool,
+    },
+}
+
+/// Kernel selection for a deployment — the "user must provide an
+/// optimized kernel that uses the new custom instructions".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct KernelRegistry {
+    /// Ladder variant for pointwise convolutions (`None`: treat them as
+    /// ordinary convolutions).
+    pub conv1x1: Option<Conv1x1Variant>,
+    /// Standard-convolution kernel.
+    pub conv: ConvKernel,
+    /// Depthwise-convolution kernel.
+    pub dwconv: DwKernel,
+}
+
+/// Memory/placement plan for a deployment.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeployConfig {
+    /// CPU configuration.
+    pub cpu: CpuConfig,
+    /// Kernel selection.
+    pub registry: KernelRegistry,
+    /// Bus region holding weights, biases and requantization tables
+    /// (`.rodata` — flash on small boards).
+    pub weights_region: String,
+    /// Bus region holding activations (the TFLM tensor arena).
+    pub arena_region: String,
+    /// Bus region holding kernel code (`.text`).
+    pub code_region: String,
+    /// Optional distinct region for the *hot* kernels (conv/depthwise) —
+    /// the KWS `SRAM Ops` step moves exactly these.
+    pub hot_code_region: Option<String>,
+    /// Optional region for hot-kernel weights — `SRAM Model` moves the
+    /// model weights of the bottleneck ops.
+    pub hot_weights_region: Option<String>,
+    /// Code footprint of the hot (conv/depthwise) kernels, bytes.
+    pub kernel_code_len: u32,
+    /// Code footprint of the remaining kernels (pool/add/softmax/fc are
+    /// much smaller loops), bytes.
+    pub cold_kernel_code_len: u32,
+}
+
+impl DeployConfig {
+    /// A plan with everything in the given regions and generic kernels.
+    pub fn new(cpu: CpuConfig, weights: &str, arena: &str, code: &str) -> Self {
+        DeployConfig {
+            cpu,
+            registry: KernelRegistry::default(),
+            weights_region: weights.to_owned(),
+            arena_region: arena.to_owned(),
+            code_region: code.to_owned(),
+            hot_code_region: None,
+            hot_weights_region: None,
+            kernel_code_len: 3072,
+            cold_kernel_code_len: 1536,
+        }
+    }
+}
+
+/// Deployment errors (planning time).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DeployError {
+    /// The model failed validation.
+    BadModel(String),
+    /// A named region is not on the bus.
+    MissingRegion(String),
+    /// A region is too small for what the plan places there — the Fomu
+    /// "binary image would not fit in 128 kB" problem.
+    RegionFull {
+        /// Region name.
+        region: String,
+        /// Bytes the plan needed.
+        needed: u32,
+        /// Bytes the region has.
+        available: u32,
+    },
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::BadModel(why) => write!(f, "invalid model: {why}"),
+            DeployError::MissingRegion(name) => write!(f, "bus has no region named `{name}`"),
+            DeployError::RegionFull { region, needed, available } => write!(
+                f,
+                "region `{region}` too small: need {needed} bytes, have {available}"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for DeployError {}
+
+/// A simple bump allocator over one bus region.
+#[derive(Debug)]
+struct RegionAlloc {
+    name: String,
+    base: u32,
+    end: u32,
+    cursor: u32,
+}
+
+impl RegionAlloc {
+    fn new(bus: &Bus, name: &str) -> Result<Self, DeployError> {
+        let (_, info) =
+            bus.region_by_name(name).ok_or_else(|| DeployError::MissingRegion(name.to_owned()))?;
+        Ok(RegionAlloc {
+            name: name.to_owned(),
+            base: info.base,
+            end: (info.end() - 1) as u32 + 1,
+            cursor: info.base,
+        })
+    }
+
+    fn alloc(&mut self, bytes: u32) -> Result<u32, DeployError> {
+        let aligned = (bytes + 3) & !3;
+        if self.cursor + aligned > self.end {
+            return Err(DeployError::RegionFull {
+                region: self.name.clone(),
+                needed: self.cursor - self.base + aligned,
+                available: self.end - self.base,
+            });
+        }
+        let addr = self.cursor;
+        self.cursor += aligned;
+        Ok(addr)
+    }
+}
+
+struct LayerPlan {
+    data: LayerData,
+    cq: Option<ChannelQuant>,
+}
+
+/// A model installed in simulated memory, ready to run.
+///
+/// Dropping and rebuilding a `Deployment` is cheap; the figure harnesses
+/// build one per ladder step.
+pub struct Deployment {
+    core: TimedCore,
+    model: Model,
+    plans: Vec<LayerPlan>,
+    slot_addrs: Vec<u32>,
+    registry: KernelRegistry,
+}
+
+impl fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deployment")
+            .field("model", &self.model.name)
+            .field("registry", &self.registry)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Deployment {
+    /// Plans and installs `model` on `bus` with `cfu` attached.
+    ///
+    /// # Errors
+    ///
+    /// [`DeployError`] when the model is invalid or a region is missing
+    /// or too small (the Fomu fit failure mode).
+    pub fn new(
+        model: Model,
+        mut bus: Bus,
+        cfu: Box<dyn Cfu>,
+        cfg: &DeployConfig,
+    ) -> Result<Self, DeployError> {
+        model.validate().map_err(DeployError::BadModel)?;
+        // One allocator per *distinct* region: several roles may share a
+        // region (everything-in-DRAM on Arty) and must not overlap.
+        let mut allocs: std::collections::BTreeMap<String, RegionAlloc> =
+            std::collections::BTreeMap::new();
+        let hot_code_name =
+            cfg.hot_code_region.clone().unwrap_or_else(|| cfg.code_region.clone());
+        let hot_weights_name =
+            cfg.hot_weights_region.clone().unwrap_or_else(|| cfg.weights_region.clone());
+        for name in [
+            &cfg.weights_region,
+            &cfg.arena_region,
+            &cfg.code_region,
+            &hot_code_name,
+            &hot_weights_name,
+        ] {
+            if !allocs.contains_key(name) {
+                allocs.insert(name.clone(), RegionAlloc::new(&bus, name)?);
+            }
+        }
+        macro_rules! alloc {
+            ($name:expr, $bytes:expr) => {
+                allocs.get_mut($name).expect("region registered above").alloc($bytes)?
+            };
+        }
+
+        // Activation slots first (the TFLM arena).
+        let mut slot_addrs = Vec::with_capacity(model.slots.len());
+        for slot in &model.slots {
+            slot_addrs.push(alloc!(&cfg.arena_region, slot.shape.elements() as u32));
+        }
+
+        // One code footprint per operator kind actually used.
+        let mut kind_code: std::collections::BTreeMap<crate::model::OpKind, (u32, u32)> =
+            std::collections::BTreeMap::new();
+        for layer in &model.layers {
+            let kind = layer.op.kind();
+            if kind_code.contains_key(&kind) {
+                continue;
+            }
+            let hot = matches!(
+                kind,
+                crate::model::OpKind::Conv2d1x1
+                    | crate::model::OpKind::Conv2d
+                    | crate::model::OpKind::DepthwiseConv2d
+            );
+            let region = if hot { &hot_code_name } else { &cfg.code_region };
+            let len = if hot { cfg.kernel_code_len } else { cfg.cold_kernel_code_len };
+            let base = alloc!(region, len);
+            kind_code.insert(kind, (base, len));
+        }
+
+        // Weights, biases and precomputed requantization tables.
+        let mut plans = Vec::with_capacity(model.layers.len());
+        for layer in &model.layers {
+            let (code_base, code_len) = kind_code[&layer.op.kind()];
+            let (filter, bias, scales, out_quant) = match &layer.op {
+                Op::Conv2d(p) => (&p.filter, &p.bias, &p.filter.scales, p.out_quant),
+                Op::DepthwiseConv2d(p) => (&p.filter, &p.bias, &p.filter.scales, p.out_quant),
+                Op::FullyConnected(p) => (&p.filter, &p.bias, &p.filter.scales, p.out_quant),
+                _ => {
+                    plans.push(LayerPlan {
+                        data: LayerData {
+                            filter_addr: 0,
+                            bias_addr: 0,
+                            mult_addr: 0,
+                            shift_addr: 0,
+                            code_base,
+                            code_len,
+                        },
+                        cq: None,
+                    });
+                    continue;
+                }
+            };
+            let hot = matches!(
+                layer.op.kind(),
+                crate::model::OpKind::Conv2d1x1
+                    | crate::model::OpKind::Conv2d
+                    | crate::model::OpKind::DepthwiseConv2d
+            );
+            let wregion = if hot { &hot_weights_name } else { &cfg.weights_region };
+            let in_quant = model.slots[layer.inputs[0]].quant;
+            let cq = ChannelQuant::compute(in_quant, scales, out_quant);
+            let n = bias.data.len() as u32;
+            let filter_addr = alloc!(wregion, filter.data.len() as u32);
+            let bias_addr = alloc!(wregion, 4 * n);
+            let mult_addr = alloc!(wregion, 4 * n);
+            let shift_addr = alloc!(wregion, 4 * n);
+            let filter_bytes: Vec<u8> = filter.data.iter().map(|&v| v as u8).collect();
+            bus.load_image(filter_addr, &filter_bytes).expect("planned allocation");
+            let le = |v: &[i32]| -> Vec<u8> { v.iter().flat_map(|x| x.to_le_bytes()).collect() };
+            bus.load_image(bias_addr, &le(&bias.data)).expect("planned allocation");
+            bus.load_image(mult_addr, &le(&cq.multipliers)).expect("planned allocation");
+            bus.load_image(shift_addr, &le(&cq.shifts)).expect("planned allocation");
+            plans.push(LayerPlan {
+                data: LayerData { filter_addr, bias_addr, mult_addr, shift_addr, code_base, code_len },
+                cq: Some(cq),
+            });
+        }
+
+        let core = TimedCore::with_cfu(cfg.cpu, bus, cfu);
+        Ok(Deployment { core, model, plans, slot_addrs, registry: cfg.registry })
+    }
+
+    /// The model being served.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The underlying timed core (cycle counts, cache stats).
+    pub fn core(&self) -> &TimedCore {
+        &self.core
+    }
+
+    fn mem_tensor(&self, slot: usize) -> MemTensor {
+        MemTensor {
+            addr: self.slot_addrs[slot],
+            shape: self.model.slots[slot].shape,
+            quant: self.model.slots[slot].quant,
+        }
+    }
+
+    /// Runs one inference, returning the output tensor and a per-layer
+    /// profile. Statistics are reset at entry so each call measures one
+    /// inference (with warm caches from previous runs cleared too).
+    ///
+    /// # Errors
+    ///
+    /// Kernel errors (memory faults, CFU protocol errors, unsupported
+    /// layer shapes without a generic fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape does not match the model input slot.
+    pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Profile), KernelError> {
+        let in_slot = self.model.input_slot;
+        assert_eq!(
+            input.shape, self.model.slots[in_slot].shape,
+            "input shape mismatch for {}",
+            self.model.name
+        );
+        self.core.reset_stats();
+        let bytes: Vec<u8> = input.data.iter().map(|&v| v as u8).collect();
+        let addr = self.slot_addrs[in_slot];
+        self.core.bus_mut().load_image(addr, &bytes)?;
+
+        let mut profile = Profile::new();
+        let layers: Vec<_> = (0..self.model.layers.len()).collect();
+        for li in layers {
+            let before = self.core.cycles();
+            self.dispatch(li)?;
+            let layer = &self.model.layers[li];
+            let macs = match &layer.op {
+                Op::Conv2d(p) => p.macs(self.model.slots[layer.inputs[0]].shape),
+                Op::DepthwiseConv2d(p) => p.macs(self.model.slots[layer.inputs[0]].shape),
+                Op::FullyConnected(p) => (p.filter.out_ch * p.filter.in_ch) as u64,
+                _ => 0,
+            };
+            profile.push(LayerProfile {
+                name: layer.name.clone(),
+                kind: layer.op.kind(),
+                cycles: self.core.cycles() - before,
+                macs,
+            });
+        }
+
+        let out = self.read_slot(self.model.output_slot)?;
+        Ok((out, profile))
+    }
+
+    /// Reads a tensor slot back from simulated memory (timing-free).
+    ///
+    /// # Errors
+    ///
+    /// Bus faults.
+    pub fn read_slot(&mut self, slot: usize) -> Result<Tensor, KernelError> {
+        let info = self.model.slots[slot].clone();
+        let mut bytes = vec![0u8; info.shape.elements()];
+        self.core.bus_mut().peek(self.slot_addrs[slot], &mut bytes)?;
+        Ok(Tensor::from_data(
+            info.shape,
+            bytes.into_iter().map(|b| b as i8).collect(),
+            info.quant,
+        ))
+    }
+
+    fn dispatch(&mut self, li: usize) -> Result<(), KernelError> {
+        // Split borrows: clone the small bits we need.
+        let layer = self.model.layers[li].clone();
+        let data = self.plans[li].data;
+        let input = self.mem_tensor(layer.inputs[0]);
+        let output = self.mem_tensor(layer.output);
+        let code = (data.code_base, data.code_len);
+        match &layer.op {
+            Op::Conv2d(p) => {
+                let cq = self.plans[li].cq.clone().expect("conv has cq");
+                let job = ConvJob { input, output, params: p, cq: &cq, data };
+                if p.is_pointwise() {
+                    if let Some(variant) = self.registry.conv1x1 {
+                        match conv1x1(&mut self.core, &job, variant) {
+                            Err(KernelError::Unsupported(_)) => {}
+                            other => return other,
+                        }
+                    }
+                }
+                match self.registry.conv {
+                    ConvKernel::Cfu2 { postproc, specialized } => {
+                        match kws::conv2d_cfu2(&mut self.core, &job, postproc, specialized) {
+                            Err(KernelError::Unsupported(_)) => {
+                                generic::conv2d(&mut self.core, &job)
+                            }
+                            other => other,
+                        }
+                    }
+                    ConvKernel::Generic => generic::conv2d(&mut self.core, &job),
+                }
+            }
+            Op::DepthwiseConv2d(p) => {
+                let cq = self.plans[li].cq.clone().expect("dwconv has cq");
+                let job = DwJob { input, output, params: p, cq: &cq, data };
+                match self.registry.dwconv {
+                    DwKernel::Cfu2 { postproc, specialized } => {
+                        match kws::depthwise_cfu2(&mut self.core, &job, postproc, specialized) {
+                            Err(KernelError::Unsupported(_)) => {
+                                generic::depthwise_conv2d(&mut self.core, &job)
+                            }
+                            other => other,
+                        }
+                    }
+                    DwKernel::Generic => generic::depthwise_conv2d(&mut self.core, &job),
+                }
+            }
+            Op::FullyConnected(p) => {
+                let cq = self.plans[li].cq.clone().expect("fc has cq");
+                let job = FcJob { input, output, params: p, cq: &cq, data };
+                generic::fully_connected(&mut self.core, &job)
+            }
+            Op::AvgPool(p) => generic::avg_pool(&mut self.core, input, output, p, code),
+            Op::MaxPool(p) => generic::max_pool(&mut self.core, input, output, p, code),
+            Op::Add { out_quant } => {
+                let b = self.mem_tensor(layer.inputs[1]);
+                generic::add(&mut self.core, input, b, output, *out_quant, code)
+            }
+            Op::Softmax => generic::softmax(&mut self.core, input, output, code),
+            Op::Reshape { .. } => generic::reshape(&mut self.core, input, output, code),
+            Op::Pad { top, left, .. } => {
+                generic::pad(&mut self.core, input, output, *top, *left, code)
+            }
+        }
+    }
+}

@@ -1,0 +1,243 @@
+//! Golden tests — the paper's menu-driven test software (§II-E).
+//!
+//! "The menu-driven software contains kernel-level unit tests from the
+//! TFLite Micro library. It also contains full-inference golden tests,
+//! with set inputs and expected outputs for each provided model."
+//!
+//! A [`GoldenSuite`] pairs each zoo model with a fixed input and the
+//! expected output (computed once from the reference kernels); running
+//! the suite deploys each model with a chosen kernel registry/CFU and
+//! checks the outputs bit for bit. This is the test a developer re-runs
+//! after every hardware or kernel change.
+
+use std::fmt;
+
+use cfu_core::Cfu;
+use cfu_mem::Bus;
+
+use crate::deploy::{DeployConfig, DeployError, Deployment, KernelRegistry};
+use crate::kernels::KernelError;
+use crate::model::Model;
+use crate::models;
+use crate::reference;
+use crate::tensor::Tensor;
+
+/// One golden case: a model, a fixed input, and the expected output.
+#[derive(Debug, Clone)]
+pub struct GoldenCase {
+    /// The model.
+    pub model: Model,
+    /// The fixed input.
+    pub input: Tensor,
+    /// Expected output (from the reference kernels).
+    pub expected: Tensor,
+}
+
+impl GoldenCase {
+    /// Builds a case by computing the expectation with the reference
+    /// kernels.
+    pub fn new(model: Model, input: Tensor) -> Self {
+        let expected = reference::run_model(&model, &input);
+        GoldenCase { model, input, expected }
+    }
+}
+
+/// Result of one golden case.
+#[derive(Debug)]
+pub enum CaseResult {
+    /// Output matched bit-for-bit; cycles measured.
+    Pass {
+        /// Inference cycles.
+        cycles: u64,
+    },
+    /// Output diverged at `first_mismatch`.
+    Mismatch {
+        /// Index of the first differing output element.
+        first_mismatch: usize,
+        /// Expected byte.
+        expected: i8,
+        /// Actual byte.
+        actual: i8,
+    },
+    /// Deployment or execution failed.
+    Error(String),
+}
+
+impl CaseResult {
+    /// `true` for a pass.
+    pub fn passed(&self) -> bool {
+        matches!(self, CaseResult::Pass { .. })
+    }
+}
+
+impl fmt::Display for CaseResult {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CaseResult::Pass { cycles } => write!(f, "OK ({cycles} cycles)"),
+            CaseResult::Mismatch { first_mismatch, expected, actual } => write!(
+                f,
+                "FAIL at output[{first_mismatch}]: expected {expected}, got {actual}"
+            ),
+            CaseResult::Error(e) => write!(f, "ERROR: {e}"),
+        }
+    }
+}
+
+/// A suite of golden cases.
+#[derive(Debug, Clone, Default)]
+pub struct GoldenSuite {
+    cases: Vec<GoldenCase>,
+}
+
+impl GoldenSuite {
+    /// An empty suite.
+    pub fn new() -> Self {
+        GoldenSuite::default()
+    }
+
+    /// The stock suite: every MLPerf-Tiny-style zoo model at reduced
+    /// size with a deterministic input (matching the paper's packaged
+    /// models).
+    pub fn stock() -> Self {
+        let mut suite = GoldenSuite::new();
+        for model in [
+            models::mobilenet_v2(16, 2, 1),
+            models::ds_cnn_kws(1),
+            models::resnet8(1),
+            models::fc_autoencoder(1),
+        ] {
+            let input = models::synthetic_input(&model, 0x601D);
+            suite.push(GoldenCase::new(model, input));
+        }
+        suite
+    }
+
+    /// Adds a case.
+    pub fn push(&mut self, case: GoldenCase) {
+        self.cases.push(case);
+    }
+
+    /// The cases.
+    pub fn cases(&self) -> &[GoldenCase] {
+        &self.cases
+    }
+
+    /// Runs the suite: each case is deployed on a bus produced by
+    /// `make_bus` with a CFU from `make_cfu`, using `cfg`'s registry and
+    /// placement. Returns `(name, result)` per case.
+    pub fn run(
+        &self,
+        cfg: &DeployConfig,
+        mut make_bus: impl FnMut() -> Bus,
+        mut make_cfu: impl FnMut() -> Box<dyn Cfu>,
+    ) -> Vec<(String, CaseResult)> {
+        let mut results = Vec::new();
+        for case in &self.cases {
+            let name = case.model.name.clone();
+            let result = match Deployment::new(case.model.clone(), make_bus(), make_cfu(), cfg) {
+                Err(e) => CaseResult::Error(deploy_err(e)),
+                Ok(mut dep) => match dep.run(&case.input) {
+                    Err(e) => CaseResult::Error(kernel_err(e)),
+                    Ok((out, profile)) => match first_diff(&out, &case.expected) {
+                        None => CaseResult::Pass { cycles: profile.total_cycles() },
+                        Some(i) => CaseResult::Mismatch {
+                            first_mismatch: i,
+                            expected: case.expected.data[i],
+                            actual: out.data[i],
+                        },
+                    },
+                },
+            };
+            results.push((name, result));
+        }
+        results
+    }
+
+    /// Convenience: run with a given registry on a single shared-RAM bus
+    /// layout (tests and the quick menu path).
+    pub fn run_simple(
+        &self,
+        registry: KernelRegistry,
+        mut make_cfu: impl FnMut() -> Box<dyn Cfu>,
+    ) -> Vec<(String, CaseResult)> {
+        let mut cfg = DeployConfig::new(
+            cfu_sim::CpuConfig::arty_default(),
+            "ram",
+            "ram",
+            "ram",
+        );
+        cfg.registry = registry;
+        self.run(
+            &cfg,
+            || {
+                let mut bus = Bus::new();
+                bus.map("ram", 0x1000_0000, cfu_mem::Sram::new(32 << 20));
+                bus
+            },
+            &mut make_cfu,
+        )
+    }
+}
+
+fn first_diff(a: &Tensor, b: &Tensor) -> Option<usize> {
+    if a.data.len() != b.data.len() {
+        return Some(a.data.len().min(b.data.len()));
+    }
+    a.data.iter().zip(&b.data).position(|(x, y)| x != y)
+}
+
+fn deploy_err(e: DeployError) -> String {
+    e.to_string()
+}
+
+fn kernel_err(e: KernelError) -> String {
+    e.to_string()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfu_core::cfu1::Cfu1;
+    use cfu_core::NullCfu;
+    use crate::kernels::conv1x1::Conv1x1Variant;
+
+    #[test]
+    fn stock_suite_passes_with_generic_kernels() {
+        let suite = GoldenSuite::stock();
+        assert_eq!(suite.cases().len(), 4);
+        let results =
+            suite.run_simple(KernelRegistry::default(), || Box::new(NullCfu));
+        for (name, r) in &results {
+            assert!(r.passed(), "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn stock_suite_passes_with_cfu1_acceleration() {
+        let suite = GoldenSuite::stock();
+        let registry = KernelRegistry {
+            conv1x1: Some(Conv1x1Variant::CfuOverlapInput),
+            ..Default::default()
+        };
+        let results = suite.run_simple(registry, || Box::new(Cfu1::full()));
+        for (name, r) in &results {
+            assert!(r.passed(), "{name}: {r}");
+        }
+    }
+
+    #[test]
+    fn mismatches_are_localized() {
+        // A case whose expectation is deliberately corrupted.
+        let model = models::tiny_test_net(3);
+        let input = models::synthetic_input(&model, 4);
+        let mut case = GoldenCase::new(model, input);
+        case.expected.data[1] = case.expected.data[1].wrapping_add(1);
+        let mut suite = GoldenSuite::new();
+        suite.push(case);
+        let results = suite.run_simple(KernelRegistry::default(), || Box::new(NullCfu));
+        match &results[0].1 {
+            CaseResult::Mismatch { first_mismatch, .. } => assert_eq!(*first_mismatch, 1),
+            other => panic!("expected mismatch, got {other}"),
+        }
+    }
+}

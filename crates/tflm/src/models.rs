@@ -1,0 +1,605 @@
+//! Model zoo: MLPerf-Tiny-style workloads with deterministic synthetic
+//! weights.
+//!
+//! CFU Playground "comes packaged with stock models from MLPerf Tiny
+//! workloads for benchmarking". Trained weight values affect accuracy,
+//! not the cycle behaviour the paper evaluates, so the zoo generates
+//! weights from a seeded PRNG with quantization scales chosen to keep
+//! activations statistically in-range — giving reproducible golden
+//! outputs for the §II-E full-inference tests.
+
+use crate::model::{
+    Activation, ConvParams, DepthwiseParams, FullyConnectedParams, Layer, Model, Op, Padding,
+    PoolParams, SlotInfo,
+};
+use crate::tensor::{Bias, Filter, QuantParams, Shape, Tensor};
+
+/// Deterministic xorshift64* generator for synthetic weights.
+#[derive(Debug, Clone)]
+pub struct WeightRng(u64);
+
+impl WeightRng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        WeightRng(seed | 1)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 ^= self.0 >> 12;
+        self.0 ^= self.0 << 25;
+        self.0 ^= self.0 >> 27;
+        self.0.wrapping_mul(0x2545_F491_4F6C_DD1D)
+    }
+
+    /// A weight in `[-52, 52]` (σ ≈ 30 quantized units).
+    pub fn weight(&mut self) -> i8 {
+        ((self.next_u64() % 105) as i64 - 52) as i8
+    }
+
+    /// A bias in `[-500, 500]`.
+    pub fn bias(&mut self) -> i32 {
+        (self.next_u64() % 1001) as i32 - 500
+    }
+
+    /// An input activation byte covering the full int8 range.
+    pub fn activation(&mut self) -> i8 {
+        (self.next_u64() & 0xFF) as u8 as i8
+    }
+
+    /// A per-channel filter scale in `[0.015, 0.025]`.
+    pub fn filter_scale(&mut self) -> f64 {
+        0.015 + (self.next_u64() % 1000) as f64 * 1e-5
+    }
+}
+
+/// Output scale keeping accumulator statistics in int8 range:
+/// `in_scale * f_scale * 30 * sqrt(fan_in)` (weights σ≈30, see
+/// [`WeightRng::weight`]).
+fn auto_out_scale(in_scale: f64, f_scale: f64, fan_in: usize) -> f64 {
+    in_scale * f_scale * 30.0 * (fan_in.max(1) as f64).sqrt()
+}
+
+/// Incremental model builder used by the zoo.
+#[derive(Debug)]
+pub struct ModelBuilder {
+    name: String,
+    layers: Vec<Layer>,
+    slots: Vec<SlotInfo>,
+    rng: WeightRng,
+    current: usize,
+}
+
+impl ModelBuilder {
+    /// Starts a model with the given input shape/quantization and weight
+    /// seed.
+    pub fn new(name: &str, input_shape: Shape, input_quant: QuantParams, seed: u64) -> Self {
+        ModelBuilder {
+            name: name.to_owned(),
+            layers: Vec::new(),
+            slots: vec![SlotInfo { shape: input_shape, quant: input_quant }],
+            rng: WeightRng::new(seed),
+            current: 0,
+        }
+    }
+
+    /// Slot id of the current output (for residual connections).
+    pub fn checkpoint(&self) -> usize {
+        self.current
+    }
+
+    fn cur_info(&self) -> SlotInfo {
+        self.slots[self.current].clone()
+    }
+
+    fn push_layer(&mut self, name: &str, op: Op, inputs: Vec<usize>, out: SlotInfo) -> &mut Self {
+        self.slots.push(out);
+        let output = self.slots.len() - 1;
+        self.layers.push(Layer { name: name.to_owned(), op, inputs, output });
+        self.current = output;
+        self
+    }
+
+    fn make_filter(&mut self, out_ch: usize, kh: usize, kw: usize, in_ch: usize) -> (Filter, Bias) {
+        let n = out_ch * kh * kw * in_ch;
+        let data: Vec<i8> = (0..n).map(|_| self.rng.weight()).collect();
+        let scales: Vec<f64> = (0..out_ch).map(|_| self.rng.filter_scale()).collect();
+        let bias = Bias::new((0..out_ch).map(|_| self.rng.bias()).collect());
+        (Filter::new(out_ch, kh, kw, in_ch, data, scales), bias)
+    }
+
+    /// Appends a standard convolution with synthetic weights.
+    pub fn conv(
+        &mut self,
+        name: &str,
+        out_ch: usize,
+        k: (usize, usize),
+        stride: usize,
+        padding: Padding,
+        activation: Activation,
+    ) -> &mut Self {
+        let input = self.cur_info();
+        let (filter, bias) = self.make_filter(out_ch, k.0, k.1, input.shape.c);
+        let fan_in = k.0 * k.1 * input.shape.c;
+        let out_scale = auto_out_scale(input.quant.scale, filter.scales[0], fan_in);
+        let out_quant = QuantParams::new(out_scale, 0);
+        let p = ConvParams { stride, padding, filter, bias, activation, out_quant };
+        let out_shape = p.output_shape(input.shape);
+        self.push_layer(
+            name,
+            Op::Conv2d(p),
+            vec![self.current],
+            SlotInfo { shape: out_shape, quant: out_quant },
+        )
+    }
+
+    /// Appends a depthwise convolution.
+    pub fn dwconv(
+        &mut self,
+        name: &str,
+        k: (usize, usize),
+        stride: usize,
+        padding: Padding,
+        activation: Activation,
+    ) -> &mut Self {
+        let input = self.cur_info();
+        let (filter, bias) = self.make_filter(input.shape.c, k.0, k.1, 1);
+        let fan_in = k.0 * k.1;
+        let out_scale = auto_out_scale(input.quant.scale, filter.scales[0], fan_in);
+        let out_quant = QuantParams::new(out_scale, 0);
+        let p = DepthwiseParams { stride, padding, filter, bias, activation, out_quant };
+        let out_shape = p.output_shape(input.shape);
+        self.push_layer(
+            name,
+            Op::DepthwiseConv2d(p),
+            vec![self.current],
+            SlotInfo { shape: out_shape, quant: out_quant },
+        )
+    }
+
+    /// Appends a fully-connected layer over the flattened current tensor.
+    pub fn fc(&mut self, name: &str, units: usize, activation: Activation) -> &mut Self {
+        let input = self.cur_info();
+        let in_len = input.shape.elements();
+        let (filter, bias) = self.make_filter(units, 1, 1, in_len);
+        let out_scale = auto_out_scale(input.quant.scale, filter.scales[0], in_len);
+        let out_quant = QuantParams::new(out_scale, 0);
+        let p = FullyConnectedParams { filter, bias, activation, out_quant };
+        self.push_layer(
+            name,
+            Op::FullyConnected(p),
+            vec![self.current],
+            SlotInfo { shape: Shape::vector(units), quant: out_quant },
+        )
+    }
+
+    /// Appends a global average pool (whole spatial extent → 1×1).
+    pub fn global_avg_pool(&mut self, name: &str) -> &mut Self {
+        let input = self.cur_info();
+        let p = PoolParams {
+            kh: input.shape.h,
+            kw: input.shape.w,
+            stride: 1,
+            padding: Padding::Valid,
+        };
+        self.push_layer(
+            name,
+            Op::AvgPool(p),
+            vec![self.current],
+            SlotInfo { shape: Shape::new(1, 1, input.shape.c), quant: input.quant },
+        )
+    }
+
+    /// Appends a residual add of the current tensor with `other` slot.
+    pub fn add(&mut self, name: &str, other: usize) -> &mut Self {
+        let a = self.cur_info();
+        let b = self.slots[other].clone();
+        assert_eq!(a.shape, b.shape, "residual shapes must match");
+        let out_scale = (a.quant.scale + b.quant.scale) * 0.75;
+        let out_quant = QuantParams::new(out_scale, 0);
+        self.push_layer(
+            name,
+            Op::Add { out_quant },
+            vec![self.current, other],
+            SlotInfo { shape: a.shape, quant: out_quant },
+        )
+    }
+
+    /// Appends a max pool.
+    pub fn max_pool(&mut self, name: &str, k: usize, stride: usize) -> &mut Self {
+        let input = self.cur_info();
+        let p = PoolParams { kh: k, kw: k, stride, padding: Padding::Valid };
+        let (oh, _) = p.padding.output_and_pad(input.shape.h, k, stride);
+        let (ow, _) = p.padding.output_and_pad(input.shape.w, k, stride);
+        self.push_layer(
+            name,
+            Op::MaxPool(p),
+            vec![self.current],
+            SlotInfo { shape: Shape::new(oh, ow, input.shape.c), quant: input.quant },
+        )
+    }
+
+    /// Appends spatial zero-point padding.
+    pub fn pad(&mut self, name: &str, top: usize, bottom: usize, left: usize, right: usize) -> &mut Self {
+        let input = self.cur_info();
+        self.push_layer(
+            name,
+            Op::Pad { top, bottom, left, right },
+            vec![self.current],
+            SlotInfo {
+                shape: Shape::new(
+                    input.shape.h + top + bottom,
+                    input.shape.w + left + right,
+                    input.shape.c,
+                ),
+                quant: input.quant,
+            },
+        )
+    }
+
+    /// Appends a softmax.
+    pub fn softmax(&mut self, name: &str) -> &mut Self {
+        let input = self.cur_info();
+        self.push_layer(
+            name,
+            Op::Softmax,
+            vec![self.current],
+            SlotInfo { shape: input.shape, quant: crate::reference::softmax_output_quant() },
+        )
+    }
+
+    /// Appends a reshape to `new_shape`.
+    pub fn reshape(&mut self, name: &str, new_shape: Shape) -> &mut Self {
+        let input = self.cur_info();
+        self.push_layer(
+            name,
+            Op::Reshape { new_shape },
+            vec![self.current],
+            SlotInfo { shape: new_shape, quant: input.quant },
+        )
+    }
+
+    /// Finishes the model.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the built model fails validation — builder bugs, not
+    /// user input.
+    pub fn build(self) -> Model {
+        let model = Model {
+            name: self.name,
+            layers: self.layers,
+            slots: self.slots,
+            input_slot: 0,
+            output_slot: self.current,
+        };
+        if let Err(why) = model.validate() {
+            panic!("builder produced an invalid model: {why}");
+        }
+        model
+    }
+}
+
+/// A deterministic input tensor matching a model's input slot.
+pub fn synthetic_input(model: &Model, seed: u64) -> Tensor {
+    let slot = &model.slots[model.input_slot];
+    let mut rng = WeightRng::new(seed);
+    Tensor::from_data(
+        slot.shape,
+        (0..slot.shape.elements()).map(|_| rng.activation()).collect(),
+        slot.quant,
+    )
+}
+
+/// MobileNetV2 for Visual Wake Words, width multiplier 0.35, `input_hw`
+/// input resolution.
+///
+/// Use `input_hw = 96` for a full-size workload and smaller values (e.g.
+/// 24 or 48) for quick tests and large design-space sweeps. The paper's
+/// headline Figure 4 numbers come from the width-1.0 variant
+/// ([`mobilenet_v2_full`]) whose larger 1x1 layers amortize fixed CFU
+/// costs better.
+pub fn mobilenet_v2(input_hw: usize, num_classes: usize, seed: u64) -> Model {
+    // Width 0.35, channel counts rounded to multiples of 8.
+    mobilenet_v2_with_channels(
+        &format!("mobilenet_v2_0.35_{input_hw}"),
+        input_hw,
+        num_classes,
+        seed,
+        16,
+        [
+            (1, 8, 1, 1),
+            (6, 8, 2, 2),
+            (6, 16, 3, 2),
+            (6, 24, 4, 2),
+            (6, 32, 3, 1),
+            (6, 56, 3, 2),
+            (6, 112, 1, 1),
+        ],
+        1280,
+    )
+}
+
+/// MobileNetV2 with width multiplier 1.0 — the standard channel counts
+/// whose 1x1 convolutions dominate runtime the way §III-A profiles.
+pub fn mobilenet_v2_full(input_hw: usize, num_classes: usize, seed: u64) -> Model {
+    mobilenet_v2_with_channels(
+        &format!("mobilenet_v2_1.0_{input_hw}"),
+        input_hw,
+        num_classes,
+        seed,
+        32,
+        [
+            (1, 16, 1, 1),
+            (6, 24, 2, 2),
+            (6, 32, 3, 2),
+            (6, 64, 4, 2),
+            (6, 96, 3, 1),
+            (6, 160, 3, 2),
+            (6, 320, 1, 1),
+        ],
+        1280,
+    )
+}
+
+fn mobilenet_v2_with_channels(
+    name: &str,
+    input_hw: usize,
+    num_classes: usize,
+    seed: u64,
+    stem_ch: usize,
+    blocks: [(usize, usize, usize, usize); 7],
+    head_ch: usize,
+) -> Model {
+    assert!(input_hw % 8 == 0, "input size must be divisible by 8 (five stride-2 stages)");
+    let mut b = ModelBuilder::new(
+        name,
+        Shape::new(input_hw, input_hw, 3),
+        QuantParams::new(0.05, 0),
+        seed,
+    );
+    // Stem: 3x3 stride-2 convolution.
+    b.conv("stem", stem_ch, (3, 3), 2, Padding::Same, Activation::Relu6);
+    // Inverted residual blocks: (expansion, out_ch, repeats, stride).
+    let mut block_idx = 0;
+    for (t, c, n, s) in blocks {
+        for rep in 0..n {
+            let stride = if rep == 0 { s } else { 1 };
+            let prefix = format!("block{block_idx}");
+            let in_info = b.cur_info();
+            let in_ch = in_info.shape.c;
+            let skip = b.checkpoint();
+            if t != 1 {
+                b.conv(
+                    &format!("{prefix}/expand"),
+                    in_ch * t,
+                    (1, 1),
+                    1,
+                    Padding::Same,
+                    Activation::Relu6,
+                );
+            }
+            b.dwconv(&format!("{prefix}/dw"), (3, 3), stride, Padding::Same, Activation::Relu6);
+            b.conv(&format!("{prefix}/project"), c, (1, 1), 1, Padding::Same, Activation::None);
+            if stride == 1 && in_ch == c {
+                b.add(&format!("{prefix}/add"), skip);
+            }
+            block_idx += 1;
+        }
+    }
+    // Head: 1x1 conv, pool, classifier.
+    b.conv("head", head_ch, (1, 1), 1, Padding::Same, Activation::Relu6);
+    b.global_avg_pool("pool");
+    b.fc("logits", num_classes, Activation::None);
+    b.softmax("softmax");
+    b.build()
+}
+
+/// The MLPerf Tiny Keyword-Spotting model (DS-CNN): 49×10 MFCC input,
+/// one 10×4 stride-2 conv, four depthwise-separable blocks of 64
+/// channels, pool, 12-way classifier. The paper's Fomu workload.
+pub fn ds_cnn_kws(seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "ds_cnn_kws",
+        Shape::new(49, 10, 1),
+        QuantParams::new(0.08, 0),
+        seed,
+    );
+    b.conv("conv1", 64, (10, 4), 2, Padding::Same, Activation::Relu);
+    for i in 1..=4 {
+        b.dwconv(&format!("ds{i}/dw"), (3, 3), 1, Padding::Same, Activation::Relu);
+        b.conv(&format!("ds{i}/pw"), 64, (1, 1), 1, Padding::Same, Activation::Relu);
+    }
+    b.global_avg_pool("pool");
+    b.fc("logits", 12, Activation::None);
+    b.softmax("softmax");
+    b.build()
+}
+
+/// The MLPerf Tiny image-classification model (ResNet-8 on 32×32×3).
+pub fn resnet8(seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "resnet8",
+        Shape::new(32, 32, 3),
+        QuantParams::new(0.04, 0),
+        seed,
+    );
+    b.conv("stem", 16, (3, 3), 1, Padding::Same, Activation::Relu);
+    let mut ch = 16;
+    for (stack, stride) in [(1, 1), (2, 2), (3, 2)] {
+        if stack > 1 {
+            ch *= 2;
+        }
+        let skip = b.checkpoint();
+        b.conv(&format!("s{stack}/conv1"), ch, (3, 3), stride, Padding::Same, Activation::Relu);
+        b.conv(&format!("s{stack}/conv2"), ch, (3, 3), 1, Padding::Same, Activation::None);
+        let main = b.checkpoint();
+        if stride != 1 || stack == 1 {
+            // Projection shortcut (1x1, stride matching) from the stack
+            // input. ResNet-8 uses it whenever shapes change; for stack 1
+            // shapes match, so add directly.
+            if stride != 1 {
+                // rebuild from skip: a 1x1 conv on the skip path
+                let cur = b.current_slot();
+                b.set_current(skip);
+                b.conv(
+                    &format!("s{stack}/proj"),
+                    ch,
+                    (1, 1),
+                    stride,
+                    Padding::Same,
+                    Activation::None,
+                );
+                let proj = b.checkpoint();
+                b.set_current(cur);
+                b.add(&format!("s{stack}/add"), proj);
+            } else {
+                b.add(&format!("s{stack}/add"), skip);
+            }
+        } else {
+            let _ = main;
+            b.add(&format!("s{stack}/add"), skip);
+        }
+    }
+    b.global_avg_pool("pool");
+    b.fc("logits", 10, Activation::None);
+    b.softmax("softmax");
+    b.build()
+}
+
+/// The MLPerf Tiny anomaly-detection model (fully-connected
+/// autoencoder, 640-dim input).
+pub fn fc_autoencoder(seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "fc_autoencoder",
+        Shape::vector(640),
+        QuantParams::new(0.06, 0),
+        seed,
+    );
+    for (i, units) in [128, 128, 128, 128, 8].into_iter().enumerate() {
+        b.fc(&format!("enc{i}"), units, Activation::Relu);
+    }
+    for (i, units) in [128, 128, 128, 128, 640].into_iter().enumerate() {
+        b.fc(&format!("dec{i}"), units, Activation::None);
+    }
+    b.build()
+}
+
+/// A small conv net for fast tests: a few layers covering every operator
+/// kind (conv 3x3, pointwise conv, depthwise, add, pool, fc, softmax).
+pub fn tiny_test_net(seed: u64) -> Model {
+    let mut b = ModelBuilder::new(
+        "tiny_test_net",
+        Shape::new(8, 8, 4),
+        QuantParams::new(0.05, 2),
+        seed,
+    );
+    b.pad("pad", 1, 1, 1, 1);
+    b.conv("conv3x3", 8, (3, 3), 1, Padding::Valid, Activation::Relu6);
+    b.max_pool("maxpool", 2, 1);
+    b.conv("shrink", 8, (2, 2), 1, Padding::Valid, Activation::Relu6);
+    let skip = b.checkpoint();
+    b.conv("pw1", 16, (1, 1), 1, Padding::Same, Activation::Relu6);
+    b.dwconv("dw", (3, 3), 1, Padding::Same, Activation::Relu6);
+    b.conv("pw2", 8, (1, 1), 1, Padding::Same, Activation::None);
+    b.add("residual", skip);
+    b.global_avg_pool("pool");
+    b.fc("logits", 4, Activation::None);
+    b.softmax("softmax");
+    b.build()
+}
+
+impl ModelBuilder {
+    /// Current output slot (rarely needed; see `resnet8` for branching).
+    pub fn current_slot(&self) -> usize {
+        self.current
+    }
+
+    /// Rewinds the builder to an earlier slot (for parallel branches).
+    pub fn set_current(&mut self, slot: usize) {
+        assert!(slot < self.slots.len(), "unknown slot {slot}");
+        self.current = slot;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::OpKind;
+
+    #[test]
+    fn zoo_models_validate() {
+        for model in [
+            mobilenet_v2(48, 2, 1),
+            ds_cnn_kws(2),
+            resnet8(3),
+            fc_autoencoder(4),
+            tiny_test_net(5),
+        ] {
+            model.validate().unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            assert!(model.total_macs() > 0, "{}", model.name);
+        }
+    }
+
+    #[test]
+    fn models_are_deterministic() {
+        let a = mobilenet_v2(24, 2, 7);
+        let b = mobilenet_v2(24, 2, 7);
+        assert_eq!(a, b);
+        let c = mobilenet_v2(24, 2, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn mobilenet_has_expected_structure() {
+        let m = mobilenet_v2(96, 2, 1);
+        // 1x1 convolutions dominate the MAC count, as in the paper.
+        let pw_macs: u64 = m
+            .layers
+            .iter()
+            .filter(|l| l.op.kind() == OpKind::Conv2d1x1)
+            .map(|l| match &l.op {
+                crate::model::Op::Conv2d(p) => p.macs(m.slots[l.inputs[0]].shape),
+                _ => 0,
+            })
+            .sum();
+        assert!(
+            pw_macs * 2 > m.total_macs(),
+            "pointwise {} of {}",
+            pw_macs,
+            m.total_macs()
+        );
+        // Residual adds exist.
+        assert!(m.layers.iter().any(|l| matches!(l.op, crate::model::Op::Add { .. })));
+    }
+
+    #[test]
+    fn ds_cnn_shapes() {
+        let m = ds_cnn_kws(1);
+        // conv1 output: 25x5x64 (stride 2 SAME from 49x10).
+        let conv1 = &m.layers[0];
+        assert_eq!(m.slots[conv1.output].shape, Shape::new(25, 5, 64));
+        // ~2-3M MACs like the real DS-CNN-S.
+        let macs = m.total_macs();
+        assert!((1_000_000..6_000_000).contains(&macs), "{macs}");
+    }
+
+    #[test]
+    fn synthetic_input_matches_shape() {
+        let m = tiny_test_net(1);
+        let x = synthetic_input(&m, 9);
+        assert_eq!(x.shape, m.slots[m.input_slot].shape);
+        let y = synthetic_input(&m, 9);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn weight_rng_ranges() {
+        let mut rng = WeightRng::new(42);
+        for _ in 0..1000 {
+            let w = rng.weight();
+            assert!((-52..=52).contains(&w));
+            let s = rng.filter_scale();
+            assert!((0.015..0.0251).contains(&s));
+        }
+    }
+}

@@ -1,0 +1,164 @@
+//! Per-operator cycle profiling — the "profile" step of the paper's
+//! deploy→profile→optimize loop.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use crate::model::OpKind;
+
+/// One layer's measurement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerProfile {
+    /// Layer name.
+    pub name: String,
+    /// Operator kind.
+    pub kind: OpKind,
+    /// Cycles spent in this layer.
+    pub cycles: u64,
+    /// Multiply-accumulates this layer performs.
+    pub macs: u64,
+}
+
+impl LayerProfile {
+    /// Cycles per MAC (0 for MAC-free ops).
+    pub fn cycles_per_mac(&self) -> f64 {
+        if self.macs == 0 {
+            0.0
+        } else {
+            self.cycles as f64 / self.macs as f64
+        }
+    }
+}
+
+/// A whole-inference profile.
+///
+/// The aggregation by [`OpKind`] reproduces the paper's MobileNetV2
+/// breakdown ("95% of its execution time is spread across three different
+/// types of convolutions: 1x1 2D Convolution (63%), Depthwise Convolution
+/// (22.5%), 3x3 2D Convolution (11%)").
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Profile {
+    entries: Vec<LayerProfile>,
+}
+
+impl Profile {
+    /// An empty profile.
+    pub fn new() -> Self {
+        Profile::default()
+    }
+
+    /// Records one layer.
+    pub fn push(&mut self, entry: LayerProfile) {
+        self.entries.push(entry);
+    }
+
+    /// Per-layer entries in execution order.
+    pub fn entries(&self) -> &[LayerProfile] {
+        &self.entries
+    }
+
+    /// Total cycles across all layers.
+    pub fn total_cycles(&self) -> u64 {
+        self.entries.iter().map(|e| e.cycles).sum()
+    }
+
+    /// Total MACs across all layers.
+    pub fn total_macs(&self) -> u64 {
+        self.entries.iter().map(|e| e.macs).sum()
+    }
+
+    /// Cycles aggregated per operator kind, descending by cycles.
+    pub fn by_kind(&self) -> Vec<(OpKind, u64)> {
+        let mut map: BTreeMap<OpKind, u64> = BTreeMap::new();
+        for e in &self.entries {
+            *map.entry(e.kind).or_default() += e.cycles;
+        }
+        let mut v: Vec<_> = map.into_iter().collect();
+        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v
+    }
+
+    /// Cycles spent in one operator kind.
+    pub fn cycles_for(&self, kind: OpKind) -> u64 {
+        self.entries.iter().filter(|e| e.kind == kind).map(|e| e.cycles).sum()
+    }
+
+    /// Fraction of total cycles spent in one operator kind (`0.0` when
+    /// the profile is empty).
+    pub fn share_of(&self, kind: OpKind) -> f64 {
+        let total = self.total_cycles();
+        if total == 0 {
+            0.0
+        } else {
+            self.cycles_for(kind) as f64 / total as f64
+        }
+    }
+}
+
+impl fmt::Display for Profile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let total = self.total_cycles().max(1);
+        writeln!(f, "{:<22} {:>14} {:>7}", "op type", "cycles", "share")?;
+        for (kind, cycles) in self.by_kind() {
+            writeln!(
+                f,
+                "{:<22} {:>14} {:>6.1}%",
+                kind.name(),
+                cycles,
+                100.0 * cycles as f64 / total as f64
+            )?;
+        }
+        writeln!(f, "{:<22} {:>14} 100.0%", "TOTAL", self.total_cycles())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Profile {
+        let mut p = Profile::new();
+        p.push(LayerProfile { name: "a".into(), kind: OpKind::Conv2d1x1, cycles: 630, macs: 100 });
+        p.push(LayerProfile {
+            name: "b".into(),
+            kind: OpKind::DepthwiseConv2d,
+            cycles: 225,
+            macs: 50,
+        });
+        p.push(LayerProfile { name: "c".into(), kind: OpKind::Conv2d, cycles: 110, macs: 20 });
+        p.push(LayerProfile { name: "d".into(), kind: OpKind::Softmax, cycles: 35, macs: 0 });
+        p
+    }
+
+    #[test]
+    fn totals_and_shares() {
+        let p = demo();
+        assert_eq!(p.total_cycles(), 1000);
+        assert_eq!(p.total_macs(), 170);
+        assert!((p.share_of(OpKind::Conv2d1x1) - 0.63).abs() < 1e-9);
+        assert!((p.share_of(OpKind::DepthwiseConv2d) - 0.225).abs() < 1e-9);
+    }
+
+    #[test]
+    fn by_kind_sorted_descending() {
+        let kinds: Vec<_> = demo().by_kind().into_iter().map(|(k, _)| k).collect();
+        assert_eq!(kinds[0], OpKind::Conv2d1x1);
+        assert_eq!(kinds[1], OpKind::DepthwiseConv2d);
+    }
+
+    #[test]
+    fn display_mentions_totals() {
+        let s = demo().to_string();
+        assert!(s.contains("CONV_2D 1x1"));
+        assert!(s.contains("63.0%"));
+        assert!(s.contains("TOTAL"));
+    }
+
+    #[test]
+    fn cycles_per_mac() {
+        let e = LayerProfile { name: "x".into(), kind: OpKind::Conv2d, cycles: 100, macs: 50 };
+        assert_eq!(e.cycles_per_mac(), 2.0);
+        let e = LayerProfile { name: "x".into(), kind: OpKind::Add, cycles: 100, macs: 0 };
+        assert_eq!(e.cycles_per_mac(), 0.0);
+    }
+}

@@ -1,0 +1,534 @@
+//! Reference kernels: the golden int8 semantics every optimized kernel
+//! must reproduce bit-for-bit.
+//!
+//! These mirror TFLite Micro's reference kernels (`reference_ops::Conv`,
+//! `DepthwiseConv`, etc.): int32 accumulation, per-channel requantization
+//! through [`cfu_core::arith`], and fused activation clamping. They are
+//! pure functions over [`Tensor`]s with no timing model — used for golden
+//! full-inference tests (§II-E) and as the oracle in kernel equivalence
+//! property tests.
+
+use cfu_core::arith::{self, quantize_multiplier};
+
+use crate::model::{ConvParams, DepthwiseParams, FullyConnectedParams, PoolParams};
+use crate::tensor::{QuantParams, Shape, Tensor};
+
+/// Precomputed per-channel requantization parameters for a conv-like op.
+#[derive(Debug, Clone)]
+pub struct ChannelQuant {
+    /// Q31 multipliers, one per output channel.
+    pub multipliers: Vec<i32>,
+    /// Shifts, one per output channel.
+    pub shifts: Vec<i32>,
+}
+
+impl ChannelQuant {
+    /// Computes `(multiplier, shift)` per channel from
+    /// `input_scale * filter_scale[c] / output_scale`.
+    pub fn compute(input: QuantParams, filter_scales: &[f64], output: QuantParams) -> Self {
+        let mut multipliers = Vec::with_capacity(filter_scales.len());
+        let mut shifts = Vec::with_capacity(filter_scales.len());
+        for &fs in filter_scales {
+            let real = input.scale * fs / output.scale;
+            let (m, s) = quantize_multiplier(real);
+            multipliers.push(m);
+            shifts.push(s);
+        }
+        ChannelQuant { multipliers, shifts }
+    }
+}
+
+/// Reference standard convolution.
+///
+/// # Panics
+///
+/// Panics if the filter's `in_ch` does not match the input tensor.
+pub fn conv2d(input: &Tensor, p: &ConvParams) -> Tensor {
+    assert_eq!(p.filter.in_ch, input.shape.c, "filter in_ch mismatch");
+    let out_shape = p.output_shape(input.shape);
+    let (_, pad_y) = p.padding.output_and_pad(input.shape.h, p.filter.kh, p.stride);
+    let (_, pad_x) = p.padding.output_and_pad(input.shape.w, p.filter.kw, p.stride);
+    let cq = ChannelQuant::compute(input.quant, &p.filter.scales, p.out_quant);
+    let input_offset = -input.quant.zero_point;
+    let (act_min, act_max) = p.activation.range(p.out_quant);
+    let mut out = Tensor::zeros(out_shape, p.out_quant);
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for oc in 0..out_shape.c {
+                let mut acc = 0i32;
+                for dy in 0..p.filter.kh {
+                    for dx in 0..p.filter.kw {
+                        let iy = (oy * p.stride + dy) as isize - pad_y as isize;
+                        let ix = (ox * p.stride + dx) as isize - pad_x as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy >= input.shape.h as isize
+                            || ix >= input.shape.w as isize
+                        {
+                            continue;
+                        }
+                        for ic in 0..input.shape.c {
+                            let x = i32::from(input.at(iy as usize, ix as usize, ic));
+                            let w = i32::from(p.filter.at(oc, dy, dx, ic));
+                            acc += (x + input_offset) * w;
+                        }
+                    }
+                }
+                acc += p.bias.data[oc];
+                let scaled =
+                    arith::multiply_by_quantized_multiplier(acc, cq.multipliers[oc], cq.shifts[oc]);
+                let v = arith::clamp_activation(
+                    scaled + p.out_quant.zero_point,
+                    act_min,
+                    act_max,
+                );
+                out.set(oy, ox, oc, v as i8);
+            }
+        }
+    }
+    out
+}
+
+/// Reference depthwise convolution (depth multiplier 1).
+///
+/// # Panics
+///
+/// Panics if the filter's `out_ch` does not match the input channels.
+pub fn depthwise_conv2d(input: &Tensor, p: &DepthwiseParams) -> Tensor {
+    assert_eq!(p.filter.out_ch, input.shape.c, "depthwise channel mismatch");
+    assert_eq!(p.filter.in_ch, 1, "depth multiplier must be 1");
+    let out_shape = p.output_shape(input.shape);
+    let (_, pad_y) = p.padding.output_and_pad(input.shape.h, p.filter.kh, p.stride);
+    let (_, pad_x) = p.padding.output_and_pad(input.shape.w, p.filter.kw, p.stride);
+    let cq = ChannelQuant::compute(input.quant, &p.filter.scales, p.out_quant);
+    let input_offset = -input.quant.zero_point;
+    let (act_min, act_max) = p.activation.range(p.out_quant);
+    let mut out = Tensor::zeros(out_shape, p.out_quant);
+    for oy in 0..out_shape.h {
+        for ox in 0..out_shape.w {
+            for c in 0..out_shape.c {
+                let mut acc = 0i32;
+                for dy in 0..p.filter.kh {
+                    for dx in 0..p.filter.kw {
+                        let iy = (oy * p.stride + dy) as isize - pad_y as isize;
+                        let ix = (ox * p.stride + dx) as isize - pad_x as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy >= input.shape.h as isize
+                            || ix >= input.shape.w as isize
+                        {
+                            continue;
+                        }
+                        let x = i32::from(input.at(iy as usize, ix as usize, c));
+                        let w = i32::from(p.filter.at(c, dy, dx, 0));
+                        acc += (x + input_offset) * w;
+                    }
+                }
+                acc += p.bias.data[c];
+                let scaled =
+                    arith::multiply_by_quantized_multiplier(acc, cq.multipliers[c], cq.shifts[c]);
+                let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
+                out.set(oy, ox, c, v as i8);
+            }
+        }
+    }
+    out
+}
+
+/// Reference fully-connected layer. Input is flattened.
+///
+/// # Panics
+///
+/// Panics if the filter's `in_ch` does not match the flattened input.
+pub fn fully_connected(input: &Tensor, p: &FullyConnectedParams) -> Tensor {
+    assert_eq!(p.filter.in_ch, input.shape.elements(), "FC input length mismatch");
+    let cq = ChannelQuant::compute(input.quant, &p.filter.scales, p.out_quant);
+    let input_offset = -input.quant.zero_point;
+    let (act_min, act_max) = p.activation.range(p.out_quant);
+    let mut out = Tensor::zeros(Shape::vector(p.filter.out_ch), p.out_quant);
+    for oc in 0..p.filter.out_ch {
+        let mut acc = 0i32;
+        for (i, &x) in input.data.iter().enumerate() {
+            let w = i32::from(p.filter.data[oc * p.filter.in_ch + i]);
+            acc += (i32::from(x) + input_offset) * w;
+        }
+        acc += p.bias.data[oc];
+        let scaled = arith::multiply_by_quantized_multiplier(acc, cq.multipliers[oc], cq.shifts[oc]);
+        let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
+        out.data[oc] = v as i8;
+    }
+    out
+}
+
+/// Reference average pool (quantization passes through unchanged, TFLM
+/// rounding: round half away from zero).
+pub fn avg_pool(input: &Tensor, p: &PoolParams) -> Tensor {
+    let (oh, pad_y) = p.padding.output_and_pad(input.shape.h, p.kh, p.stride);
+    let (ow, pad_x) = p.padding.output_and_pad(input.shape.w, p.kw, p.stride);
+    let mut out = Tensor::zeros(Shape::new(oh, ow, input.shape.c), input.quant);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for c in 0..input.shape.c {
+                let mut sum = 0i32;
+                let mut count = 0i32;
+                for dy in 0..p.kh {
+                    for dx in 0..p.kw {
+                        let iy = (oy * p.stride + dy) as isize - pad_y as isize;
+                        let ix = (ox * p.stride + dx) as isize - pad_x as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy >= input.shape.h as isize
+                            || ix >= input.shape.w as isize
+                        {
+                            continue;
+                        }
+                        sum += i32::from(input.at(iy as usize, ix as usize, c));
+                        count += 1;
+                    }
+                }
+                let v = if sum >= 0 {
+                    (sum + count / 2) / count.max(1)
+                } else {
+                    (sum - count / 2) / count.max(1)
+                };
+                out.set(oy, ox, c, v.clamp(-128, 127) as i8);
+            }
+        }
+    }
+    out
+}
+
+/// Reference max pool.
+pub fn max_pool(input: &Tensor, p: &PoolParams) -> Tensor {
+    let (oh, pad_y) = p.padding.output_and_pad(input.shape.h, p.kh, p.stride);
+    let (ow, pad_x) = p.padding.output_and_pad(input.shape.w, p.kw, p.stride);
+    let mut out = Tensor::zeros(Shape::new(oh, ow, input.shape.c), input.quant);
+    for oy in 0..oh {
+        for ox in 0..ow {
+            for c in 0..input.shape.c {
+                let mut best = i8::MIN;
+                for dy in 0..p.kh {
+                    for dx in 0..p.kw {
+                        let iy = (oy * p.stride + dy) as isize - pad_y as isize;
+                        let ix = (ox * p.stride + dx) as isize - pad_x as isize;
+                        if iy < 0
+                            || ix < 0
+                            || iy >= input.shape.h as isize
+                            || ix >= input.shape.w as isize
+                        {
+                            continue;
+                        }
+                        best = best.max(input.at(iy as usize, ix as usize, c));
+                    }
+                }
+                out.set(oy, ox, c, best);
+            }
+        }
+    }
+    out
+}
+
+/// Left shift used by TFLM's int8 ADD.
+const ADD_LEFT_SHIFT: i32 = 20;
+
+/// Reference elementwise int8 ADD with TFLM's double-rescaling scheme.
+///
+/// # Panics
+///
+/// Panics if the inputs have different shapes.
+pub fn add(a: &Tensor, b: &Tensor, out_quant: QuantParams) -> Tensor {
+    assert_eq!(a.shape, b.shape, "ADD shape mismatch");
+    let twice_max = 2.0 * a.quant.scale.max(b.quant.scale);
+    let (m1, s1) = quantize_multiplier(a.quant.scale / twice_max);
+    let (m2, s2) = quantize_multiplier(b.quant.scale / twice_max);
+    let (mo, so) =
+        quantize_multiplier(twice_max / (f64::from(1u32 << ADD_LEFT_SHIFT) * out_quant.scale));
+    let mut out = Tensor::zeros(a.shape, out_quant);
+    for i in 0..a.data.len() {
+        let xa = (i32::from(a.data[i]) - a.quant.zero_point) << ADD_LEFT_SHIFT;
+        let xb = (i32::from(b.data[i]) - b.quant.zero_point) << ADD_LEFT_SHIFT;
+        let ra = arith::multiply_by_quantized_multiplier(xa, m1, s1);
+        let rb = arith::multiply_by_quantized_multiplier(xb, m2, s2);
+        let sum = ra + rb;
+        let v = arith::multiply_by_quantized_multiplier(sum, mo, so) + out_quant.zero_point;
+        out.data[i] = v.clamp(-128, 127) as i8;
+    }
+    out
+}
+
+/// Quantization parameters TFLite fixes for int8 softmax output.
+pub fn softmax_output_quant() -> QuantParams {
+    QuantParams::new(1.0 / 256.0, -128)
+}
+
+/// Reference softmax over the flattened tensor.
+///
+/// TFLM computes softmax with a fixed-point exponential table; this
+/// implementation dequantizes, applies the numerically-stable float
+/// softmax, and requantizes to the fixed output scale — bit-differences
+/// from the table version are below the output quantization step, and
+/// DESIGN.md records the substitution.
+pub fn softmax(input: &Tensor) -> Tensor {
+    let oq = softmax_output_quant();
+    let reals: Vec<f64> = input.data.iter().map(|&q| input.quant.dequantize(q)).collect();
+    let max = reals.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = reals.iter().map(|&r| (r - max).exp()).collect();
+    let denom: f64 = exps.iter().sum();
+    let mut out = Tensor::zeros(input.shape, oq);
+    for (o, e) in out.data.iter_mut().zip(&exps) {
+        *o = oq.quantize(e / denom);
+    }
+    out
+}
+
+/// Spatial zero-point padding (TFLite PAD semantics: new elements take
+/// the tensor's quantized zero point).
+pub fn pad_spatial(
+    input: &Tensor,
+    top: usize,
+    bottom: usize,
+    left: usize,
+    right: usize,
+) -> Tensor {
+    let out_shape = Shape::new(
+        input.shape.h + top + bottom,
+        input.shape.w + left + right,
+        input.shape.c,
+    );
+    let mut out = Tensor::zeros(out_shape, input.quant);
+    for y in 0..input.shape.h {
+        for x in 0..input.shape.w {
+            for c in 0..input.shape.c {
+                out.set(y + top, x + left, c, input.at(y, x, c));
+            }
+        }
+    }
+    out
+}
+
+/// Reshape (data is shared layout; only the shape changes).
+///
+/// # Panics
+///
+/// Panics if the element count changes.
+pub fn reshape(input: &Tensor, new_shape: Shape) -> Tensor {
+    assert_eq!(input.shape.elements(), new_shape.elements(), "reshape size mismatch");
+    Tensor { shape: new_shape, data: input.data.clone(), quant: input.quant }
+}
+
+/// Runs a whole model through the reference kernels — the golden path
+/// full-inference tests compare deployed runs against.
+///
+/// # Panics
+///
+/// Panics if the model is invalid (use [`crate::model::Model::validate`]
+/// first) or the input shape mismatches.
+pub fn run_model(model: &crate::model::Model, input: &Tensor) -> Tensor {
+    use crate::model::Op;
+    assert_eq!(input.shape, model.slots[model.input_slot].shape, "input shape");
+    let mut values: Vec<Option<Tensor>> = vec![None; model.slots.len()];
+    values[model.input_slot] = Some(input.clone());
+    for layer in &model.layers {
+        let a = values[layer.inputs[0]].clone().expect("input computed (topo order)");
+        let out = match &layer.op {
+            Op::Conv2d(p) => conv2d(&a, p),
+            Op::DepthwiseConv2d(p) => depthwise_conv2d(&a, p),
+            Op::FullyConnected(p) => fully_connected(&a, p),
+            Op::AvgPool(p) => avg_pool(&a, p),
+            Op::MaxPool(p) => max_pool(&a, p),
+            Op::Add { out_quant } => {
+                let b = values[layer.inputs[1]].clone().expect("second input computed");
+                add(&a, &b, *out_quant)
+            }
+            Op::Softmax => softmax(&a),
+            Op::Reshape { new_shape } => reshape(&a, *new_shape),
+            Op::Pad { top, bottom, left, right } => {
+                pad_spatial(&a, *top, *bottom, *left, *right)
+            }
+        };
+        values[layer.output] = Some(out);
+    }
+    values[model.output_slot].clone().expect("output computed")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Activation, Padding};
+    use crate::tensor::{Bias, Filter};
+
+    fn identity_conv(in_ch: usize, scale: f64) -> ConvParams {
+        // 1x1 conv with identity weight matrix.
+        let mut data = vec![0i8; in_ch * in_ch];
+        for c in 0..in_ch {
+            data[c * in_ch + c] = 1;
+        }
+        ConvParams {
+            stride: 1,
+            padding: Padding::Same,
+            filter: Filter::new(in_ch, 1, 1, in_ch, data, vec![scale; in_ch]),
+            bias: Bias::zeros(in_ch),
+            activation: Activation::None,
+            out_quant: QuantParams::new(scale, 0),
+        }
+    }
+
+    #[test]
+    fn identity_1x1_conv_passes_data_through() {
+        // input scale 1.0 zp 0; filter scale 1.0; out scale 1.0 → identity.
+        let input = Tensor::from_data(
+            Shape::new(2, 2, 3),
+            vec![1, -2, 3, 4, -5, 6, 7, -8, 9, 10, -11, 12],
+            QuantParams::new(1.0, 0),
+        );
+        let out = conv2d(&input, &identity_conv(3, 1.0));
+        assert_eq!(out.data, input.data);
+    }
+
+    #[test]
+    fn conv_applies_bias_and_offsets() {
+        let input = Tensor::from_data(Shape::new(1, 1, 2), vec![10, 20], QuantParams::new(1.0, 5));
+        // Single output channel summing both inputs.
+        let p = ConvParams {
+            stride: 1,
+            padding: Padding::Valid,
+            filter: Filter::new(1, 1, 1, 2, vec![1, 1], vec![1.0]),
+            bias: Bias::new(vec![7]),
+            activation: Activation::None,
+            out_quant: QuantParams::new(1.0, -3),
+        };
+        // acc = (10-5) + (20-5) = 20; +bias 7 = 27; *1.0 + (-3) = 24.
+        let out = conv2d(&input, &p);
+        assert_eq!(out.data, vec![24]);
+    }
+
+    #[test]
+    fn conv_3x3_same_padding_zero_contribution() {
+        // All-ones 3x3 filter over a 3x3 single-channel input of ones,
+        // zero offsets: corner output touches 4 valid pixels.
+        let input =
+            Tensor::from_data(Shape::new(3, 3, 1), vec![1; 9], QuantParams::new(1.0, 0));
+        let p = ConvParams {
+            stride: 1,
+            padding: Padding::Same,
+            filter: Filter::new(1, 3, 3, 1, vec![1; 9], vec![1.0]),
+            bias: Bias::zeros(1),
+            activation: Activation::None,
+            out_quant: QuantParams::new(1.0, 0),
+        };
+        let out = conv2d(&input, &p);
+        assert_eq!(out.at(0, 0, 0), 4); // corner
+        assert_eq!(out.at(0, 1, 0), 6); // edge
+        assert_eq!(out.at(1, 1, 0), 9); // center
+    }
+
+    #[test]
+    fn relu_clamps_at_zero_point() {
+        let input = Tensor::from_data(Shape::new(1, 1, 1), vec![-50], QuantParams::new(1.0, 0));
+        let mut p = identity_conv(1, 1.0);
+        p.activation = Activation::Relu;
+        let out = conv2d(&input, &p);
+        assert_eq!(out.data[0], 0); // clamped up to zero point
+    }
+
+    #[test]
+    fn depthwise_matches_manual() {
+        // 2 channels, 2x2 input, 2x2 filter, valid padding.
+        let input = Tensor::from_data(
+            Shape::new(2, 2, 2),
+            vec![1, 10, 2, 20, 3, 30, 4, 40],
+            QuantParams::new(1.0, 0),
+        );
+        let p = DepthwiseParams {
+            stride: 1,
+            padding: Padding::Valid,
+            filter: Filter::new(2, 2, 2, 1, vec![1, 1, 1, 1, 1, 1, 1, 1], vec![1.0, 1.0]),
+            bias: Bias::zeros(2),
+            activation: Activation::None,
+            out_quant: QuantParams::new(1.0, 0),
+        };
+        let out = depthwise_conv2d(&input, &p);
+        assert_eq!(out.shape, Shape::new(1, 1, 2));
+        assert_eq!(out.data, vec![1 + 2 + 3 + 4, 100]);
+    }
+
+    #[test]
+    fn fully_connected_basic() {
+        let input = Tensor::from_data(Shape::vector(3), vec![1, 2, 3], QuantParams::new(1.0, 0));
+        let p = FullyConnectedParams {
+            filter: Filter::new(2, 1, 1, 3, vec![1, 0, 0, 0, 0, 2], vec![1.0, 1.0]),
+            bias: Bias::new(vec![0, 1]),
+            activation: Activation::None,
+            out_quant: QuantParams::new(1.0, 0),
+        };
+        let out = fully_connected(&input, &p);
+        assert_eq!(out.data, vec![1, 7]);
+    }
+
+    #[test]
+    fn avg_pool_rounds_half_away() {
+        let input =
+            Tensor::from_data(Shape::new(2, 2, 1), vec![1, 2, 2, 2], QuantParams::new(1.0, 0));
+        let p = PoolParams { kh: 2, kw: 2, stride: 2, padding: Padding::Valid };
+        let out = avg_pool(&input, &p);
+        assert_eq!(out.data, vec![2]); // 7/4 = 1.75 → 2
+        let input =
+            Tensor::from_data(Shape::new(2, 2, 1), vec![-1, -2, -2, -2], QuantParams::new(1.0, 0));
+        let out = avg_pool(&input, &p);
+        assert_eq!(out.data, vec![-2]); // -1.75 → -2 (away from zero)
+    }
+
+    #[test]
+    fn max_pool_basic() {
+        let input = Tensor::from_data(
+            Shape::new(2, 2, 1),
+            vec![-5, 3, 7, -1],
+            QuantParams::new(1.0, 0),
+        );
+        let p = PoolParams { kh: 2, kw: 2, stride: 2, padding: Padding::Valid };
+        assert_eq!(max_pool(&input, &p).data, vec![7]);
+    }
+
+    #[test]
+    fn add_same_scales_is_plain_sum() {
+        let q = QuantParams::new(0.5, 0);
+        let a = Tensor::from_data(Shape::vector(3), vec![10, -20, 30], q);
+        let b = Tensor::from_data(Shape::vector(3), vec![1, 2, 3], q);
+        let out = add(&a, &b, q);
+        assert_eq!(out.data, vec![11, -18, 33]);
+    }
+
+    #[test]
+    fn add_rescales_mixed_scales() {
+        let a = Tensor::from_data(Shape::vector(1), vec![100], QuantParams::new(1.0, 0));
+        let b = Tensor::from_data(Shape::vector(1), vec![100], QuantParams::new(0.5, 0));
+        // Real values: 100.0 and 50.0 → 150.0; output scale 2.0 → 75.
+        let out = add(&a, &b, QuantParams::new(2.0, 0));
+        assert_eq!(out.data, vec![75]);
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let input = Tensor::from_data(
+            Shape::vector(4),
+            vec![20, 10, 0, -10],
+            QuantParams::new(0.1, 0),
+        );
+        let out = softmax(&input);
+        assert_eq!(out.quant, softmax_output_quant());
+        assert_eq!(out.argmax(), 0);
+        // Probabilities sum to ~1 → quantized values sum near
+        // 256 * 1 + 4 * (-128).
+        let sum: i32 = out.data.iter().map(|&v| i32::from(v) + 128).sum();
+        assert!((250..=260).contains(&sum), "prob mass {sum}");
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let input =
+            Tensor::from_data(Shape::new(2, 2, 1), vec![1, 2, 3, 4], QuantParams::default());
+        let out = reshape(&input, Shape::vector(4));
+        assert_eq!(out.data, input.data);
+        assert_eq!(out.shape, Shape::vector(4));
+    }
+}

@@ -1,0 +1,278 @@
+//! Quantized tensors (TFLite-Micro int8 conventions).
+
+use std::fmt;
+
+/// A tensor shape in NHWC order (batch is always 1 in TinyML inference,
+/// so it is omitted: height × width × channels).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Shape {
+    /// Height (rows).
+    pub h: usize,
+    /// Width (columns).
+    pub w: usize,
+    /// Channels (innermost / fastest-varying).
+    pub c: usize,
+}
+
+impl Shape {
+    /// Creates an H×W×C shape.
+    pub fn new(h: usize, w: usize, c: usize) -> Self {
+        Shape { h, w, c }
+    }
+
+    /// A flat vector of `c` elements.
+    pub fn vector(c: usize) -> Self {
+        Shape { h: 1, w: 1, c }
+    }
+
+    /// Number of elements.
+    pub fn elements(&self) -> usize {
+        self.h * self.w * self.c
+    }
+
+    /// Flat index of `(y, x, c)` in NHWC layout.
+    ///
+    /// # Panics
+    ///
+    /// Panics (debug) when the coordinates are out of bounds.
+    pub fn index(&self, y: usize, x: usize, c: usize) -> usize {
+        debug_assert!(y < self.h && x < self.w && c < self.c, "({y},{x},{c}) out of {self:?}");
+        (y * self.w + x) * self.c + c
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}x{}x{}", self.h, self.w, self.c)
+    }
+}
+
+/// Affine quantization parameters: `real = scale * (q - zero_point)`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantParams {
+    /// Positive real scale factor.
+    pub scale: f64,
+    /// Zero point in `[-128, 127]` for int8 data.
+    pub zero_point: i32,
+}
+
+impl QuantParams {
+    /// Creates quantization parameters.
+    ///
+    /// # Panics
+    ///
+    /// Panics on non-positive or non-finite scale.
+    pub fn new(scale: f64, zero_point: i32) -> Self {
+        assert!(scale.is_finite() && scale > 0.0, "invalid scale {scale}");
+        QuantParams { scale, zero_point }
+    }
+
+    /// Symmetric parameters (zero point 0), used for filters.
+    pub fn symmetric(scale: f64) -> Self {
+        QuantParams::new(scale, 0)
+    }
+
+    /// Quantizes a real value to int8 (saturating).
+    pub fn quantize(&self, real: f64) -> i8 {
+        let q = (real / self.scale).round() as i64 + i64::from(self.zero_point);
+        q.clamp(-128, 127) as i8
+    }
+
+    /// Dequantizes an int8 value.
+    pub fn dequantize(&self, q: i8) -> f64 {
+        self.scale * f64::from(i32::from(q) - self.zero_point)
+    }
+}
+
+impl Default for QuantParams {
+    fn default() -> Self {
+        QuantParams { scale: 1.0, zero_point: 0 }
+    }
+}
+
+/// An int8 activation tensor with quantization parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    /// Shape (NHWC, batch 1).
+    pub shape: Shape,
+    /// Row-major NHWC data.
+    pub data: Vec<i8>,
+    /// Quantization parameters.
+    pub quant: QuantParams,
+}
+
+impl Tensor {
+    /// A tensor filled with the zero point.
+    pub fn zeros(shape: Shape, quant: QuantParams) -> Self {
+        let fill = quant.zero_point.clamp(-128, 127) as i8;
+        Tensor { shape, data: vec![fill; shape.elements()], quant }
+    }
+
+    /// A tensor from existing data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len() != shape.elements()`.
+    pub fn from_data(shape: Shape, data: Vec<i8>, quant: QuantParams) -> Self {
+        assert_eq!(data.len(), shape.elements(), "data length mismatch for {shape}");
+        Tensor { shape, data, quant }
+    }
+
+    /// Element at `(y, x, c)`.
+    pub fn at(&self, y: usize, x: usize, c: usize) -> i8 {
+        self.data[self.shape.index(y, x, c)]
+    }
+
+    /// Sets element `(y, x, c)`.
+    pub fn set(&mut self, y: usize, x: usize, c: usize, v: i8) {
+        let i = self.shape.index(y, x, c);
+        self.data[i] = v;
+    }
+
+    /// Index of the maximum element (argmax over the flat data) — the
+    /// classification result.
+    pub fn argmax(&self) -> usize {
+        self.data
+            .iter()
+            .enumerate()
+            .max_by_key(|&(i, v)| (*v, std::cmp::Reverse(i)))
+            .map_or(0, |(i, _)| i)
+    }
+}
+
+/// Per-output-channel convolution filter: `[out_ch][kh][kw][in_ch]`
+/// layout (TFLite's OHWI), with per-channel symmetric scales.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Filter {
+    /// Number of output channels.
+    pub out_ch: usize,
+    /// Kernel height.
+    pub kh: usize,
+    /// Kernel width.
+    pub kw: usize,
+    /// Input channels per group (full `in_ch` for normal conv, 1 for
+    /// depthwise).
+    pub in_ch: usize,
+    /// OHWI-ordered weights.
+    pub data: Vec<i8>,
+    /// Per-output-channel scales (length `out_ch`).
+    pub scales: Vec<f64>,
+}
+
+impl Filter {
+    /// Creates a filter.
+    ///
+    /// # Panics
+    ///
+    /// Panics on length mismatches.
+    pub fn new(out_ch: usize, kh: usize, kw: usize, in_ch: usize, data: Vec<i8>, scales: Vec<f64>) -> Self {
+        assert_eq!(data.len(), out_ch * kh * kw * in_ch, "filter data length");
+        assert_eq!(scales.len(), out_ch, "one scale per output channel");
+        Filter { out_ch, kh, kw, in_ch, data, scales }
+    }
+
+    /// Weight at `[oc][dy][dx][ic]`.
+    pub fn at(&self, oc: usize, dy: usize, dx: usize, ic: usize) -> i8 {
+        debug_assert!(oc < self.out_ch && dy < self.kh && dx < self.kw && ic < self.in_ch);
+        self.data[((oc * self.kh + dy) * self.kw + dx) * self.in_ch + ic]
+    }
+
+    /// Flat offset of `[oc][dy][dx][ic]` (for address arithmetic in the
+    /// deployed kernels).
+    pub fn offset(&self, oc: usize, dy: usize, dx: usize, ic: usize) -> usize {
+        ((oc * self.kh + dy) * self.kw + dx) * self.in_ch + ic
+    }
+
+    /// Total number of weights.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// `true` when the filter holds no weights.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+}
+
+/// Per-output-channel int32 biases (TFLM convention: bias scale =
+/// `input_scale * filter_scale[c]`, zero point 0).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Bias {
+    /// One int32 bias per output channel.
+    pub data: Vec<i32>,
+}
+
+impl Bias {
+    /// Zero biases for `out_ch` channels.
+    pub fn zeros(out_ch: usize) -> Self {
+        Bias { data: vec![0; out_ch] }
+    }
+
+    /// Biases from data.
+    pub fn new(data: Vec<i32>) -> Self {
+        Bias { data }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shape_indexing_is_nhwc() {
+        let s = Shape::new(2, 3, 4);
+        assert_eq!(s.elements(), 24);
+        assert_eq!(s.index(0, 0, 0), 0);
+        assert_eq!(s.index(0, 0, 3), 3);
+        assert_eq!(s.index(0, 1, 0), 4);
+        assert_eq!(s.index(1, 0, 0), 12);
+        assert_eq!(s.index(1, 2, 3), 23);
+    }
+
+    #[test]
+    fn quant_roundtrip() {
+        let q = QuantParams::new(0.5, -10);
+        assert_eq!(q.quantize(0.0), -10);
+        assert_eq!(q.quantize(5.0), 0);
+        assert_eq!(q.dequantize(0), 5.0);
+        // Saturation.
+        assert_eq!(q.quantize(1000.0), 127);
+        assert_eq!(q.quantize(-1000.0), -128);
+    }
+
+    #[test]
+    fn tensor_accessors() {
+        let mut t = Tensor::zeros(Shape::new(2, 2, 2), QuantParams::default());
+        t.set(1, 0, 1, 42);
+        assert_eq!(t.at(1, 0, 1), 42);
+        assert_eq!(t.at(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn argmax_prefers_first_on_ties() {
+        let t = Tensor::from_data(
+            Shape::vector(4),
+            vec![3, 9, 9, 1],
+            QuantParams::default(),
+        );
+        assert_eq!(t.argmax(), 1);
+    }
+
+    #[test]
+    fn filter_layout_is_ohwi() {
+        let data: Vec<i8> = (0..2 * 2 * 2 * 3).map(|i| i as i8).collect();
+        let f = Filter::new(2, 2, 2, 3, data, vec![1.0, 1.0]);
+        assert_eq!(f.at(0, 0, 0, 0), 0);
+        assert_eq!(f.at(0, 0, 0, 2), 2);
+        assert_eq!(f.at(0, 0, 1, 0), 3);
+        assert_eq!(f.at(0, 1, 0, 0), 6);
+        assert_eq!(f.at(1, 0, 0, 0), 12);
+        assert_eq!(f.offset(1, 1, 1, 2), 23);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn quant_rejects_bad_scale() {
+        let _ = QuantParams::new(0.0, 0);
+    }
+}

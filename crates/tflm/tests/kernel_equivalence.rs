@@ -1,0 +1,195 @@
+//! Deployed-kernel ↔ reference-kernel equivalence: every ladder variant
+//! and CFU kernel must produce bit-identical outputs to the golden
+//! reference path, on every model in the zoo it supports.
+
+use cfu_core::cfu1::Cfu1;
+use cfu_core::cfu2::Cfu2;
+use cfu_core::{Cfu, NullCfu};
+use cfu_mem::{Bus, Sram};
+use cfu_sim::CpuConfig;
+use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
+use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
+use cfu_tflm::models;
+use cfu_tflm::reference;
+use cfu_tflm::tensor::Tensor;
+
+fn big_ram_bus() -> Bus {
+    let mut bus = Bus::new();
+    bus.map("ram", 0x1000_0000, Sram::new(16 << 20));
+    bus
+}
+
+fn run_deployed(
+    model: &cfu_tflm::model::Model,
+    registry: KernelRegistry,
+    cfu: Box<dyn Cfu>,
+    input: &Tensor,
+) -> Tensor {
+    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
+    cfg.registry = registry;
+    let mut dep = Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg)
+        .expect("deployment plans");
+    let (out, profile) = dep.run(input).expect("inference runs");
+    assert!(profile.total_cycles() > 0);
+    out
+}
+
+/// A pointwise-heavy model for the conv1x1 ladder (channels divisible
+/// by 4 everywhere).
+fn pointwise_model(seed: u64) -> cfu_tflm::model::Model {
+    use cfu_tflm::model::{Activation, Padding};
+    use cfu_tflm::tensor::{QuantParams, Shape};
+    let mut b = cfu_tflm::models::ModelBuilder::new(
+        "pointwise_net",
+        Shape::new(5, 5, 8),
+        QuantParams::new(0.05, -3),
+        seed,
+    );
+    b.conv("pw1", 16, (1, 1), 1, Padding::Same, Activation::Relu6);
+    b.conv("pw2", 24, (1, 1), 1, Padding::Same, Activation::None);
+    b.conv("pw3", 8, (1, 1), 1, Padding::Same, Activation::Relu);
+    b.build()
+}
+
+#[test]
+fn generic_kernels_match_reference_on_tiny_net() {
+    let model = models::tiny_test_net(11);
+    let input = models::synthetic_input(&model, 22);
+    let golden = reference::run_model(&model, &input);
+    let deployed =
+        run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
+    assert_eq!(deployed.data, golden.data);
+}
+
+#[test]
+fn generic_kernels_match_reference_on_resnet_and_autoencoder() {
+    for model in [models::resnet8(5), models::fc_autoencoder(6)] {
+        let input = models::synthetic_input(&model, 33);
+        let golden = reference::run_model(&model, &input);
+        let deployed =
+            run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
+        assert_eq!(deployed.data, golden.data, "{}", model.name);
+    }
+}
+
+#[test]
+fn every_conv1x1_ladder_variant_matches_reference() {
+    let model = pointwise_model(77);
+    let input = models::synthetic_input(&model, 88);
+    let golden = reference::run_model(&model, &input);
+    for variant in Conv1x1Variant::LADDER {
+        let registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+        let cfu: Box<dyn Cfu> = match variant.required_stage() {
+            Some(stage) => Box::new(Cfu1::new(stage)),
+            None => Box::new(NullCfu),
+        };
+        let out = run_deployed(&model, registry, cfu, &input);
+        assert_eq!(out.data, golden.data, "variant {variant:?}");
+    }
+}
+
+#[test]
+fn conv1x1_ladder_on_mobilenet_slice() {
+    // A scaled-down MobileNetV2 exercises strided dwconvs + residuals
+    // around the accelerated pointwise layers.
+    let model = models::mobilenet_v2(16, 2, 3);
+    let input = models::synthetic_input(&model, 4);
+    let golden = reference::run_model(&model, &input);
+    for variant in [Conv1x1Variant::SwSpecialized, Conv1x1Variant::CfuMac4, Conv1x1Variant::CfuOverlapInput] {
+        let registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+        let cfu: Box<dyn Cfu> = match variant.required_stage() {
+            Some(stage) => Box::new(Cfu1::new(stage)),
+            None => Box::new(NullCfu),
+        };
+        let out = run_deployed(&model, registry, cfu, &input);
+        assert_eq!(out.data, golden.data, "variant {variant:?}");
+    }
+}
+
+#[test]
+fn cfu2_kernels_match_reference_on_kws_slice() {
+    // Narrow DS-CNN: same operator mix, fewer channels, fast in debug.
+    use cfu_tflm::model::{Activation, Padding};
+    use cfu_tflm::tensor::{QuantParams, Shape};
+    let mut b = cfu_tflm::models::ModelBuilder::new(
+        "ds_cnn_slice",
+        Shape::new(13, 10, 1),
+        QuantParams::new(0.08, 1),
+        9,
+    );
+    b.conv("conv1", 8, (10, 4), 2, Padding::Same, Activation::Relu);
+    b.dwconv("dw", (3, 3), 1, Padding::Same, Activation::Relu);
+    b.conv("pw", 8, (1, 1), 1, Padding::Same, Activation::Relu);
+    b.global_avg_pool("pool");
+    b.fc("logits", 4, Activation::None);
+    b.softmax("softmax");
+    let model = b.build();
+    let input = models::synthetic_input(&model, 10);
+    let golden = reference::run_model(&model, &input);
+    for (postproc, specialized) in [(false, false), (true, false), (true, true)] {
+        let registry = KernelRegistry {
+            conv1x1: None,
+            conv: ConvKernel::Cfu2 { postproc, specialized },
+            dwconv: DwKernel::Cfu2 { postproc, specialized },
+        };
+        let out = run_deployed(&model, registry, Box::new(Cfu2::new()), &input);
+        assert_eq!(out.data, golden.data, "postproc={postproc} specialized={specialized}");
+    }
+}
+
+#[test]
+fn ladder_cycles_decrease_monotonically_enough() {
+    // The whole point of Figure 4: each ladder step should be faster (or
+    // at worst roughly equal — the paper's `CFU hold inp` step was a
+    // wash).
+    let model = pointwise_model(55);
+    let input = models::synthetic_input(&model, 66);
+    let mut cycles = Vec::new();
+    for variant in Conv1x1Variant::LADDER {
+        let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
+        cfg.registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+        let cfu: Box<dyn Cfu> = match variant.required_stage() {
+            Some(stage) => Box::new(Cfu1::new(stage)),
+            None => Box::new(NullCfu),
+        };
+        let mut dep =
+            Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg).expect("deploys");
+        let (_, profile) = dep.run(&input).expect("runs");
+        cycles.push((variant, profile.total_cycles()));
+    }
+    let baseline = cycles[0].1;
+    let last = cycles.last().unwrap().1;
+    assert!(
+        last * 10 < baseline,
+        "final ladder step must be >10x faster: {cycles:?}"
+    );
+    // Each step is within 25% of monotone (allows the hold-inp wash).
+    for w in cycles.windows(2) {
+        assert!(
+            w[1].1 < w[0].1 + w[0].1 / 4,
+            "step {:?} regressed: {:?} -> {:?}",
+            w[1].0,
+            w[0],
+            w[1]
+        );
+    }
+}
+
+#[test]
+fn deployment_rejects_overfull_region() {
+    let model = models::mobilenet_v2(48, 2, 1);
+    let mut bus = Bus::new();
+    bus.map("ram", 0x1000_0000, Sram::new(64 << 10)); // far too small
+    let cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
+    let err = Deployment::new(model, bus, Box::new(NullCfu), &cfg).unwrap_err();
+    assert!(matches!(err, cfu_tflm::deploy::DeployError::RegionFull { .. }), "{err}");
+}
+
+#[test]
+fn deployment_rejects_missing_region() {
+    let model = models::tiny_test_net(1);
+    let cfg = DeployConfig::new(CpuConfig::arty_default(), "nope", "ram", "ram");
+    let err =
+        Deployment::new(model, big_ram_bus(), Box::new(NullCfu), &cfg).unwrap_err();
+    assert!(matches!(err, cfu_tflm::deploy::DeployError::MissingRegion(_)), "{err}");
+}

@@ -1,0 +1,219 @@
+//! Property tests: deployed kernels ≡ reference kernels on random
+//! shapes, weights and quantization parameters.
+
+use cfu_core::cfu1::Cfu1;
+use cfu_core::cfu2::Cfu2;
+use cfu_core::{Cfu, NullCfu};
+use cfu_mem::{Bus, Sram};
+use cfu_sim::CpuConfig;
+use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
+use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
+use cfu_tflm::model::{
+    Activation, ConvParams, DepthwiseParams, Layer, Model, Op, Padding, SlotInfo,
+};
+use cfu_tflm::reference;
+use cfu_tflm::tensor::{Bias, Filter, QuantParams, Shape, Tensor};
+use proptest::prelude::*;
+
+/// A random single-conv model plus matching input.
+#[derive(Debug, Clone)]
+struct ConvCase {
+    model: Model,
+    input: Tensor,
+}
+
+fn conv_case(
+    hw: usize,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    stride: usize,
+    seed: u64,
+) -> ConvCase {
+    use cfu_tflm::models::WeightRng;
+    let mut rng = WeightRng::new(seed);
+    let in_quant = QuantParams::new(0.05, i32::from(rng.weight() / 16));
+    let filter = Filter::new(
+        out_ch,
+        k,
+        k,
+        in_ch,
+        (0..out_ch * k * k * in_ch).map(|_| rng.weight()).collect(),
+        (0..out_ch).map(|_| rng.filter_scale()).collect(),
+    );
+    let bias = Bias::new((0..out_ch).map(|_| rng.bias()).collect());
+    let fan_in = k * k * in_ch;
+    let out_quant =
+        QuantParams::new(in_quant.scale * filter.scales[0] * 30.0 * (fan_in as f64).sqrt(), 0);
+    let p = ConvParams {
+        stride,
+        padding: Padding::Same,
+        filter,
+        bias,
+        activation: Activation::Relu6,
+        out_quant,
+    };
+    let in_shape = Shape::new(hw, hw, in_ch);
+    let out_shape = p.output_shape(in_shape);
+    let model = Model {
+        name: "prop_conv".into(),
+        layers: vec![Layer { name: "conv".into(), op: Op::Conv2d(p), inputs: vec![0], output: 1 }],
+        slots: vec![
+            SlotInfo { shape: in_shape, quant: in_quant },
+            SlotInfo { shape: out_shape, quant: out_quant },
+        ],
+        input_slot: 0,
+        output_slot: 1,
+    };
+    let input = Tensor::from_data(
+        in_shape,
+        (0..in_shape.elements()).map(|_| rng.activation()).collect(),
+        in_quant,
+    );
+    ConvCase { model, input }
+}
+
+fn dw_case(hw: usize, ch: usize, k: usize, stride: usize, seed: u64) -> ConvCase {
+    use cfu_tflm::models::WeightRng;
+    let mut rng = WeightRng::new(seed);
+    let in_quant = QuantParams::new(0.05, i32::from(rng.weight() / 16));
+    let filter = Filter::new(
+        ch,
+        k,
+        k,
+        1,
+        (0..ch * k * k).map(|_| rng.weight()).collect(),
+        (0..ch).map(|_| rng.filter_scale()).collect(),
+    );
+    let bias = Bias::new((0..ch).map(|_| rng.bias()).collect());
+    let out_quant =
+        QuantParams::new(in_quant.scale * filter.scales[0] * 30.0 * ((k * k) as f64).sqrt(), 0);
+    let p = DepthwiseParams {
+        stride,
+        padding: Padding::Same,
+        filter,
+        bias,
+        activation: Activation::Relu,
+        out_quant,
+    };
+    let in_shape = Shape::new(hw, hw, ch);
+    let out_shape = p.output_shape(in_shape);
+    let model = Model {
+        name: "prop_dw".into(),
+        layers: vec![Layer {
+            name: "dw".into(),
+            op: Op::DepthwiseConv2d(p),
+            inputs: vec![0],
+            output: 1,
+        }],
+        slots: vec![
+            SlotInfo { shape: in_shape, quant: in_quant },
+            SlotInfo { shape: out_shape, quant: out_quant },
+        ],
+        input_slot: 0,
+        output_slot: 1,
+    };
+    let input = Tensor::from_data(
+        in_shape,
+        (0..in_shape.elements()).map(|_| rng.activation()).collect(),
+        in_quant,
+    );
+    ConvCase { model, input }
+}
+
+fn run_deployed(case: &ConvCase, registry: KernelRegistry, cfu: Box<dyn Cfu>) -> Tensor {
+    let mut bus = Bus::new();
+    bus.map("ram", 0x1000_0000, Sram::new(8 << 20));
+    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
+    cfg.registry = registry;
+    let mut dep = Deployment::new(case.model.clone(), bus, cfu, &cfg).expect("deploys");
+    let (out, _) = dep.run(&case.input).expect("runs");
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Generic deployed conv ≡ reference conv for random shapes.
+    #[test]
+    fn generic_conv_matches_reference(
+        hw in 1usize..6,
+        in_ch in 1usize..6,
+        out_ch in 1usize..6,
+        k in 1usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+    ) {
+        let case = conv_case(hw, in_ch, out_ch, k, stride, seed);
+        let golden = reference::run_model(&case.model, &case.input);
+        let got = run_deployed(&case, KernelRegistry::default(), Box::new(NullCfu));
+        prop_assert_eq!(got.data, golden.data);
+    }
+
+    /// Every CFU1 ladder variant ≡ reference on random pointwise convs.
+    #[test]
+    fn conv1x1_ladder_matches_reference(
+        hw in 1usize..5,
+        in_w in 1usize..5,   // input channels / 4
+        out_w in 1usize..5,  // output channels / 4
+        seed in any::<u64>(),
+        variant_idx in 0usize..10,
+    ) {
+        let case = conv_case(hw, 4 * in_w, 4 * out_w, 1, 1, seed);
+        let golden = reference::run_model(&case.model, &case.input);
+        let variant = Conv1x1Variant::LADDER[variant_idx];
+        let registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
+        let cfu: Box<dyn Cfu> = match variant.required_stage() {
+            Some(stage) => Box::new(Cfu1::new(stage)),
+            None => Box::new(NullCfu),
+        };
+        let got = run_deployed(&case, registry, cfu);
+        prop_assert_eq!(got.data, golden.data, "variant {:?}", variant);
+    }
+
+    /// CFU2 conv/depthwise kernels ≡ reference on random shapes they
+    /// support.
+    #[test]
+    fn cfu2_kernels_match_reference(
+        hw in 2usize..6,
+        ch_w in 1usize..4,
+        k in 1usize..4,
+        stride in 1usize..3,
+        seed in any::<u64>(),
+        postproc in any::<bool>(),
+        specialized in any::<bool>(),
+    ) {
+        let conv = conv_case(hw, 4 * ch_w, 4 * ch_w, k, stride, seed);
+        let golden = reference::run_model(&conv.model, &conv.input);
+        let registry = KernelRegistry {
+            conv1x1: None,
+            conv: ConvKernel::Cfu2 { postproc, specialized },
+            dwconv: DwKernel::Cfu2 { postproc, specialized },
+        };
+        let got = run_deployed(&conv, registry, Box::new(Cfu2::new()));
+        prop_assert_eq!(got.data, golden.data, "conv");
+
+        let dw = dw_case(hw, 4 * ch_w, k, stride, seed ^ 0xABCD);
+        let golden = reference::run_model(&dw.model, &dw.input);
+        let got = run_deployed(&dw, registry, Box::new(Cfu2::new()));
+        prop_assert_eq!(got.data, golden.data, "depthwise");
+    }
+
+    /// Cycle counts are strictly positive and deterministic.
+    #[test]
+    fn cycles_deterministic(seed in any::<u64>()) {
+        let case = conv_case(3, 4, 4, 1, 1, seed);
+        let cycles = |case: &ConvCase| {
+            let mut bus = Bus::new();
+            bus.map("ram", 0x1000_0000, Sram::new(8 << 20));
+            let cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
+            let mut dep =
+                Deployment::new(case.model.clone(), bus, Box::new(NullCfu), &cfg).unwrap();
+            let (_, p) = dep.run(&case.input).unwrap();
+            p.total_cycles()
+        };
+        let a = cycles(&case);
+        prop_assert!(a > 0);
+        prop_assert_eq!(a, cycles(&case));
+    }
+}

@@ -1,0 +1,75 @@
+//! CFU debugging the paper's way (§II-E): software emulation swap,
+//! lock-step comparison, and divergence localization.
+//!
+//! Run with: `cargo run --example cfu_debugging`
+
+use cfu_playground::core::cfu2::{self, Cfu2};
+use cfu_playground::core::emu::{DualCfu, SwCfu};
+use cfu_playground::core::verify::{run_equivalence, OpStream};
+use cfu_playground::prelude::*;
+
+fn main() {
+    // ---- 1. A correct pairing: CFU2 vs its software emulation ----
+    let mut hw = Cfu2::new();
+    let mut emu = cfu2::software_emulation();
+    let all_ops: Vec<CfuOp> = (0u8..=11).map(|f| CfuOp::new(f, 0)).collect();
+    let stream = OpStream::random(42, 5000, &all_ops);
+    let report = run_equivalence(&mut hw, &mut emu, &stream);
+    println!("CFU2 vs emulation: {report}");
+    assert!(report.passed());
+
+    // ---- 2. A buggy emulation: the harness localizes the divergence ----
+    // Bug: forgets the input offset in the MAC.
+    let mut buggy = SwCfu::new("buggy_emu", |op: CfuOp, a: u32, b: u32| match op.funct7() {
+        2 => cfu_playground::core::arith::dot4(a, b) as u32, // missing offset!
+        _ => 0,
+    });
+    let mut hw2 = Cfu2::mac_only();
+    let mut directed = OpStream::new();
+    directed.push(CfuOp::new(1, 0), 128, 0); // SET_INPUT_OFFSET(128)
+    directed.push(CfuOp::new(2, 0), 0x0102_0304, 0x01010101); // MAC4
+    let report = run_equivalence(&mut hw2, &mut buggy, &directed);
+    println!("buggy emulation: {report}");
+    assert!(!report.passed());
+
+    // ---- 3. DualCfu: run both behind one interface, fail fast ----
+    let mut dual = DualCfu::new(Cfu2::new(), cfu2::software_emulation());
+    for i in 0..100u32 {
+        dual.execute(CfuOp::new(2, 0), i, i.wrapping_mul(3)).expect("implementations agree");
+    }
+    println!("DualCfu executed {} lock-step ops without divergence", dual.issued());
+
+    // ---- 4. printf-style debugging through the simulated UART ----
+    let program = Assembler::new(0)
+        .assemble(
+            r#"
+            li s0, 0            # accumulator
+            li s1, 1
+        loop:
+            add s0, s0, s1
+            addi s1, s1, 1
+            li t0, 11
+            bne s1, t0, loop
+            # print 'O' 'K' via putchar syscall
+            li a7, 64
+            li a0, 'O'
+            ecall
+            li a0, 'K'
+            ecall
+            li a7, 93
+            mv a0, s0
+            ecall
+            "#,
+        )
+        .expect("assembles");
+    let mut bus = Bus::new();
+    bus.map("sram", 0, Sram::new(4096));
+    let mut cpu = Cpu::new(CpuConfig::arty_default(), bus);
+    cpu.load_program(&program).expect("loads");
+    let stop = cpu.run(1000).expect("runs");
+    println!(
+        "console: {:?}, exit: {stop:?} (sum 1..=10 = 55)",
+        String::from_utf8_lossy(cpu.console())
+    );
+    assert_eq!(stop, StopReason::Exit(55));
+}

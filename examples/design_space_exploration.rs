@@ -1,0 +1,43 @@
+//! Automated design-space exploration (paper §II-F / §III-C): search the
+//! CPU + CFU configuration space with a Vizier-like optimizer and print
+//! the Pareto front.
+//!
+//! Run with: `cargo run --release --example design_space_exploration`
+
+use cfu_playground::prelude::*;
+
+fn main() {
+    let space = DesignSpace::paper_scale();
+    println!(
+        "design space: {} points across {} CFU choices (paper: ~93,000)\n",
+        space.size(),
+        3
+    );
+
+    // A small simulated workload keeps each trial fast.
+    let model = models::mobilenet_v2(16, 2, 1);
+    let input = models::synthetic_input(&model, 5);
+
+    for choice in [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2] {
+        let mut space = DesignSpace::paper_scale();
+        space.cfus = vec![choice];
+        let mut study = Study::new(space, RegularizedEvolution::new(11, 16, 4));
+        let mut evaluator =
+            InferenceEvaluator::new(Board::arty_a7_35t(), model.clone(), input.clone());
+        study.run(&mut evaluator, 40);
+        println!("--- {} ---", choice.label());
+        println!("{:>12} {:>14}", "logic cells", "cycles");
+        for p in study.archive().front() {
+            println!("{:>12} {:>14}", p.resources, p.latency);
+        }
+        if let Some(best) = study.archive().fastest() {
+            println!(
+                "fastest: {} cycles with {:?} multiplier, {:?} icache\n",
+                best.latency,
+                best.point.cpu.multiplier,
+                best.point.cpu.icache.map(|c| c.size_bytes)
+            );
+        }
+    }
+    println!("(paper-scale sweep: cargo run --release -p cfu-bench --bin fig7_dse_pareto)");
+}

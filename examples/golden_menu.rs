@@ -1,0 +1,89 @@
+//! The "menu-driven software" experience (§II-E): golden full-inference
+//! tests for every stock model, CFU waveform capture, and the
+//! energy-estimation extension.
+//!
+//! Run with: `cargo run --release --example golden_menu`
+
+use cfu_playground::core::trace::TracedCfu;
+use cfu_playground::prelude::*;
+use cfu_playground::sim::energy;
+use cfu_playground::tflm::golden::GoldenSuite;
+
+fn main() {
+    println!("=== CFU Playground golden-test menu ===\n");
+    let suite = GoldenSuite::stock();
+
+    // ---- 1. Golden tests, generic kernels ----
+    println!("[1] full-inference golden tests (generic kernels)");
+    for (name, result) in suite.run_simple(KernelRegistry::default(), || Box::new(NullCfu)) {
+        println!("    {name:<24} {result}");
+    }
+
+    // ---- 2. Golden tests with the CFU1-accelerated kernels ----
+    println!("\n[2] full-inference golden tests (CFU1-accelerated 1x1 convs)");
+    let registry = KernelRegistry {
+        conv1x1: Some(Conv1x1Variant::CfuOverlapInput),
+        ..Default::default()
+    };
+    for (name, result) in suite.run_simple(registry, || Box::new(Cfu1::full())) {
+        println!("    {name:<24} {result}");
+    }
+
+    // ---- 3. CFU waveform capture (the Renode flow) ----
+    println!("\n[3] CFU waveform capture");
+    let mut traced = TracedCfu::new(Cfu2::new());
+    traced.execute(CfuOp::new(1, 0), 128, 0).unwrap(); // SET_INPUT_OFFSET
+    traced.execute(CfuOp::new(2, 0), 0x0102_0304, 0x0101_0101).unwrap(); // MAC4
+    traced.execute(CfuOp::new(4, 0), 0, 0).unwrap(); // TAKE_ACC
+    let vcd = traced.to_vcd();
+    println!("    captured {} transactions; VCD head:", traced.trace().len());
+    for line in vcd.lines().take(8) {
+        println!("      {line}");
+    }
+
+    // ---- 4. Energy estimation (the paper's future work) ----
+    println!("\n[4] energy estimate: KWS inference on Fomu");
+    let board = Board::fomu();
+    let model = models::ds_cnn_kws(1);
+    let input = models::synthetic_input(&model, 7);
+    let cpu = CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp);
+    let mut cfg = DeployConfig::new(cpu, "spiflash", "sram", "spiflash");
+    cfg.hot_code_region = Some("sram".to_owned());
+    cfg.hot_weights_region = Some("sram".to_owned());
+    cfg.registry = KernelRegistry {
+        conv1x1: None,
+        conv: ConvKernel::Cfu2 { postproc: true, specialized: true },
+        dwconv: DwKernel::Cfu2 { postproc: true, specialized: true },
+    };
+    let soc = SocBuilder::new(board.clone())
+        .cpu(cpu)
+        .features({
+            let mut f = SocFeatures::fomu_trimmed();
+            f.spi_width = SpiWidth::Quad;
+            f
+        })
+        .build();
+    let design = soc.fit_report().used();
+    let mut dep =
+        Deployment::new(model, soc.build_bus(), Box::new(Cfu2::new()), &cfg).expect("deploys");
+    let (_, profile) = dep.run(&input).expect("runs");
+    let params = energy::EnergyParams::ice40();
+    let estimate = energy::estimate_core(dep.core(), design, &params);
+    let cycles = profile.total_cycles();
+    println!(
+        "    {} cycles = {:.2} s @ 12 MHz",
+        cycles,
+        cycles as f64 / board.clock_hz as f64
+    );
+    println!(
+        "    energy ≈ {:.1} µJ ({:.1} µJ dynamic + {:.1} µJ static), avg {:.2} mW",
+        estimate.total_uj(),
+        estimate.dynamic_uj,
+        estimate.static_uj,
+        estimate.average_mw(cycles, board.clock_hz)
+    );
+    println!(
+        "    energy-delay product: {:.2} µJ·s",
+        energy::energy_delay_product(&estimate, cycles, board.clock_hz)
+    );
+}

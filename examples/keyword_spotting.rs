@@ -1,0 +1,95 @@
+//! Keyword spotting on Fomu (paper §III-B): resource-constrained
+//! co-design — fit pressure, memory placement, and the CFU2 SIMD MAC.
+//!
+//! Run with: `cargo run --release --example keyword_spotting`
+
+use cfu_playground::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let board = Board::fomu();
+    println!("target: {} ({}, {} LUT budget, {} DSPs)\n", board.name, board.fpga,
+        board.budget.luts, board.budget.dsps);
+
+    // ---- Fit pressure: the minimal VexRiscv does not fit ----
+    let untrimmed = SocBuilder::new(board.clone())
+        .cpu(CpuConfig::fomu_minimal())
+        .features(SocFeatures::full_with_usb())
+        .build();
+    println!("{}", untrimmed.fit_report());
+    assert!(!untrimmed.fit_report().fits());
+
+    // Trim SoC features (timer, reset registers) and CPU error checking.
+    let trimmed = SocBuilder::new(board.clone())
+        .cpu(CpuConfig::fomu_baseline())
+        .features(SocFeatures::fomu_trimmed())
+        .build();
+    println!("{}", trimmed.fit_report());
+    assert!(trimmed.fit_report().fits());
+
+    // ---- The binary image also does not fit in 128 kB SRAM ----
+    // The full image is the TFLM runtime + libc + drivers (.text) plus
+    // the model weights (.rodata); TFLM also needs working SRAM for its
+    // tensor arena. So, like the paper, the linker script must place
+    // .text/.rodata in flash and keep SRAM for data.
+    let model = models::ds_cnn_kws(1);
+    let runtime_text_kib = 320; // typical CFU Playground TFLM image
+    let image_kib = runtime_text_kib + model.weight_bytes() / 1024;
+    println!(
+        "binary image ≈ {image_kib} KiB (runtime .text + {} KiB weights) vs 128 KiB SRAM\n\
+         → linker places .text/.rodata in flash; SRAM keeps the tensor arena\n",
+        model.weight_bytes() / 1024
+    );
+
+    // ---- Run three representative ladder points ----
+    let input = models::synthetic_input(&model, 7);
+    let clock = board.clock_hz as f64;
+    let mut baseline_cycles = 0;
+    for (label, cpu, features, hot_sram, cfu2) in [
+        ("baseline (flash XIP)", CpuConfig::fomu_baseline(), SocFeatures::fomu_trimmed(), false, false),
+        ("mem+cpu optimized", CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp), {
+            let mut f = SocFeatures::fomu_trimmed();
+            f.spi_width = SpiWidth::Quad;
+            f
+        }, true, false),
+        ("with CFU2", CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp), {
+            let mut f = SocFeatures::fomu_trimmed();
+            f.spi_width = SpiWidth::Quad;
+            f
+        }, true, true),
+    ] {
+        let soc = SocBuilder::new(board.clone()).cpu(cpu).features(features).build();
+        let mut cfg = DeployConfig::new(cpu, "spiflash", "sram", "spiflash");
+        if hot_sram {
+            cfg.hot_code_region = Some("sram".to_owned());
+            cfg.hot_weights_region = Some("sram".to_owned());
+        }
+        let cfu: Box<dyn Cfu> = if cfu2 { Box::new(Cfu2::new()) } else { Box::new(NullCfu) };
+        if cfu2 {
+            cfg.registry = KernelRegistry {
+                conv1x1: None,
+                conv: ConvKernel::Cfu2 { postproc: true, specialized: true },
+                dwconv: DwKernel::Cfu2 { postproc: true, specialized: true },
+            };
+        }
+        let mut dep = Deployment::new(model.clone(), soc.build_bus(), cfu, &cfg)
+            .map_err(|e| -> Box<dyn std::error::Error> { Box::new(e) })?;
+        let (out, profile) = dep.run(&input).map_err(into_box)?;
+        let cycles = profile.total_cycles();
+        if baseline_cycles == 0 {
+            baseline_cycles = cycles;
+        }
+        println!(
+            "{label:<22} {:>12} cycles = {:>7.2} s @ 12 MHz  ({:>6.1}x)  keyword #{}",
+            cycles,
+            cycles as f64 / clock,
+            baseline_cycles as f64 / cycles as f64,
+            out.argmax()
+        );
+    }
+    println!("\n(full 8-step ladder: cargo run --release -p cfu-bench --bin fig6_kws_ladder)");
+    Ok(())
+}
+
+fn into_box(e: cfu_playground::tflm::kernels::KernelError) -> Box<dyn std::error::Error> {
+    Box::new(e)
+}
