@@ -1,12 +1,16 @@
 //! Ablation benches for the design choices DESIGN.md calls out:
-//! cache-geometry sweeps, branch-predictor sweeps, and ISS throughput
-//! (instructions simulated per wall-second).
+//! cache-geometry sweeps, branch-predictor sweeps, ISS throughput
+//! (instructions simulated per wall-second), and parallel-DSE scaling
+//! across worker-thread counts.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
+use cfu_dse::{InferenceEvaluatorFactory, ParallelStudy, RegularizedEvolution};
 use cfu_isa::Assembler;
 use cfu_mem::{Bus, Cache, CacheConfig, Sram};
 use cfu_sim::{BranchPredictor, Cpu, CpuConfig, TimedCore};
+use cfu_soc::Board;
+use cfu_tflm::models;
 
 fn sram_bus() -> Bus {
     let mut bus = Bus::new();
@@ -95,11 +99,7 @@ fn bench_rvc_density(c: &mut Criterion) {
         group.bench_function(format!("xip_fetch_{name}"), |b| {
             b.iter(|| {
                 let mut bus = Bus::new();
-                bus.map(
-                    "flash",
-                    0,
-                    cfu_mem::SpiFlash::new(1 << 20, cfu_mem::SpiWidth::Quad),
-                );
+                bus.map("flash", 0, cfu_mem::SpiFlash::new(1 << 20, cfu_mem::SpiWidth::Quad));
                 bus.map("sram", 0x1000_0000, Sram::new(4096));
                 let cfg = CpuConfig::fomu_baseline().with_compressed(compressed);
                 let mut core = TimedCore::new(cfg, bus);
@@ -112,11 +112,41 @@ fn bench_rvc_density(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_dse_parallel(c: &mut Criterion) {
+    // Tentpole ablation: the batched DSE engine at 1/2/4/8 workers.
+    // Fronts are bit-identical across rows; only wall-clock moves. A
+    // fresh study per iteration keeps the memo cache cold so every
+    // trial pays for real simulated inference.
+    let mut group = c.benchmark_group("abl_dse_parallel");
+    group.sample_size(10);
+    let model = std::sync::Arc::new(models::mobilenet_v2(8, 2, 1));
+    let input = models::synthetic_input(&model, 5);
+    let factory =
+        InferenceEvaluatorFactory::new(Board::arty_a7_35t(), std::sync::Arc::clone(&model), input);
+    let space = cfu_bench::fig7::space_for(cfu_dse::CfuChoice::Cfu2);
+    const TRIALS: u64 = 48;
+    for threads in [1usize, 2, 4, 8] {
+        group.bench_function(format!("evolution_48_trials_{threads}t"), |b| {
+            b.iter(|| {
+                let mut study = ParallelStudy::new(
+                    space.clone(),
+                    RegularizedEvolution::new(11, 24, 6),
+                    threads,
+                );
+                study.run(&factory, TRIALS);
+                std::hint::black_box(study.archive().front().len())
+            });
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_iss_throughput,
     bench_cache_sweep,
     bench_bpred_sweep,
-    bench_rvc_density
+    bench_rvc_density,
+    bench_dse_parallel
 );
 criterion_main!(benches);

@@ -75,8 +75,7 @@ fn bench_fig6(c: &mut Criterion) {
                         dwconv: DwKernel::Cfu2 { postproc: true, specialized: true },
                     };
                 }
-                let mut dep =
-                    Deployment::new(model.clone(), soc.build_bus(), cfu, &cfg).unwrap();
+                let mut dep = Deployment::new(model.clone(), soc.build_bus(), cfu, &cfg).unwrap();
                 let (_, profile) = dep.run(&input).unwrap();
                 std::hint::black_box(profile.total_cycles())
             });

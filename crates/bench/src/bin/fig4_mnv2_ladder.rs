@@ -12,10 +12,8 @@ fn main() {
     while let Some(arg) = args.next() {
         match arg.as_str() {
             "--input-hw" => {
-                input_hw = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--input-hw needs an integer");
+                input_hw =
+                    args.next().and_then(|v| v.parse().ok()).expect("--input-hw needs an integer");
             }
             "--full-width" => full_width = true,
             "--csv" => {

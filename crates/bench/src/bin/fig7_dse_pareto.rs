@@ -1,10 +1,12 @@
 //! Regenerates Figure 7: design-space-exploration Pareto fronts.
 //!
-//! Usage: `fig7_dse_pareto [--trials N] [--input-hw N] [--random]`
-//! (defaults: 120 trials per curve, 16x16 MobileNetV2, regularized
-//! evolution).
+//! Usage: `fig7_dse_pareto [--trials N] [--input-hw N] [--threads N]
+//! [--random]` (defaults: 120 trials per curve, 16x16 MobileNetV2,
+//! regularized evolution, 1 worker thread). The Pareto fronts are
+//! byte-identical for every `--threads` value; threads only change
+//! wall-clock time.
 
-use cfu_bench::fig7::{run_all, render, Fig7Config};
+use cfu_bench::fig7::{render, run_all, Fig7Config};
 
 fn main() {
     let mut cfg = Fig7Config::default();
@@ -18,10 +20,12 @@ fn main() {
                     args.next().and_then(|v| v.parse().ok()).expect("--trials needs an integer");
             }
             "--input-hw" => {
-                cfg.input_hw = args
-                    .next()
-                    .and_then(|v| v.parse().ok())
-                    .expect("--input-hw needs an integer");
+                cfg.input_hw =
+                    args.next().and_then(|v| v.parse().ok()).expect("--input-hw needs an integer");
+            }
+            "--threads" => {
+                cfg.threads =
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer");
             }
             "--random" => cfg.evolutionary = false,
             "--csv" => {
@@ -31,7 +35,7 @@ fn main() {
                 svg_path = Some(args.next().expect("--svg needs a path"));
             }
             other => {
-                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --random --csv PATH --svg PATH");
+                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --threads N --random --csv PATH --svg PATH");
                 std::process::exit(2);
             }
         }
@@ -39,10 +43,11 @@ fn main() {
     let space = cfu_dse::DesignSpace::paper_scale();
     println!("Figure 7 — DSE of CPU vs CFU configurations (MobileNetV2 workload)");
     println!(
-        "design space: {} points (paper: ~93,000); {} trials/curve via {}\n",
+        "design space: {} points (paper: ~93,000); {} trials/curve via {} on {} thread(s)\n",
         space.size() * 3 / space.cfus.len() as u64,
         cfg.trials,
-        if cfg.evolutionary { "regularized evolution" } else { "random search" }
+        if cfg.evolutionary { "regularized evolution" } else { "random search" },
+        cfg.threads.max(1)
     );
     let curves = run_all(&cfg);
     print!("{}", render(&curves));

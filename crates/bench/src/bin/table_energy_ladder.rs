@@ -34,8 +34,5 @@ fn main() {
     }
     let (cycles, e) = run_step_with_energy(*Fig6Step::LADDER.last().unwrap());
     let _ = cycles;
-    println!(
-        "\nenergy reduction, baseline → final: {:.1}x",
-        baseline_energy / e.total_uj()
-    );
+    println!("\nenergy reduction, baseline → final: {:.1}x", baseline_energy / e.total_uj());
 }

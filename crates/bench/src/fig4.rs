@@ -42,8 +42,7 @@ pub fn run_step(input_hw: usize, full_width: bool, variant: Conv1x1Variant) -> P
     };
     let input = models::synthetic_input(&model, 42);
     let bus = board.build_bus(None);
-    let mut cfg =
-        DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
     cfg.registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
     let cfu: Box<dyn Cfu> = match variant.required_stage() {
         Some(stage) => Box::new(Cfu1::new(stage)),

@@ -169,11 +169,8 @@ pub fn run_step_with_energy(step: Fig6Step) -> (u64, cfu_sim::energy::EnergyEsti
     let model = models::ds_cnn_kws(1);
     let input = models::synthetic_input(&model, 7);
     let cfu = step.cfu();
-    let soc = SocBuilder::new(board)
-        .cpu(step.cpu())
-        .features(step.features())
-        .cfu(cfu.as_ref())
-        .build();
+    let soc =
+        SocBuilder::new(board).cpu(step.cpu()).features(step.features()).cfu(cfu.as_ref()).build();
     let design = soc.fit_report().used();
     let bus = soc.build_bus();
     let mut cfg = DeployConfig::new(step.cpu(), "spiflash", "sram", "spiflash");

@@ -2,8 +2,8 @@
 //! CPU+CFU1 vs CPU+CFU2) on the MobileNetV2 workload.
 
 use cfu_dse::{
-    CfuChoice, DesignSpace, InferenceEvaluator, ParetoPoint, RandomSearch,
-    RegularizedEvolution, Study,
+    CfuChoice, DesignSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint, RandomSearch,
+    RegularizedEvolution,
 };
 use cfu_soc::Board;
 use cfu_tflm::models;
@@ -33,11 +33,14 @@ pub struct Fig7Config {
     pub evolutionary: bool,
     /// RNG seed.
     pub seed: u64,
+    /// Worker threads per curve. Fronts are identical for every value;
+    /// only wall-clock time changes.
+    pub threads: usize,
 }
 
 impl Default for Fig7Config {
     fn default() -> Self {
-        Fig7Config { input_hw: 16, trials: 120, evolutionary: true, seed: 11 }
+        Fig7Config { input_hw: 16, trials: 120, evolutionary: true, seed: 11, threads: 1 }
     }
 }
 
@@ -56,15 +59,18 @@ pub fn space_for(choice: CfuChoice) -> DesignSpace {
 pub fn run_curve(choice: CfuChoice, cfg: &Fig7Config) -> Fig7Curve {
     let model = models::mobilenet_v2(cfg.input_hw, 2, 1);
     let input = models::synthetic_input(&model, 5);
-    let mut evaluator = InferenceEvaluator::new(Board::arty_a7_35t(), model, input);
+    // One factory per curve: workers share the model weights and the
+    // input tensor by `Arc`, each minting a private evaluator.
+    let factory = InferenceEvaluatorFactory::new(Board::arty_a7_35t(), model, input);
     let space = space_for(choice);
     let (front, evaluated) = if cfg.evolutionary {
-        let mut study = Study::new(space, RegularizedEvolution::new(cfg.seed, 24, 6));
-        study.run(&mut evaluator, cfg.trials);
+        let mut study =
+            ParallelStudy::new(space, RegularizedEvolution::new(cfg.seed, 24, 6), cfg.threads);
+        study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
     } else {
-        let mut study = Study::new(space, RandomSearch::new(cfg.seed));
-        study.run(&mut evaluator, cfg.trials);
+        let mut study = ParallelStudy::new(space, RandomSearch::new(cfg.seed), cfg.threads);
+        study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
     };
     Fig7Curve { label: choice.label(), choice, front, evaluated }

@@ -107,11 +107,9 @@ pub fn scatter(
     y_label: &str,
     series: &[(String, Vec<(f64, f64)>)],
 ) -> String {
-    let points: Vec<(f64, f64)> =
-        series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    let points: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
     assert!(!points.is_empty(), "need at least one point");
-    let (mut x_min, mut x_max, mut y_min, mut y_max) =
-        (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
+    let (mut x_min, mut x_max, mut y_min, mut y_max) = (f64::MAX, f64::MIN, f64::MAX, f64::MIN);
     for &(x, y) in &points {
         x_min = x_min.min(x);
         x_max = x_max.max(x);

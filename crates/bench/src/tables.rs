@@ -31,7 +31,10 @@ pub fn profile_mnv2_baseline(input_hw: usize) -> Profile {
 /// Renders the E1 comparison against the paper's numbers.
 pub fn render_mnv2_profile(profile: &Profile) -> String {
     let mut out = String::new();
-    out.push_str(&format!("total cycles: {} (paper: ~900M on 100 MHz Arty)\n\n", profile.total_cycles()));
+    out.push_str(&format!(
+        "total cycles: {} (paper: ~900M on 100 MHz Arty)\n\n",
+        profile.total_cycles()
+    ));
     out.push_str(&profile.to_string());
     let conv_share = profile.share_of(OpKind::Conv2d1x1)
         + profile.share_of(OpKind::DepthwiseConv2d)
@@ -68,17 +71,27 @@ pub struct ModelRow {
 pub fn mlperf_tiny_inventory(fast: bool) -> Vec<ModelRow> {
     let board = Board::arty_a7_35t();
     let zoo: Vec<Model> = if fast {
-        vec![models::mobilenet_v2(24, 2, 1), models::ds_cnn_kws(1), models::resnet8(1), models::fc_autoencoder(1)]
+        vec![
+            models::mobilenet_v2(24, 2, 1),
+            models::ds_cnn_kws(1),
+            models::resnet8(1),
+            models::fc_autoencoder(1),
+        ]
     } else {
-        vec![models::mobilenet_v2(96, 2, 1), models::ds_cnn_kws(1), models::resnet8(1), models::fc_autoencoder(1)]
+        vec![
+            models::mobilenet_v2(96, 2, 1),
+            models::ds_cnn_kws(1),
+            models::resnet8(1),
+            models::fc_autoencoder(1),
+        ]
     };
     let mut rows = Vec::new();
     for model in zoo {
         let input = models::synthetic_input(&model, 3);
-        let cfg =
-            DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
-        let mut dep = Deployment::new(model.clone(), board.build_bus(None), Box::new(NullCfu), &cfg)
-            .expect("deploys");
+        let cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+        let mut dep =
+            Deployment::new(model.clone(), board.build_bus(None), Box::new(NullCfu), &cfg)
+                .expect("deploys");
         let (_, profile) = dep.run(&input).expect("runs");
         rows.push(ModelRow {
             name: model.name.clone(),

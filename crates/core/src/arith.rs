@@ -173,11 +173,7 @@ pub fn unpack_i8x4(word: u32) -> [i8; 4] {
 /// Signed 4-lane dot product: `Σ lane_a[i] * lane_b[i]`, i.e. the MAC4
 /// datapath of both CFU1 and CFU2 with no input offset.
 pub fn dot4(a: u32, b: u32) -> i32 {
-    unpack_i8x4(a)
-        .into_iter()
-        .zip(unpack_i8x4(b))
-        .map(|(x, y)| i32::from(x) * i32::from(y))
-        .sum()
+    unpack_i8x4(a).into_iter().zip(unpack_i8x4(b)).map(|(x, y)| i32::from(x) * i32::from(y)).sum()
 }
 
 /// 4-lane dot product with an input offset added to each activation lane
@@ -186,12 +182,9 @@ pub fn dot4(a: u32, b: u32) -> i32 {
 pub fn dot4_offset(activations: u32, filters: u32, input_offset: i32) -> i32 {
     // Wrapping like the 32-bit adder tree would: `input_offset` is a
     // software-visible register and can legally hold any value.
-    unpack_i8x4(activations)
-        .into_iter()
-        .zip(unpack_i8x4(filters))
-        .fold(0i32, |acc, (x, w)| {
-            acc.wrapping_add(i32::from(x).wrapping_add(input_offset).wrapping_mul(i32::from(w)))
-        })
+    unpack_i8x4(activations).into_iter().zip(unpack_i8x4(filters)).fold(0i32, |acc, (x, w)| {
+        acc.wrapping_add(i32::from(x).wrapping_add(input_offset).wrapping_mul(i32::from(w)))
+    })
 }
 
 #[cfg(test)]
@@ -239,7 +232,10 @@ mod tests {
     fn multiply_matches_f64_for_easy_scales() {
         let (m, s) = quantize_multiplier(0.125);
         for x in [-1000, -1, 0, 1, 7, 1000, 123_456] {
-            assert_eq!(multiply_by_quantized_multiplier(x, m, s), ((x as f64) * 0.125).round() as i32);
+            assert_eq!(
+                multiply_by_quantized_multiplier(x, m, s),
+                ((x as f64) * 0.125).round() as i32
+            );
         }
     }
 

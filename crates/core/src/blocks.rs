@@ -141,9 +141,7 @@ impl MacArray {
         let f = arith::unpack_i8x4(filters);
         for lane in 0..self.lanes as usize {
             self.acc = self.acc.wrapping_add(
-                i32::from(a[lane])
-                    .wrapping_add(self.input_offset)
-                    .wrapping_mul(i32::from(f[lane])),
+                i32::from(a[lane]).wrapping_add(self.input_offset).wrapping_mul(i32::from(f[lane])),
             );
         }
         self.acc
@@ -152,9 +150,8 @@ impl MacArray {
     /// Single-lane accumulate — the depthwise-convolution fallback the KWS
     /// case study uses when no resources remain for a second CFU datapath.
     pub fn mac_single(&mut self, activation: i32, filter: i32) -> i32 {
-        self.acc = self
-            .acc
-            .wrapping_add(activation.wrapping_add(self.input_offset).wrapping_mul(filter));
+        self.acc =
+            self.acc.wrapping_add(activation.wrapping_add(self.input_offset).wrapping_mul(filter));
         self.acc
     }
 
@@ -283,8 +280,11 @@ impl PostProcessor {
 
     /// Post-processes with explicit parameters (no cursor).
     pub fn process_with(&self, acc: i32, p: ChannelParams) -> i32 {
-        let scaled =
-            arith::multiply_by_quantized_multiplier(acc.wrapping_add(p.bias), p.multiplier, p.shift);
+        let scaled = arith::multiply_by_quantized_multiplier(
+            acc.wrapping_add(p.bias),
+            p.multiplier,
+            p.shift,
+        );
         arith::clamp_activation(
             scaled.wrapping_add(self.output_offset),
             self.activation_min,

@@ -150,9 +150,7 @@ impl Cfu for Cfu2 {
                 Ok(CfuResponse::single(0))
             }
             OP_MAC4 => Ok(CfuResponse::single(self.mac.mac(rs1, rs2) as u32)),
-            OP_MAC1 => {
-                Ok(CfuResponse::single(self.mac.mac_single(rs1 as i32, rs2 as i32) as u32))
-            }
+            OP_MAC1 => Ok(CfuResponse::single(self.mac.mac_single(rs1 as i32, rs2 as i32) as u32)),
             OP_TAKE_ACC => Ok(CfuResponse::single(self.mac.take() as u32)),
             OP_SET_BIAS => {
                 self.require_postproc(op)?;
@@ -258,11 +256,8 @@ pub fn software_emulation() -> impl Cfu {
                 0
             }
             OP_MAC4 => {
-                st.acc = st.acc.wrapping_add(i64::from(arith::dot4_offset(
-                    rs1,
-                    rs2,
-                    st.input_offset,
-                )));
+                st.acc =
+                    st.acc.wrapping_add(i64::from(arith::dot4_offset(rs1, rs2, st.input_offset)));
                 st.acc as u32
             }
             OP_MAC1 => {
@@ -299,11 +294,8 @@ pub fn software_emulation() -> impl Cfu {
             }
             OP_POSTPROC => post(&st, rs1 as i32) as u32,
             OP_MAC4_TAKE_POSTPROC => {
-                st.acc = st.acc.wrapping_add(i64::from(arith::dot4_offset(
-                    rs1,
-                    rs2,
-                    st.input_offset,
-                )));
+                st.acc =
+                    st.acc.wrapping_add(i64::from(arith::dot4_offset(rs1, rs2, st.input_offset)));
                 let acc = st.acc as i32;
                 st.acc = 0;
                 post(&st, acc) as u32

@@ -107,7 +107,12 @@ impl Mul<u32> for Resources {
     type Output = Resources;
 
     fn mul(self, k: u32) -> Resources {
-        Resources { luts: self.luts * k, ffs: self.ffs * k, brams: self.brams * k, dsps: self.dsps * k }
+        Resources {
+            luts: self.luts * k,
+            ffs: self.ffs * k,
+            brams: self.brams * k,
+            dsps: self.dsps * k,
+        }
     }
 }
 
@@ -119,11 +124,7 @@ impl Sum for Resources {
 
 impl fmt::Display for Resources {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "{} LUTs, {} FFs, {} BRAMs, {} DSPs",
-            self.luts, self.ffs, self.brams, self.dsps
-        )
+        write!(f, "{} LUTs, {} FFs, {} BRAMs, {} DSPs", self.luts, self.ffs, self.brams, self.dsps)
     }
 }
 

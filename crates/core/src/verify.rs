@@ -51,7 +51,7 @@ impl OpStream {
             let r = next();
             let op = ops[(r % ops.len() as u64) as usize];
             let pick = |r: u64| {
-                if r % 4 == 0 {
+                if r.is_multiple_of(4) {
                     EDGES[(r >> 2) as usize % EDGES.len()]
                 } else {
                     (r >> 16) as u32
@@ -127,7 +127,11 @@ impl fmt::Display for EquivalenceReport {
 /// emulation is expected to reject what the hardware rejects.
 ///
 /// Returns the full report; use [`equivalence_check`] for a pass/fail.
-pub fn run_equivalence(hw: &mut dyn Cfu, emu: &mut dyn Cfu, stream: &OpStream) -> EquivalenceReport {
+pub fn run_equivalence(
+    hw: &mut dyn Cfu,
+    emu: &mut dyn Cfu,
+    stream: &OpStream,
+) -> EquivalenceReport {
     hw.reset();
     emu.reset();
     for (index, &(op, rs1, rs2)) in stream.items().iter().enumerate() {

@@ -1,6 +1,7 @@
 //! Evaluators: mapping a design point to (latency, resources, fits).
 
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use cfu_core::{Cfu, NullCfu, Resources};
 use cfu_soc::Board;
@@ -80,8 +81,7 @@ impl Evaluator for ResourceEvaluator {
             CfuChoice::Cfu2 => 0.3,
         };
         // Toy energy: activity energy plus leakage over the run.
-        let energy_uj =
-            cycles * 25e-6 + cycles * f64::from(resources.luts) / 1000.0 * 8e-6;
+        let energy_uj = cycles * 25e-6 + cycles * f64::from(resources.luts) / 1000.0 * 8e-6;
         EvalResult {
             latency: cycles as u64,
             resources,
@@ -97,8 +97,8 @@ impl Evaluator for ResourceEvaluator {
 /// when running experiments at scale in the cloud".
 pub struct InferenceEvaluator {
     board: Board,
-    model: Model,
-    input: Tensor,
+    model: Arc<Model>,
+    input: Arc<Tensor>,
     cache: HashMap<DesignPoint, EvalResult>,
 }
 
@@ -114,8 +114,22 @@ impl std::fmt::Debug for InferenceEvaluator {
 
 impl InferenceEvaluator {
     /// Creates an evaluator running `model` on `board` with `input`.
-    pub fn new(board: Board, model: Model, input: Tensor) -> Self {
-        InferenceEvaluator { board, model, input, cache: HashMap::new() }
+    /// `model` may be a bare [`Model`] or a shared [`Arc<Model>`] handle.
+    pub fn new(board: Board, model: impl Into<Arc<Model>>, input: Tensor) -> Self {
+        Self::with_shared(board, model, Arc::new(input))
+    }
+
+    /// Creates an evaluator over already-shared model and input handles —
+    /// the zero-copy constructor used by worker-pool factories: no weight
+    /// or input bytes are duplicated per evaluator.
+    pub fn with_shared(board: Board, model: impl Into<Arc<Model>>, input: Arc<Tensor>) -> Self {
+        InferenceEvaluator { board, model: model.into(), input, cache: HashMap::new() }
+    }
+
+    /// The shared model handle (for pointer-identity assertions that no
+    /// per-evaluation weight copies happen).
+    pub fn model_arc(&self) -> &Arc<Model> {
+        &self.model
     }
 
     /// The kernel registry and CFU instance implied by a CFU choice.
@@ -164,7 +178,8 @@ impl Evaluator for InferenceEvaluator {
         let cfg = self.deploy_config(point);
         let bus = self.board.build_bus(None);
         let params = cfu_sim::energy::default_params_for(&point.cpu);
-        let (latency, energy_uj) = match Deployment::new(self.model.clone(), bus, cfu, &cfg) {
+        // `Arc::clone` bumps a refcount; the weights are never copied.
+        let (latency, energy_uj) = match Deployment::new(Arc::clone(&self.model), bus, cfu, &cfg) {
             Ok(mut dep) => match dep.run(&self.input) {
                 Ok((_, profile)) => {
                     let e = cfu_sim::energy::estimate_core(dep.core(), resources, &params);
@@ -208,8 +223,7 @@ mod tests {
     fn inference_evaluator_runs_and_caches() {
         let model = models::tiny_test_net(1);
         let input = models::synthetic_input(&model, 2);
-        let mut eval =
-            InferenceEvaluator::new(cfu_soc::Board::arty_a7_35t(), model, input);
+        let mut eval = InferenceEvaluator::new(cfu_soc::Board::arty_a7_35t(), model, input);
         let space = DesignSpace::small();
         let p = space.point(space.size() - 1);
         let a = eval.evaluate(&p);
@@ -223,32 +237,50 @@ mod tests {
     fn cfu_choice_changes_latency_and_area() {
         let model = models::tiny_test_net(3);
         let input = models::synthetic_input(&model, 4);
-        let mut eval =
-            InferenceEvaluator::new(cfu_soc::Board::arty_a7_35t(), model, input);
+        let mut eval = InferenceEvaluator::new(cfu_soc::Board::arty_a7_35t(), model, input);
         let space = DesignSpace::small();
-        // Find two identical CPU configs differing only in CFU.
-        let mut base = None;
-        let mut with_cfu1 = None;
-        for i in 0..space.size() {
-            let p = space.point(i);
-            if p.cpu == cfu_sim::CpuConfig::fomu_minimal().with_icache_bytes(2048)
-                .with_dcache_bytes(2048)
-                .with_multiplier(cfu_sim::Multiplier::SingleCycleDsp)
-                .with_branch_predictor(cfu_sim::BranchPredictor::Dynamic { entries: 64 })
-            {
-                // not reachable in small space necessarily; fall through
+        // Pin a matched pair: identical CPU configuration, differing only
+        // in the attached CFU, so the comparison isolates the CFU itself.
+        let mut pair = None;
+        'outer: for i in 0..space.size() {
+            let base = space.point(i);
+            if base.cfu != CfuChoice::None {
+                continue;
             }
-            match p.cfu {
-                CfuChoice::None if base.is_none() => base = Some(p),
-                CfuChoice::Cfu1 if with_cfu1.is_none() => {
-                    with_cfu1 = Some(p);
+            for j in 0..space.size() {
+                let cand = space.point(j);
+                if cand.cfu == CfuChoice::Cfu1 && cand.cpu == base.cpu {
+                    pair = Some((base, cand));
+                    break 'outer;
                 }
-                _ => {}
             }
         }
-        let (a, b) = (base.unwrap(), with_cfu1.unwrap());
+        let (a, b) = pair.expect("small space pairs every CPU config with every CFU");
+        assert_eq!(a.cpu, b.cpu, "pair must differ only in CFU choice");
         let ra = eval.evaluate(&a);
         let rb = eval.evaluate(&b);
-        assert!(rb.resources.luts > ra.resources.luts);
+        assert!(rb.resources.luts > ra.resources.luts, "CFU1 costs area");
+        assert!(rb.latency < ra.latency, "CFU1 accelerates the conv workload");
+    }
+
+    #[test]
+    fn evaluator_shares_model_without_copying_weights() {
+        let model = std::sync::Arc::new(models::tiny_test_net(1));
+        let input = models::synthetic_input(&model, 2);
+        let mut eval = InferenceEvaluator::new(
+            cfu_soc::Board::arty_a7_35t(),
+            std::sync::Arc::clone(&model),
+            input,
+        );
+        // Pointer identity: the evaluator holds the caller's allocation.
+        assert!(std::sync::Arc::ptr_eq(eval.model_arc(), &model));
+        let baseline = std::sync::Arc::strong_count(&model);
+        let space = DesignSpace::small();
+        let _ = eval.evaluate(&space.point(0));
+        let _ = eval.evaluate(&space.point(space.size() - 1));
+        // Evaluations borrow the shared model transiently (refcount bumps)
+        // but retain no copy afterwards.
+        assert_eq!(std::sync::Arc::strong_count(&model), baseline);
+        assert!(std::sync::Arc::ptr_eq(eval.model_arc(), &model));
     }
 }

@@ -15,6 +15,9 @@
 //!   inference (the Verilator-in-the-cloud stand-in),
 //! * [`Study`] — a Vizier-style suggest/observe loop over pluggable
 //!   [`Optimizer`] strategies (random, grid, regularized evolution),
+//! * [`ParallelStudy`] — the same loop with each suggestion batch fanned
+//!   out over a worker pool behind a sharded [`MemoCache`]; fronts are
+//!   bit-identical to the serial driver at any thread count,
 //! * [`ParetoArchive`] — non-dominated (resources, latency) front
 //!   extraction for the Figure 7 curves.
 //!
@@ -37,12 +40,15 @@
 
 mod eval;
 mod optimizer;
+mod parallel;
 mod pareto;
 mod space;
 
 pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator};
 pub use optimizer::{
     GridSearch, Optimizer, RandomSearch, RegularizedEvolution, SimulatedAnnealing, Study,
+    SUGGEST_BATCH,
 };
+pub use parallel::{EvaluatorFactory, InferenceEvaluatorFactory, MemoCache, ParallelStudy};
 pub use pareto::{ParetoArchive, ParetoPoint};
 pub use space::{CfuChoice, DesignPoint, DesignSpace};

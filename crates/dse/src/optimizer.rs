@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use crate::eval::{EvalResult, Evaluator};
 use crate::pareto::{ParetoArchive, ParetoPoint};
-use crate::space::DesignSpace;
+use crate::space::{DesignPoint, DesignSpace};
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state >> 12;
@@ -12,6 +12,17 @@ fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state >> 27;
     state.wrapping_mul(0x2545_F491_4F6C_DD1D)
 }
+
+/// The canonical suggestion-batch size shared by [`Study`] and
+/// [`crate::ParallelStudy`].
+///
+/// Both drivers issue `suggest_batch`/`observe_batch` rounds of exactly
+/// this size (the tail round may be shorter), so an optimizer sees the
+/// identical call sequence — and therefore reaches the identical state —
+/// whether a round is evaluated serially or fanned out over a worker
+/// pool. That is what makes Pareto fronts bit-identical across thread
+/// counts.
+pub const SUGGEST_BATCH: usize = 16;
 
 /// A suggest/observe black-box optimizer over design-point indices —
 /// the same protocol Vizier's clients speak.
@@ -22,8 +33,52 @@ pub trait Optimizer {
     /// Feeds back the measurement for a previously-suggested point.
     fn observe(&mut self, index: u64, result: &EvalResult);
 
+    /// Proposes up to `n` points to evaluate as one batch (Vizier's
+    /// multi-suggestion RPC). The default delegates to [`suggest`]
+    /// `n` times, so scalar optimizers keep working unchanged; batch-aware
+    /// optimizers may override for diversity-aware proposals.
+    ///
+    /// [`suggest`]: Optimizer::suggest
+    fn suggest_batch(&mut self, space: &DesignSpace, n: usize) -> Vec<u64> {
+        (0..n).map(|_| self.suggest(space)).collect()
+    }
+
+    /// Feeds back a whole batch of measurements **in suggestion order**.
+    /// The default delegates to [`observe`] per element.
+    ///
+    /// [`observe`]: Optimizer::observe
+    fn observe_batch(&mut self, batch: &[(u64, EvalResult)]) {
+        for (index, result) in batch {
+            self.observe(*index, result);
+        }
+    }
+
     /// Strategy name for reports.
     fn name(&self) -> &'static str;
+}
+
+/// Offers a feasible evaluation to both archives (latency/resources and
+/// latency/energy) — shared by the serial and parallel study drivers.
+pub(crate) fn record_result(
+    archive: &mut ParetoArchive,
+    energy_archive: &mut ParetoArchive,
+    point: DesignPoint,
+    result: &EvalResult,
+) {
+    if result.fits && result.latency != u64::MAX {
+        archive.offer(ParetoPoint {
+            point,
+            resources: u64::from(result.resources.logic_cells()),
+            latency: result.latency,
+        });
+        if result.energy_uj.is_finite() && result.energy_uj > 0.0 {
+            energy_archive.offer(ParetoPoint {
+                point,
+                resources: (result.energy_uj * 1000.0) as u64, // nJ
+                latency: result.latency,
+            });
+        }
+    }
 }
 
 /// Uniform random search — Vizier's baseline strategy and a surprisingly
@@ -67,10 +122,24 @@ impl GridSearch {
     /// Panics if `budget` is zero.
     pub fn new(space: &DesignSpace, budget: u64) -> Self {
         assert!(budget > 0, "budget must be positive");
-        // A stride coprime-ish with the space size covers it evenly.
-        let stride = (space.size() / budget).max(1) | 1;
+        let size = space.size();
+        // Start at the even-coverage stride and walk to the next value
+        // truly coprime with the size: any shared factor g confines the
+        // walk to a coset of size/g indices, silently revisiting them
+        // instead of covering the space.
+        let mut stride = (size / budget).max(1);
+        while gcd(stride, size) != 1 {
+            stride += 1;
+        }
         GridSearch { cursor: 0, stride }
     }
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
 }
 
 impl Optimizer for GridSearch {
@@ -260,27 +329,35 @@ impl<O: Optimizer> Study<O> {
         &self.energy_archive
     }
 
-    /// Runs `trials` suggest→evaluate→observe rounds.
+    /// Runs `trials` suggest→evaluate→observe rounds in batches of
+    /// [`SUGGEST_BATCH`] (the tail batch may be shorter).
+    ///
+    /// The batch schedule — not the evaluation order within a batch — is
+    /// what the optimizer observes, so this serial driver and
+    /// [`crate::ParallelStudy`] produce bit-identical archives for the
+    /// same optimizer, seed and trial count.
     pub fn run(&mut self, evaluator: &mut dyn Evaluator, trials: u64) {
-        for _ in 0..trials {
-            let index = self.optimizer.suggest(&self.space);
-            let point = self.space.point(index);
-            let result = evaluator.evaluate(&point);
-            self.optimizer.observe(index, &result);
-            if result.fits && result.latency != u64::MAX {
-                self.archive.offer(ParetoPoint {
-                    point,
-                    resources: u64::from(result.resources.logic_cells()),
-                    latency: result.latency,
-                });
-                if result.energy_uj.is_finite() && result.energy_uj > 0.0 {
-                    self.energy_archive.offer(ParetoPoint {
-                        point,
-                        resources: (result.energy_uj * 1000.0) as u64, // nJ
-                        latency: result.latency,
-                    });
-                }
+        let mut remaining = trials;
+        while remaining > 0 {
+            let n = remaining.min(SUGGEST_BATCH as u64) as usize;
+            let indices = self.optimizer.suggest_batch(&self.space, n);
+            if indices.is_empty() {
+                break;
             }
+            let batch: Vec<(u64, EvalResult)> = indices
+                .into_iter()
+                .map(|index| (index, evaluator.evaluate(&self.space.point(index))))
+                .collect();
+            self.optimizer.observe_batch(&batch);
+            for (index, result) in &batch {
+                record_result(
+                    &mut self.archive,
+                    &mut self.energy_archive,
+                    self.space.point(*index),
+                    result,
+                );
+            }
+            remaining -= batch.len() as u64;
         }
     }
 }
@@ -311,6 +388,40 @@ mod tests {
         }
         // stride 1 over the whole space: full coverage.
         assert_eq!(seen.len() as u64, n);
+    }
+
+    #[test]
+    fn grid_stride_coprime_with_composite_space() {
+        let space = DesignSpace::small(); // 96 points — plenty of shared factors
+        let n = space.size();
+        assert_eq!(n % 3, 0, "test needs a composite space size");
+        // The old stride (96/32)|1 = 3 shared a factor with 96 and cycled
+        // after 32 points; the gcd walk must cover the whole space.
+        let mut grid = GridSearch::new(&space, 32);
+        let mut seen = std::collections::HashSet::new();
+        for _ in 0..n {
+            seen.insert(grid.suggest(&space));
+        }
+        assert_eq!(seen.len() as u64, n, "stride must be coprime with the space size");
+    }
+
+    #[test]
+    fn default_batch_methods_match_scalar_sequence() {
+        let space = DesignSpace::small();
+        let mut batched = RegularizedEvolution::new(77, 8, 3);
+        let mut scalar = RegularizedEvolution::new(77, 8, 3);
+        let batch = batched.suggest_batch(&space, 5);
+        let singles: Vec<u64> = (0..5).map(|_| scalar.suggest(&space)).collect();
+        assert_eq!(batch, singles);
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        let results: Vec<(u64, EvalResult)> =
+            batch.iter().map(|&i| (i, eval.evaluate(&space.point(i)))).collect();
+        batched.observe_batch(&results);
+        for (i, r) in &results {
+            scalar.observe(*i, r);
+        }
+        // Both reach the same state: next suggestions agree.
+        assert_eq!(batched.suggest(&space), scalar.suggest(&space));
     }
 
     #[test]

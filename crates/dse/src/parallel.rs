@@ -1,0 +1,330 @@
+//! Parallel batched design-point evaluation — the "at scale in the
+//! cloud" leg of the paper's Figure-7 experiment, on one machine.
+//!
+//! [`ParallelStudy`] drives the same suggest/observe protocol as
+//! [`Study`](crate::Study), but fans each suggestion batch out over a
+//! [`std::thread::scope`] worker pool. Three design rules keep it exact:
+//!
+//! 1. **Same batch schedule.** Batches are [`SUGGEST_BATCH`]-sized for
+//!    both drivers, so the optimizer sees an identical call sequence and
+//!    reaches identical state regardless of thread count.
+//! 2. **Merge in suggestion order.** Worker completion order never leaks
+//!    into `observe_batch` or the Pareto archives, so fronts are
+//!    bit-identical at 1, 2 or 8 threads.
+//! 3. **One evaluator per worker.** Evaluators stay single-threaded;
+//!    an [`EvaluatorFactory`] mints a private instance per worker, and a
+//!    sharded [`MemoCache`] shared across workers (and batches) makes
+//!    revisits free without serializing the simulators.
+
+use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use cfu_soc::Board;
+use cfu_tflm::model::Model;
+use cfu_tflm::tensor::Tensor;
+
+use crate::eval::{EvalResult, Evaluator, InferenceEvaluator};
+use crate::optimizer::{record_result, Optimizer, SUGGEST_BATCH};
+use crate::pareto::ParetoArchive;
+use crate::space::{DesignPoint, DesignSpace};
+
+/// Mints one evaluator per worker thread.
+///
+/// The factory itself is shared by reference across the worker pool
+/// (hence `Sync`); the evaluators it creates live and die on one thread
+/// each and need no synchronization of their own.
+pub trait EvaluatorFactory: Sync {
+    /// The evaluator type produced for each worker.
+    type Eval: Evaluator;
+
+    /// Creates a fresh evaluator (called once per worker per run).
+    fn make_evaluator(&self) -> Self::Eval;
+}
+
+/// Any `Fn() -> impl Evaluator` closure is a factory.
+impl<E: Evaluator, F: Fn() -> E + Sync> EvaluatorFactory for F {
+    type Eval = E;
+    fn make_evaluator(&self) -> E {
+        self()
+    }
+}
+
+/// Factory for [`InferenceEvaluator`] workers sharing one model: the
+/// board description is cloned (plain data), while the model weights and
+/// the input tensor are shared by [`Arc`] — spawning eight workers costs
+/// eight reference-count bumps, not eight copies of MobileNetV2.
+#[derive(Debug, Clone)]
+pub struct InferenceEvaluatorFactory {
+    board: Board,
+    model: Arc<Model>,
+    input: Arc<Tensor>,
+}
+
+impl InferenceEvaluatorFactory {
+    /// Creates the factory; `model` may be a bare [`Model`] or an
+    /// existing [`Arc<Model>`] handle.
+    pub fn new(board: Board, model: impl Into<Arc<Model>>, input: Tensor) -> Self {
+        InferenceEvaluatorFactory { board, model: model.into(), input: Arc::new(input) }
+    }
+
+    /// The shared model handle (for pointer-identity assertions).
+    pub fn model_arc(&self) -> &Arc<Model> {
+        &self.model
+    }
+}
+
+impl EvaluatorFactory for InferenceEvaluatorFactory {
+    type Eval = InferenceEvaluator;
+    fn make_evaluator(&self) -> InferenceEvaluator {
+        InferenceEvaluator::with_shared(
+            self.board.clone(),
+            Arc::clone(&self.model),
+            Arc::clone(&self.input),
+        )
+    }
+}
+
+/// Number of independently locked shards. A power of two, sized so that
+/// even a 16-thread pool rarely contends on the same shard.
+const MEMO_SHARDS: usize = 16;
+
+/// A sharded concurrent memoization cache for design-point evaluations.
+///
+/// Keyed by the full [`DesignPoint`] (not its hash), so two points can
+/// never alias each other's results; the hash only picks the shard.
+/// Reads take one shard lock for the duration of a `HashMap` probe —
+/// workers evaluating different points proceed without contention.
+#[derive(Debug, Default)]
+pub struct MemoCache {
+    shards: [Mutex<HashMap<DesignPoint, EvalResult>>; MEMO_SHARDS],
+}
+
+impl MemoCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        MemoCache::default()
+    }
+
+    fn shard(&self, point: &DesignPoint) -> &Mutex<HashMap<DesignPoint, EvalResult>> {
+        let mut hasher = std::collections::hash_map::DefaultHasher::new();
+        point.hash(&mut hasher);
+        &self.shards[(hasher.finish() as usize) % MEMO_SHARDS]
+    }
+
+    /// Looks up a previously inserted result.
+    pub fn get(&self, point: &DesignPoint) -> Option<EvalResult> {
+        self.shard(point).lock().expect("memo shard poisoned").get(point).copied()
+    }
+
+    /// Inserts (or overwrites) a result.
+    pub fn insert(&self, point: DesignPoint, result: EvalResult) {
+        self.shard(&point).lock().expect("memo shard poisoned").insert(point, result);
+    }
+
+    /// Returns the cached result or computes, stores and returns it. The
+    /// shard lock is **not** held during `compute`, so a slow simulation
+    /// never blocks other workers; racing computations of the same point
+    /// are benign because evaluation is deterministic.
+    pub fn get_or_compute(
+        &self,
+        point: &DesignPoint,
+        compute: impl FnOnce() -> EvalResult,
+    ) -> EvalResult {
+        if let Some(hit) = self.get(point) {
+            return hit;
+        }
+        let result = compute();
+        self.insert(*point, result);
+        result
+    }
+
+    /// Number of distinct points cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("memo shard poisoned").len()).sum()
+    }
+
+    /// `true` when nothing is cached.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// A Vizier-style study whose evaluation rounds saturate a worker pool.
+///
+/// Apart from `run` taking an [`EvaluatorFactory`] and a thread count,
+/// the API mirrors [`Study`](crate::Study) — and so do the results:
+/// fronts are bit-identical to the serial driver for every thread count.
+#[derive(Debug)]
+pub struct ParallelStudy<O> {
+    space: DesignSpace,
+    optimizer: O,
+    archive: ParetoArchive,
+    energy_archive: ParetoArchive,
+    cache: MemoCache,
+    threads: usize,
+}
+
+impl<O: Optimizer> ParallelStudy<O> {
+    /// Creates a study over `space` using `optimizer`, evaluating on
+    /// `threads` workers (clamped to at least 1).
+    pub fn new(space: DesignSpace, optimizer: O, threads: usize) -> Self {
+        ParallelStudy {
+            space,
+            optimizer,
+            archive: ParetoArchive::new(),
+            energy_archive: ParetoArchive::new(),
+            cache: MemoCache::new(),
+            threads: threads.max(1),
+        }
+    }
+
+    /// The design space.
+    pub fn space(&self) -> &DesignSpace {
+        &self.space
+    }
+
+    /// Worker count used by `run`.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// The feasible Pareto archive accumulated so far.
+    pub fn archive(&self) -> &ParetoArchive {
+        &self.archive
+    }
+
+    /// The (energy, latency) Pareto archive.
+    pub fn energy_archive(&self) -> &ParetoArchive {
+        &self.energy_archive
+    }
+
+    /// The shared memo cache (observability: distinct points simulated).
+    pub fn cache(&self) -> &MemoCache {
+        &self.cache
+    }
+
+    /// Runs `trials` suggest→evaluate→observe rounds, fanning each
+    /// [`SUGGEST_BATCH`]-sized round out over the worker pool and merging
+    /// results back in suggestion order.
+    pub fn run<F: EvaluatorFactory>(&mut self, factory: &F, trials: u64) {
+        let mut remaining = trials;
+        while remaining > 0 {
+            let n = remaining.min(SUGGEST_BATCH as u64) as usize;
+            let indices = self.optimizer.suggest_batch(&self.space, n);
+            if indices.is_empty() {
+                break;
+            }
+            let points: Vec<DesignPoint> = indices.iter().map(|&i| self.space.point(i)).collect();
+            let results = evaluate_batch(&points, factory, &self.cache, self.threads);
+            let batch: Vec<(u64, EvalResult)> = indices.iter().copied().zip(results).collect();
+            self.optimizer.observe_batch(&batch);
+            for ((index, result), point) in batch.iter().zip(&points) {
+                debug_assert_eq!(*point, self.space.point(*index));
+                record_result(&mut self.archive, &mut self.energy_archive, *point, result);
+            }
+            remaining -= batch.len() as u64;
+        }
+    }
+}
+
+/// Evaluates one batch of points on `threads` workers, returning results
+/// in input order. Workers pull work items off a shared atomic cursor so
+/// an expensive point never stalls the rest of the batch behind it.
+fn evaluate_batch<F: EvaluatorFactory>(
+    points: &[DesignPoint],
+    factory: &F,
+    cache: &MemoCache,
+    threads: usize,
+) -> Vec<EvalResult> {
+    let workers = threads.max(1).min(points.len().max(1));
+    if workers == 1 {
+        let mut evaluator = factory.make_evaluator();
+        return points.iter().map(|p| cache.get_or_compute(p, || evaluator.evaluate(p))).collect();
+    }
+    let cursor = AtomicUsize::new(0);
+    let mut merged: Vec<Option<EvalResult>> = vec![None; points.len()];
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..workers)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut evaluator = factory.make_evaluator();
+                    let mut local = Vec::new();
+                    loop {
+                        let slot = cursor.fetch_add(1, Ordering::Relaxed);
+                        let Some(point) = points.get(slot) else { break };
+                        let result = cache.get_or_compute(point, || evaluator.evaluate(point));
+                        local.push((slot, result));
+                    }
+                    local
+                })
+            })
+            .collect();
+        for handle in handles {
+            for (slot, result) in handle.join().expect("DSE worker panicked") {
+                merged[slot] = Some(result);
+            }
+        }
+    });
+    merged.into_iter().map(|r| r.expect("every slot evaluated")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::eval::ResourceEvaluator;
+    use crate::optimizer::{RandomSearch, RegularizedEvolution, Study};
+
+    #[test]
+    fn parallel_matches_serial_for_random_search() {
+        let space = DesignSpace::small();
+        let mut serial = Study::new(space.clone(), RandomSearch::new(3));
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        serial.run(&mut eval, 100);
+        for threads in [1, 2, 8] {
+            let mut parallel = ParallelStudy::new(space.clone(), RandomSearch::new(3), threads);
+            parallel.run(&|| ResourceEvaluator::new(1_000_000), 100);
+            assert_eq!(parallel.archive().front(), serial.archive().front());
+        }
+    }
+
+    #[test]
+    fn memo_cache_counts_distinct_points_only() {
+        let space = DesignSpace::small();
+        let mut study = ParallelStudy::new(space, RandomSearch::new(9), 4);
+        study.run(&|| ResourceEvaluator::new(1_000_000), 300);
+        // 300 trials over a 96-point space must revisit heavily.
+        assert!(study.cache().len() <= 96, "cached {}", study.cache().len());
+        assert!(!study.cache().is_empty());
+    }
+
+    #[test]
+    fn closure_factories_work() {
+        let space = DesignSpace::small();
+        let mut study = ParallelStudy::new(space, RegularizedEvolution::new(5, 8, 3), 2);
+        study.run(&|| ResourceEvaluator::new(1_000_000), 64);
+        assert!(!study.archive().front().is_empty());
+    }
+
+    #[test]
+    fn memo_cache_shards_do_not_alias() {
+        let space = DesignSpace::paper_scale();
+        let cache = MemoCache::new();
+        let mut eval = ResourceEvaluator::new(1_000_000);
+        // Stamp each point's result with a value derived from its index;
+        // a cross-point mixup would surface as a wrong latency.
+        let step = space.size() / 512;
+        for k in 0..512u64 {
+            let point = space.point(k * step);
+            let mut result = eval.evaluate(&point);
+            result.latency = k;
+            cache.insert(point, result);
+        }
+        for k in 0..512u64 {
+            let point = space.point(k * step);
+            assert_eq!(cache.get(&point).expect("cached").latency, k);
+        }
+        assert_eq!(cache.len(), 512);
+    }
+}

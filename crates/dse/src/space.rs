@@ -180,8 +180,13 @@ impl DesignSpace {
 
     /// A uniformly random point index from a caller-supplied generator
     /// value.
+    ///
+    /// Maps via widening multiply (`raw * size >> 64`) rather than
+    /// `raw % size`: the modulo skews toward low indices whenever the
+    /// space size does not divide 2^64, while the multiply spreads the
+    /// bias evenly across the whole range (Lemire's reduction).
     pub fn random_index(&self, raw: u64) -> u64 {
-        raw % self.size()
+        ((u128::from(raw) * u128::from(self.size())) >> 64) as u64
     }
 
     /// Mutates one randomly-chosen parameter of `index` (for evolutionary
@@ -247,6 +252,44 @@ mod tests {
             assert!(mutated < space.size());
             // Same index is allowed (mutating to the same digit).
         }
+    }
+
+    #[test]
+    fn random_index_uniform_over_paper_scale_buckets() {
+        // Property: bucketing the mapped indices into 16 equal ranges of
+        // the paper-scale space, a uniform u64 stream lands in each bucket
+        // within ±10% of the expected share. The old `raw % size` mapping
+        // fails this near divisor boundaries; the widening multiply must
+        // also hit both extremes of the range.
+        let space = DesignSpace::paper_scale();
+        let size = space.size();
+        let mut state = 0x1234_5678_9abc_def1u64;
+        let mut xorshift = move || {
+            state ^= state >> 12;
+            state ^= state << 25;
+            state ^= state >> 27;
+            state.wrapping_mul(0x2545_F491_4F6C_DD1D)
+        };
+        const DRAWS: u64 = 160_000;
+        let mut buckets = [0u64; 16];
+        let mut min_seen = u64::MAX;
+        let mut max_seen = 0u64;
+        for _ in 0..DRAWS {
+            let idx = space.random_index(xorshift());
+            assert!(idx < size, "index {idx} out of space of {size}");
+            min_seen = min_seen.min(idx);
+            max_seen = max_seen.max(idx);
+            buckets[(u128::from(idx) * 16 / u128::from(size)) as usize] += 1;
+        }
+        let expected = DRAWS / 16;
+        for (i, &count) in buckets.iter().enumerate() {
+            assert!(
+                count > expected * 9 / 10 && count < expected * 11 / 10,
+                "bucket {i} holds {count}, expected ~{expected}"
+            );
+        }
+        assert!(min_seen < size / 100, "low extreme unreached: {min_seen}");
+        assert!(max_seen > size - size / 100, "high extreme unreached: {max_seen}");
     }
 
     #[test]

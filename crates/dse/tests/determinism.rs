@@ -1,0 +1,98 @@
+//! Thread-count invariance of the parallel DSE engine.
+//!
+//! The contract under test: `ParallelStudy` at any worker count produces
+//! exactly the Pareto fronts the serial `Study` produces, for every
+//! optimizer strategy — including the stateful ones (evolution,
+//! annealing) whose suggestions depend on previously observed results.
+//! Both drivers share the same `SUGGEST_BATCH` schedule, so the only
+//! thing threads may change is wall-clock time.
+
+use proptest::prelude::*;
+
+use cfu_dse::{
+    DesignSpace, Evaluator, MemoCache, ParallelStudy, RandomSearch, RegularizedEvolution,
+    ResourceEvaluator, SimulatedAnnealing, Study,
+};
+
+const TRIALS: u64 = 200;
+const BUDGET: u32 = 1_000_000;
+
+/// Runs serial and parallel studies with identically seeded optimizers
+/// and asserts both archives (feasible and energy) match bit-for-bit.
+fn assert_thread_invariant<O, M>(make: M)
+where
+    O: cfu_dse::Optimizer,
+    M: Fn() -> O,
+{
+    let space = DesignSpace::small();
+    let mut serial = Study::new(space.clone(), make());
+    let mut eval = ResourceEvaluator::new(BUDGET);
+    serial.run(&mut eval, TRIALS);
+    assert!(
+        !serial.archive().front().is_empty(),
+        "serial baseline found no feasible points — test is vacuous"
+    );
+    for threads in [1, 2, 8] {
+        let mut parallel = ParallelStudy::new(space.clone(), make(), threads);
+        parallel.run(&|| ResourceEvaluator::new(BUDGET), TRIALS);
+        assert_eq!(
+            parallel.archive().front(),
+            serial.archive().front(),
+            "feasible front diverged at {threads} threads"
+        );
+        assert_eq!(
+            parallel.energy_archive().front(),
+            serial.energy_archive().front(),
+            "energy front diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn random_search_is_thread_invariant() {
+    assert_thread_invariant(|| RandomSearch::new(11));
+}
+
+#[test]
+fn regularized_evolution_is_thread_invariant() {
+    assert_thread_invariant(|| RegularizedEvolution::new(11, 16, 4));
+}
+
+#[test]
+fn simulated_annealing_is_thread_invariant() {
+    assert_thread_invariant(|| SimulatedAnnealing::new(11, 4.0, 0.95));
+}
+
+proptest! {
+    /// The sharded memo cache must never hand back a result stored for a
+    /// different design point: insert results stamped with each point's
+    /// own index, then read every one back through the shard router.
+    #[test]
+    fn memo_cache_never_aliases_design_points(
+        seed in 0u64..1_000_000,
+        count in 1usize..200,
+    ) {
+        let space = DesignSpace::paper_scale();
+        let cache = MemoCache::new();
+        let mut eval = ResourceEvaluator::new(BUDGET);
+        let mut rng = seed | 1;
+        let mut picked = Vec::with_capacity(count);
+        for _ in 0..count {
+            // splitmix64 step; index reduced without modulo bias.
+            rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let index = ((u128::from(rng) * u128::from(space.size())) >> 64) as u64;
+            picked.push(index);
+        }
+        for &index in &picked {
+            let point = space.point(index);
+            let mut result = eval.evaluate(&point);
+            result.latency = index; // stamp: provenance of the entry
+            cache.insert(point, result);
+        }
+        for &index in &picked {
+            let point = space.point(index);
+            let hit = cache.get(&point).expect("inserted point must be cached");
+            prop_assert_eq!(hit.latency, index);
+        }
+    }
+}

@@ -245,7 +245,8 @@ impl Assembler {
                 _ => Stmt::Inst { line, mnemonic, operands },
             };
             stmts.push(stmt);
-            label_at_stmt.push(std::mem::take(&mut labels_pending).into_iter().map(|(_, n)| n).collect());
+            label_at_stmt
+                .push(std::mem::take(&mut labels_pending).into_iter().map(|(_, n)| n).collect());
         }
 
         // ---- pass 1: assign addresses ----
@@ -299,10 +300,10 @@ impl Assembler {
                         bytes.push(v as u8);
                     }
                 }
-                Stmt::Zero { count, .. } => bytes.extend(std::iter::repeat(0u8).take(*count as usize)),
+                Stmt::Zero { count, .. } => bytes.extend(std::iter::repeat_n(0u8, *count as usize)),
                 Stmt::Align { .. } => {
                     let pad = stmt.size(addr)?;
-                    bytes.extend(std::iter::repeat(0u8).take(pad as usize));
+                    bytes.extend(std::iter::repeat_n(0u8, pad as usize));
                 }
                 Stmt::Asciz { text, nul, .. } => {
                     bytes.extend_from_slice(text.as_bytes());
@@ -312,13 +313,11 @@ impl Assembler {
                 }
             }
         }
-        while bytes.len() % 4 != 0 {
+        while !bytes.len().is_multiple_of(4) {
             bytes.push(0);
         }
-        let words = bytes
-            .chunks_exact(4)
-            .map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]]))
-            .collect();
+        let words =
+            bytes.chunks_exact(4).map(|c| u32::from_le_bytes([c[0], c[1], c[2], c[3]])).collect();
         Ok(Program { base: self.base, bytes, words, symbols })
     }
 }
@@ -442,10 +441,8 @@ impl ExprCtx<'_> {
             return Ok(v);
         }
         // label [+-] offset
-        let split = expr[1..]
-            .find(['+', '-'])
-            .map(|i| i + 1)
-            .filter(|&i| is_ident(expr[..i].trim()));
+        let split =
+            expr[1..].find(['+', '-']).map(|i| i + 1).filter(|&i| is_ident(expr[..i].trim()));
         if let Some(i) = split {
             let base = self.eval(line, &expr[..i])?;
             let sign = if expr.as_bytes()[i] == b'+' { 1 } else { -1 };
@@ -491,19 +488,17 @@ fn inst_word_count(line: usize, mnemonic: &str, operands: &[String]) -> Result<u
 }
 
 fn li_word_count(imm: i32) -> u32 {
-    if (-2048..=2047).contains(&imm) {
+    // One word when a lone addi covers it, or a plain lui does (low
+    // twelve bits zero); lui+addi otherwise.
+    if (-2048..=2047).contains(&imm) || imm & 0xFFF == 0 {
         1
-    } else if imm & 0xFFF == 0 {
-        1 // plain lui
     } else {
         2
     }
 }
 
 fn parse_reg(line: usize, s: &str) -> Result<Reg, AsmError> {
-    s.trim()
-        .parse()
-        .map_err(|e: crate::reg::ParseRegError| AsmError::new(line, e.to_string()))
+    s.trim().parse().map_err(|e: crate::reg::ParseRegError| AsmError::new(line, e.to_string()))
 }
 
 fn parse_csr(line: usize, s: &str) -> Result<Csr, AsmError> {
@@ -523,9 +518,8 @@ fn parse_csr(line: usize, s: &str) -> Result<Csr, AsmError> {
 fn parse_mem_operand(line: usize, s: &str, ctx: &ExprCtx<'_>) -> Result<(i32, Reg), AsmError> {
     let s = s.trim();
     if let Some(open) = s.find('(') {
-        let close = s
-            .rfind(')')
-            .ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
+        let close =
+            s.rfind(')').ok_or_else(|| AsmError::new(line, format!("missing `)` in `{s}`")))?;
         let reg = parse_reg(line, &s[open + 1..close])?;
         let imm_str = s[..open].trim();
         let imm = if imm_str.is_empty() { 0 } else { ctx.eval(line, imm_str)? as i32 };
@@ -748,7 +742,9 @@ fn encode_inst(
                 let (imm, rs1) = parse_mem_operand(line, argn(1)?, ctx)?;
                 Ok(vec![Inst::Jalr { rd: r(0)?, rs1, imm }])
             }
-            3 => Ok(vec![Inst::Jalr { rd: r(0)?, rs1: r(1)?, imm: check_i12(line, e(2)?, "jalr")? }]),
+            3 => {
+                Ok(vec![Inst::Jalr { rd: r(0)?, rs1: r(1)?, imm: check_i12(line, e(2)?, "jalr")? }])
+            }
             _ => Err(AsmError::new(line, "`jalr` expects 1-3 operands")),
         },
         "fence" | "fence.i" => Ok(vec![Inst::Fence]),
@@ -793,10 +789,7 @@ fn encode_inst(
             want(2)?;
             let rd = r(0)?;
             let addr = e(1)? as u32;
-            Ok(vec![
-                Inst::Lui { rd, imm: hi20(addr) },
-                Inst::Addi { rd, rs1: rd, imm: lo12(addr) },
-            ])
+            Ok(vec![Inst::Lui { rd, imm: hi20(addr) }, Inst::Addi { rd, rs1: rd, imm: lo12(addr) }])
         }
         "mv" => {
             want(2)?;

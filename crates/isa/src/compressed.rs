@@ -10,6 +10,10 @@
 //! A 16-bit parcel is compressed iff its low two bits are not `0b11`
 //! ([`is_compressed`]).
 
+// Binary literals below group digits by instruction *field* (funct3,
+// rd/rs, opcode), mirroring the RVC encoding tables, not by nibble.
+#![allow(clippy::unusual_byte_groupings)]
+
 use crate::decode::DecodeError;
 use crate::inst::Inst;
 use crate::reg::Reg;
@@ -166,7 +170,8 @@ pub fn decode_compressed(parcel: u16) -> Result<Inst, DecodeError> {
             if rd.is_zero() {
                 return err;
             }
-            let imm = (bits(parcel, 3, 2) << 6) | (bit(parcel, 12) << 5) | (bits(parcel, 6, 4) << 2);
+            let imm =
+                (bits(parcel, 3, 2) << 6) | (bit(parcel, 12) << 5) | (bits(parcel, 6, 4) << 2);
             Ok(Inst::Lw { rd, rs1: Reg::SP, imm })
         }
         (0b10, 0b100) => {
@@ -249,7 +254,11 @@ pub fn compress(inst: &Inst) -> Option<u16> {
     let fits6 = |imm: i32| (-32..=31).contains(&imm);
     match *inst {
         Inst::Addi { rd, rs1, imm } => {
-            if rd == Reg::SP && rs1 == Reg::SP && imm != 0 && imm % 16 == 0 && (-512..=496).contains(&imm)
+            if rd == Reg::SP
+                && rs1 == Reg::SP
+                && imm != 0
+                && imm % 16 == 0
+                && (-512..=496).contains(&imm)
             {
                 // C.ADDI16SP
                 let v = imm;
@@ -349,11 +358,15 @@ pub fn compress(inst: &Inst) -> Option<u16> {
         Inst::Add { rd, rs1, rs2 } => {
             if rs1 == Reg::ZERO && !rd.is_zero() && !rs2.is_zero() {
                 // C.MV
-                return Some(0b100_0_00000_00000_10 | (full_field(rd) << 7) | (full_field(rs2) << 2));
+                return Some(
+                    0b100_0_00000_00000_10 | (full_field(rd) << 7) | (full_field(rs2) << 2),
+                );
             }
             if rd == rs1 && !rd.is_zero() && !rs2.is_zero() {
                 // C.ADD
-                return Some(0b100_1_00000_00000_10 | (full_field(rd) << 7) | (full_field(rs2) << 2));
+                return Some(
+                    0b100_1_00000_00000_10 | (full_field(rd) << 7) | (full_field(rs2) << 2),
+                );
             }
             None
         }
@@ -511,7 +524,7 @@ mod tests {
     #[test]
     fn illegal_parcels_rejected() {
         assert!(decode_compressed(0x0000).is_err()); // defined illegal
-        // Reserved: C.ADDI4SPN with zero immediate.
+                                                     // Reserved: C.ADDI4SPN with zero immediate.
         assert!(decode_compressed(0x0004 & !0b11).is_err());
         // RV64-only funct bits.
         assert!(decode_compressed(0b100_1_11_000_00_000_01).is_err()); // c.subw
@@ -548,8 +561,7 @@ mod tests {
             Inst::Ebreak,
         ];
         for inst in cases {
-            let parcel = compress(&inst)
-                .unwrap_or_else(|| panic!("{inst:?} should compress"));
+            let parcel = compress(&inst).unwrap_or_else(|| panic!("{inst:?} should compress"));
             assert!(is_compressed(parcel));
             assert_eq!(decode_compressed(parcel).unwrap(), inst, "parcel {parcel:#06x}");
         }

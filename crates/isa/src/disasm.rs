@@ -129,7 +129,9 @@ mod tests {
     #[test]
     fn program_dump_includes_labels_and_data() {
         let p = crate::Assembler::new(0x1000)
-            .assemble("entry: li a0, 3\nloop: addi a0, a0, -1\nbnez a0, loop\ndata: .word 0xffffffff")
+            .assemble(
+                "entry: li a0, 3\nloop: addi a0, a0, -1\nbnez a0, loop\ndata: .word 0xffffffff",
+            )
             .unwrap();
         let dump = disassemble_program(&p);
         assert!(dump.contains("<entry>:"), "{dump}");
@@ -146,7 +148,13 @@ mod tests {
         );
         assert_eq!(disassemble(&Inst::Sw { rs1: Reg::SP, rs2: Reg::A0, imm: -4 }), "sw a0, -4(sp)");
         assert_eq!(
-            disassemble(&Inst::Cfu { funct7: 2, funct3: 1, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }),
+            disassemble(&Inst::Cfu {
+                funct7: 2,
+                funct3: 1,
+                rd: Reg::A0,
+                rs1: Reg::A1,
+                rs2: Reg::A2
+            }),
             "cfu 2, 1, a0, a1, a2"
         );
     }

@@ -82,72 +82,285 @@ impl fmt::Display for Csr {
 #[allow(missing_docs)] // field meanings follow the RISC-V spec uniformly
 pub enum Inst {
     // ----- RV32I: upper immediates & jumps -----
-    Lui { rd: Reg, imm: i32 },
-    Auipc { rd: Reg, imm: i32 },
-    Jal { rd: Reg, imm: i32 },
-    Jalr { rd: Reg, rs1: Reg, imm: i32 },
+    Lui {
+        rd: Reg,
+        imm: i32,
+    },
+    Auipc {
+        rd: Reg,
+        imm: i32,
+    },
+    Jal {
+        rd: Reg,
+        imm: i32,
+    },
+    Jalr {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
     // ----- RV32I: branches -----
-    Beq { rs1: Reg, rs2: Reg, imm: i32 },
-    Bne { rs1: Reg, rs2: Reg, imm: i32 },
-    Blt { rs1: Reg, rs2: Reg, imm: i32 },
-    Bge { rs1: Reg, rs2: Reg, imm: i32 },
-    Bltu { rs1: Reg, rs2: Reg, imm: i32 },
-    Bgeu { rs1: Reg, rs2: Reg, imm: i32 },
+    Beq {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Bne {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Blt {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Bge {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Bltu {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Bgeu {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     // ----- RV32I: loads/stores -----
-    Lb { rd: Reg, rs1: Reg, imm: i32 },
-    Lh { rd: Reg, rs1: Reg, imm: i32 },
-    Lw { rd: Reg, rs1: Reg, imm: i32 },
-    Lbu { rd: Reg, rs1: Reg, imm: i32 },
-    Lhu { rd: Reg, rs1: Reg, imm: i32 },
-    Sb { rs1: Reg, rs2: Reg, imm: i32 },
-    Sh { rs1: Reg, rs2: Reg, imm: i32 },
-    Sw { rs1: Reg, rs2: Reg, imm: i32 },
+    Lb {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lh {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lw {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lbu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Lhu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sb {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Sh {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
+    Sw {
+        rs1: Reg,
+        rs2: Reg,
+        imm: i32,
+    },
     // ----- RV32I: ALU immediate -----
-    Addi { rd: Reg, rs1: Reg, imm: i32 },
-    Slti { rd: Reg, rs1: Reg, imm: i32 },
-    Sltiu { rd: Reg, rs1: Reg, imm: i32 },
-    Xori { rd: Reg, rs1: Reg, imm: i32 },
-    Ori { rd: Reg, rs1: Reg, imm: i32 },
-    Andi { rd: Reg, rs1: Reg, imm: i32 },
-    Slli { rd: Reg, rs1: Reg, shamt: u8 },
-    Srli { rd: Reg, rs1: Reg, shamt: u8 },
-    Srai { rd: Reg, rs1: Reg, shamt: u8 },
+    Addi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slti {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Sltiu {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Xori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Ori {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Andi {
+        rd: Reg,
+        rs1: Reg,
+        imm: i32,
+    },
+    Slli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Srli {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
+    Srai {
+        rd: Reg,
+        rs1: Reg,
+        shamt: u8,
+    },
     // ----- RV32I: ALU register -----
-    Add { rd: Reg, rs1: Reg, rs2: Reg },
-    Sub { rd: Reg, rs1: Reg, rs2: Reg },
-    Sll { rd: Reg, rs1: Reg, rs2: Reg },
-    Slt { rd: Reg, rs1: Reg, rs2: Reg },
-    Sltu { rd: Reg, rs1: Reg, rs2: Reg },
-    Xor { rd: Reg, rs1: Reg, rs2: Reg },
-    Srl { rd: Reg, rs1: Reg, rs2: Reg },
-    Sra { rd: Reg, rs1: Reg, rs2: Reg },
-    Or { rd: Reg, rs1: Reg, rs2: Reg },
-    And { rd: Reg, rs1: Reg, rs2: Reg },
+    Add {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sub {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sll {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Slt {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sltu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Xor {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Srl {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Sra {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Or {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    And {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // ----- RV32I: system -----
     Fence,
     Ecall,
     Ebreak,
-    Csrrw { rd: Reg, rs1: Reg, csr: Csr },
-    Csrrs { rd: Reg, rs1: Reg, csr: Csr },
-    Csrrc { rd: Reg, rs1: Reg, csr: Csr },
-    Csrrwi { rd: Reg, uimm: u8, csr: Csr },
-    Csrrsi { rd: Reg, uimm: u8, csr: Csr },
-    Csrrci { rd: Reg, uimm: u8, csr: Csr },
+    Csrrw {
+        rd: Reg,
+        rs1: Reg,
+        csr: Csr,
+    },
+    Csrrs {
+        rd: Reg,
+        rs1: Reg,
+        csr: Csr,
+    },
+    Csrrc {
+        rd: Reg,
+        rs1: Reg,
+        csr: Csr,
+    },
+    Csrrwi {
+        rd: Reg,
+        uimm: u8,
+        csr: Csr,
+    },
+    Csrrsi {
+        rd: Reg,
+        uimm: u8,
+        csr: Csr,
+    },
+    Csrrci {
+        rd: Reg,
+        uimm: u8,
+        csr: Csr,
+    },
     // ----- RV32M -----
-    Mul { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulh { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulhsu { rd: Reg, rs1: Reg, rs2: Reg },
-    Mulhu { rd: Reg, rs1: Reg, rs2: Reg },
-    Div { rd: Reg, rs1: Reg, rs2: Reg },
-    Divu { rd: Reg, rs1: Reg, rs2: Reg },
-    Rem { rd: Reg, rs1: Reg, rs2: Reg },
-    Remu { rd: Reg, rs1: Reg, rs2: Reg },
+    Mul {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulh {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhsu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Mulhu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Div {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Divu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Rem {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
+    Remu {
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     // ----- CFU custom instructions -----
     /// R-format instruction on `custom-0`: the CFU Playground custom
     /// instruction. `funct7`/`funct3` select the CFU operation.
-    Cfu { funct7: u8, funct3: u8, rd: Reg, rs1: Reg, rs2: Reg },
+    Cfu {
+        funct7: u8,
+        funct3: u8,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
     /// R-format instruction on `custom-1` (second CFU slot).
-    Cfu1 { funct7: u8, funct3: u8, rd: Reg, rs1: Reg, rs2: Reg },
+    Cfu1 {
+        funct7: u8,
+        funct3: u8,
+        rd: Reg,
+        rs1: Reg,
+        rs2: Reg,
+    },
 }
 
 fn r_type(opcode: u32, funct3: u32, funct7: u32, rd: Reg, rs1: Reg, rs2: Reg) -> u32 {
@@ -261,12 +474,8 @@ impl Inst {
             Xori { rd, rs1, imm } => i_type(OP_IMM, 0b100, rd, rs1, imm),
             Ori { rd, rs1, imm } => i_type(OP_IMM, 0b110, rd, rs1, imm),
             Andi { rd, rs1, imm } => i_type(OP_IMM, 0b111, rd, rs1, imm),
-            Slli { rd, rs1, shamt } => {
-                i_type(OP_IMM, 0b001, rd, rs1, i32::from(shamt & 0x1F))
-            }
-            Srli { rd, rs1, shamt } => {
-                i_type(OP_IMM, 0b101, rd, rs1, i32::from(shamt & 0x1F))
-            }
+            Slli { rd, rs1, shamt } => i_type(OP_IMM, 0b001, rd, rs1, i32::from(shamt & 0x1F)),
+            Srli { rd, rs1, shamt } => i_type(OP_IMM, 0b101, rd, rs1, i32::from(shamt & 0x1F)),
             Srai { rd, rs1, shamt } => {
                 i_type(OP_IMM, 0b101, rd, rs1, i32::from(shamt & 0x1F) | 0x400)
             }
@@ -324,18 +533,50 @@ impl Inst {
     pub fn rd(&self) -> Option<Reg> {
         use Inst::*;
         match *self {
-            Lui { rd, .. } | Auipc { rd, .. } | Jal { rd, .. } | Jalr { rd, .. }
-            | Lb { rd, .. } | Lh { rd, .. } | Lw { rd, .. } | Lbu { rd, .. }
-            | Lhu { rd, .. } | Addi { rd, .. } | Slti { rd, .. } | Sltiu { rd, .. }
-            | Xori { rd, .. } | Ori { rd, .. } | Andi { rd, .. } | Slli { rd, .. }
-            | Srli { rd, .. } | Srai { rd, .. } | Add { rd, .. } | Sub { rd, .. }
-            | Sll { rd, .. } | Slt { rd, .. } | Sltu { rd, .. } | Xor { rd, .. }
-            | Srl { rd, .. } | Sra { rd, .. } | Or { rd, .. } | And { rd, .. }
-            | Csrrw { rd, .. } | Csrrs { rd, .. } | Csrrc { rd, .. }
-            | Csrrwi { rd, .. } | Csrrsi { rd, .. } | Csrrci { rd, .. }
-            | Mul { rd, .. } | Mulh { rd, .. } | Mulhsu { rd, .. } | Mulhu { rd, .. }
-            | Div { rd, .. } | Divu { rd, .. } | Rem { rd, .. } | Remu { rd, .. }
-            | Cfu { rd, .. } | Cfu1 { rd, .. } => Some(rd),
+            Lui { rd, .. }
+            | Auipc { rd, .. }
+            | Jal { rd, .. }
+            | Jalr { rd, .. }
+            | Lb { rd, .. }
+            | Lh { rd, .. }
+            | Lw { rd, .. }
+            | Lbu { rd, .. }
+            | Lhu { rd, .. }
+            | Addi { rd, .. }
+            | Slti { rd, .. }
+            | Sltiu { rd, .. }
+            | Xori { rd, .. }
+            | Ori { rd, .. }
+            | Andi { rd, .. }
+            | Slli { rd, .. }
+            | Srli { rd, .. }
+            | Srai { rd, .. }
+            | Add { rd, .. }
+            | Sub { rd, .. }
+            | Sll { rd, .. }
+            | Slt { rd, .. }
+            | Sltu { rd, .. }
+            | Xor { rd, .. }
+            | Srl { rd, .. }
+            | Sra { rd, .. }
+            | Or { rd, .. }
+            | And { rd, .. }
+            | Csrrw { rd, .. }
+            | Csrrs { rd, .. }
+            | Csrrc { rd, .. }
+            | Csrrwi { rd, .. }
+            | Csrrsi { rd, .. }
+            | Csrrci { rd, .. }
+            | Mul { rd, .. }
+            | Mulh { rd, .. }
+            | Mulhsu { rd, .. }
+            | Mulhu { rd, .. }
+            | Div { rd, .. }
+            | Divu { rd, .. }
+            | Rem { rd, .. }
+            | Remu { rd, .. }
+            | Cfu { rd, .. }
+            | Cfu1 { rd, .. } => Some(rd),
             _ => None,
         }
     }
@@ -357,7 +598,11 @@ impl Inst {
     pub fn is_load(&self) -> bool {
         matches!(
             self,
-            Inst::Lb { .. } | Inst::Lh { .. } | Inst::Lw { .. } | Inst::Lbu { .. } | Inst::Lhu { .. }
+            Inst::Lb { .. }
+                | Inst::Lh { .. }
+                | Inst::Lw { .. }
+                | Inst::Lbu { .. }
+                | Inst::Lhu { .. }
         )
     }
 
@@ -400,8 +645,8 @@ mod tests {
 
     #[test]
     fn cfu_encoding_uses_custom0() {
-        let w = Inst::Cfu { funct7: 0x7F, funct3: 7, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }
-            .encode();
+        let w =
+            Inst::Cfu { funct7: 0x7F, funct3: 7, rd: Reg::A0, rs1: Reg::A1, rs2: Reg::A2 }.encode();
         assert_eq!(w & 0x7F, OPCODE_CUSTOM0);
         assert_eq!((w >> 25) & 0x7F, 0x7F);
         assert_eq!((w >> 12) & 0x7, 7);
@@ -410,8 +655,8 @@ mod tests {
     #[test]
     #[should_panic(expected = "funct7")]
     fn cfu_funct7_range_checked() {
-        let _ = Inst::Cfu { funct7: 128, funct3: 0, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }
-            .encode();
+        let _ =
+            Inst::Cfu { funct7: 128, funct3: 0, rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A0 }.encode();
     }
 
     #[test]

@@ -122,10 +122,7 @@ impl FromStr for Reg {
         if s == "fp" {
             return Ok(Reg::S0);
         }
-        (0..32u8)
-            .map(Reg)
-            .find(|r| r.abi_name() == s)
-            .ok_or_else(err)
+        (0..32u8).map(Reg).find(|r| r.abi_name() == s).ok_or_else(err)
     }
 }
 

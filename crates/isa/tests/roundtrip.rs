@@ -50,10 +50,20 @@ fn arb_inst() -> impl Strategy<Value = Inst> {
         (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Mulhu { rd, rs1, rs2 }),
         (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Div { rd, rs1, rs2 }),
         (r(), r(), r()).prop_map(|(rd, rs1, rs2)| Inst::Remu { rd, rs1, rs2 }),
-        (0u8..128, 0u8..8, r(), r(), r())
-            .prop_map(|(funct7, funct3, rd, rs1, rs2)| Inst::Cfu { funct7, funct3, rd, rs1, rs2 }),
-        (0u8..128, 0u8..8, r(), r(), r())
-            .prop_map(|(funct7, funct3, rd, rs1, rs2)| Inst::Cfu1 { funct7, funct3, rd, rs1, rs2 }),
+        (0u8..128, 0u8..8, r(), r(), r()).prop_map(|(funct7, funct3, rd, rs1, rs2)| Inst::Cfu {
+            funct7,
+            funct3,
+            rd,
+            rs1,
+            rs2
+        }),
+        (0u8..128, 0u8..8, r(), r(), r()).prop_map(|(funct7, funct3, rd, rs1, rs2)| Inst::Cfu1 {
+            funct7,
+            funct3,
+            rd,
+            rs1,
+            rs2
+        }),
         Just(Inst::Ecall),
         Just(Inst::Ebreak),
         Just(Inst::Fence),

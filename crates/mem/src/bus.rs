@@ -340,10 +340,7 @@ mod tests {
     #[test]
     fn access_straddling_region_end_faults() {
         let mut bus = demo_bus();
-        assert!(matches!(
-            bus.read_u32(0x1000_0000 + 1022),
-            Err(MemError::OutOfBounds { .. })
-        ));
+        assert!(matches!(bus.read_u32(0x1000_0000 + 1022), Err(MemError::OutOfBounds { .. })));
     }
 
     #[test]

@@ -39,7 +39,7 @@ impl CacheConfig {
         if self.ways == 0 {
             return Err("cache must have at least one way".to_owned());
         }
-        if self.size_bytes == 0 || self.size_bytes % (self.ways * self.line_bytes) != 0 {
+        if self.size_bytes == 0 || !self.size_bytes.is_multiple_of(self.ways * self.line_bytes) {
             return Err(format!(
                 "size {} not divisible by ways*line ({}*{})",
                 self.size_bytes, self.ways, self.line_bytes
@@ -120,7 +120,12 @@ impl Cache {
             panic!("invalid cache config: {msg}");
         }
         let total_lines = (config.sets() * config.ways) as usize;
-        Cache { config, lines: vec![Line::default(); total_lines], stats: CacheStats::default(), tick: 0 }
+        Cache {
+            config,
+            lines: vec![Line::default(); total_lines],
+            stats: CacheStats::default(),
+            tick: 0,
+        }
     }
 
     /// The cache geometry.
@@ -208,13 +213,41 @@ impl Cache {
         evicted
     }
 
-    /// Convenience: lookup, and on miss, fill. Returns `true` on hit.
+    /// Lookup, and on miss, fill. Returns `true` on hit.
+    ///
+    /// Single pass over the set: the scan that finds (or fails to find)
+    /// the tag also tracks the LRU victim, so a miss does not walk the
+    /// ways a second time. This is the hot path of every simulated load,
+    /// store and fetch.
     pub fn access(&mut self, addr: u32) -> bool {
-        let hit = self.lookup(addr);
-        if !hit {
-            self.fill(addr);
+        self.tick += 1;
+        let tick = self.tick;
+        let tag = self.tag(addr);
+        let range = self.set_range(addr);
+        let mut victim = range.start;
+        let mut victim_key = u64::MAX;
+        for i in range {
+            let line = &self.lines[i];
+            if line.valid && line.tag == tag {
+                self.lines[i].lru = tick;
+                self.stats.hits += 1;
+                return true;
+            }
+            // Same victim rule as `fill`: invalid lines first, else LRU;
+            // strict `<` keeps the first minimum, matching `min_by_key`.
+            let key = if line.valid { line.lru } else { 0 };
+            if key < victim_key {
+                victim_key = key;
+                victim = i;
+            }
         }
-        hit
+        self.stats.misses += 1;
+        let line = &mut self.lines[victim];
+        if line.valid {
+            self.stats.evictions += 1;
+        }
+        *line = Line { tag, valid: true, lru: tick };
+        false
     }
 }
 

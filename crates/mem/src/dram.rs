@@ -130,7 +130,7 @@ mod tests {
         let mut d = Ddr3::new(1 << 20);
         let mut b = [0u8; 4];
         d.read(0, &mut b).unwrap(); // opens row 0, bank 0
-        // Row banks*row_bytes maps to bank 0 again, different row → miss.
+                                    // Row banks*row_bytes maps to bank 0 again, different row → miss.
         let conflicting = t.banks * t.row_bytes;
         assert_eq!(d.read(conflicting, &mut b).unwrap(), t.row_miss);
         // ...and the original row now misses too.
@@ -144,7 +144,7 @@ mod tests {
         let mut b = [0u8; 4];
         d.read(0, &mut b).unwrap();
         d.read(t.row_bytes, &mut b).unwrap(); // row 1 → bank 1
-        // Row 0 is still open in bank 0.
+                                              // Row 0 is still open in bank 0.
         assert_eq!(d.read(8, &mut b).unwrap(), t.row_hit);
     }
 

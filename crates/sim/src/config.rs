@@ -309,10 +309,10 @@ impl CpuConfig {
             return Err(format!("pipeline depth {} out of range 2..=7", self.pipeline_depth));
         }
         match self.branch_predictor {
-            BranchPredictor::Dynamic { entries } | BranchPredictor::DynamicTarget { entries } => {
-                if !entries.is_power_of_two() {
-                    return Err(format!("predictor entries {entries} must be a power of two"));
-                }
+            BranchPredictor::Dynamic { entries } | BranchPredictor::DynamicTarget { entries }
+                if !entries.is_power_of_two() =>
+            {
+                return Err(format!("predictor entries {entries} must be a power of two"));
             }
             _ => {}
         }
@@ -359,10 +359,7 @@ mod tests {
         assert_eq!(CpuConfig::arty_default().resources().dsps, 4);
         assert_eq!(CpuConfig::fomu_baseline().resources().dsps, 0);
         assert_eq!(
-            CpuConfig::fomu_baseline()
-                .with_multiplier(Multiplier::SingleCycleDsp)
-                .resources()
-                .dsps,
+            CpuConfig::fomu_baseline().with_multiplier(Multiplier::SingleCycleDsp).resources().dsps,
             4
         );
     }

@@ -363,7 +363,7 @@ impl Cpu {
             } else {
                 // Second parcel of a 32-bit instruction; charged only when
                 // it crosses into a new cache line / device word.
-                let charge = (pc + 2) % 4 == 0;
+                let charge = (pc + 2).is_multiple_of(4);
                 let high = self.fetch_parcel(pc + 2, charge)?;
                 let word = u32::from(low) | (u32::from(high) << 16);
                 (Inst::decode(word).map_err(|_| SimError::Illegal { pc, word })?, 4)
@@ -496,7 +496,7 @@ impl Cpu {
     }
 
     fn check_align(&self, pc: u32, addr: u32, len: u32) -> Result<u32, SimError> {
-        if addr % len == 0 {
+        if addr.is_multiple_of(len) {
             Ok(addr)
         } else if self.config.hw_error_checking {
             Err(SimError::Mem { pc, source: MemError::Misaligned { addr, required: len } })
@@ -740,8 +740,7 @@ impl Cpu {
             Mulh { rd, rs1, rs2 } => {
                 self.stats.muls += 1;
                 self.charge(self.config.mul_cycles());
-                let v =
-                    (i64::from(self.reg(rs1) as i32) * i64::from(self.reg(rs2) as i32)) >> 32;
+                let v = (i64::from(self.reg(rs1) as i32) * i64::from(self.reg(rs2) as i32)) >> 32;
                 self.set_reg(rd, v as u32);
             }
             Mulhsu { rd, rs1, rs2 } => {
@@ -774,7 +773,7 @@ impl Cpu {
                 self.stats.divs += 1;
                 self.charge(self.config.div_cycles());
                 let b = self.reg(rs2);
-                let v = if b == 0 { u32::MAX } else { self.reg(rs1) / b };
+                let v = self.reg(rs1).checked_div(b).unwrap_or(u32::MAX);
                 self.set_reg(rd, v);
             }
             Rem { rd, rs1, rs2 } => {
@@ -823,7 +822,7 @@ impl Cpu {
                 self.set_reg(rd, resp.value);
             }
         }
-        self.prev_rd = if is_load { inst.rd() } else { inst.rd() };
+        self.prev_rd = inst.rd();
         self.prev_was_load = is_load;
         self.pc = next_pc;
         Ok(())
@@ -913,7 +912,7 @@ mod tests {
     use super::*;
     use cfu_core::templates::SimdAddCfu;
     use cfu_isa::Assembler;
-    use cfu_mem::{Sram, SpiFlash, SpiWidth};
+    use cfu_mem::{SpiFlash, SpiWidth, Sram};
 
     fn sram_bus() -> Bus {
         let mut bus = Bus::new();
@@ -1036,12 +1035,12 @@ mod tests {
              mul a4, a3, a1
              li a7, 93
              ecall";
-        let fast = run_asm(
-            CpuConfig::arty_default(),
-            src,
-        );
+        let fast = run_asm(CpuConfig::arty_default(), src);
         let slow = run_asm(
-            CpuConfig { multiplier: crate::config::Multiplier::Iterative, ..CpuConfig::arty_default() },
+            CpuConfig {
+                multiplier: crate::config::Multiplier::Iterative,
+                ..CpuConfig::arty_default()
+            },
             src,
         );
         assert!(slow.cycles() > fast.cycles() + 3 * 30);
@@ -1083,10 +1082,8 @@ mod tests {
             bus.map("sram", 0x1000_0000, Sram::new(4096));
             bus
         };
-        let mut nocache = Cpu::new(
-            CpuConfig { icache: None, ..CpuConfig::fomu_baseline() },
-            mk_bus(),
-        );
+        let mut nocache =
+            Cpu::new(CpuConfig { icache: None, ..CpuConfig::fomu_baseline() }, mk_bus());
         nocache.load_program(&program).unwrap();
         nocache.run(10_000).unwrap();
         let mut cached = Cpu::new(CpuConfig::fomu_with_icache(2048), mk_bus());

@@ -212,13 +212,7 @@ mod tests {
 
     #[test]
     fn default_params_pick_board_class() {
-        assert_eq!(
-            default_params_for(&CpuConfig::fomu_baseline()),
-            EnergyParams::ice40()
-        );
-        assert_eq!(
-            default_params_for(&CpuConfig::arty_default()),
-            EnergyParams::artix7()
-        );
+        assert_eq!(default_params_for(&CpuConfig::fomu_baseline()), EnergyParams::ice40());
+        assert_eq!(default_params_for(&CpuConfig::arty_default()), EnergyParams::artix7());
     }
 }

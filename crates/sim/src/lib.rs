@@ -40,7 +40,7 @@ mod cpu;
 pub mod energy;
 mod timed_core;
 
-pub use bpred::{PredictorState, Prediction};
+pub use bpred::{Prediction, PredictorState};
 pub use config::{BranchPredictor, CpuConfig, Divider, Multiplier, Shifter};
 pub use cpu::{syscall, Cpu, CpuStats, SimError, StopReason, UNCACHED_BASE};
 pub use timed_core::{TimedCore, TlmStats};

@@ -586,8 +586,7 @@ mod tests {
             bus_with_flash(SpiWidth::Quad),
         );
         none.set_code_region(0x1000_0000, 256).unwrap();
-        let mut dynamic =
-            TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
+        let mut dynamic = TimedCore::new(CpuConfig::arty_default(), bus_with_flash(SpiWidth::Quad));
         dynamic.set_code_region(0x1000_0000, 256).unwrap();
         for core in [&mut none, &mut dynamic] {
             for i in 0..1000 {

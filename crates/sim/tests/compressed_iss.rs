@@ -39,8 +39,8 @@ fn mixed_compressed_program_runs() {
     use Encoding::Full;
     // sum = 0; for i in 5..0 { sum += i }  with compressed inner ops.
     let parts = [
-        c(Inst::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: 0 }),  // c.li a0, 0
-        c(Inst::Addi { rd: Reg::A1, rs1: Reg::ZERO, imm: 5 }),  // c.li a1, 5
+        c(Inst::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: 0 }), // c.li a0, 0
+        c(Inst::Addi { rd: Reg::A1, rs1: Reg::ZERO, imm: 5 }), // c.li a1, 5
         // loop: (pc = 4)
         c(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }), // c.add
         c(Inst::Addi { rd: Reg::A1, rs1: Reg::A1, imm: -1 }),     // c.addi
@@ -78,8 +78,8 @@ fn compressed_stack_ops() {
         Full(Inst::Addi { rd: Reg::SP, rs1: Reg::ZERO, imm: 1024 }),
         c(Inst::Addi { rd: Reg::SP, rs1: Reg::SP, imm: -32 }), // c.addi16sp
         c(Inst::Addi { rd: Reg::A0, rs1: Reg::ZERO, imm: 21 }),
-        c(Inst::Sw { rs1: Reg::SP, rs2: Reg::A0, imm: 12 }),   // c.swsp
-        c(Inst::Lw { rd: Reg::A1, rs1: Reg::SP, imm: 12 }),    // c.lwsp
+        c(Inst::Sw { rs1: Reg::SP, rs2: Reg::A0, imm: 12 }), // c.swsp
+        c(Inst::Lw { rd: Reg::A1, rs1: Reg::SP, imm: 12 }),  // c.lwsp
         c(Inst::Add { rd: Reg::A0, rs1: Reg::A0, rs2: Reg::A1 }),
         Full(Inst::Addi { rd: Reg::A7, rs1: Reg::ZERO, imm: 93 }),
         Full(Inst::Ecall),
@@ -106,10 +106,7 @@ fn xip_fetch_is_cheaper_with_compressed_code() {
     };
     let full = mk(false);
     let rvc = mk(true);
-    assert!(
-        (rvc as f64) < 0.85 * full as f64,
-        "RVC {rvc} should cut XIP fetch vs {full}"
-    );
+    assert!((rvc as f64) < 0.85 * full as f64, "RVC {rvc} should cut XIP fetch vs {full}");
 }
 
 #[test]

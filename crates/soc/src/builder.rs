@@ -151,10 +151,7 @@ mod tests {
         // (remaining 4 DSPs + leftover logic cells), still fitting.
         let cfu = Cfu2::new();
         let soc = SocBuilder::new(Board::fomu())
-            .cpu(
-                CpuConfig::fomu_with_icache(2048)
-                    .with_multiplier(Multiplier::SingleCycleDsp),
-            )
+            .cpu(CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp))
             .features(SocFeatures::fomu_trimmed())
             .cfu(&cfu)
             .build();
@@ -171,9 +168,7 @@ mod tests {
         assert!(bus.region_by_name("uart").is_some());
         assert!(bus.region_by_name("timer").is_some());
 
-        let trimmed = SocBuilder::new(Board::fomu())
-            .features(SocFeatures::fomu_trimmed())
-            .build();
+        let trimmed = SocBuilder::new(Board::fomu()).features(SocFeatures::fomu_trimmed()).build();
         let bus = trimmed.build_bus();
         assert!(bus.region_by_name("uart").is_some());
         assert!(bus.region_by_name("timer").is_none());

@@ -102,8 +102,7 @@ mod tests {
     #[test]
     fn quad_spi_costs_a_little_more() {
         let single = SocFeatures::default().resources();
-        let quad =
-            SocFeatures { spi_width: SpiWidth::Quad, ..SocFeatures::default() }.resources();
+        let quad = SocFeatures { spi_width: SpiWidth::Quad, ..SocFeatures::default() }.resources();
         assert!(quad.luts > single.luts);
         assert!(quad.luts - single.luts < 100);
     }

@@ -2,6 +2,7 @@
 //! through the timed kernels — the "deploy" step of the loop.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cfu_core::Cfu;
 use cfu_mem::Bus;
@@ -125,10 +126,9 @@ impl fmt::Display for DeployError {
         match self {
             DeployError::BadModel(why) => write!(f, "invalid model: {why}"),
             DeployError::MissingRegion(name) => write!(f, "bus has no region named `{name}`"),
-            DeployError::RegionFull { region, needed, available } => write!(
-                f,
-                "region `{region}` too small: need {needed} bytes, have {available}"
-            ),
+            DeployError::RegionFull { region, needed, available } => {
+                write!(f, "region `{region}` too small: need {needed} bytes, have {available}")
+            }
         }
     }
 }
@@ -179,10 +179,14 @@ struct LayerPlan {
 /// A model installed in simulated memory, ready to run.
 ///
 /// Dropping and rebuilding a `Deployment` is cheap; the figure harnesses
-/// build one per ladder step.
+/// build one per ladder step. The model is held behind an [`Arc`], so
+/// deploying the same network thousands of times (the Figure-7 DSE sweep)
+/// never copies the weights — pass `Arc<Model>` (or share one via
+/// [`Arc::clone`]) to get the zero-copy path; passing a bare [`Model`]
+/// still works and wraps it once.
 pub struct Deployment {
     core: TimedCore,
-    model: Model,
+    model: Arc<Model>,
     plans: Vec<LayerPlan>,
     slot_addrs: Vec<u32>,
     registry: KernelRegistry,
@@ -205,18 +209,18 @@ impl Deployment {
     /// [`DeployError`] when the model is invalid or a region is missing
     /// or too small (the Fomu fit failure mode).
     pub fn new(
-        model: Model,
+        model: impl Into<Arc<Model>>,
         mut bus: Bus,
         cfu: Box<dyn Cfu>,
         cfg: &DeployConfig,
     ) -> Result<Self, DeployError> {
+        let model = model.into();
         model.validate().map_err(DeployError::BadModel)?;
         // One allocator per *distinct* region: several roles may share a
         // region (everything-in-DRAM on Arty) and must not overlap.
         let mut allocs: std::collections::BTreeMap<String, RegionAlloc> =
             std::collections::BTreeMap::new();
-        let hot_code_name =
-            cfg.hot_code_region.clone().unwrap_or_else(|| cfg.code_region.clone());
+        let hot_code_name = cfg.hot_code_region.clone().unwrap_or_else(|| cfg.code_region.clone());
         let hot_weights_name =
             cfg.hot_weights_region.clone().unwrap_or_else(|| cfg.weights_region.clone());
         for name in [
@@ -306,7 +310,14 @@ impl Deployment {
             bus.load_image(mult_addr, &le(&cq.multipliers)).expect("planned allocation");
             bus.load_image(shift_addr, &le(&cq.shifts)).expect("planned allocation");
             plans.push(LayerPlan {
-                data: LayerData { filter_addr, bias_addr, mult_addr, shift_addr, code_base, code_len },
+                data: LayerData {
+                    filter_addr,
+                    bias_addr,
+                    mult_addr,
+                    shift_addr,
+                    code_base,
+                    code_len,
+                },
                 cq: Some(cq),
             });
         }
@@ -317,6 +328,12 @@ impl Deployment {
 
     /// The model being served.
     pub fn model(&self) -> &Model {
+        &self.model
+    }
+
+    /// The shared handle to the model being served. `Arc::ptr_eq` against
+    /// the caller's handle proves the deployment did not copy the weights.
+    pub fn model_arc(&self) -> &Arc<Model> {
         &self.model
     }
 
@@ -358,8 +375,7 @@ impl Deployment {
         self.core.bus_mut().load_image(addr, &bytes)?;
 
         let mut profile = Profile::new();
-        let layers: Vec<_> = (0..self.model.layers.len()).collect();
-        for li in layers {
+        for li in 0..self.model.layers.len() {
             let before = self.core.cycles();
             self.dispatch(li)?;
             let layer = &self.model.layers[li];
@@ -390,24 +406,24 @@ impl Deployment {
         let info = self.model.slots[slot].clone();
         let mut bytes = vec![0u8; info.shape.elements()];
         self.core.bus_mut().peek(self.slot_addrs[slot], &mut bytes)?;
-        Ok(Tensor::from_data(
-            info.shape,
-            bytes.into_iter().map(|b| b as i8).collect(),
-            info.quant,
-        ))
+        Ok(Tensor::from_data(info.shape, bytes.into_iter().map(|b| b as i8).collect(), info.quant))
     }
 
     fn dispatch(&mut self, li: usize) -> Result<(), KernelError> {
-        // Split borrows: clone the small bits we need.
-        let layer = self.model.layers[li].clone();
+        // Split borrows: the model is behind an `Arc`, so a cheap handle
+        // clone lets layer parameters (filter weights included) be
+        // borrowed while the core is driven mutably — no per-dispatch
+        // weight or requant-table copies.
+        let model = Arc::clone(&self.model);
+        let layer = &model.layers[li];
         let data = self.plans[li].data;
         let input = self.mem_tensor(layer.inputs[0]);
         let output = self.mem_tensor(layer.output);
         let code = (data.code_base, data.code_len);
         match &layer.op {
             Op::Conv2d(p) => {
-                let cq = self.plans[li].cq.clone().expect("conv has cq");
-                let job = ConvJob { input, output, params: p, cq: &cq, data };
+                let cq = self.plans[li].cq.as_ref().expect("conv has cq");
+                let job = ConvJob { input, output, params: p, cq, data };
                 if p.is_pointwise() {
                     if let Some(variant) = self.registry.conv1x1 {
                         match conv1x1(&mut self.core, &job, variant) {
@@ -429,8 +445,8 @@ impl Deployment {
                 }
             }
             Op::DepthwiseConv2d(p) => {
-                let cq = self.plans[li].cq.clone().expect("dwconv has cq");
-                let job = DwJob { input, output, params: p, cq: &cq, data };
+                let cq = self.plans[li].cq.as_ref().expect("dwconv has cq");
+                let job = DwJob { input, output, params: p, cq, data };
                 match self.registry.dwconv {
                     DwKernel::Cfu2 { postproc, specialized } => {
                         match kws::depthwise_cfu2(&mut self.core, &job, postproc, specialized) {
@@ -444,8 +460,8 @@ impl Deployment {
                 }
             }
             Op::FullyConnected(p) => {
-                let cq = self.plans[li].cq.clone().expect("fc has cq");
-                let job = FcJob { input, output, params: p, cq: &cq, data };
+                let cq = self.plans[li].cq.as_ref().expect("fc has cq");
+                let job = FcJob { input, output, params: p, cq, data };
                 generic::fully_connected(&mut self.core, &job)
             }
             Op::AvgPool(p) => generic::avg_pool(&mut self.core, input, output, p, code),

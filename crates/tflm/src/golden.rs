@@ -74,10 +74,9 @@ impl fmt::Display for CaseResult {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             CaseResult::Pass { cycles } => write!(f, "OK ({cycles} cycles)"),
-            CaseResult::Mismatch { first_mismatch, expected, actual } => write!(
-                f,
-                "FAIL at output[{first_mismatch}]: expected {expected}, got {actual}"
-            ),
+            CaseResult::Mismatch { first_mismatch, expected, actual } => {
+                write!(f, "FAIL at output[{first_mismatch}]: expected {expected}, got {actual}")
+            }
             CaseResult::Error(e) => write!(f, "ERROR: {e}"),
         }
     }
@@ -160,12 +159,7 @@ impl GoldenSuite {
         registry: KernelRegistry,
         mut make_cfu: impl FnMut() -> Box<dyn Cfu>,
     ) -> Vec<(String, CaseResult)> {
-        let mut cfg = DeployConfig::new(
-            cfu_sim::CpuConfig::arty_default(),
-            "ram",
-            "ram",
-            "ram",
-        );
+        let mut cfg = DeployConfig::new(cfu_sim::CpuConfig::arty_default(), "ram", "ram", "ram");
         cfg.registry = registry;
         self.run(
             &cfg,
@@ -197,16 +191,15 @@ fn kernel_err(e: KernelError) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::kernels::conv1x1::Conv1x1Variant;
     use cfu_core::cfu1::Cfu1;
     use cfu_core::NullCfu;
-    use crate::kernels::conv1x1::Conv1x1Variant;
 
     #[test]
     fn stock_suite_passes_with_generic_kernels() {
         let suite = GoldenSuite::stock();
         assert_eq!(suite.cases().len(), 4);
-        let results =
-            suite.run_simple(KernelRegistry::default(), || Box::new(NullCfu));
+        let results = suite.run_simple(KernelRegistry::default(), || Box::new(NullCfu));
         for (name, r) in &results {
             assert!(r.passed(), "{name}: {r}");
         }
@@ -215,10 +208,8 @@ mod tests {
     #[test]
     fn stock_suite_passes_with_cfu1_acceleration() {
         let suite = GoldenSuite::stock();
-        let registry = KernelRegistry {
-            conv1x1: Some(Conv1x1Variant::CfuOverlapInput),
-            ..Default::default()
-        };
+        let registry =
+            KernelRegistry { conv1x1: Some(Conv1x1Variant::CfuOverlapInput), ..Default::default() };
         let results = suite.run_simple(registry, || Box::new(Cfu1::full()));
         for (name, r) in &results {
             assert!(r.passed(), "{name}: {r}");

@@ -8,7 +8,7 @@
 use cfu_core::cfu1::{ops, Cfu1Stage, FILTER_WORDS, INPUT_WORDS};
 use cfu_sim::TimedCore;
 
-use super::{charge_software_requant, load_channel_params, generic, ConvJob, KernelError};
+use super::{charge_software_requant, generic, load_channel_params, ConvJob, KernelError};
 use cfu_core::arith;
 
 /// Branch-site ids for this kernel family.
@@ -116,7 +116,7 @@ pub fn conv1x1(
     }
     let in_ch = p.filter.in_ch;
     let out_ch = p.filter.out_ch;
-    if in_ch % 4 != 0 || out_ch % 4 != 0 {
+    if !in_ch.is_multiple_of(4) || !out_ch.is_multiple_of(4) {
         return Err(KernelError::Unsupported(format!(
             "channels {in_ch}->{out_ch} not divisible by 4"
         )));
@@ -164,9 +164,7 @@ fn sw_specialized(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelE
                 // (~8 instructions beyond the loads/multiply).
                 core.alu(8)?;
                 let xv = i32::from(core.load_i8(job.input.element_addr(y, x, ic))?);
-                let wv = i32::from(
-                    core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?,
-                );
+                let wv = i32::from(core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?);
                 core.mul()?;
                 core.alu(2)?; // pointer bumps + accumulate
                 core.branch(site::IC, ic + 1 != in_ch)?;
@@ -224,8 +222,7 @@ fn cfu_postproc(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelErr
             for ic in 0..in_ch {
                 core.alu(8)?; // same residual loop bookkeeping as the SW step
                 let xv = i32::from(core.load_i8(job.input.element_addr(y, x, ic))?);
-                let wv =
-                    i32::from(core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?);
+                let wv = i32::from(core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?);
                 core.mul()?;
                 core.alu(2)?;
                 core.branch(site::IC, ic + 1 != in_ch)?;
@@ -287,8 +284,7 @@ fn cfu_buffered(
         // Park the tile's filter rows in the CFU once.
         for oc in tile_start..tile_end {
             for w in 0..in_words {
-                let word =
-                    core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
+                let word = core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
                 core.cfu(ops::WRITE_FILTER, word, 0)?;
                 core.branch(site::TILE, w + 1 != in_words)?;
             }
@@ -375,8 +371,7 @@ fn cfu_run(
         push_params(core, job, tile_start..tile_end)?;
         for oc in tile_start..tile_end {
             for w in 0..in_words {
-                let word =
-                    core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
+                let word = core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
                 core.cfu(ops::WRITE_FILTER, word, 0)?;
                 core.branch(site::TILE, w + 1 != in_words)?;
             }

@@ -11,7 +11,9 @@
 use cfu_core::arith;
 use cfu_sim::TimedCore;
 
-use super::{charge_software_requant, load_channel_params, ConvJob, DwJob, FcJob, KernelError, MemTensor};
+use super::{
+    charge_software_requant, load_channel_params, ConvJob, DwJob, FcJob, KernelError, MemTensor,
+};
 use crate::model::PoolParams;
 use crate::reference;
 use crate::tensor::QuantParams;
@@ -88,13 +90,14 @@ pub fn conv2d(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelError
                             core.alu(REF_INNER_TAX)?;
                             // Offset() for input and filter, every access.
                             charge_offset(core)?;
-                            let x = i32::from(
-                                core.load_i8(input.element_addr(iy as usize, ix as usize, ic))?,
-                            );
+                            let x = i32::from(core.load_i8(input.element_addr(
+                                iy as usize,
+                                ix as usize,
+                                ic,
+                            ))?);
                             charge_offset(core)?;
                             let w = i32::from(core.load_i8(
-                                job.data.filter_addr
-                                    + p.filter.offset(oc, dy, dx, ic) as u32,
+                                job.data.filter_addr + p.filter.offset(oc, dy, dx, ic) as u32,
                             )?);
                             core.mul()?;
                             core.alu(2)?; // offset add + accumulate
@@ -109,8 +112,7 @@ pub fn conv2d(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelError
                 acc += bias;
                 charge_software_requant(core)?;
                 let scaled = arith::multiply_by_quantized_multiplier(acc, mult, shift);
-                let v =
-                    arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
+                let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
                 core.store_u8(job.output.element_addr(oy, ox, oc), v as i8 as u8)?;
                 core.branch(site::CONV_OC, oc + 1 != out_shape.c)?;
             }
@@ -155,13 +157,15 @@ pub fn depthwise_conv2d(core: &mut TimedCore, job: &DwJob<'_>) -> Result<(), Ker
                         }
                         core.alu(REF_INNER_TAX)?;
                         charge_offset(core)?;
-                        let x = i32::from(
-                            core.load_i8(input.element_addr(iy as usize, ix as usize, c))?,
-                        );
+                        let x = i32::from(core.load_i8(input.element_addr(
+                            iy as usize,
+                            ix as usize,
+                            c,
+                        ))?);
                         charge_offset(core)?;
-                        let w = i32::from(
-                            core.load_i8(job.data.filter_addr + p.filter.offset(c, dy, dx, 0) as u32)?,
-                        );
+                        let w = i32::from(core.load_i8(
+                            job.data.filter_addr + p.filter.offset(c, dy, dx, 0) as u32,
+                        )?);
                         core.mul()?;
                         core.alu(2)?;
                         core.branch(site::DW_TAP, dx + 1 != p.filter.kw)?;
@@ -172,8 +176,7 @@ pub fn depthwise_conv2d(core: &mut TimedCore, job: &DwJob<'_>) -> Result<(), Ker
                 acc += bias;
                 charge_software_requant(core)?;
                 let scaled = arith::multiply_by_quantized_multiplier(acc, mult, shift);
-                let v =
-                    arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
+                let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
                 core.store_u8(job.output.element_addr(oy, ox, c), v as i8 as u8)?;
             }
         }
@@ -200,8 +203,7 @@ pub fn fully_connected(core: &mut TimedCore, job: &FcJob<'_>) -> Result<(), Kern
         for i in 0..n {
             core.alu(REF_INNER_TAX)?;
             let x = i32::from(core.load_i8(job.input.addr + i as u32)?);
-            let w =
-                i32::from(core.load_i8(job.data.filter_addr + (oc * n + i) as u32)?);
+            let w = i32::from(core.load_i8(job.data.filter_addr + (oc * n + i) as u32)?);
             core.mul()?;
             core.alu(3)?; // pointer bumps + accumulate
             core.branch(site::FC_IN, i + 1 != n)?;
@@ -252,9 +254,11 @@ pub fn avg_pool(
                         if !in_bounds {
                             continue;
                         }
-                        sum += i32::from(
-                            core.load_i8(input.element_addr(iy as usize, ix as usize, c))?,
-                        );
+                        sum += i32::from(core.load_i8(input.element_addr(
+                            iy as usize,
+                            ix as usize,
+                            c,
+                        ))?);
                         count += 1;
                         core.alu(2)?;
                     }
@@ -266,10 +270,7 @@ pub fn avg_pool(
                 } else {
                     (sum - count / 2) / count.max(1)
                 };
-                core.store_u8(
-                    output.element_addr(oy, ox, c),
-                    (v.clamp(-128, 127) as i8) as u8,
-                )?;
+                core.store_u8(output.element_addr(oy, ox, c), (v.clamp(-128, 127) as i8) as u8)?;
             }
         }
     }

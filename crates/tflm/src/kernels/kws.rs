@@ -52,8 +52,8 @@ pub fn conv2d_cfu2(
     specialized: bool,
 ) -> Result<(), KernelError> {
     let p = job.params;
-    let vector_ic = p.filter.in_ch % 4 == 0;
-    let vector_kw = p.filter.in_ch == 1 && p.filter.kw % 4 == 0;
+    let vector_ic = p.filter.in_ch.is_multiple_of(4);
+    let vector_kw = p.filter.in_ch == 1 && p.filter.kw.is_multiple_of(4);
     if !vector_ic && !vector_kw {
         return Err(KernelError::Unsupported(format!(
             "conv {}x{}x{} not SIMD-friendly",
@@ -149,7 +149,8 @@ pub fn conv2d_cfu2(
                                     if ixk < 0 || ixk >= input.shape.w as isize {
                                         continue;
                                     }
-                                    let x = core.load_i8(input.element_addr(iy, ixk as usize, 0))?;
+                                    let x =
+                                        core.load_i8(input.element_addr(iy, ixk as usize, 0))?;
                                     let f = core.load_i8(
                                         job.data.filter_addr
                                             + p.filter.offset(oc, dy, dx + k, 0) as u32,
@@ -168,8 +169,7 @@ pub fn conv2d_cfu2(
                 } else {
                     let acc = core.cfu(ops::TAKE_ACC, 0, 0)? as i32;
                     charge_software_requant(core)?;
-                    let scaled =
-                        arith::multiply_by_quantized_multiplier(acc + bias, mult, shift);
+                    let scaled = arith::multiply_by_quantized_multiplier(acc + bias, mult, shift);
                     arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max)
                 };
                 core.store_u8(job.output.element_addr(oy, ox, oc), v as i8 as u8)?;
@@ -230,9 +230,8 @@ pub fn depthwise_cfu2(
                             continue;
                         }
                         let x = core.load_i8(input.element_addr(iy as usize, ix as usize, c))?;
-                        let f = core.load_i8(
-                            job.data.filter_addr + p.filter.offset(c, dy, dx, 0) as u32,
-                        )?;
+                        let f = core
+                            .load_i8(job.data.filter_addr + p.filter.offset(c, dy, dx, 0) as u32)?;
                         // One lane of the 4-way MAC replaces mul+add.
                         core.cfu(ops::MAC1, x as i32 as u32, f as i32 as u32)?;
                         core.branch(site::TAP, dx + 1 != p.filter.kw)?;
@@ -244,8 +243,7 @@ pub fn depthwise_cfu2(
                 } else {
                     let acc = core.cfu(ops::TAKE_ACC, 0, 0)? as i32;
                     charge_software_requant(core)?;
-                    let scaled =
-                        arith::multiply_by_quantized_multiplier(acc + bias, mult, shift);
+                    let scaled = arith::multiply_by_quantized_multiplier(acc + bias, mult, shift);
                     arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max)
                 };
                 core.store_u8(job.output.element_addr(oy, ox, c), v as i8 as u8)?;

@@ -155,10 +155,11 @@ pub struct FcJob<'a> {
     pub data: LayerData,
 }
 
-/// Charges the cycles of TFLM's software `MultiplyByQuantizedMultiplier`
-/// + clamp path: on a 32-bit RV32IM core the 64-bit saturating-doubling
-/// high multiply costs four 32×32 multiplies plus carry bookkeeping, then
-/// the rounding shift and two clamp branches.
+/// Charges the cycles of TFLM's software
+/// `MultiplyByQuantizedMultiplier` and clamp path: on a 32-bit RV32IM
+/// core the 64-bit saturating-doubling high multiply costs four 32×32
+/// multiplies plus carry bookkeeping, then the rounding shift and two
+/// clamp branches.
 ///
 /// # Errors
 ///

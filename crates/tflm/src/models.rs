@@ -175,12 +175,8 @@ impl ModelBuilder {
     /// Appends a global average pool (whole spatial extent → 1×1).
     pub fn global_avg_pool(&mut self, name: &str) -> &mut Self {
         let input = self.cur_info();
-        let p = PoolParams {
-            kh: input.shape.h,
-            kw: input.shape.w,
-            stride: 1,
-            padding: Padding::Valid,
-        };
+        let p =
+            PoolParams { kh: input.shape.h, kw: input.shape.w, stride: 1, padding: Padding::Valid };
         self.push_layer(
             name,
             Op::AvgPool(p),
@@ -219,7 +215,14 @@ impl ModelBuilder {
     }
 
     /// Appends spatial zero-point padding.
-    pub fn pad(&mut self, name: &str, top: usize, bottom: usize, left: usize, right: usize) -> &mut Self {
+    pub fn pad(
+        &mut self,
+        name: &str,
+        top: usize,
+        bottom: usize,
+        left: usize,
+        right: usize,
+    ) -> &mut Self {
         let input = self.cur_info();
         self.push_layer(
             name,
@@ -350,13 +353,9 @@ fn mobilenet_v2_with_channels(
     blocks: [(usize, usize, usize, usize); 7],
     head_ch: usize,
 ) -> Model {
-    assert!(input_hw % 8 == 0, "input size must be divisible by 8 (five stride-2 stages)");
-    let mut b = ModelBuilder::new(
-        name,
-        Shape::new(input_hw, input_hw, 3),
-        QuantParams::new(0.05, 0),
-        seed,
-    );
+    assert!(input_hw.is_multiple_of(8), "input size must be divisible by 8 (five stride-2 stages)");
+    let mut b =
+        ModelBuilder::new(name, Shape::new(input_hw, input_hw, 3), QuantParams::new(0.05, 0), seed);
     // Stem: 3x3 stride-2 convolution.
     b.conv("stem", stem_ch, (3, 3), 2, Padding::Same, Activation::Relu6);
     // Inverted residual blocks: (expansion, out_ch, repeats, stride).
@@ -398,12 +397,8 @@ fn mobilenet_v2_with_channels(
 /// one 10×4 stride-2 conv, four depthwise-separable blocks of 64
 /// channels, pool, 12-way classifier. The paper's Fomu workload.
 pub fn ds_cnn_kws(seed: u64) -> Model {
-    let mut b = ModelBuilder::new(
-        "ds_cnn_kws",
-        Shape::new(49, 10, 1),
-        QuantParams::new(0.08, 0),
-        seed,
-    );
+    let mut b =
+        ModelBuilder::new("ds_cnn_kws", Shape::new(49, 10, 1), QuantParams::new(0.08, 0), seed);
     b.conv("conv1", 64, (10, 4), 2, Padding::Same, Activation::Relu);
     for i in 1..=4 {
         b.dwconv(&format!("ds{i}/dw"), (3, 3), 1, Padding::Same, Activation::Relu);
@@ -417,12 +412,8 @@ pub fn ds_cnn_kws(seed: u64) -> Model {
 
 /// The MLPerf Tiny image-classification model (ResNet-8 on 32×32×3).
 pub fn resnet8(seed: u64) -> Model {
-    let mut b = ModelBuilder::new(
-        "resnet8",
-        Shape::new(32, 32, 3),
-        QuantParams::new(0.04, 0),
-        seed,
-    );
+    let mut b =
+        ModelBuilder::new("resnet8", Shape::new(32, 32, 3), QuantParams::new(0.04, 0), seed);
     b.conv("stem", 16, (3, 3), 1, Padding::Same, Activation::Relu);
     let mut ch = 16;
     for (stack, stride) in [(1, 1), (2, 2), (3, 2)] {
@@ -469,12 +460,8 @@ pub fn resnet8(seed: u64) -> Model {
 /// The MLPerf Tiny anomaly-detection model (fully-connected
 /// autoencoder, 640-dim input).
 pub fn fc_autoencoder(seed: u64) -> Model {
-    let mut b = ModelBuilder::new(
-        "fc_autoencoder",
-        Shape::vector(640),
-        QuantParams::new(0.06, 0),
-        seed,
-    );
+    let mut b =
+        ModelBuilder::new("fc_autoencoder", Shape::vector(640), QuantParams::new(0.06, 0), seed);
     for (i, units) in [128, 128, 128, 128, 8].into_iter().enumerate() {
         b.fc(&format!("enc{i}"), units, Activation::Relu);
     }
@@ -487,12 +474,8 @@ pub fn fc_autoencoder(seed: u64) -> Model {
 /// A small conv net for fast tests: a few layers covering every operator
 /// kind (conv 3x3, pointwise conv, depthwise, add, pool, fc, softmax).
 pub fn tiny_test_net(seed: u64) -> Model {
-    let mut b = ModelBuilder::new(
-        "tiny_test_net",
-        Shape::new(8, 8, 4),
-        QuantParams::new(0.05, 2),
-        seed,
-    );
+    let mut b =
+        ModelBuilder::new("tiny_test_net", Shape::new(8, 8, 4), QuantParams::new(0.05, 2), seed);
     b.pad("pad", 1, 1, 1, 1);
     b.conv("conv3x3", 8, (3, 3), 1, Padding::Valid, Activation::Relu6);
     b.max_pool("maxpool", 2, 1);
@@ -528,13 +511,9 @@ mod tests {
 
     #[test]
     fn zoo_models_validate() {
-        for model in [
-            mobilenet_v2(48, 2, 1),
-            ds_cnn_kws(2),
-            resnet8(3),
-            fc_autoencoder(4),
-            tiny_test_net(5),
-        ] {
+        for model in
+            [mobilenet_v2(48, 2, 1), ds_cnn_kws(2), resnet8(3), fc_autoencoder(4), tiny_test_net(5)]
+        {
             model.validate().unwrap_or_else(|e| panic!("{}: {e}", model.name));
             assert!(model.total_macs() > 0, "{}", model.name);
         }
@@ -562,12 +541,7 @@ mod tests {
                 _ => 0,
             })
             .sum();
-        assert!(
-            pw_macs * 2 > m.total_macs(),
-            "pointwise {} of {}",
-            pw_macs,
-            m.total_macs()
-        );
+        assert!(pw_macs * 2 > m.total_macs(), "pointwise {} of {}", pw_macs, m.total_macs());
         // Residual adds exist.
         assert!(m.layers.iter().any(|l| matches!(l.op, crate::model::Op::Add { .. })));
     }

@@ -74,7 +74,7 @@ impl Profile {
             *map.entry(e.kind).or_default() += e.cycles;
         }
         let mut v: Vec<_> = map.into_iter().collect();
-        v.sort_by(|a, b| b.1.cmp(&a.1));
+        v.sort_by_key(|e| std::cmp::Reverse(e.1));
         v
     }
 

@@ -77,11 +77,7 @@ pub fn conv2d(input: &Tensor, p: &ConvParams) -> Tensor {
                 acc += p.bias.data[oc];
                 let scaled =
                     arith::multiply_by_quantized_multiplier(acc, cq.multipliers[oc], cq.shifts[oc]);
-                let v = arith::clamp_activation(
-                    scaled + p.out_quant.zero_point,
-                    act_min,
-                    act_max,
-                );
+                let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
                 out.set(oy, ox, oc, v as i8);
             }
         }
@@ -153,7 +149,8 @@ pub fn fully_connected(input: &Tensor, p: &FullyConnectedParams) -> Tensor {
             acc += (i32::from(x) + input_offset) * w;
         }
         acc += p.bias.data[oc];
-        let scaled = arith::multiply_by_quantized_multiplier(acc, cq.multipliers[oc], cq.shifts[oc]);
+        let scaled =
+            arith::multiply_by_quantized_multiplier(acc, cq.multipliers[oc], cq.shifts[oc]);
         let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
         out.data[oc] = v as i8;
     }
@@ -283,18 +280,9 @@ pub fn softmax(input: &Tensor) -> Tensor {
 
 /// Spatial zero-point padding (TFLite PAD semantics: new elements take
 /// the tensor's quantized zero point).
-pub fn pad_spatial(
-    input: &Tensor,
-    top: usize,
-    bottom: usize,
-    left: usize,
-    right: usize,
-) -> Tensor {
-    let out_shape = Shape::new(
-        input.shape.h + top + bottom,
-        input.shape.w + left + right,
-        input.shape.c,
-    );
+pub fn pad_spatial(input: &Tensor, top: usize, bottom: usize, left: usize, right: usize) -> Tensor {
+    let out_shape =
+        Shape::new(input.shape.h + top + bottom, input.shape.w + left + right, input.shape.c);
     let mut out = Tensor::zeros(out_shape, input.quant);
     for y in 0..input.shape.h {
         for x in 0..input.shape.w {
@@ -342,9 +330,7 @@ pub fn run_model(model: &crate::model::Model, input: &Tensor) -> Tensor {
             }
             Op::Softmax => softmax(&a),
             Op::Reshape { new_shape } => reshape(&a, *new_shape),
-            Op::Pad { top, bottom, left, right } => {
-                pad_spatial(&a, *top, *bottom, *left, *right)
-            }
+            Op::Pad { top, bottom, left, right } => pad_spatial(&a, *top, *bottom, *left, *right),
         };
         values[layer.output] = Some(out);
     }
@@ -406,8 +392,7 @@ mod tests {
     fn conv_3x3_same_padding_zero_contribution() {
         // All-ones 3x3 filter over a 3x3 single-channel input of ones,
         // zero offsets: corner output touches 4 valid pixels.
-        let input =
-            Tensor::from_data(Shape::new(3, 3, 1), vec![1; 9], QuantParams::new(1.0, 0));
+        let input = Tensor::from_data(Shape::new(3, 3, 1), vec![1; 9], QuantParams::new(1.0, 0));
         let p = ConvParams {
             stride: 1,
             padding: Padding::Same,
@@ -480,11 +465,8 @@ mod tests {
 
     #[test]
     fn max_pool_basic() {
-        let input = Tensor::from_data(
-            Shape::new(2, 2, 1),
-            vec![-5, 3, 7, -1],
-            QuantParams::new(1.0, 0),
-        );
+        let input =
+            Tensor::from_data(Shape::new(2, 2, 1), vec![-5, 3, 7, -1], QuantParams::new(1.0, 0));
         let p = PoolParams { kh: 2, kw: 2, stride: 2, padding: Padding::Valid };
         assert_eq!(max_pool(&input, &p).data, vec![7]);
     }
@@ -509,11 +491,8 @@ mod tests {
 
     #[test]
     fn softmax_normalizes() {
-        let input = Tensor::from_data(
-            Shape::vector(4),
-            vec![20, 10, 0, -10],
-            QuantParams::new(0.1, 0),
-        );
+        let input =
+            Tensor::from_data(Shape::vector(4), vec![20, 10, 0, -10], QuantParams::new(0.1, 0));
         let out = softmax(&input);
         assert_eq!(out.quant, softmax_output_quant());
         assert_eq!(out.argmax(), 0);

@@ -165,7 +165,14 @@ impl Filter {
     /// # Panics
     ///
     /// Panics on length mismatches.
-    pub fn new(out_ch: usize, kh: usize, kw: usize, in_ch: usize, data: Vec<i8>, scales: Vec<f64>) -> Self {
+    pub fn new(
+        out_ch: usize,
+        kh: usize,
+        kw: usize,
+        in_ch: usize,
+        data: Vec<i8>,
+        scales: Vec<f64>,
+    ) -> Self {
         assert_eq!(data.len(), out_ch * kh * kw * in_ch, "filter data length");
         assert_eq!(scales.len(), out_ch, "one scale per output channel");
         Filter { out_ch, kh, kw, in_ch, data, scales }
@@ -250,11 +257,7 @@ mod tests {
 
     #[test]
     fn argmax_prefers_first_on_ties() {
-        let t = Tensor::from_data(
-            Shape::vector(4),
-            vec![3, 9, 9, 1],
-            QuantParams::default(),
-        );
+        let t = Tensor::from_data(Shape::vector(4), vec![3, 9, 9, 1], QuantParams::default());
         assert_eq!(t.argmax(), 1);
     }
 

@@ -27,8 +27,8 @@ fn run_deployed(
 ) -> Tensor {
     let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "ram", "ram", "ram");
     cfg.registry = registry;
-    let mut dep = Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg)
-        .expect("deployment plans");
+    let mut dep =
+        Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg).expect("deployment plans");
     let (out, profile) = dep.run(input).expect("inference runs");
     assert!(profile.total_cycles() > 0);
     out
@@ -56,8 +56,7 @@ fn generic_kernels_match_reference_on_tiny_net() {
     let model = models::tiny_test_net(11);
     let input = models::synthetic_input(&model, 22);
     let golden = reference::run_model(&model, &input);
-    let deployed =
-        run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
+    let deployed = run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
     assert_eq!(deployed.data, golden.data);
 }
 
@@ -66,8 +65,7 @@ fn generic_kernels_match_reference_on_resnet_and_autoencoder() {
     for model in [models::resnet8(5), models::fc_autoencoder(6)] {
         let input = models::synthetic_input(&model, 33);
         let golden = reference::run_model(&model, &input);
-        let deployed =
-            run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
+        let deployed = run_deployed(&model, KernelRegistry::default(), Box::new(NullCfu), &input);
         assert_eq!(deployed.data, golden.data, "{}", model.name);
     }
 }
@@ -95,7 +93,9 @@ fn conv1x1_ladder_on_mobilenet_slice() {
     let model = models::mobilenet_v2(16, 2, 3);
     let input = models::synthetic_input(&model, 4);
     let golden = reference::run_model(&model, &input);
-    for variant in [Conv1x1Variant::SwSpecialized, Conv1x1Variant::CfuMac4, Conv1x1Variant::CfuOverlapInput] {
+    for variant in
+        [Conv1x1Variant::SwSpecialized, Conv1x1Variant::CfuMac4, Conv1x1Variant::CfuOverlapInput]
+    {
         let registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
         let cfu: Box<dyn Cfu> = match variant.required_stage() {
             Some(stage) => Box::new(Cfu1::new(stage)),
@@ -152,17 +152,13 @@ fn ladder_cycles_decrease_monotonically_enough() {
             Some(stage) => Box::new(Cfu1::new(stage)),
             None => Box::new(NullCfu),
         };
-        let mut dep =
-            Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg).expect("deploys");
+        let mut dep = Deployment::new(model.clone(), big_ram_bus(), cfu, &cfg).expect("deploys");
         let (_, profile) = dep.run(&input).expect("runs");
         cycles.push((variant, profile.total_cycles()));
     }
     let baseline = cycles[0].1;
     let last = cycles.last().unwrap().1;
-    assert!(
-        last * 10 < baseline,
-        "final ladder step must be >10x faster: {cycles:?}"
-    );
+    assert!(last * 10 < baseline, "final ladder step must be >10x faster: {cycles:?}");
     // Each step is within 25% of monotone (allows the hold-inp wash).
     for w in cycles.windows(2) {
         assert!(
@@ -189,7 +185,6 @@ fn deployment_rejects_overfull_region() {
 fn deployment_rejects_missing_region() {
     let model = models::tiny_test_net(1);
     let cfg = DeployConfig::new(CpuConfig::arty_default(), "nope", "ram", "ram");
-    let err =
-        Deployment::new(model, big_ram_bus(), Box::new(NullCfu), &cfg).unwrap_err();
+    let err = Deployment::new(model, big_ram_bus(), Box::new(NullCfu), &cfg).unwrap_err();
     assert!(matches!(err, cfu_tflm::deploy::DeployError::MissingRegion(_)), "{err}");
 }

@@ -99,7 +99,9 @@ fn main() {
         sw_cycles as f64 / hw_cycles as f64,
         Crc32Cfu::new().resources()
     );
-    println!("(cycles per byte: {:.1} -> {:.2})",
+    println!(
+        "(cycles per byte: {:.1} -> {:.2})",
         sw_cycles as f64 / f64::from(LEN),
-        hw_cycles as f64 / f64::from(LEN));
+        hw_cycles as f64 / f64::from(LEN)
+    );
 }

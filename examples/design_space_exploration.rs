@@ -8,11 +8,7 @@ use cfu_playground::prelude::*;
 
 fn main() {
     let space = DesignSpace::paper_scale();
-    println!(
-        "design space: {} points across {} CFU choices (paper: ~93,000)\n",
-        space.size(),
-        3
-    );
+    println!("design space: {} points across {} CFU choices (paper: ~93,000)\n", space.size(), 3);
 
     // A small simulated workload keeps each trial fast.
     let model = models::mobilenet_v2(16, 2, 1);

@@ -21,10 +21,8 @@ fn main() {
 
     // ---- 2. Golden tests with the CFU1-accelerated kernels ----
     println!("\n[2] full-inference golden tests (CFU1-accelerated 1x1 convs)");
-    let registry = KernelRegistry {
-        conv1x1: Some(Conv1x1Variant::CfuOverlapInput),
-        ..Default::default()
-    };
+    let registry =
+        KernelRegistry { conv1x1: Some(Conv1x1Variant::CfuOverlapInput), ..Default::default() };
     for (name, result) in suite.run_simple(registry, || Box::new(Cfu1::full())) {
         println!("    {name:<24} {result}");
     }
@@ -70,11 +68,7 @@ fn main() {
     let params = energy::EnergyParams::ice40();
     let estimate = energy::estimate_core(dep.core(), design, &params);
     let cycles = profile.total_cycles();
-    println!(
-        "    {} cycles = {:.2} s @ 12 MHz",
-        cycles,
-        cycles as f64 / board.clock_hz as f64
-    );
+    println!("    {} cycles = {:.2} s @ 12 MHz", cycles, cycles as f64 / board.clock_hz as f64);
     println!(
         "    energy ≈ {:.1} µJ ({:.1} µJ dynamic + {:.1} µJ static), avg {:.2} mW",
         estimate.total_uj(),

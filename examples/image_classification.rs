@@ -15,8 +15,7 @@ fn deploy(
     variant: Option<Conv1x1Variant>,
 ) -> Result<Deployment, Box<dyn std::error::Error>> {
     let board = Board::arty_a7_35t();
-    let mut cfg =
-        DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
     cfg.registry = KernelRegistry { conv1x1: variant, ..Default::default() };
     let cfu: Box<dyn Cfu> = match variant.and_then(|v| v.required_stage()) {
         Some(stage) => Box::new(Cfu1::new(stage)),

@@ -7,8 +7,10 @@ use cfu_playground::prelude::*;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let board = Board::fomu();
-    println!("target: {} ({}, {} LUT budget, {} DSPs)\n", board.name, board.fpga,
-        board.budget.luts, board.budget.dsps);
+    println!(
+        "target: {} ({}, {} LUT budget, {} DSPs)\n",
+        board.name, board.fpga, board.budget.luts, board.budget.dsps
+    );
 
     // ---- Fit pressure: the minimal VexRiscv does not fit ----
     let untrimmed = SocBuilder::new(board.clone())
@@ -45,17 +47,35 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let clock = board.clock_hz as f64;
     let mut baseline_cycles = 0;
     for (label, cpu, features, hot_sram, cfu2) in [
-        ("baseline (flash XIP)", CpuConfig::fomu_baseline(), SocFeatures::fomu_trimmed(), false, false),
-        ("mem+cpu optimized", CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp), {
-            let mut f = SocFeatures::fomu_trimmed();
-            f.spi_width = SpiWidth::Quad;
-            f
-        }, true, false),
-        ("with CFU2", CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp), {
-            let mut f = SocFeatures::fomu_trimmed();
-            f.spi_width = SpiWidth::Quad;
-            f
-        }, true, true),
+        (
+            "baseline (flash XIP)",
+            CpuConfig::fomu_baseline(),
+            SocFeatures::fomu_trimmed(),
+            false,
+            false,
+        ),
+        (
+            "mem+cpu optimized",
+            CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp),
+            {
+                let mut f = SocFeatures::fomu_trimmed();
+                f.spi_width = SpiWidth::Quad;
+                f
+            },
+            true,
+            false,
+        ),
+        (
+            "with CFU2",
+            CpuConfig::fomu_with_icache(2048).with_multiplier(Multiplier::SingleCycleDsp),
+            {
+                let mut f = SocFeatures::fomu_trimmed();
+                f.spi_width = SpiWidth::Quad;
+                f
+            },
+            true,
+            true,
+        ),
     ] {
         let soc = SocBuilder::new(board.clone()).cpu(cpu).features(features).build();
         let mut cfg = DeployConfig::new(cpu, "spiflash", "sram", "spiflash");

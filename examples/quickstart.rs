@@ -50,7 +50,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for lane in 0..4 {
             let (x, y) = ((a >> (8 * lane)) as u8, (b >> (8 * lane)) as u8);
             let s = match op.funct7() {
-                0 => x.wrapping_add(y),                        // wrapping lanes
+                0 => x.wrapping_add(y),                       // wrapping lanes
                 _ => (x as i8).saturating_add(y as i8) as u8, // saturating lanes
             };
             out |= u32::from(s) << (8 * lane);

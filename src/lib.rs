@@ -65,9 +65,7 @@ pub mod prelude {
     pub use cfu_mem::{Bus, Cache, CacheConfig, Ddr3, SpiFlash, SpiWidth, Sram};
     pub use cfu_sim::{BranchPredictor, Cpu, CpuConfig, Multiplier, StopReason, TimedCore};
     pub use cfu_soc::{Board, SocBuilder, SocFeatures};
-    pub use cfu_tflm::deploy::{
-        ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry,
-    };
+    pub use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
     pub use cfu_tflm::golden::GoldenSuite;
     pub use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
     pub use cfu_tflm::models;

@@ -72,8 +72,7 @@ fn golden_inference_all_models_on_arty() {
     ] {
         let input = models::synthetic_input(&model, 20);
         let golden = reference::run_model(&model, &input);
-        let cfg =
-            DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+        let cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
         let mut dep =
             Deployment::new(model.clone(), board.build_bus(None), Box::new(NullCfu), &cfg)
                 .expect("deploys");
@@ -91,12 +90,9 @@ fn cfu1_accelerated_inference_is_bit_exact_on_arty() {
     let model = models::mobilenet_v2(16, 2, 3);
     let input = models::synthetic_input(&model, 9);
     let golden = reference::run_model(&model, &input);
-    let mut cfg =
-        DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
-    cfg.registry = KernelRegistry {
-        conv1x1: Some(Conv1x1Variant::CfuOverlapInput),
-        ..Default::default()
-    };
+    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    cfg.registry =
+        KernelRegistry { conv1x1: Some(Conv1x1Variant::CfuOverlapInput), ..Default::default() };
     let mut dep = Deployment::new(
         model,
         board.build_bus(None),

@@ -1,0 +1,237 @@
+//! A small, dependency-free, offline drop-in for the subset of the
+//! `criterion` API this workspace uses.
+//!
+//! Each benchmark is timed with a calibrated iteration count (targeting a
+//! few milliseconds per sample), reported as `group/name  time: [min mean
+//! max]`, and appended as a JSON record to
+//! `target/criterion-stub/<group>.json` for downstream tooling
+//! (e.g. `BENCH_dse.json`).
+
+use std::time::{Duration, Instant};
+
+/// How the harness was invoked (`cargo bench` vs `cargo test --benches`).
+#[derive(Debug, Clone, Default)]
+struct RunMode {
+    /// Substring filter from the command line (positional argument).
+    filter: Option<String>,
+    /// `--test`: smoke-run each benchmark once instead of measuring.
+    test_mode: bool,
+}
+
+fn parse_args() -> RunMode {
+    let mut mode = RunMode::default();
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--test" => mode.test_mode = true,
+            "--bench" | "--nocapture" | "--quiet" | "-q" => {}
+            s if s.starts_with("--") => {} // ignore unknown harness flags
+            s => mode.filter = Some(s.to_owned()),
+        }
+    }
+    mode
+}
+
+/// Benchmark manager handed to every `criterion_group!` target.
+#[derive(Debug)]
+pub struct Criterion {
+    mode: RunMode,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { mode: parse_args() }
+    }
+}
+
+impl Criterion {
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.into(), sample_size: 10, results: Vec::new() }
+    }
+}
+
+/// One measured benchmark, exported to JSON.
+#[derive(Debug, Clone)]
+struct BenchResult {
+    id: String,
+    mean_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+    samples: usize,
+    iters_per_sample: u64,
+}
+
+/// A named group of benchmarks sharing settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    results: Vec<BenchResult>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Measures one benchmark function.
+    pub fn bench_function<F>(&mut self, id: impl Into<String>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let full = format!("{}/{}", self.name, id);
+        if let Some(filter) = &self.criterion.mode.filter {
+            if !full.contains(filter.as_str()) {
+                return self;
+            }
+        }
+        let mut bencher = Bencher { iters: 1, elapsed: Duration::ZERO };
+        if self.criterion.mode.test_mode {
+            f(&mut bencher);
+            println!("{full}: test passed");
+            return self;
+        }
+        // Calibrate: grow the per-sample iteration count until one sample
+        // costs at least ~2 ms (cap for very slow benchmarks).
+        let mut iters = 1u64;
+        loop {
+            bencher.iters = iters;
+            f(&mut bencher);
+            if bencher.elapsed >= Duration::from_millis(2) || iters >= 1 << 20 {
+                break;
+            }
+            iters *= 4;
+        }
+        let mut per_iter_ns = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            bencher.iters = iters;
+            f(&mut bencher);
+            per_iter_ns.push(bencher.elapsed.as_nanos() as f64 / iters as f64);
+        }
+        let min = per_iter_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        let max = per_iter_ns.iter().copied().fold(0.0f64, f64::max);
+        let mean = per_iter_ns.iter().sum::<f64>() / per_iter_ns.len() as f64;
+        println!("{full:<50} time: [{} {} {}]", fmt_ns(min), fmt_ns(mean), fmt_ns(max));
+        self.results.push(BenchResult {
+            id,
+            mean_ns: mean,
+            min_ns: min,
+            max_ns: max,
+            samples: self.sample_size,
+            iters_per_sample: iters,
+        });
+        self
+    }
+
+    /// Finishes the group, flushing JSON results.
+    pub fn finish(self) {
+        if self.results.is_empty() {
+            return;
+        }
+        let dir = std::path::Path::new("target").join("criterion-stub");
+        if std::fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut json = String::from("[\n");
+        for (i, r) in self.results.iter().enumerate() {
+            json.push_str(&format!(
+                "  {{\"group\": {:?}, \"bench\": {:?}, \"mean_ns\": {:.1}, \"min_ns\": {:.1}, \
+                 \"max_ns\": {:.1}, \"samples\": {}, \"iters_per_sample\": {}}}{}\n",
+                self.name,
+                r.id,
+                r.mean_ns,
+                r.min_ns,
+                r.max_ns,
+                r.samples,
+                r.iters_per_sample,
+                if i + 1 == self.results.len() { "" } else { "," }
+            ));
+        }
+        json.push_str("]\n");
+        let file = dir.join(format!("{}.json", self.name.replace(['/', ' '], "_")));
+        let _ = std::fs::write(file, json);
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+/// Runs the closure under timing; handed to `bench_function` callbacks.
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f` over the harness-chosen iteration count.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std::hint::black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+/// Opaque hint to the optimizer (re-exported for criterion parity).
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// Declares a group function running each benchmark target in order.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the bench-harness `main` for one or more groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measures_and_reports() {
+        let mut c = Criterion { mode: RunMode { filter: None, test_mode: false } };
+        let mut group = c.benchmark_group("stub_smoke");
+        group.sample_size(3);
+        group.bench_function("noop", |b| b.iter(|| 1 + 1));
+        assert_eq!(group.results.len(), 1);
+        assert!(group.results[0].mean_ns >= 0.0);
+    }
+
+    #[test]
+    fn filter_skips_nonmatching() {
+        let mut c = Criterion { mode: RunMode { filter: Some("other".into()), test_mode: false } };
+        let mut group = c.benchmark_group("stub_filter");
+        group.bench_function("noop", |b| b.iter(|| 1));
+        assert!(group.results.is_empty());
+    }
+}
