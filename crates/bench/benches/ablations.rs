@@ -5,7 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, Criterion};
 
-use cfu_dse::{InferenceEvaluatorFactory, ParallelStudy, RegularizedEvolution};
+use cfu_dse::{
+    DesignSpace, InferenceEvaluatorFactory, ParallelStudy, RandomSearch, RegularizedEvolution,
+    ResourceEvaluator, RidgeSurrogate, SurrogateStudy,
+};
 use cfu_isa::Assembler;
 use cfu_mem::{Bus, Cache, CacheConfig, Sram};
 use cfu_sim::{BranchPredictor, Cpu, CpuConfig, TimedCore};
@@ -141,12 +144,47 @@ fn bench_dse_parallel(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_surrogate(c: &mut Criterion) {
+    // Tentpole ablation: surrogate screening vs unguided search at an
+    // equal evaluation budget (the setup pinned in cfu-dse's
+    // `surrogate_quality` test). The guided row pays for ridge refits
+    // and 4× candidate scoring on top of the same 192 evaluations; the
+    // quality side (smaller fronts reached with fewer evaluations) is
+    // recorded in EXPERIMENTS.md.
+    let mut group = c.benchmark_group("abl_surrogate");
+    group.sample_size(10);
+    const TRIALS: u64 = 192;
+    group.bench_function("unguided_192_trials", |b| {
+        b.iter(|| {
+            let mut study =
+                ParallelStudy::new(DesignSpace::paper_scale(), RandomSearch::new(11), 2);
+            study.run(&|| ResourceEvaluator::new(1_000_000), TRIALS);
+            std::hint::black_box(study.archive().front().len())
+        });
+    });
+    group.bench_function("guided_4x_192_trials", |b| {
+        b.iter(|| {
+            let mut study = SurrogateStudy::new(
+                DesignSpace::paper_scale(),
+                RandomSearch::new(11),
+                RidgeSurrogate::default_lambda(),
+                4,
+                2,
+            );
+            study.run(&|| ResourceEvaluator::new(1_000_000), TRIALS);
+            std::hint::black_box(study.archive().front().len())
+        });
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_iss_throughput,
     bench_cache_sweep,
     bench_bpred_sweep,
     bench_rvc_density,
-    bench_dse_parallel
+    bench_dse_parallel,
+    bench_surrogate
 );
 criterion_main!(benches);

@@ -1,13 +1,16 @@
 //! Regenerates Figure 4: the MobileNetV2 1x1 CONV_2D ladder on Arty.
 //!
-//! Usage: `fig4_mnv2_ladder [--input-hw N]` (default 96, the paper's
-//! resolution; use 32 or 48 for a quick look).
+//! Usage: `fig4_mnv2_ladder [--input-hw N] [--threads N]` (default
+//! input 96, the paper's resolution; use 32 or 48 for a quick look).
+//! With `--threads N` the ladder runs through the parallel DSE engine
+//! (byte-identical rows, steps evaluated on N workers).
 
 fn main() {
     let mut input_hw = 96;
     let mut full_width = false;
     let mut csv_path: Option<String> = None;
     let mut svg_path: Option<String> = None;
+    let mut threads: Option<usize> = None;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -22,8 +25,13 @@ fn main() {
             "--svg" => {
                 svg_path = Some(args.next().expect("--svg needs a path"));
             }
+            "--threads" => {
+                threads = Some(
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer"),
+                );
+            }
             other => {
-                eprintln!("unknown flag {other}; supported: --input-hw N --full-width --csv PATH --svg PATH");
+                eprintln!("unknown flag {other}; supported: --input-hw N --full-width --csv PATH --svg PATH --threads N");
                 std::process::exit(2);
             }
         }
@@ -32,7 +40,10 @@ fn main() {
     println!("Figure 4 — MobileNetV2 (width {width}) 1x1 CONV_2D ladder (Arty A7-35T, {input_hw}x{input_hw} input)");
     println!("paper reference speedups: SW 2.0x, CFU postproc 2.3x, CFU MAC4 9.8x,");
     println!("MAC4Run1 26x, Incl postproc 31.1x, Overlap input 55x; overall MNV2 3x\n");
-    let rows = cfu_bench::fig4::run_ladder(input_hw, full_width);
+    let rows = match threads {
+        Some(n) => cfu_bench::fig4::run_ladder_parallel(input_hw, full_width, n),
+        None => cfu_bench::fig4::run_ladder(input_hw, full_width),
+    };
     print!("{}", cfu_bench::fig4::render(&rows));
     if let Some(path) = csv_path {
         std::fs::write(&path, cfu_bench::fig4::to_csv(&rows)).expect("write csv");

@@ -1,23 +1,37 @@
 //! Regenerates Figure 6: the Keyword-Spotting ladder on Fomu.
+//!
+//! Usage: `fig6_kws_ladder [--csv PATH] [--svg PATH] [--threads N]`.
+//! With `--threads N` the ladder runs through the parallel DSE engine
+//! (byte-identical rows, steps evaluated on N workers).
 
 fn main() {
-    let (csv_path, svg_path) = {
+    let (csv_path, svg_path, threads) = {
         let mut args = std::env::args().skip(1);
-        let (mut csv, mut svg) = (None, None);
+        let (mut csv, mut svg, mut threads) = (None, None, None);
         while let Some(a) = args.next() {
             match a.as_str() {
                 "--csv" => csv = args.next(),
                 "--svg" => svg = args.next(),
+                "--threads" => {
+                    threads = Some(
+                        args.next()
+                            .and_then(|v| v.parse().ok())
+                            .expect("--threads needs an integer"),
+                    );
+                }
                 _ => {}
             }
         }
-        (csv, svg)
+        (csv, svg, threads)
     };
     println!("Figure 6 — MLPerf Tiny KWS (DS-CNN) ladder on Fomu (iCE40UP5k, 12 MHz)");
     println!("paper reference: QuadSPI 3.04x, SRAM Ops+Model 7.84x, Larger Icache 8.3x,");
     println!("Fast Mult 15.35x, MAC Conv 32.10x, Post Proc 37.64x, final 75x");
     println!("(baseline 2.5 min -> <2 s; only ~3x of the 75x from the CFU itself)\n");
-    let rows = cfu_bench::fig6::run_ladder();
+    let rows = match threads {
+        Some(n) => cfu_bench::fig6::run_ladder_parallel(n),
+        None => cfu_bench::fig6::run_ladder(),
+    };
     print!("{}", cfu_bench::fig6::render(&rows));
     if let Some(path) = &csv_path {
         std::fs::write(path, cfu_bench::fig6::to_csv(&rows)).expect("write csv");

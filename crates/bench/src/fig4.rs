@@ -1,8 +1,16 @@
 //! Figure 4: MobileNetV2 1x1 CONV_2D speedup and resource usage per
 //! ladder step, on the Arty A7-35T.
+//!
+//! Two drivers produce the same rows: [`run_ladder`] walks the steps
+//! serially, [`run_ladder_parallel`] expresses the ladder as a
+//! degenerate one-axis [`SearchSpace`] and runs it through the shared
+//! DSE engine (`GridSearch` + `ParallelStudy`), so steps evaluate on a
+//! worker pool. Outputs are byte-identical at any thread count (pinned
+//! in `tests/ladder_parallel.rs`).
 
 use cfu_core::cfu1::Cfu1;
 use cfu_core::{Cfu, NullCfu, Resources};
+use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace};
 use cfu_sim::CpuConfig;
 use cfu_soc::Board;
 use cfu_tflm::deploy::{DeployConfig, Deployment, KernelRegistry};
@@ -79,6 +87,88 @@ pub fn run_ladder(input_hw: usize, full_width: bool) -> Vec<Fig4Row> {
             operator_speedup: baseline_conv as f64 / conv1x1_cycles.max(1) as f64,
             overall_speedup: baseline_total as f64 / total_cycles.max(1) as f64,
             cfu_resources,
+        });
+    }
+    rows
+}
+
+/// The Figure-4 ladder as a degenerate one-axis design space: the only
+/// knob is the ladder step. Lets the sweep ride the generic DSE engine
+/// (worker pool, memo cache, archives) instead of a bespoke loop.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Space;
+
+impl SearchSpace for Fig4Space {
+    type Point = Conv1x1Variant;
+
+    fn size(&self) -> u64 {
+        Conv1x1Variant::LADDER.len() as u64
+    }
+
+    fn point(&self, index: u64) -> Conv1x1Variant {
+        Conv1x1Variant::LADDER[usize::try_from(index).expect("ladder index fits usize")]
+    }
+}
+
+/// Scores one ladder step by a full MobileNetV2 inference on the
+/// simulated Arty SoC. `latency` carries whole-model cycles, `aux` the
+/// 1x1-CONV_2D operator cycles, `resources` the CFU cost of the step.
+#[derive(Debug, Clone, Copy)]
+pub struct Fig4Evaluator {
+    input_hw: usize,
+    full_width: bool,
+}
+
+impl Fig4Evaluator {
+    /// Creates the evaluator at the given input resolution and width.
+    pub fn new(input_hw: usize, full_width: bool) -> Self {
+        Fig4Evaluator { input_hw, full_width }
+    }
+}
+
+impl Evaluator<Conv1x1Variant> for Fig4Evaluator {
+    fn evaluate(&mut self, variant: &Conv1x1Variant) -> EvalResult {
+        let profile = run_step(self.input_hw, self.full_width, *variant);
+        let cfu_resources = match variant.required_stage() {
+            Some(stage) => Cfu1::new(stage).resources(),
+            None => Resources::ZERO,
+        };
+        EvalResult {
+            latency: profile.total_cycles(),
+            resources: cfu_resources,
+            fits: true,
+            energy_uj: 0.0,
+            aux: profile.cycles_for(OpKind::Conv2d1x1),
+        }
+    }
+}
+
+/// Runs the ladder through the parallel DSE engine: `GridSearch` over
+/// [`Fig4Space`] at full budget walks the steps in ladder order, and
+/// each batch fans out over `threads` workers. Rows are rebuilt from
+/// the engine's memo cache with the same arithmetic as [`run_ladder`],
+/// so the output is byte-identical to the serial driver.
+pub fn run_ladder_parallel(input_hw: usize, full_width: bool, threads: usize) -> Vec<Fig4Row> {
+    let space = Fig4Space;
+    let optimizer = GridSearch::new(&space, space.size());
+    let mut study = ParallelStudy::new(space, optimizer, threads);
+    study.run(&move || Fig4Evaluator::new(input_hw, full_width), space.size());
+    let mut rows = Vec::new();
+    let mut baseline_conv = 0u64;
+    let mut baseline_total = 0u64;
+    for variant in Conv1x1Variant::LADDER {
+        let r = study.cache().get(&variant).expect("engine evaluated every ladder step");
+        if variant == Conv1x1Variant::Generic {
+            baseline_conv = r.aux;
+            baseline_total = r.latency;
+        }
+        rows.push(Fig4Row {
+            label: variant.label(),
+            conv1x1_cycles: r.aux,
+            total_cycles: r.latency,
+            operator_speedup: baseline_conv as f64 / r.aux.max(1) as f64,
+            overall_speedup: baseline_total as f64 / r.latency.max(1) as f64,
+            cfu_resources: r.resources,
         });
     }
     rows

@@ -1,7 +1,13 @@
 //! Figure 6: Keyword-Spotting speedup and resource usage on Fomu.
+//!
+//! Like Figure 4, the ladder has two equivalent drivers: the serial
+//! [`run_ladder`] and the engine-backed [`run_ladder_parallel`], which
+//! expresses the eight steps as a degenerate [`SearchSpace`] and fans
+//! them out over `ParallelStudy` workers with byte-identical output.
 
 use cfu_core::cfu2::Cfu2;
 use cfu_core::{Cfu, NullCfu};
+use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace};
 use cfu_mem::SpiWidth;
 use cfu_sim::{CpuConfig, Multiplier};
 use cfu_soc::{Board, SocBuilder, SocFeatures};
@@ -9,7 +15,7 @@ use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelReg
 use cfu_tflm::models;
 
 /// One Figure 6 ladder step.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Fig6Step {
     /// Everything in 1-bit-SPI flash, minimal CPU, generic kernels.
     Baseline,
@@ -211,6 +217,77 @@ pub fn run_ladder() -> Vec<Fig6Row> {
             luts: fit.used().luts,
             dsps: fit.used().dsps,
             fits: fit.fits(),
+        });
+    }
+    rows
+}
+
+/// The Figure-6 ladder as a degenerate one-axis design space over
+/// [`Fig6Step`].
+#[derive(Debug, Clone, Copy)]
+pub struct Fig6Space;
+
+impl SearchSpace for Fig6Space {
+    type Point = Fig6Step;
+
+    fn size(&self) -> u64 {
+        Fig6Step::LADDER.len() as u64
+    }
+
+    fn point(&self, index: u64) -> Fig6Step {
+        Fig6Step::LADDER[usize::try_from(index).expect("ladder index fits usize")]
+    }
+}
+
+/// Scores one KWS ladder step: a full DS-CNN inference on the simulated
+/// Fomu SoC for `latency`, plus the step's SoC fit report for
+/// `resources`/`fits`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Fig6Evaluator;
+
+impl Evaluator<Fig6Step> for Fig6Evaluator {
+    fn evaluate(&mut self, step: &Fig6Step) -> EvalResult {
+        let cycles = run_step(*step);
+        let cfu = step.cfu();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(step.cpu())
+            .features(step.features())
+            .cfu(cfu.as_ref())
+            .build();
+        let fit = soc.fit_report();
+        EvalResult {
+            latency: cycles,
+            resources: fit.used(),
+            fits: fit.fits(),
+            energy_uj: 0.0,
+            aux: 0,
+        }
+    }
+}
+
+/// Runs the ladder through the parallel DSE engine with `threads`
+/// workers; rows are rebuilt from the memo cache with the same
+/// arithmetic as [`run_ladder`], so the output is byte-identical to the
+/// serial driver at any thread count.
+pub fn run_ladder_parallel(threads: usize) -> Vec<Fig6Row> {
+    let space = Fig6Space;
+    let optimizer = GridSearch::new(&space, space.size());
+    let mut study = ParallelStudy::new(space, optimizer, threads);
+    study.run(&|| Fig6Evaluator, space.size());
+    let clock_hz = Board::fomu().clock_hz as f64;
+    let baseline =
+        study.cache().get(&Fig6Step::Baseline).expect("engine evaluated the baseline step").latency;
+    let mut rows = Vec::new();
+    for step in Fig6Step::LADDER {
+        let r = study.cache().get(&step).expect("engine evaluated every ladder step");
+        rows.push(Fig6Row {
+            label: step.label(),
+            cycles: r.latency,
+            seconds: r.latency as f64 / clock_hz,
+            speedup: baseline as f64 / r.latency.max(1) as f64,
+            luts: r.resources.luts,
+            dsps: r.resources.dsps,
+            fits: r.fits,
         });
     }
     rows

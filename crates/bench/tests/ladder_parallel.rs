@@ -1,0 +1,26 @@
+//! Equivalence of the legacy serial ladder drivers and the DSE-engine
+//! path: `run_ladder_parallel` must render byte-identical CSV at any
+//! worker count. This is the contract that lets the figure binaries
+//! take `--threads N` without perturbing published numbers.
+
+use cfu_bench::{fig4, fig6};
+
+#[test]
+fn fig4_engine_path_matches_legacy_csv_at_any_thread_count() {
+    // Small input keeps each of the 10 inferences cheap; the row math
+    // under test is resolution-independent.
+    let legacy = fig4::to_csv(&fig4::run_ladder(16, false));
+    for threads in [1, 4] {
+        let engine = fig4::to_csv(&fig4::run_ladder_parallel(16, false, threads));
+        assert_eq!(engine, legacy, "fig4 CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig6_engine_path_matches_legacy_csv_at_any_thread_count() {
+    let legacy = fig6::to_csv(&fig6::run_ladder());
+    for threads in [1, 4] {
+        let engine = fig6::to_csv(&fig6::run_ladder_parallel(threads));
+        assert_eq!(engine, legacy, "fig6 CSV diverged at {threads} threads");
+    }
+}

@@ -129,6 +129,41 @@ impl std::error::Error for CfuError {}
 /// free to keep arbitrary internal state (scratchpads, parameter tables,
 /// accumulators) between ops. [`reset`](Cfu::reset) models the hardware
 /// reset line and must return the CFU to its power-on state.
+///
+/// # Example
+///
+/// A combinational CFU that sums its two operands — the paper's
+/// "hello world" custom instruction:
+///
+/// ```
+/// use cfu_core::{Cfu, CfuError, CfuOp, CfuResponse, Resources};
+///
+/// struct AdderCfu;
+///
+/// impl Cfu for AdderCfu {
+///     fn name(&self) -> &str {
+///         "adder"
+///     }
+///
+///     fn execute(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<CfuResponse, CfuError> {
+///         match op.funct3() {
+///             0 => Ok(CfuResponse::single(rs1.wrapping_add(rs2))),
+///             _ => Err(CfuError::UnsupportedOp { op, cfu: self.name().to_owned() }),
+///         }
+///     }
+///
+///     fn reset(&mut self) {}
+///
+///     fn resources(&self) -> Resources {
+///         Resources::luts(40)
+///     }
+/// }
+///
+/// let mut cfu = AdderCfu;
+/// let r = cfu.execute(CfuOp::new(0, 0), 2, 3).unwrap();
+/// assert_eq!((r.value, r.latency), (5, 1));
+/// assert!(cfu.execute(CfuOp::new(0, 7), 0, 0).is_err());
+/// ```
 pub trait Cfu {
     /// Short identifier used in error messages and reports.
     fn name(&self) -> &str;

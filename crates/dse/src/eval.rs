@@ -25,12 +25,23 @@ pub struct EvalResult {
     /// does not model energy) — the paper's §V future-work axis, wired
     /// into the DSE loop as an extension.
     pub energy_uj: f64,
+    /// Free-form auxiliary metric carried through the engine untouched
+    /// (0 when unused). Optimizers, archives and surrogates ignore it;
+    /// domain evaluators use it to smuggle a second per-point
+    /// measurement out of the worker pool — the Figure-4 ladder harness
+    /// stores the hot-operator (1x1 CONV_2D) cycle count here while
+    /// `latency` holds the whole-model count.
+    pub aux: u64,
 }
 
-/// Anything that can score a design point.
-pub trait Evaluator {
+/// Anything that can score a candidate point of type `P`.
+///
+/// The default `P` is [`DesignPoint`], the paper-scale CPU+CFU
+/// configuration; harnesses exploring other spaces (e.g. the ladder
+/// sweeps in `cfu-bench`) implement `Evaluator<TheirPoint>`.
+pub trait Evaluator<P = DesignPoint> {
     /// Evaluates one configuration.
-    fn evaluate(&mut self, point: &DesignPoint) -> EvalResult;
+    fn evaluate(&mut self, point: &P) -> EvalResult;
 }
 
 /// A fast analytic evaluator for tests, examples and optimizer
@@ -87,6 +98,7 @@ impl Evaluator for ResourceEvaluator {
             resources,
             fits: resources.luts <= self.budget_luts,
             energy_uj,
+            aux: 0,
         }
     }
 }
@@ -189,7 +201,7 @@ impl Evaluator for InferenceEvaluator {
             },
             Err(_) => (u64::MAX, f64::INFINITY),
         };
-        let result = EvalResult { latency, resources, fits, energy_uj };
+        let result = EvalResult { latency, resources, fits, energy_uj, aux: 0 };
         self.cache.insert(*point, result);
         result
     }

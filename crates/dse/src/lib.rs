@@ -18,8 +18,17 @@
 //! * [`ParallelStudy`] — the same loop with each suggestion batch fanned
 //!   out over a worker pool behind a sharded [`MemoCache`]; fronts are
 //!   bit-identical to the serial driver at any thread count,
+//! * [`SurrogateStudy`] — the parallel loop with a learned screen in
+//!   front of it: a [`Surrogate`] model (ridge regression over one-hot
+//!   [`Features`], pure Rust) ranks an oversampled candidate batch and
+//!   only the predicted-best go to the simulator,
 //! * [`ParetoArchive`] — non-dominated (resources, latency) front
 //!   extraction for the Figure 7 curves.
+//!
+//! The engine is generic over [`SearchSpace`], so degenerate spaces
+//! (e.g. the Figure-4/Figure-6 ladder sweeps in `cfu-bench`) run
+//! through the same drivers, caches and archives as the paper-scale
+//! [`DesignSpace`].
 //!
 //! # Example
 //!
@@ -43,6 +52,7 @@ mod optimizer;
 mod parallel;
 mod pareto;
 mod space;
+mod surrogate;
 
 pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator};
 pub use optimizer::{
@@ -51,4 +61,5 @@ pub use optimizer::{
 };
 pub use parallel::{EvaluatorFactory, InferenceEvaluatorFactory, MemoCache, ParallelStudy};
 pub use pareto::{ParetoArchive, ParetoPoint};
-pub use space::{CfuChoice, DesignPoint, DesignSpace};
+pub use space::{CfuChoice, DesignPoint, DesignSpace, SearchSpace};
+pub use surrogate::{Features, RidgeSurrogate, Surrogate, SurrogateStudy};

@@ -4,7 +4,7 @@ use std::collections::VecDeque;
 
 use crate::eval::{EvalResult, Evaluator};
 use crate::pareto::{ParetoArchive, ParetoPoint};
-use crate::space::{DesignPoint, DesignSpace};
+use crate::space::{DesignSpace, SearchSpace};
 
 fn xorshift(state: &mut u64) -> u64 {
     *state ^= *state >> 12;
@@ -24,11 +24,16 @@ fn xorshift(state: &mut u64) -> u64 {
 /// counts.
 pub const SUGGEST_BATCH: usize = 16;
 
-/// A suggest/observe black-box optimizer over design-point indices —
+/// A suggest/observe black-box optimizer over candidate indices —
 /// the same protocol Vizier's clients speak.
-pub trait Optimizer {
+///
+/// Optimizers only ever see *indices* into a [`SearchSpace`] (plus the
+/// scalar feedback in [`EvalResult`]), so every strategy here works
+/// unchanged on any space: the paper-scale [`DesignSpace`] or the
+/// degenerate ladder spaces in `cfu-bench`.
+pub trait Optimizer<S: SearchSpace = DesignSpace> {
     /// Proposes the next point to evaluate.
-    fn suggest(&mut self, space: &DesignSpace) -> u64;
+    fn suggest(&mut self, space: &S) -> u64;
 
     /// Feeds back the measurement for a previously-suggested point.
     fn observe(&mut self, index: u64, result: &EvalResult);
@@ -39,7 +44,7 @@ pub trait Optimizer {
     /// optimizers may override for diversity-aware proposals.
     ///
     /// [`suggest`]: Optimizer::suggest
-    fn suggest_batch(&mut self, space: &DesignSpace, n: usize) -> Vec<u64> {
+    fn suggest_batch(&mut self, space: &S, n: usize) -> Vec<u64> {
         (0..n).map(|_| self.suggest(space)).collect()
     }
 
@@ -58,11 +63,12 @@ pub trait Optimizer {
 }
 
 /// Offers a feasible evaluation to both archives (latency/resources and
-/// latency/energy) — shared by the serial and parallel study drivers.
-pub(crate) fn record_result(
-    archive: &mut ParetoArchive,
-    energy_archive: &mut ParetoArchive,
-    point: DesignPoint,
+/// latency/energy) — shared by the serial, parallel and
+/// surrogate-guided study drivers.
+pub(crate) fn record_result<P: Copy>(
+    archive: &mut ParetoArchive<P>,
+    energy_archive: &mut ParetoArchive<P>,
+    point: P,
     result: &EvalResult,
 ) {
     if result.fits && result.latency != u64::MAX {
@@ -95,8 +101,8 @@ impl RandomSearch {
     }
 }
 
-impl Optimizer for RandomSearch {
-    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+impl<S: SearchSpace> Optimizer<S> for RandomSearch {
+    fn suggest(&mut self, space: &S) -> u64 {
         space.random_index(xorshift(&mut self.state))
     }
 
@@ -120,7 +126,7 @@ impl GridSearch {
     /// # Panics
     ///
     /// Panics if `budget` is zero.
-    pub fn new(space: &DesignSpace, budget: u64) -> Self {
+    pub fn new<S: SearchSpace>(space: &S, budget: u64) -> Self {
         assert!(budget > 0, "budget must be positive");
         let size = space.size();
         // Start at the even-coverage stride and walk to the next value
@@ -142,8 +148,8 @@ fn gcd(mut a: u64, mut b: u64) -> u64 {
     a
 }
 
-impl Optimizer for GridSearch {
-    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+impl<S: SearchSpace> Optimizer<S> for GridSearch {
+    fn suggest(&mut self, space: &S) -> u64 {
         let idx = self.cursor % space.size();
         self.cursor = self.cursor.wrapping_add(self.stride);
         idx
@@ -187,8 +193,8 @@ impl RegularizedEvolution {
     }
 }
 
-impl Optimizer for RegularizedEvolution {
-    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+impl<S: SearchSpace> Optimizer<S> for RegularizedEvolution {
+    fn suggest(&mut self, space: &S) -> u64 {
         if self.warmup_left > 0 || self.population.is_empty() {
             return space.random_index(xorshift(&mut self.state));
         }
@@ -255,8 +261,8 @@ impl SimulatedAnnealing {
     }
 }
 
-impl Optimizer for SimulatedAnnealing {
-    fn suggest(&mut self, space: &DesignSpace) -> u64 {
+impl<S: SearchSpace> Optimizer<S> for SimulatedAnnealing {
+    fn suggest(&mut self, space: &S) -> u64 {
         self.pending = match self.current {
             None => space.random_index(xorshift(&mut self.state)),
             Some((idx, _)) => space.mutate_index(idx, xorshift(&mut self.state)),
@@ -294,17 +300,36 @@ impl Optimizer for SimulatedAnnealing {
 
 /// A Vizier-style study: drives an optimizer against an evaluator and
 /// maintains the Pareto archive of feasible designs.
+///
+/// This is the *serial* driver; [`crate::ParallelStudy`] fans the same
+/// batch schedule out over a worker pool, and
+/// [`crate::SurrogateStudy`] screens candidates with a learned model
+/// first. All three produce archives through identical bookkeeping.
+///
+/// # Example
+///
+/// ```
+/// use cfu_dse::{DesignSpace, RandomSearch, ResourceEvaluator, Study};
+///
+/// let mut study = Study::new(DesignSpace::small(), RandomSearch::new(7));
+/// let mut eval = ResourceEvaluator::new(1_000_000);
+/// study.run(&mut eval, 64);
+/// // Every archived point is feasible and non-dominated.
+/// let front = study.archive().front();
+/// assert!(!front.is_empty());
+/// assert!(front.windows(2).all(|w| w[0].resources <= w[1].resources));
+/// ```
 #[derive(Debug)]
-pub struct Study<O> {
-    space: DesignSpace,
+pub struct Study<O, S: SearchSpace = DesignSpace> {
+    space: S,
     optimizer: O,
-    archive: ParetoArchive,
-    energy_archive: ParetoArchive,
+    archive: ParetoArchive<S::Point>,
+    energy_archive: ParetoArchive<S::Point>,
 }
 
-impl<O: Optimizer> Study<O> {
+impl<S: SearchSpace, O: Optimizer<S>> Study<O, S> {
     /// Creates a study over `space` using `optimizer`.
-    pub fn new(space: DesignSpace, optimizer: O) -> Self {
+    pub fn new(space: S, optimizer: O) -> Self {
         Study {
             space,
             optimizer,
@@ -314,18 +339,18 @@ impl<O: Optimizer> Study<O> {
     }
 
     /// The design space.
-    pub fn space(&self) -> &DesignSpace {
+    pub fn space(&self) -> &S {
         &self.space
     }
 
     /// The feasible Pareto archive accumulated so far.
-    pub fn archive(&self) -> &ParetoArchive {
+    pub fn archive(&self) -> &ParetoArchive<S::Point> {
         &self.archive
     }
 
     /// The (energy, latency) Pareto archive — the power-aware view the
     /// paper leaves to future work. Energy is archived in nanojoules.
-    pub fn energy_archive(&self) -> &ParetoArchive {
+    pub fn energy_archive(&self) -> &ParetoArchive<S::Point> {
         &self.energy_archive
     }
 
@@ -336,7 +361,7 @@ impl<O: Optimizer> Study<O> {
     /// what the optimizer observes, so this serial driver and
     /// [`crate::ParallelStudy`] produce bit-identical archives for the
     /// same optimizer, seed and trial count.
-    pub fn run(&mut self, evaluator: &mut dyn Evaluator, trials: u64) {
+    pub fn run(&mut self, evaluator: &mut dyn Evaluator<S::Point>, trials: u64) {
         let mut remaining = trials;
         while remaining > 0 {
             let n = remaining.min(SUGGEST_BATCH as u64) as usize;
@@ -416,9 +441,9 @@ mod tests {
         let mut eval = ResourceEvaluator::new(1_000_000);
         let results: Vec<(u64, EvalResult)> =
             batch.iter().map(|&i| (i, eval.evaluate(&space.point(i)))).collect();
-        batched.observe_batch(&results);
+        Optimizer::<DesignSpace>::observe_batch(&mut batched, &results);
         for (i, r) in &results {
-            scalar.observe(*i, r);
+            Optimizer::<DesignSpace>::observe(&mut scalar, *i, r);
         }
         // Both reach the same state: next suggestions agree.
         assert_eq!(batched.suggest(&space), scalar.suggest(&space));
@@ -462,7 +487,7 @@ mod tests {
             let idx = sa.suggest(&space);
             assert!(idx < space.size());
             let r = eval.evaluate(&space.point(idx));
-            sa.observe(idx, &r);
+            Optimizer::<DesignSpace>::observe(&mut sa, idx, &r);
         }
     }
 
@@ -496,8 +521,11 @@ mod tests {
     #[test]
     fn optimizer_names() {
         let space = DesignSpace::small();
-        assert_eq!(RandomSearch::new(1).name(), "random");
-        assert_eq!(GridSearch::new(&space, 10).name(), "grid");
-        assert_eq!(RegularizedEvolution::new(1, 4, 2).name(), "regularized-evolution");
+        assert_eq!(Optimizer::<DesignSpace>::name(&RandomSearch::new(1)), "random");
+        assert_eq!(Optimizer::<DesignSpace>::name(&GridSearch::new(&space, 10)), "grid");
+        assert_eq!(
+            Optimizer::<DesignSpace>::name(&RegularizedEvolution::new(1, 4, 2)),
+            "regularized-evolution"
+        );
     }
 }

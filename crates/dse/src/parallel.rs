@@ -28,23 +28,25 @@ use cfu_tflm::tensor::Tensor;
 use crate::eval::{EvalResult, Evaluator, InferenceEvaluator};
 use crate::optimizer::{record_result, Optimizer, SUGGEST_BATCH};
 use crate::pareto::ParetoArchive;
-use crate::space::{DesignPoint, DesignSpace};
+use crate::space::{DesignPoint, DesignSpace, SearchSpace};
 
 /// Mints one evaluator per worker thread.
 ///
 /// The factory itself is shared by reference across the worker pool
 /// (hence `Sync`); the evaluators it creates live and die on one thread
-/// each and need no synchronization of their own.
-pub trait EvaluatorFactory: Sync {
+/// each and need no synchronization of their own. Generic over the
+/// candidate type `P` (default [`DesignPoint`]) so ladder harnesses can
+/// pool their own evaluators.
+pub trait EvaluatorFactory<P = DesignPoint>: Sync {
     /// The evaluator type produced for each worker.
-    type Eval: Evaluator;
+    type Eval: Evaluator<P>;
 
     /// Creates a fresh evaluator (called once per worker per run).
     fn make_evaluator(&self) -> Self::Eval;
 }
 
 /// Any `Fn() -> impl Evaluator` closure is a factory.
-impl<E: Evaluator, F: Fn() -> E + Sync> EvaluatorFactory for F {
+impl<P, E: Evaluator<P>, F: Fn() -> E + Sync> EvaluatorFactory<P> for F {
     type Eval = E;
     fn make_evaluator(&self) -> E {
         self()
@@ -92,34 +94,41 @@ const MEMO_SHARDS: usize = 16;
 
 /// A sharded concurrent memoization cache for design-point evaluations.
 ///
-/// Keyed by the full [`DesignPoint`] (not its hash), so two points can
-/// never alias each other's results; the hash only picks the shard.
-/// Reads take one shard lock for the duration of a `HashMap` probe —
-/// workers evaluating different points proceed without contention.
-#[derive(Debug, Default)]
-pub struct MemoCache {
-    shards: [Mutex<HashMap<DesignPoint, EvalResult>>; MEMO_SHARDS],
+/// Keyed by the full point (not its hash), so two points can never
+/// alias each other's results; the hash only picks the shard. Reads
+/// take one shard lock for the duration of a `HashMap` probe — workers
+/// evaluating different points proceed without contention. Generic
+/// over the candidate type `P` (default [`DesignPoint`]).
+#[derive(Debug)]
+pub struct MemoCache<P = DesignPoint> {
+    shards: [Mutex<HashMap<P, EvalResult>>; MEMO_SHARDS],
 }
 
-impl MemoCache {
+impl<P> Default for MemoCache<P> {
+    fn default() -> Self {
+        MemoCache { shards: std::array::from_fn(|_| Mutex::new(HashMap::new())) }
+    }
+}
+
+impl<P: Copy + Eq + Hash> MemoCache<P> {
     /// An empty cache.
     pub fn new() -> Self {
         MemoCache::default()
     }
 
-    fn shard(&self, point: &DesignPoint) -> &Mutex<HashMap<DesignPoint, EvalResult>> {
+    fn shard(&self, point: &P) -> &Mutex<HashMap<P, EvalResult>> {
         let mut hasher = std::collections::hash_map::DefaultHasher::new();
         point.hash(&mut hasher);
         &self.shards[(hasher.finish() as usize) % MEMO_SHARDS]
     }
 
     /// Looks up a previously inserted result.
-    pub fn get(&self, point: &DesignPoint) -> Option<EvalResult> {
+    pub fn get(&self, point: &P) -> Option<EvalResult> {
         self.shard(point).lock().expect("memo shard poisoned").get(point).copied()
     }
 
     /// Inserts (or overwrites) a result.
-    pub fn insert(&self, point: DesignPoint, result: EvalResult) {
+    pub fn insert(&self, point: P, result: EvalResult) {
         self.shard(&point).lock().expect("memo shard poisoned").insert(point, result);
     }
 
@@ -127,11 +136,7 @@ impl MemoCache {
     /// shard lock is **not** held during `compute`, so a slow simulation
     /// never blocks other workers; racing computations of the same point
     /// are benign because evaluation is deterministic.
-    pub fn get_or_compute(
-        &self,
-        point: &DesignPoint,
-        compute: impl FnOnce() -> EvalResult,
-    ) -> EvalResult {
+    pub fn get_or_compute(&self, point: &P, compute: impl FnOnce() -> EvalResult) -> EvalResult {
         if let Some(hit) = self.get(point) {
             return hit;
         }
@@ -156,20 +161,37 @@ impl MemoCache {
 /// Apart from `run` taking an [`EvaluatorFactory`] and a thread count,
 /// the API mirrors [`Study`](crate::Study) — and so do the results:
 /// fronts are bit-identical to the serial driver for every thread count.
+///
+/// # Example
+///
+/// ```
+/// use cfu_dse::{DesignSpace, ParallelStudy, RandomSearch, ResourceEvaluator, Study};
+///
+/// let space = DesignSpace::small();
+/// // Serial reference run...
+/// let mut serial = Study::new(space.clone(), RandomSearch::new(7));
+/// let mut eval = ResourceEvaluator::new(1_000_000);
+/// serial.run(&mut eval, 48);
+/// // ...and the same exploration fanned out over 4 workers: the
+/// // closure mints one private evaluator per worker.
+/// let mut parallel = ParallelStudy::new(space, RandomSearch::new(7), 4);
+/// parallel.run(&|| ResourceEvaluator::new(1_000_000), 48);
+/// assert_eq!(parallel.archive().front(), serial.archive().front());
+/// ```
 #[derive(Debug)]
-pub struct ParallelStudy<O> {
-    space: DesignSpace,
+pub struct ParallelStudy<O, S: SearchSpace = DesignSpace> {
+    space: S,
     optimizer: O,
-    archive: ParetoArchive,
-    energy_archive: ParetoArchive,
-    cache: MemoCache,
+    archive: ParetoArchive<S::Point>,
+    energy_archive: ParetoArchive<S::Point>,
+    cache: MemoCache<S::Point>,
     threads: usize,
 }
 
-impl<O: Optimizer> ParallelStudy<O> {
+impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
     /// Creates a study over `space` using `optimizer`, evaluating on
     /// `threads` workers (clamped to at least 1).
-    pub fn new(space: DesignSpace, optimizer: O, threads: usize) -> Self {
+    pub fn new(space: S, optimizer: O, threads: usize) -> Self {
         ParallelStudy {
             space,
             optimizer,
@@ -181,7 +203,7 @@ impl<O: Optimizer> ParallelStudy<O> {
     }
 
     /// The design space.
-    pub fn space(&self) -> &DesignSpace {
+    pub fn space(&self) -> &S {
         &self.space
     }
 
@@ -191,24 +213,24 @@ impl<O: Optimizer> ParallelStudy<O> {
     }
 
     /// The feasible Pareto archive accumulated so far.
-    pub fn archive(&self) -> &ParetoArchive {
+    pub fn archive(&self) -> &ParetoArchive<S::Point> {
         &self.archive
     }
 
     /// The (energy, latency) Pareto archive.
-    pub fn energy_archive(&self) -> &ParetoArchive {
+    pub fn energy_archive(&self) -> &ParetoArchive<S::Point> {
         &self.energy_archive
     }
 
     /// The shared memo cache (observability: distinct points simulated).
-    pub fn cache(&self) -> &MemoCache {
+    pub fn cache(&self) -> &MemoCache<S::Point> {
         &self.cache
     }
 
     /// Runs `trials` suggest→evaluate→observe rounds, fanning each
     /// [`SUGGEST_BATCH`]-sized round out over the worker pool and merging
     /// results back in suggestion order.
-    pub fn run<F: EvaluatorFactory>(&mut self, factory: &F, trials: u64) {
+    pub fn run<F: EvaluatorFactory<S::Point>>(&mut self, factory: &F, trials: u64) {
         let mut remaining = trials;
         while remaining > 0 {
             let n = remaining.min(SUGGEST_BATCH as u64) as usize;
@@ -216,7 +238,7 @@ impl<O: Optimizer> ParallelStudy<O> {
             if indices.is_empty() {
                 break;
             }
-            let points: Vec<DesignPoint> = indices.iter().map(|&i| self.space.point(i)).collect();
+            let points: Vec<S::Point> = indices.iter().map(|&i| self.space.point(i)).collect();
             let results = evaluate_batch(&points, factory, &self.cache, self.threads);
             let batch: Vec<(u64, EvalResult)> = indices.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
@@ -232,12 +254,17 @@ impl<O: Optimizer> ParallelStudy<O> {
 /// Evaluates one batch of points on `threads` workers, returning results
 /// in input order. Workers pull work items off a shared atomic cursor so
 /// an expensive point never stalls the rest of the batch behind it.
-fn evaluate_batch<F: EvaluatorFactory>(
-    points: &[DesignPoint],
+/// Shared by [`ParallelStudy`] and [`crate::SurrogateStudy`].
+pub(crate) fn evaluate_batch<P, F>(
+    points: &[P],
     factory: &F,
-    cache: &MemoCache,
+    cache: &MemoCache<P>,
     threads: usize,
-) -> Vec<EvalResult> {
+) -> Vec<EvalResult>
+where
+    P: Copy + Eq + Hash + Send + Sync,
+    F: EvaluatorFactory<P>,
+{
     let workers = threads.max(1).min(points.len().max(1));
     if workers == 1 {
         let mut evaluator = factory.make_evaluator();

@@ -3,20 +3,24 @@
 use crate::space::DesignPoint;
 
 /// One evaluated point on (or off) the front.
+///
+/// Generic over the configuration type `P` so that degenerate spaces
+/// (e.g. the ladder sweeps in `cfu-bench`) reuse the same archive; the
+/// default is the paper-scale [`DesignPoint`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub struct ParetoPoint {
+pub struct ParetoPoint<P = DesignPoint> {
     /// The configuration.
-    pub point: DesignPoint,
+    pub point: P,
     /// Resource scalar (logic cells).
     pub resources: u64,
     /// Latency in cycles.
     pub latency: u64,
 }
 
-impl ParetoPoint {
+impl<P> ParetoPoint<P> {
     /// `true` when `self` dominates `other` (no worse on both axes,
     /// strictly better on at least one).
-    pub fn dominates(&self, other: &ParetoPoint) -> bool {
+    pub fn dominates(&self, other: &ParetoPoint<P>) -> bool {
         self.resources <= other.resources
             && self.latency <= other.latency
             && (self.resources < other.resources || self.latency < other.latency)
@@ -24,13 +28,19 @@ impl ParetoPoint {
 }
 
 /// A non-dominated archive (minimizing both axes).
-#[derive(Debug, Clone, Default)]
-pub struct ParetoArchive {
-    points: Vec<ParetoPoint>,
+#[derive(Debug, Clone)]
+pub struct ParetoArchive<P = DesignPoint> {
+    points: Vec<ParetoPoint<P>>,
     evaluated: u64,
 }
 
-impl ParetoArchive {
+impl<P> Default for ParetoArchive<P> {
+    fn default() -> Self {
+        ParetoArchive { points: Vec::new(), evaluated: 0 }
+    }
+}
+
+impl<P: Copy> ParetoArchive<P> {
     /// An empty archive.
     pub fn new() -> Self {
         ParetoArchive::default()
@@ -38,7 +48,7 @@ impl ParetoArchive {
 
     /// Offers a point; keeps it only if no archived point dominates it,
     /// and evicts any points it dominates. Returns `true` if archived.
-    pub fn offer(&mut self, candidate: ParetoPoint) -> bool {
+    pub fn offer(&mut self, candidate: ParetoPoint<P>) -> bool {
         self.evaluated += 1;
         if self.points.iter().any(|p| p.dominates(&candidate)) {
             return false;
@@ -57,7 +67,7 @@ impl ParetoArchive {
     }
 
     /// The current front, sorted by ascending resources.
-    pub fn front(&self) -> Vec<ParetoPoint> {
+    pub fn front(&self) -> Vec<ParetoPoint<P>> {
         let mut f = self.points.clone();
         f.sort_by_key(|p| (p.resources, p.latency));
         f
@@ -69,12 +79,12 @@ impl ParetoArchive {
     }
 
     /// The archived point with the lowest latency.
-    pub fn fastest(&self) -> Option<ParetoPoint> {
+    pub fn fastest(&self) -> Option<ParetoPoint<P>> {
         self.points.iter().min_by_key(|p| p.latency).copied()
     }
 
     /// The archived point with the fewest resources.
-    pub fn smallest(&self) -> Option<ParetoPoint> {
+    pub fn smallest(&self) -> Option<ParetoPoint<P>> {
         self.points.iter().min_by_key(|p| p.resources).copied()
     }
 }

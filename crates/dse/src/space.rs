@@ -3,6 +3,82 @@
 use cfu_core::{Cfu, Resources};
 use cfu_sim::{BranchPredictor, CpuConfig, Divider, Multiplier, Shifter};
 
+/// An enumerable, index-addressable space of candidate configurations.
+///
+/// The whole DSE engine — [`Study`](crate::Study),
+/// [`ParallelStudy`](crate::ParallelStudy),
+/// [`SurrogateStudy`](crate::SurrogateStudy) and every
+/// [`Optimizer`](crate::Optimizer) — is generic over this trait:
+/// anything that can number its candidates `0..size()` and decode an
+/// index into a concrete point can be explored. The ~86 000-point
+/// CPU+CFU [`DesignSpace`] is the paper-scale instance; the
+/// Figure-4/Figure-6 optimization ladders in `cfu-bench` are degenerate
+/// one-axis instances (the axis is the ladder step), which is what lets
+/// the ladder harnesses run through the same parallel evaluator pool as
+/// the Figure-7 exploration.
+///
+/// # Example: a degenerate one-axis space
+///
+/// ```
+/// use cfu_dse::{Optimizer, GridSearch, SearchSpace};
+///
+/// /// Three ROM sizes to sweep.
+/// #[derive(Debug, Clone)]
+/// struct RomLadder;
+///
+/// impl SearchSpace for RomLadder {
+///     type Point = u32; // ROM bytes
+///     fn size(&self) -> u64 {
+///         3
+///     }
+///     fn point(&self, index: u64) -> u32 {
+///         [1024, 2048, 4096][index as usize]
+///     }
+/// }
+///
+/// let ladder = RomLadder;
+/// let mut grid = GridSearch::new(&ladder, ladder.size());
+/// let steps: Vec<u32> = (0..3).map(|_| ladder.point(grid.suggest(&ladder))).collect();
+/// assert_eq!(steps, vec![1024, 2048, 4096]);
+/// ```
+pub trait SearchSpace {
+    /// The concrete configuration decoded from an index.
+    type Point: Copy + Eq + std::hash::Hash + Send + Sync + std::fmt::Debug;
+
+    /// Number of points in the space.
+    fn size(&self) -> u64;
+
+    /// Decodes point `index`.
+    ///
+    /// # Panics
+    ///
+    /// May panic if `index >= size()`.
+    fn point(&self, index: u64) -> Self::Point;
+
+    /// Maps a caller-supplied uniform `u64` to an index.
+    ///
+    /// The default uses the widening multiply (`raw * size >> 64`)
+    /// rather than `raw % size`: the modulo skews toward low indices
+    /// whenever the space size does not divide 2^64, while the multiply
+    /// spreads the bias evenly across the whole range (Lemire's
+    /// reduction).
+    fn random_index(&self, raw: u64) -> u64 {
+        ((u128::from(raw) * u128::from(self.size())) >> 64) as u64
+    }
+
+    /// Returns a neighbour of `index` for local-search optimizers
+    /// (evolution, annealing). `raw` supplies randomness.
+    ///
+    /// The default resamples uniformly — correct for any space, but
+    /// structured spaces should override it with a single-parameter
+    /// mutation so local search actually exploits locality (as
+    /// [`DesignSpace`] does).
+    fn mutate_index(&self, index: u64, raw: u64) -> u64 {
+        let _ = index;
+        self.random_index(raw)
+    }
+}
+
 /// Which CFU (if any) is attached — the three Pareto curves of Figure 7.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
 pub enum CfuChoice {
@@ -210,6 +286,26 @@ impl DesignSpace {
             mult *= r as u64;
         }
         out
+    }
+}
+
+impl SearchSpace for DesignSpace {
+    type Point = DesignPoint;
+
+    fn size(&self) -> u64 {
+        DesignSpace::size(self)
+    }
+
+    fn point(&self, index: u64) -> DesignPoint {
+        DesignSpace::point(self, index)
+    }
+
+    fn random_index(&self, raw: u64) -> u64 {
+        DesignSpace::random_index(self, raw)
+    }
+
+    fn mutate_index(&self, index: u64, raw: u64) -> u64 {
+        DesignSpace::mutate_index(self, index, raw)
     }
 }
 

@@ -11,7 +11,7 @@ use proptest::prelude::*;
 
 use cfu_dse::{
     DesignSpace, Evaluator, MemoCache, ParallelStudy, RandomSearch, RegularizedEvolution,
-    ResourceEvaluator, SimulatedAnnealing, Study,
+    ResourceEvaluator, RidgeSurrogate, SimulatedAnnealing, Study, SurrogateStudy,
 };
 
 const TRIALS: u64 = 200;
@@ -61,6 +61,34 @@ fn regularized_evolution_is_thread_invariant() {
 #[test]
 fn simulated_annealing_is_thread_invariant() {
     assert_thread_invariant(|| SimulatedAnnealing::new(11, 4.0, 0.95));
+}
+
+/// The surrogate screen picks candidates *before* evaluation, from model
+/// state that depends only on previously observed (deterministic)
+/// results — so guided fronts must also be bit-identical at any worker
+/// count. Pinned for every stateful optimizer the screen can wrap.
+#[test]
+fn surrogate_study_is_thread_invariant() {
+    let space = DesignSpace::small();
+    let run_at = |threads: usize| {
+        let mut study = SurrogateStudy::new(
+            space.clone(),
+            RegularizedEvolution::new(11, 16, 4),
+            RidgeSurrogate::default_lambda(),
+            4,
+            threads,
+        );
+        study.run(&|| ResourceEvaluator::new(BUDGET), TRIALS);
+        (study.archive().front(), study.energy_archive().front(), study.proposed())
+    };
+    let baseline = run_at(1);
+    assert!(!baseline.0.is_empty(), "guided baseline found no feasible points");
+    for threads in [2, 8] {
+        let got = run_at(threads);
+        assert_eq!(got.0, baseline.0, "guided feasible front diverged at {threads} threads");
+        assert_eq!(got.1, baseline.1, "guided energy front diverged at {threads} threads");
+        assert_eq!(got.2, baseline.2, "proposal count diverged at {threads} threads");
+    }
 }
 
 proptest! {

@@ -1,0 +1,78 @@
+//! Search-quality contract of the surrogate screen.
+//!
+//! The point of `SurrogateStudy` is fewer simulator calls per Pareto
+//! point: at an equal evaluation budget, the guided front must
+//! dominate-or-match the unguided front produced by the same seeded
+//! optimizer. "Dominate-or-match" is coverage: every point on the
+//! unguided front is weakly dominated by some point on the guided
+//! front. The reverse need not hold — that is exactly the improvement.
+
+use cfu_dse::{
+    DesignSpace, ParallelStudy, ParetoPoint, RandomSearch, ResourceEvaluator, RidgeSurrogate,
+    SurrogateStudy,
+};
+
+const BUDGET_LUTS: u32 = 1_000_000;
+const TRIALS: u64 = 192;
+const OVERSAMPLE: usize = 4;
+const SEED: u64 = 11;
+
+/// `true` when every point of `covered` is weakly dominated by some
+/// point of `covering`.
+fn covers(covering: &[ParetoPoint], covered: &[ParetoPoint]) -> bool {
+    covered
+        .iter()
+        .all(|u| covering.iter().any(|g| g.resources <= u.resources && g.latency <= u.latency))
+}
+
+#[test]
+fn guided_front_dominates_or_matches_unguided_at_equal_budget() {
+    let space = DesignSpace::paper_scale();
+
+    let mut unguided = ParallelStudy::new(space.clone(), RandomSearch::new(SEED), 2);
+    unguided.run(&|| ResourceEvaluator::new(BUDGET_LUTS), TRIALS);
+
+    let mut guided = SurrogateStudy::new(
+        space,
+        RandomSearch::new(SEED),
+        RidgeSurrogate::default_lambda(),
+        OVERSAMPLE,
+        2,
+    );
+    guided.run(&|| ResourceEvaluator::new(BUDGET_LUTS), TRIALS);
+
+    // Equal number of simulator evaluations on both sides.
+    assert_eq!(guided.archive().evaluated(), unguided.archive().evaluated());
+
+    let gf = guided.archive().front();
+    let uf = unguided.archive().front();
+    assert!(!gf.is_empty() && !uf.is_empty());
+
+    // The ablation numbers recorded in EXPERIMENTS.md / BENCH_dse.json.
+    let fastest = |f: &[ParetoPoint]| f.iter().map(|p| p.latency).min().unwrap();
+    let smallest = |f: &[ParetoPoint]| f.iter().map(|p| p.resources).min().unwrap();
+    println!(
+        "abl_surrogate: trials={TRIALS} oversample={OVERSAMPLE} \
+         guided(front={} fastest={} smallest={} proposed={}) \
+         unguided(front={} fastest={} smallest={})",
+        gf.len(),
+        fastest(&gf),
+        smallest(&gf),
+        guided.proposed(),
+        uf.len(),
+        fastest(&uf),
+        smallest(&uf),
+    );
+
+    assert!(
+        covers(&gf, &uf),
+        "guided front must dominate-or-match the unguided front\nguided: {gf:?}\nunguided: {uf:?}"
+    );
+    // And strictly better somewhere: at least one unguided point is
+    // strictly dominated, or the guided extremes are strictly better.
+    let strictly_better = uf.iter().any(|u| gf.iter().any(|g| g.dominates(u)));
+    assert!(
+        strictly_better || (fastest(&gf) <= fastest(&uf) && smallest(&gf) <= smallest(&uf)),
+        "screening must not be a no-op at this budget"
+    );
+}

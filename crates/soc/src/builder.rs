@@ -14,6 +14,24 @@ use crate::peripherals::{Timer, Uart};
 pub const CSR_BASE: u32 = 0xE000_0000;
 
 /// Builder for a [`Soc`].
+///
+/// # Example
+///
+/// Compose the trimmed Fomu SoC from the Figure-6 ladder and check it
+/// fits the iCE40UP5k budget:
+///
+/// ```
+/// use cfu_sim::CpuConfig;
+/// use cfu_soc::{Board, SocBuilder, SocFeatures};
+///
+/// let soc = SocBuilder::new(Board::fomu())
+///     .cpu(CpuConfig::fomu_baseline())
+///     .features(SocFeatures::fomu_trimmed())
+///     .build();
+/// let fit = soc.fit_report();
+/// assert!(fit.fits(), "trimmed baseline must fit Fomu");
+/// assert!(fit.used().luts > 0);
+/// ```
 #[derive(Debug)]
 pub struct SocBuilder {
     board: Board,

@@ -184,6 +184,29 @@ struct LayerPlan {
 /// never copies the weights — pass `Arc<Model>` (or share one via
 /// [`Arc::clone`]) to get the zero-copy path; passing a bare [`Model`]
 /// still works and wraps it once.
+///
+/// # Example
+///
+/// Deploy a small test network with everything (weights, arena, code)
+/// in one RAM region and run one inference:
+///
+/// ```
+/// use cfu_core::NullCfu;
+/// use cfu_mem::{Bus, Sram};
+/// use cfu_sim::CpuConfig;
+/// use cfu_tflm::deploy::{DeployConfig, Deployment};
+/// use cfu_tflm::models;
+///
+/// let model = models::tiny_test_net(1);
+/// let input = models::synthetic_input(&model, 2);
+/// let mut bus = Bus::new();
+/// bus.map("main_ram", 0, Sram::new(1 << 20));
+/// let cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+/// let mut dep = Deployment::new(model, bus, Box::new(NullCfu), &cfg).unwrap();
+/// let (output, profile) = dep.run(&input).unwrap();
+/// assert!(!output.data.is_empty());
+/// assert!(profile.total_cycles() > 0);
+/// ```
 pub struct Deployment {
     core: TimedCore,
     model: Arc<Model>,

@@ -301,6 +301,20 @@ pub fn synthetic_input(model: &Model, seed: u64) -> Tensor {
 /// headline Figure 4 numbers come from the width-1.0 variant
 /// ([`mobilenet_v2_full`]) whose larger 1x1 layers amortize fixed CFU
 /// costs better.
+///
+/// # Example
+///
+/// ```
+/// use cfu_tflm::models;
+///
+/// let model = models::mobilenet_v2(24, 2, 1);
+/// assert!(model.validate().is_ok());
+/// // Deterministic: the same seed builds identical weights.
+/// let again = models::mobilenet_v2(24, 2, 1);
+/// assert_eq!(model.layers.len(), again.layers.len());
+/// let input = models::synthetic_input(&model, 7);
+/// assert_eq!(input.shape.elements(), 24 * 24 * 3);
+/// ```
 pub fn mobilenet_v2(input_hw: usize, num_classes: usize, seed: u64) -> Model {
     // Width 0.35, channel counts rounded to multiples of 8.
     mobilenet_v2_with_channels(

@@ -58,8 +58,9 @@ pub mod prelude {
         Cfu, CfuOp, CfuResponse, NullCfu, Resources,
     };
     pub use cfu_dse::{
-        CfuChoice, DesignSpace, Evaluator, InferenceEvaluator, ParetoArchive, RandomSearch,
-        RegularizedEvolution, Study,
+        CfuChoice, DesignSpace, Evaluator, EvaluatorFactory, InferenceEvaluator,
+        InferenceEvaluatorFactory, ParallelStudy, ParetoArchive, RandomSearch,
+        RegularizedEvolution, RidgeSurrogate, SearchSpace, Study, SurrogateStudy,
     };
     pub use cfu_isa::{cfu_op_word, Assembler, Inst, Reg};
     pub use cfu_mem::{Bus, Cache, CacheConfig, Ddr3, SpiFlash, SpiWidth, Sram};
