@@ -2,11 +2,16 @@
 //!
 //! Usage: `fig7_dse_pareto [--trials N] [--input-hw N] [--threads N]
 //! [--random]` (defaults: 120 trials per curve, 16x16 MobileNetV2,
-//! regularized evolution, 1 worker thread). The Pareto fronts are
-//! byte-identical for every `--threads` value; threads only change
-//! wall-clock time.
+//! regularized evolution, 1 worker thread). The three curves run as
+//! three concurrent studies, each on `--threads` workers; per-curve
+//! progress counters print to stderr while the sweep runs. The Pareto
+//! fronts are byte-identical for every `--threads` value; threads only
+//! change wall-clock time.
 
-use cfu_bench::fig7::{render, run_all, Fig7Config};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+use cfu_bench::fig7::{render, run_all_observed, Fig7Config, Fig7Progress};
 
 fn main() {
     let mut cfg = Fig7Config::default();
@@ -49,7 +54,26 @@ fn main() {
         if cfg.evolutionary { "regularized evolution" } else { "random search" },
         cfg.threads.max(1)
     );
-    let curves = run_all(&cfg);
+    // Live per-curve counters on stderr (stdout stays byte-identical to
+    // the serial driver); quick runs finish before the first tick.
+    let progress = Fig7Progress::new();
+    let done = AtomicBool::new(false);
+    let curves = std::thread::scope(|scope| {
+        scope.spawn(|| {
+            let mut last = [0u64; 3];
+            while !done.load(Ordering::Relaxed) {
+                std::thread::sleep(Duration::from_millis(500));
+                let snap = progress.snapshot();
+                if snap != last {
+                    eprintln!("progress: {}", progress.render(cfg.trials));
+                    last = snap;
+                }
+            }
+        });
+        let curves = run_all_observed(&cfg, &progress);
+        done.store(true, Ordering::Relaxed);
+        curves
+    });
     print!("{}", render(&curves));
     if let Some(path) = csv_path {
         std::fs::write(&path, cfu_bench::fig7::to_csv(&curves)).expect("write csv");

@@ -1,38 +1,44 @@
 //! Extension table (paper §V future work): energy and energy-delay
 //! product for every Figure 6 ladder step on Fomu.
 //!
+//! Usage: `table_energy_ladder [--threads N] [--csv PATH]`. With
+//! `--threads N` the ladder runs through the parallel DSE engine as an
+//! `EnergyLadderSpace` (byte-identical table, steps evaluated on N
+//! workers). Each step is simulated exactly once either way.
+//!
 //! The paper stops at performance; this regenerates the KWS ladder with
 //! the iCE40-class energy model to show the co-design's *energy* story:
 //! memory-system and CFU optimizations cut energy about as hard as they
 //! cut time, because idle cycles leak.
 
-use cfu_bench::fig6::{run_step_with_energy, Fig6Step};
-use cfu_soc::Board;
-
 fn main() {
-    let clock_hz = Board::fomu().clock_hz;
-    println!("Energy across the Figure 6 KWS ladder (Fomu, iCE40 energy model)\n");
-    println!(
-        "{:<20} {:>14} {:>10} {:>10} {:>9} {:>12}",
-        "step", "cycles", "µJ total", "µJ dyn", "avg mW", "EDP µJ·s"
-    );
-    let mut baseline_energy = 0.0;
-    for step in Fig6Step::LADDER {
-        let (cycles, e) = run_step_with_energy(step);
-        if step == Fig6Step::Baseline {
-            baseline_energy = e.total_uj();
+    let mut threads: Option<usize> = None;
+    let mut csv_path: Option<String> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = Some(
+                    args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer"),
+                );
+            }
+            "--csv" => {
+                csv_path = Some(args.next().expect("--csv needs a path"));
+            }
+            other => {
+                eprintln!("unknown flag {other}; supported: --threads N --csv PATH");
+                std::process::exit(2);
+            }
         }
-        println!(
-            "{:<20} {:>14} {:>10.1} {:>10.1} {:>9.3} {:>12.3}",
-            step.label(),
-            cycles,
-            e.total_uj(),
-            e.dynamic_uj,
-            e.average_mw(cycles, clock_hz),
-            cfu_sim::energy::energy_delay_product(&e, cycles, clock_hz),
-        );
     }
-    let (cycles, e) = run_step_with_energy(*Fig6Step::LADDER.last().unwrap());
-    let _ = cycles;
-    println!("\nenergy reduction, baseline → final: {:.1}x", baseline_energy / e.total_uj());
+    println!("Energy across the Figure 6 KWS ladder (Fomu, iCE40 energy model)\n");
+    let rows = match threads {
+        Some(n) => cfu_bench::fig6::run_energy_ladder_parallel(n),
+        None => cfu_bench::fig6::run_energy_ladder(),
+    };
+    print!("{}", cfu_bench::fig6::render_energy(&rows));
+    if let Some(path) = &csv_path {
+        std::fs::write(path, cfu_bench::fig6::energy_to_csv(&rows)).expect("write csv");
+        println!("wrote {path}");
+    }
 }

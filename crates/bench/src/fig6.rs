@@ -4,6 +4,14 @@
 //! [`run_ladder`] and the engine-backed [`run_ladder_parallel`], which
 //! expresses the eight steps as a degenerate [`SearchSpace`] and fans
 //! them out over `ParallelStudy` workers with byte-identical output.
+//! The energy extension table works the same way: [`run_energy_ladder`]
+//! (serial) and [`run_energy_ladder_parallel`] (an [`EnergyLadderSpace`]
+//! whose evaluator threads the [`EnergyEstimate`] through
+//! `EvalResult::{energy_uj, aux}`).
+//!
+//! [`EnergyEstimate`]: cfu_sim::energy::EnergyEstimate
+
+use std::sync::atomic::{AtomicU64, Ordering};
 
 use cfu_core::cfu2::Cfu2;
 use cfu_core::{Cfu, NullCfu};
@@ -162,6 +170,18 @@ pub fn run_step(step: Fig6Step) -> u64 {
     profile.total_cycles()
 }
 
+/// Monotonic process-wide count of [`run_step_with_energy`] invocations.
+static ENERGY_STEP_EVALS: AtomicU64 = AtomicU64::new(0);
+
+/// How many times [`run_step_with_energy`] has run in this process —
+/// observability for the "each ladder step is simulated exactly once
+/// per run" contract (the final KWS step is the most expensive
+/// simulation in `table_energy_ladder`; see
+/// `crates/bench/tests/ladder_parallel.rs`).
+pub fn energy_step_evaluations() -> u64 {
+    ENERGY_STEP_EVALS.load(Ordering::Relaxed)
+}
+
 /// Runs one ladder step and additionally estimates its energy — the
 /// paper's future-work axis (extension; see `table_energy_ladder`).
 ///
@@ -171,6 +191,7 @@ pub fn run_step(step: Fig6Step) -> u64 {
 ///
 /// Panics if deployment or inference fails.
 pub fn run_step_with_energy(step: Fig6Step) -> (u64, cfu_sim::energy::EnergyEstimate) {
+    ENERGY_STEP_EVALS.fetch_add(1, Ordering::Relaxed);
     let board = Board::fomu();
     let model = models::ds_cnn_kws(1);
     let input = models::synthetic_input(&model, 7);
@@ -291,6 +312,159 @@ pub fn run_ladder_parallel(threads: usize) -> Vec<Fig6Row> {
         });
     }
     rows
+}
+
+/// One row of the energy-extension table (paper §V future work): the
+/// Figure-6 step re-measured under the iCE40 energy model.
+#[derive(Debug, Clone)]
+pub struct EnergyRow {
+    /// Step label.
+    pub label: &'static str,
+    /// Whole-inference cycles.
+    pub cycles: u64,
+    /// Total (dynamic + static) energy in microjoules.
+    pub total_uj: f64,
+    /// Dynamic (activity-proportional) energy in microjoules.
+    pub dynamic_uj: f64,
+    /// Average power in milliwatts at the Fomu clock.
+    pub avg_mw: f64,
+    /// Energy-delay product in microjoule-seconds.
+    pub edp_ujs: f64,
+}
+
+/// Builds one [`EnergyRow`] from the quantities both drivers agree on.
+///
+/// Serial and engine paths funnel through this same arithmetic —
+/// `(cycles, total, dynamic)` in, derived columns out — which is what
+/// makes the rendered table byte-identical between them.
+fn energy_row(
+    label: &'static str,
+    cycles: u64,
+    total_uj: f64,
+    dynamic_uj: f64,
+    clock_hz: u64,
+) -> EnergyRow {
+    let seconds = cycles as f64 / clock_hz as f64;
+    let avg_mw = if cycles == 0 { 0.0 } else { total_uj / 1e3 / seconds };
+    EnergyRow { label, cycles, total_uj, dynamic_uj, avg_mw, edp_ujs: total_uj * seconds }
+}
+
+/// Runs the energy ladder serially: one [`run_step_with_energy`] call
+/// per step (the final-step result is captured in the loop, never
+/// re-simulated for the summary ratio).
+pub fn run_energy_ladder() -> Vec<EnergyRow> {
+    let clock_hz = Board::fomu().clock_hz;
+    Fig6Step::LADDER
+        .iter()
+        .map(|&step| {
+            let (cycles, e) = run_step_with_energy(step);
+            energy_row(step.label(), cycles, e.total_uj(), e.dynamic_uj, clock_hz)
+        })
+        .collect()
+}
+
+/// The energy ladder as a degenerate one-axis design space over
+/// [`Fig6Step`] — same axis as [`Fig6Space`], separate type so the two
+/// sweeps keep distinct evaluators and memo caches.
+#[derive(Debug, Clone, Copy)]
+pub struct EnergyLadderSpace;
+
+impl SearchSpace for EnergyLadderSpace {
+    type Point = Fig6Step;
+
+    fn size(&self) -> u64 {
+        Fig6Step::LADDER.len() as u64
+    }
+
+    fn point(&self, index: u64) -> Fig6Step {
+        Fig6Step::LADDER[usize::try_from(index).expect("ladder index fits usize")]
+    }
+}
+
+/// Scores one energy-ladder step: a full DS-CNN inference plus the
+/// iCE40 energy estimate. The [`EnergyEstimate`] rides through the
+/// engine inside the [`EvalResult`]: `energy_uj` carries the total and
+/// `aux` the bit pattern of the dynamic component, so the table rows
+/// can be rebuilt loss-free from the memo cache.
+///
+/// [`EnergyEstimate`]: cfu_sim::energy::EnergyEstimate
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EnergyLadderEvaluator;
+
+impl Evaluator<Fig6Step> for EnergyLadderEvaluator {
+    fn evaluate(&mut self, step: &Fig6Step) -> EvalResult {
+        let (cycles, e) = run_step_with_energy(*step);
+        let cfu = step.cfu();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(step.cpu())
+            .features(step.features())
+            .cfu(cfu.as_ref())
+            .build();
+        let fit = soc.fit_report();
+        EvalResult {
+            latency: cycles,
+            resources: fit.used(),
+            fits: fit.fits(),
+            energy_uj: e.total_uj(),
+            aux: e.dynamic_bits(),
+        }
+    }
+}
+
+/// Runs the energy ladder through the parallel DSE engine with
+/// `threads` workers; rows are rebuilt from the memo cache through the
+/// same row-building arithmetic as [`run_energy_ladder`], so the
+/// rendered table is byte-identical to the serial driver at any thread
+/// count — and each step is simulated exactly once.
+pub fn run_energy_ladder_parallel(threads: usize) -> Vec<EnergyRow> {
+    let space = EnergyLadderSpace;
+    let optimizer = GridSearch::new(&space, space.size());
+    let mut study = ParallelStudy::new(space, optimizer, threads);
+    study.run(&|| EnergyLadderEvaluator, space.size());
+    let clock_hz = Board::fomu().clock_hz;
+    Fig6Step::LADDER
+        .iter()
+        .map(|&step| {
+            let r = study.cache().get(&step).expect("engine evaluated every ladder step");
+            energy_row(step.label(), r.latency, r.energy_uj, f64::from_bits(r.aux), clock_hz)
+        })
+        .collect()
+}
+
+/// Renders the energy table exactly as `table_energy_ladder` prints it,
+/// including the baseline→final reduction summary (computed from the
+/// captured rows — no step is re-simulated).
+pub fn render_energy(rows: &[EnergyRow]) -> String {
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<20} {:>14} {:>10} {:>10} {:>9} {:>12}\n",
+        "step", "cycles", "µJ total", "µJ dyn", "avg mW", "EDP µJ·s"
+    ));
+    for r in rows {
+        out.push_str(&format!(
+            "{:<20} {:>14} {:>10.1} {:>10.1} {:>9.3} {:>12.3}\n",
+            r.label, r.cycles, r.total_uj, r.dynamic_uj, r.avg_mw, r.edp_ujs,
+        ));
+    }
+    if let (Some(first), Some(last)) = (rows.first(), rows.last()) {
+        out.push_str(&format!(
+            "\nenergy reduction, baseline → final: {:.1}x\n",
+            first.total_uj / last.total_uj
+        ));
+    }
+    out
+}
+
+/// Renders the energy ladder as CSV for plotting.
+pub fn energy_to_csv(rows: &[EnergyRow]) -> String {
+    let mut out = String::from("step,cycles,total_uj,dynamic_uj,avg_mw,edp_ujs\n");
+    for r in rows {
+        out.push_str(&format!(
+            "{},{},{:.6},{:.6},{:.6},{:.6}\n",
+            r.label, r.cycles, r.total_uj, r.dynamic_uj, r.avg_mw, r.edp_ujs
+        ));
+    }
+    out
 }
 
 /// Renders the ladder as CSV for plotting.

@@ -1,12 +1,25 @@
 //! Figure 7: design-space exploration Pareto fronts (CPU alone vs
 //! CPU+CFU1 vs CPU+CFU2) on the MobileNetV2 workload.
+//!
+//! Each curve is a [`Fig7CurveSpace`] — the paper-scale space restricted
+//! to one CFU choice — explored through the same [`ParallelStudy`]
+//! engine as every other experiment in the repo. [`run_all`] runs the
+//! three curves as three concurrently-pipelined studies (each with its
+//! own worker pool), and [`Fig7Progress`] exposes live per-curve
+//! evaluation counters so long sweeps are observable while they run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cfu_dse::{
-    CfuChoice, DesignSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint, RandomSearch,
+    CfuChoice, Fig7CurveSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint, RandomSearch,
     RegularizedEvolution,
 };
 use cfu_soc::Board;
 use cfu_tflm::models;
+
+/// The three curves of Figure 7, in rendering order.
+pub const CURVES: [CfuChoice; 3] = [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2];
 
 /// One Pareto curve of Figure 7.
 #[derive(Debug, Clone)]
@@ -44,11 +57,52 @@ impl Default for Fig7Config {
     }
 }
 
-/// Restricts the paper-scale space to one CFU choice (one curve).
-pub fn space_for(choice: CfuChoice) -> DesignSpace {
-    let mut space = DesignSpace::paper_scale();
-    space.cfus = vec![choice];
-    space
+/// Live evaluation counters for the three concurrently-running curves,
+/// indexed like [`CURVES`]. Hand one to [`run_all_observed`] and poll
+/// [`snapshot`](Fig7Progress::snapshot) from another thread (the
+/// `fig7_dse_pareto` binary prints them to stderr every half second).
+#[derive(Debug, Default)]
+pub struct Fig7Progress {
+    counters: [Arc<AtomicU64>; 3],
+}
+
+impl Fig7Progress {
+    /// Fresh zeroed counters.
+    pub fn new() -> Self {
+        Fig7Progress::default()
+    }
+
+    /// A shared handle on curve `i`'s counter (indexed like [`CURVES`]).
+    pub fn counter(&self, i: usize) -> Arc<AtomicU64> {
+        Arc::clone(&self.counters[i])
+    }
+
+    /// Points evaluated so far, per curve.
+    pub fn snapshot(&self) -> [u64; 3] {
+        [
+            self.counters[0].load(Ordering::Relaxed),
+            self.counters[1].load(Ordering::Relaxed),
+            self.counters[2].load(Ordering::Relaxed),
+        ]
+    }
+
+    /// One-line readout ("CPU alone 48/120 · ..."), `trials` being the
+    /// per-curve budget.
+    pub fn render(&self, trials: u64) -> String {
+        let snap = self.snapshot();
+        CURVES
+            .iter()
+            .zip(snap)
+            .map(|(c, n)| format!("{} {n}/{trials}", c.label()))
+            .collect::<Vec<_>>()
+            .join(" · ")
+    }
+}
+
+/// The search space of one curve: the paper-scale space restricted to
+/// `choice`.
+pub fn space_for(choice: CfuChoice) -> Fig7CurveSpace {
+    Fig7CurveSpace::new(choice)
 }
 
 /// Explores one curve.
@@ -57,6 +111,19 @@ pub fn space_for(choice: CfuChoice) -> DesignSpace {
 ///
 /// Panics if the model/evaluator cannot be constructed.
 pub fn run_curve(choice: CfuChoice, cfg: &Fig7Config) -> Fig7Curve {
+    run_curve_observed(choice, cfg, None)
+}
+
+/// [`run_curve`] with a live evaluation counter attached to the study.
+///
+/// # Panics
+///
+/// Panics if the model/evaluator cannot be constructed.
+pub fn run_curve_observed(
+    choice: CfuChoice,
+    cfg: &Fig7Config,
+    progress: Option<Arc<AtomicU64>>,
+) -> Fig7Curve {
     let model = models::mobilenet_v2(cfg.input_hw, 2, 1);
     let input = models::synthetic_input(&model, 5);
     // One factory per curve: workers share the model weights and the
@@ -66,26 +133,54 @@ pub fn run_curve(choice: CfuChoice, cfg: &Fig7Config) -> Fig7Curve {
     let (front, evaluated) = if cfg.evolutionary {
         let mut study =
             ParallelStudy::new(space, RegularizedEvolution::new(cfg.seed, 24, 6), cfg.threads);
+        if let Some(counter) = progress {
+            study.attach_progress(counter);
+        }
         study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
     } else {
         let mut study = ParallelStudy::new(space, RandomSearch::new(cfg.seed), cfg.threads);
+        if let Some(counter) = progress {
+            study.attach_progress(counter);
+        }
         study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
     };
     Fig7Curve { label: choice.label(), choice, front, evaluated }
 }
 
-/// Explores all three curves.
+/// Explores all three curves as three concurrently-running studies (one
+/// OS thread per curve, each fanning its batches out over
+/// `cfg.threads` workers). Curves are independent studies, so results
+/// are byte-identical to running them one after another.
 pub fn run_all(cfg: &Fig7Config) -> Vec<Fig7Curve> {
-    [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2]
-        .into_iter()
-        .map(|c| run_curve(c, cfg))
-        .collect()
+    run_all_observed(cfg, &Fig7Progress::new())
+}
+
+/// [`run_all`] with live per-curve progress counters.
+pub fn run_all_observed(cfg: &Fig7Config, progress: &Fig7Progress) -> Vec<Fig7Curve> {
+    std::thread::scope(|scope| {
+        let handles: Vec<_> = CURVES
+            .iter()
+            .enumerate()
+            .map(|(i, &choice)| {
+                let counter = progress.counter(i);
+                scope.spawn(move || run_curve_observed(choice, cfg, Some(counter)))
+            })
+            .collect();
+        // Joining in spawn order keeps the output order fixed.
+        handles.into_iter().map(|h| h.join().expect("fig7 curve study panicked")).collect()
+    })
 }
 
 /// The overall Pareto-optimal points across all curves (the starred
 /// points in Figure 7).
+///
+/// When two curves produce tied `(resources, latency)` points, exactly
+/// one star is printed and the tie breaks deterministically to the
+/// first curve in input order (the [`CURVES`] order for [`run_all`]) —
+/// matching the archive, which keeps the first point offered and
+/// rejects coordinate duplicates.
 pub fn overall_optima(curves: &[Fig7Curve]) -> Vec<(&'static str, ParetoPoint)> {
     let mut archive = cfu_dse::ParetoArchive::new();
     let mut labelled: Vec<(&'static str, ParetoPoint)> = Vec::new();
@@ -97,12 +192,18 @@ pub fn overall_optima(curves: &[Fig7Curve]) -> Vec<(&'static str, ParetoPoint)> 
     for (_, p) in &labelled {
         archive.offer(*p);
     }
-    let front = archive.front();
-    labelled.retain(|(_, p)| {
-        front.iter().any(|f| f.resources == p.resources && f.latency == p.latency)
-    });
-    labelled.sort_by_key(|(_, p)| (p.resources, p.latency));
-    labelled
+    // One labelled entry per front point: the first match in curve order
+    // claims the star, so tied points cannot appear under two labels.
+    archive
+        .front()
+        .into_iter()
+        .map(|f| {
+            *labelled
+                .iter()
+                .find(|(_, p)| p.resources == f.resources && p.latency == f.latency)
+                .expect("every front point came from a curve")
+        })
+        .collect()
 }
 
 /// Renders the curves as CSV (`curve,logic_cells,cycles`) for plotting.
@@ -136,4 +237,48 @@ pub fn render(curves: &[Fig7Curve]) -> String {
         out.push_str(&format!("{:>12} {:>14}   {}\n", p.resources, p.latency, label));
     }
     out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfu_dse::DesignSpace;
+
+    fn pp(resources: u64, latency: u64) -> ParetoPoint {
+        ParetoPoint { point: DesignSpace::small().point(0), resources, latency }
+    }
+
+    fn curve(label: &'static str, choice: CfuChoice, front: Vec<ParetoPoint>) -> Fig7Curve {
+        let evaluated = front.len() as u64;
+        Fig7Curve { label, choice, front, evaluated }
+    }
+
+    #[test]
+    fn overall_optima_breaks_ties_to_the_first_curve() {
+        // Both curves carry the identical (4000, 900) point; before the
+        // fix the labelled `retain` kept it under *both* labels while the
+        // archive kept one — the starred list printed a duplicate.
+        let curves = vec![
+            curve("CPU alone", CfuChoice::None, vec![pp(3000, 2000), pp(4000, 900)]),
+            curve("CPU + CFU1", CfuChoice::Cfu1, vec![pp(4000, 900), pp(5000, 500)]),
+        ];
+        let optima = overall_optima(&curves);
+        let coords: Vec<_> = optima.iter().map(|(_, p)| (p.resources, p.latency)).collect();
+        assert_eq!(coords, vec![(3000, 2000), (4000, 900), (5000, 500)], "no duplicate stars");
+        let tied: Vec<_> =
+            optima.iter().filter(|(_, p)| p.resources == 4000).map(|(l, _)| *l).collect();
+        assert_eq!(tied, vec!["CPU alone"], "tie goes to the first curve in input order");
+    }
+
+    #[test]
+    fn overall_optima_drops_dominated_points_and_sorts_by_resources() {
+        let curves = vec![
+            curve("CPU alone", CfuChoice::None, vec![pp(3000, 2000)]),
+            // (3500, 2500) is dominated by (3000, 2000): no star.
+            curve("CPU + CFU2", CfuChoice::Cfu2, vec![pp(3500, 2500), pp(2500, 3000)]),
+        ];
+        let optima = overall_optima(&curves);
+        let coords: Vec<_> = optima.iter().map(|(_, p)| (p.resources, p.latency)).collect();
+        assert_eq!(coords, vec![(2500, 3000), (3000, 2000)]);
+    }
 }

@@ -27,7 +27,14 @@ fn header(title: &str) -> String {
 }
 
 fn xml_escape(s: &str) -> String {
-    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+    // `"` and `'` must be escaped too: labels and titles are
+    // interpolated into attribute values (e.g. `transform` anchors), not
+    // just element content.
+    s.replace('&', "&amp;")
+        .replace('<', "&lt;")
+        .replace('>', "&gt;")
+        .replace('"', "&quot;")
+        .replace('\'', "&apos;")
 }
 
 /// Renders a log-scale bar chart of `(label, value)` pairs — the shape of
@@ -41,10 +48,16 @@ pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)]) -> String {
     assert!(bars.iter().all(|(_, v)| *v > 0.0), "bar values must be positive");
     let mut out = header(title);
     let max = bars.iter().map(|(_, v)| *v).fold(f64::MIN, f64::max);
+    let min = bars.iter().map(|(_, v)| *v).fold(f64::MAX, f64::min);
     let log_max = max.log10().ceil().max(1.0);
+    // Values in (0, 1) extend the axis below the 10^0 gridline instead
+    // of silently clamping to the v=1 position; all-≥1 inputs keep the
+    // historical 10^0 baseline (log_min = 0) and render unchanged.
+    let log_min = min.log10().floor().min(0.0);
+    let log_span = log_max - log_min;
     let plot_w = W - MARGIN_L - MARGIN_R;
     let plot_h = H - MARGIN_T - MARGIN_B;
-    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - v.log10().max(0.0) / log_max);
+    let y_of = |v: f64| MARGIN_T + plot_h * (1.0 - (v.log10() - log_min) / log_span);
     // Axis + gridlines at powers of ten.
     let _ = writeln!(
         out,
@@ -53,7 +66,7 @@ pub fn bar_chart(title: &str, y_label: &str, bars: &[(String, f64)]) -> String {
         t = MARGIN_T,
         b = H - MARGIN_B
     );
-    for p in 0..=(log_max as i32) {
+    for p in (log_min as i32)..=(log_max as i32) {
         let v = 10f64.powi(p);
         let y = y_of(v);
         let _ = writeln!(
@@ -227,5 +240,60 @@ mod tests {
     #[should_panic(expected = "positive")]
     fn rejects_nonpositive_bars() {
         let _ = bar_chart("t", "y", &[("x".to_owned(), 0.0)]);
+    }
+
+    /// The y coordinates of the bar rects, in input order.
+    fn bar_tops(svg: &str) -> Vec<f64> {
+        svg.split("<rect")
+            .filter(|frag| frag.contains("fill=\"#4477aa\""))
+            .map(|frag| {
+                let y = frag.split("y=\"").nth(1).expect("bar has y").split('"').next().unwrap();
+                y.parse().expect("numeric y")
+            })
+            .collect()
+    }
+
+    #[test]
+    fn sub_one_bars_extend_the_axis_instead_of_clamping() {
+        // The old `v.log10().max(0.0)` mapped 0.5 onto the v=1 position
+        // (a 1-px sliver at the axis bottom). With the rescaled axis the
+        // 0.5 bar must sit strictly between the 0.1 gridline (bottom)
+        // and the 1.0 position, well above the axis floor.
+        let svg = bar_chart(
+            "slowdown",
+            "ratio",
+            &[("half".to_owned(), 0.5), ("one".to_owned(), 1.0), ("two".to_owned(), 2.0)],
+        );
+        assert!(svg.contains(">0.1<"), "axis gains a 10^-1 gridline");
+        let tops = bar_tops(&svg);
+        assert_eq!(tops.len(), 3);
+        let bottom = H - MARGIN_B;
+        assert!(tops[0] > tops[1], "0.5 sits below 1.0 on a log axis");
+        assert!(tops[1] > tops[2], "1.0 sits below 2.0");
+        assert!(
+            bottom - tops[0] > 50.0,
+            "0.5 bar is a real bar (height {:.1}), not a clamped sliver",
+            bottom - tops[0]
+        );
+    }
+
+    #[test]
+    fn all_ge_one_inputs_keep_the_unit_baseline() {
+        // Regression guard for published charts: without sub-1 values
+        // the mapping must match the historical one (baseline at 10^0).
+        let svg = bar_chart("t", "y", &[("a".to_owned(), 1.0), ("b".to_owned(), 10.0)]);
+        assert!(!svg.contains(">0.1<"), "no sub-unit gridline when values are all >= 1");
+        let tops = bar_tops(&svg);
+        let bottom = H - MARGIN_B;
+        assert!((tops[0] - bottom).abs() < 0.11, "v=1 maps to the axis bottom");
+    }
+
+    #[test]
+    fn escapes_quotes_for_attribute_context() {
+        let svg = bar_chart("say \"hi\"", "it's", &[("q\"l'".to_owned(), 2.0)]);
+        assert!(svg.contains("say &quot;hi&quot;"));
+        assert!(svg.contains("it&apos;s"));
+        assert!(svg.contains("q&quot;l&apos;"));
+        assert!(!svg.contains("say \"hi\""));
     }
 }

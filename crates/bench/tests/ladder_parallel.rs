@@ -3,7 +3,7 @@
 //! worker count. This is the contract that lets the figure binaries
 //! take `--threads N` without perturbing published numbers.
 
-use cfu_bench::{fig4, fig6};
+use cfu_bench::{fig4, fig6, fig7};
 
 #[test]
 fn fig4_engine_path_matches_legacy_csv_at_any_thread_count() {
@@ -22,5 +22,65 @@ fn fig6_engine_path_matches_legacy_csv_at_any_thread_count() {
     for threads in [1, 4] {
         let engine = fig6::to_csv(&fig6::run_ladder_parallel(threads));
         assert_eq!(engine, legacy, "fig6 CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig7_concurrent_curves_match_the_serial_driver_byte_for_byte() {
+    // The pre-unification serial driver: one curve after another, one
+    // worker thread each.
+    let serial_cfg =
+        fig7::Fig7Config { input_hw: 8, trials: 24, evolutionary: true, seed: 11, threads: 1 };
+    let legacy: Vec<fig7::Fig7Curve> =
+        fig7::CURVES.iter().map(|&c| fig7::run_curve(c, &serial_cfg)).collect();
+    let legacy_csv = fig7::to_csv(&legacy);
+    let legacy_render = fig7::render(&legacy);
+    // The unified driver runs the three curves concurrently on N-worker
+    // studies; CSV and the rendered report (including the starred
+    // overall optima) must not move for any N.
+    for threads in [1, 4] {
+        let cfg = fig7::Fig7Config { threads, ..serial_cfg };
+        let curves = fig7::run_all(&cfg);
+        assert_eq!(fig7::to_csv(&curves), legacy_csv, "fig7 CSV diverged at {threads} threads");
+        assert_eq!(
+            fig7::render(&curves),
+            legacy_render,
+            "fig7 report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn energy_ladder_engine_path_matches_serial_with_one_eval_per_step() {
+    let steps = fig6::Fig6Step::LADDER.len() as u64;
+    // Serial driver: exactly one `run_step_with_energy` per ladder step
+    // (the old binary re-simulated the final step for its summary line).
+    let before = fig6::energy_step_evaluations();
+    let legacy = fig6::run_energy_ladder();
+    assert_eq!(
+        fig6::energy_step_evaluations() - before,
+        steps,
+        "serial energy ladder must simulate each step exactly once"
+    );
+    let legacy_table = fig6::render_energy(&legacy);
+    let legacy_csv = fig6::energy_to_csv(&legacy);
+    for threads in [1, 4] {
+        let before = fig6::energy_step_evaluations();
+        let rows = fig6::run_energy_ladder_parallel(threads);
+        assert_eq!(
+            fig6::energy_step_evaluations() - before,
+            steps,
+            "engine energy ladder must simulate each step exactly once at {threads} threads"
+        );
+        assert_eq!(
+            fig6::render_energy(&rows),
+            legacy_table,
+            "energy table diverged at {threads} threads"
+        );
+        assert_eq!(
+            fig6::energy_to_csv(&rows),
+            legacy_csv,
+            "energy CSV diverged at {threads} threads"
+        );
     }
 }

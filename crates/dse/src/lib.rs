@@ -61,5 +61,5 @@ pub use optimizer::{
 };
 pub use parallel::{EvaluatorFactory, InferenceEvaluatorFactory, MemoCache, ParallelStudy};
 pub use pareto::{ParetoArchive, ParetoPoint};
-pub use space::{CfuChoice, DesignPoint, DesignSpace, SearchSpace};
+pub use space::{CfuChoice, DesignPoint, DesignSpace, Fig7CurveSpace, SearchSpace};
 pub use surrogate::{Features, RidgeSurrogate, Surrogate, SurrogateStudy};

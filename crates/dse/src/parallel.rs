@@ -18,7 +18,7 @@
 
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
 
 use cfu_soc::Board;
@@ -186,6 +186,7 @@ pub struct ParallelStudy<O, S: SearchSpace = DesignSpace> {
     energy_archive: ParetoArchive<S::Point>,
     cache: MemoCache<S::Point>,
     threads: usize,
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
@@ -199,7 +200,17 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
             energy_archive: ParetoArchive::new(),
             cache: MemoCache::new(),
             threads: threads.max(1),
+            progress: None,
         }
+    }
+
+    /// Attaches a shared counter that `run` increments once per
+    /// evaluated point (memo hits included), so callers can observe a
+    /// long sweep from another thread — the per-study progress readout
+    /// behind `fig7_dse_pareto`'s live counters. Purely observational:
+    /// results are unaffected.
+    pub fn attach_progress(&mut self, counter: Arc<AtomicU64>) {
+        self.progress = Some(counter);
     }
 
     /// The design space.
@@ -239,7 +250,13 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
                 break;
             }
             let points: Vec<S::Point> = indices.iter().map(|&i| self.space.point(i)).collect();
-            let results = evaluate_batch(&points, factory, &self.cache, self.threads);
+            let results = evaluate_batch(
+                &points,
+                factory,
+                &self.cache,
+                self.threads,
+                self.progress.as_deref(),
+            );
             let batch: Vec<(u64, EvalResult)> = indices.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
             for ((index, result), point) in batch.iter().zip(&points) {
@@ -254,21 +271,35 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
 /// Evaluates one batch of points on `threads` workers, returning results
 /// in input order. Workers pull work items off a shared atomic cursor so
 /// an expensive point never stalls the rest of the batch behind it.
+/// `progress` (when supplied) is bumped once per completed point.
 /// Shared by [`ParallelStudy`] and [`crate::SurrogateStudy`].
 pub(crate) fn evaluate_batch<P, F>(
     points: &[P],
     factory: &F,
     cache: &MemoCache<P>,
     threads: usize,
+    progress: Option<&AtomicU64>,
 ) -> Vec<EvalResult>
 where
     P: Copy + Eq + Hash + Send + Sync,
     F: EvaluatorFactory<P>,
 {
+    let tick = || {
+        if let Some(counter) = progress {
+            counter.fetch_add(1, Ordering::Relaxed);
+        }
+    };
     let workers = threads.max(1).min(points.len().max(1));
     if workers == 1 {
         let mut evaluator = factory.make_evaluator();
-        return points.iter().map(|p| cache.get_or_compute(p, || evaluator.evaluate(p))).collect();
+        return points
+            .iter()
+            .map(|p| {
+                let result = cache.get_or_compute(p, || evaluator.evaluate(p));
+                tick();
+                result
+            })
+            .collect();
     }
     let cursor = AtomicUsize::new(0);
     let mut merged: Vec<Option<EvalResult>> = vec![None; points.len()];
@@ -282,6 +313,7 @@ where
                         let slot = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(point) = points.get(slot) else { break };
                         let result = cache.get_or_compute(point, || evaluator.evaluate(point));
+                        tick();
                         local.push((slot, result));
                     }
                     local
@@ -332,6 +364,18 @@ mod tests {
         let mut study = ParallelStudy::new(space, RegularizedEvolution::new(5, 8, 3), 2);
         study.run(&|| ResourceEvaluator::new(1_000_000), 64);
         assert!(!study.archive().front().is_empty());
+    }
+
+    #[test]
+    fn progress_counter_reaches_trial_count_at_any_thread_count() {
+        for threads in [1, 4] {
+            let counter = Arc::new(AtomicU64::new(0));
+            let mut study = ParallelStudy::new(DesignSpace::small(), RandomSearch::new(3), threads);
+            study.attach_progress(Arc::clone(&counter));
+            study.run(&|| ResourceEvaluator::new(1_000_000), 100);
+            // Every trial ticks the counter, memo hits included.
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "at {threads} threads");
+        }
     }
 
     #[test]

@@ -309,6 +309,65 @@ impl SearchSpace for DesignSpace {
     }
 }
 
+/// A [`DesignSpace`] restricted to a single [`CfuChoice`] — one of the
+/// three Pareto curves of Figure 7 as a first-class [`SearchSpace`].
+///
+/// Index decoding delegates to the restricted base space, so the
+/// index→point mapping (and therefore every optimizer trajectory) is
+/// identical to exploring a `DesignSpace` whose `cfus` list holds only
+/// `choice` — which is what keeps curve sweeps reproducible across the
+/// serial and parallel drivers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Fig7CurveSpace {
+    inner: DesignSpace,
+    choice: CfuChoice,
+}
+
+impl Fig7CurveSpace {
+    /// The paper-scale space restricted to `choice` (~29 000 points, a
+    /// third of the full ~86 000-point space).
+    pub fn new(choice: CfuChoice) -> Self {
+        Fig7CurveSpace::restrict(DesignSpace::paper_scale(), choice)
+    }
+
+    /// Restricts an arbitrary base space to `choice`.
+    pub fn restrict(mut base: DesignSpace, choice: CfuChoice) -> Self {
+        base.cfus = vec![choice];
+        Fig7CurveSpace { inner: base, choice }
+    }
+
+    /// The CFU this curve attaches to every candidate.
+    pub fn choice(&self) -> CfuChoice {
+        self.choice
+    }
+
+    /// The restricted base space (its `cfus` list holds only
+    /// [`choice`](Fig7CurveSpace::choice)).
+    pub fn base(&self) -> &DesignSpace {
+        &self.inner
+    }
+}
+
+impl SearchSpace for Fig7CurveSpace {
+    type Point = DesignPoint;
+
+    fn size(&self) -> u64 {
+        self.inner.size()
+    }
+
+    fn point(&self, index: u64) -> DesignPoint {
+        self.inner.point(index)
+    }
+
+    fn random_index(&self, raw: u64) -> u64 {
+        self.inner.random_index(raw)
+    }
+
+    fn mutate_index(&self, index: u64, raw: u64) -> u64 {
+        self.inner.mutate_index(index, raw)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -386,6 +445,32 @@ mod tests {
         }
         assert!(min_seen < size / 100, "low extreme unreached: {min_seen}");
         assert!(max_seen > size - size / 100, "high extreme unreached: {max_seen}");
+    }
+
+    #[test]
+    fn fig7_curve_space_matches_restricted_design_space() {
+        for choice in [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2] {
+            let curve = Fig7CurveSpace::new(choice);
+            let mut restricted = DesignSpace::paper_scale();
+            restricted.cfus = vec![choice];
+            assert_eq!(SearchSpace::size(&curve), restricted.size());
+            assert_eq!(curve.choice(), choice);
+            // Identical index→point mapping, and every point carries the
+            // curve's CFU.
+            let step = restricted.size() / 97;
+            for k in 0..97u64 {
+                let idx = k * step;
+                let p = SearchSpace::point(&curve, idx);
+                assert_eq!(p, restricted.point(idx));
+                assert_eq!(p.cfu, choice);
+            }
+            // Randomness and mutation also delegate to the base space.
+            assert_eq!(curve.random_index(u64::MAX / 3), restricted.random_index(u64::MAX / 3));
+            assert_eq!(
+                curve.mutate_index(42, 0xDEAD_BEEF),
+                restricted.mutate_index(42, 0xDEAD_BEEF)
+            );
+        }
     }
 
     #[test]

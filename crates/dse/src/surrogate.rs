@@ -404,7 +404,7 @@ where
                 candidates
             };
             let points: Vec<S::Point> = selected.iter().map(|&i| self.space.point(i)).collect();
-            let results = evaluate_batch(&points, factory, &self.cache, self.threads);
+            let results = evaluate_batch(&points, factory, &self.cache, self.threads, None);
             let batch: Vec<(u64, EvalResult)> = selected.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
             for ((_, result), point) in batch.iter().zip(&points) {

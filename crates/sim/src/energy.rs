@@ -79,6 +79,13 @@ impl EnergyEstimate {
         self.dynamic_uj + self.static_uj
     }
 
+    /// The dynamic component as a raw bit pattern — a lossless `u64`
+    /// encoding for riding through integer side channels (the DSE
+    /// engine's `EvalResult::aux`). Recover with [`f64::from_bits`].
+    pub fn dynamic_bits(&self) -> u64 {
+        self.dynamic_uj.to_bits()
+    }
+
     /// Average power in milliwatts at the given clock.
     pub fn average_mw(&self, cycles: u64, clock_hz: u64) -> f64 {
         if cycles == 0 {

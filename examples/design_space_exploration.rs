@@ -15,9 +15,9 @@ fn main() {
     let input = models::synthetic_input(&model, 5);
 
     for choice in [CfuChoice::None, CfuChoice::Cfu1, CfuChoice::Cfu2] {
-        let mut space = DesignSpace::paper_scale();
-        space.cfus = vec![choice];
-        let mut study = Study::new(space, RegularizedEvolution::new(11, 16, 4));
+        // One Figure-7 curve: the paper-scale space restricted to `choice`.
+        let mut study =
+            Study::new(Fig7CurveSpace::new(choice), RegularizedEvolution::new(11, 16, 4));
         let mut evaluator =
             InferenceEvaluator::new(Board::arty_a7_35t(), model.clone(), input.clone());
         study.run(&mut evaluator, 40);

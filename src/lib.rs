@@ -58,7 +58,7 @@ pub mod prelude {
         Cfu, CfuOp, CfuResponse, NullCfu, Resources,
     };
     pub use cfu_dse::{
-        CfuChoice, DesignSpace, Evaluator, EvaluatorFactory, InferenceEvaluator,
+        CfuChoice, DesignSpace, Evaluator, EvaluatorFactory, Fig7CurveSpace, InferenceEvaluator,
         InferenceEvaluatorFactory, ParallelStudy, ParetoArchive, RandomSearch,
         RegularizedEvolution, RidgeSurrogate, SearchSpace, Study, SurrogateStudy,
     };
