@@ -1,0 +1,111 @@
+//! Simulator-throughput benchmark (`abl_sim_speed`): guest instructions
+//! simulated per wall-second on the ISS, with the predecoded-trace fast
+//! path on and off, for the two paper workload shapes.
+//!
+//! * `mnv2_macs_*` — the MobileNetV2 1x1-CONV inner loop (two `lbu`
+//!   streams, `mul`/`add` accumulate, pointer walks) on the Arty
+//!   configuration (4 KiB I/D caches, SRAM code).
+//! * `kws_macs_*` — the KWS DS-CNN MAC loop on the Fomu configuration
+//!   executing in place from quad-SPI flash through a 2 KiB I-cache,
+//!   activations in SRAM.
+//!
+//! Each iteration retires a fixed guest budget, so guest MIPS =
+//! `budget / mean_ns * 1000`. Results land in
+//! `target/criterion-stub/abl_sim_speed.json` (summarised with host
+//! notes in `BENCH_sim.json`). Cycle counts and all statistics are
+//! bit-identical between the on/off rows — only wall-clock moves
+//! (pinned in `crates/sim/tests/decode_cache.rs` and
+//! `crates/bench/tests/ladder_parallel.rs`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+
+use cfu_isa::Assembler;
+use cfu_mem::{Bus, SpiFlash, SpiWidth, Sram};
+use cfu_sim::{Cpu, CpuConfig, StopReason};
+
+/// Guest instructions retired per benchmark iteration. Long enough
+/// (tens of milliseconds per sample) that background-host interference
+/// averages out instead of contaminating individual samples.
+const BUDGET: u64 = 2_000_000;
+
+/// The MNV2-ish 1x1-conv inner loop: 64-channel MAC bursts repeated
+/// forever (the budget is what stops it).
+fn mac_loop_src(data_base: u32) -> String {
+    format!(
+        "
+        li s0, {data_base}
+        li s1, {weights}
+        li s2, 0
+    outer:
+        li t0, 64
+    mac:
+        lbu t1, 0(s0)
+        lbu t2, 0(s1)
+        mul t3, t1, t2
+        add s2, s2, t3
+        addi s0, s0, 1
+        addi s1, s1, 1
+        addi t0, t0, -1
+        bnez t0, mac
+        li s0, {data_base}
+        li s1, {weights}
+        j outer
+        ",
+        weights = data_base + 0x1000,
+    )
+}
+
+fn bench_workload(
+    group: &mut criterion::BenchmarkGroup<'_>,
+    name: &str,
+    config: CpuConfig,
+    code_base: u32,
+    data_base: u32,
+    make_bus: impl Fn() -> Bus,
+) {
+    let program = Assembler::new(code_base).assemble(&mac_loop_src(data_base)).expect("assembles");
+    for (suffix, decode_cache) in [("decode_cache_on", true), ("decode_cache_off", false)] {
+        let config = config.with_decode_cache(decode_cache);
+        group.bench_function(format!("{name}_{suffix}"), |b| {
+            // Construction happens once; each iteration resumes the
+            // endless MAC loop for another `BUDGET` instructions, so the
+            // measurement is steady-state simulation throughput.
+            let mut cpu = Cpu::new(config, make_bus());
+            cpu.load_program(&program).expect("loads");
+            b.iter(|| {
+                let stop = cpu.run(BUDGET).expect("runs");
+                assert_eq!(stop, StopReason::BudgetExhausted);
+                std::hint::black_box(cpu.cycles())
+            });
+        });
+    }
+}
+
+// Both workloads share one group so the stub flushes a single
+// `abl_sim_speed.json` holding all four rows.
+fn bench_sim_speed(c: &mut Criterion) {
+    let mut group = c.benchmark_group("abl_sim_speed");
+    group.sample_size(10);
+    bench_workload(&mut group, "mnv2_macs", CpuConfig::arty_default(), 0, 0x4000, || {
+        let mut bus = Bus::new();
+        bus.map("sram", 0, Sram::new(256 << 10));
+        bus
+    });
+    bench_workload(
+        &mut group,
+        "kws_macs",
+        CpuConfig::fomu_with_icache(2048),
+        0,
+        0x1000_0000,
+        || {
+            let mut bus = Bus::new();
+            bus.map("flash", 0, SpiFlash::new(1 << 20, SpiWidth::Quad));
+            bus.map("sram", 0x1000_0000, Sram::new(128 << 10));
+            bus
+        },
+    );
+    group.finish();
+}
+
+criterion_group!(benches, bench_sim_speed);
+criterion_main!(benches);

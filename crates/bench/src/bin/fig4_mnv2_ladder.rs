@@ -1,9 +1,20 @@
 //! Regenerates Figure 4: the MobileNetV2 1x1 CONV_2D ladder on Arty.
 //!
-//! Usage: `fig4_mnv2_ladder [--input-hw N] [--threads N]` (default
-//! input 96, the paper's resolution; use 32 or 48 for a quick look).
-//! With `--threads N` the ladder runs through the parallel DSE engine
-//! (byte-identical rows, steps evaluated on N workers).
+//! Usage: `fig4_mnv2_ladder [--input-hw N] [--threads N]
+//! [--no-decode-cache]` (default input 96, the paper's resolution; use
+//! 32 or 48 for a quick look). With `--threads N` the ladder runs
+//! through the parallel DSE engine (byte-identical rows, steps
+//! evaluated on N workers, a live step counter on stderr).
+//! `--no-decode-cache` disables the ISS predecoded-trace fast path —
+//! the escape hatch for bisecting simulator-speed regressions; every
+//! row and the CSV are byte-identical either way (pinned in
+//! `tests/ladder_parallel.rs`).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cfu_sim::CpuConfig;
 
 fn main() {
     let mut input_hw = 96;
@@ -11,6 +22,7 @@ fn main() {
     let mut csv_path: Option<String> = None;
     let mut svg_path: Option<String> = None;
     let mut threads: Option<usize> = None;
+    let mut decode_cache = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -19,6 +31,7 @@ fn main() {
                     args.next().and_then(|v| v.parse().ok()).expect("--input-hw needs an integer");
             }
             "--full-width" => full_width = true,
+            "--no-decode-cache" => decode_cache = false,
             "--csv" => {
                 csv_path = Some(args.next().expect("--csv needs a path"));
             }
@@ -31,18 +44,48 @@ fn main() {
                 );
             }
             other => {
-                eprintln!("unknown flag {other}; supported: --input-hw N --full-width --csv PATH --svg PATH --threads N");
+                eprintln!("unknown flag {other}; supported: --input-hw N --full-width --csv PATH --svg PATH --threads N --no-decode-cache");
                 std::process::exit(2);
             }
         }
     }
+    let cpu = CpuConfig::arty_default().with_decode_cache(decode_cache);
     let width = if full_width { "1.0" } else { "0.35" };
     println!("Figure 4 — MobileNetV2 (width {width}) 1x1 CONV_2D ladder (Arty A7-35T, {input_hw}x{input_hw} input)");
     println!("paper reference speedups: SW 2.0x, CFU postproc 2.3x, CFU MAC4 9.8x,");
     println!("MAC4Run1 26x, Incl postproc 31.1x, Overlap input 55x; overall MNV2 3x\n");
     let rows = match threads {
-        Some(n) => cfu_bench::fig4::run_ladder_parallel(input_hw, full_width, n),
-        None => cfu_bench::fig4::run_ladder(input_hw, full_width),
+        Some(n) => {
+            // Live step counter on stderr (stdout stays byte-identical
+            // to the serial driver); quick runs finish before a tick.
+            let total = cfu_bench::fig4::ladder_len();
+            let progress = Arc::new(AtomicU64::new(0));
+            let watched = Arc::clone(&progress);
+            let done = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut last = 0;
+                    while !done.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(500));
+                        let snap = watched.load(Ordering::Relaxed);
+                        if snap != last {
+                            eprintln!("progress: {snap}/{total} ladder steps");
+                            last = snap;
+                        }
+                    }
+                });
+                let rows = cfu_bench::fig4::run_ladder_parallel_configured(
+                    cpu,
+                    input_hw,
+                    full_width,
+                    n,
+                    Some(progress),
+                );
+                done.store(true, Ordering::Relaxed);
+                rows
+            })
+        }
+        None => cfu_bench::fig4::run_ladder_configured(cpu, input_hw, full_width),
     };
     print!("{}", cfu_bench::fig4::render(&rows));
     if let Some(path) = csv_path {

@@ -2,7 +2,12 @@
 //!
 //! Usage: `fig6_kws_ladder [--csv PATH] [--svg PATH] [--threads N]`.
 //! With `--threads N` the ladder runs through the parallel DSE engine
-//! (byte-identical rows, steps evaluated on N workers).
+//! (byte-identical rows, steps evaluated on N workers, a live step
+//! counter on stderr).
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
 
 fn main() {
     let (csv_path, svg_path, threads) = {
@@ -29,7 +34,30 @@ fn main() {
     println!("Fast Mult 15.35x, MAC Conv 32.10x, Post Proc 37.64x, final 75x");
     println!("(baseline 2.5 min -> <2 s; only ~3x of the 75x from the CFU itself)\n");
     let rows = match threads {
-        Some(n) => cfu_bench::fig6::run_ladder_parallel(n),
+        Some(n) => {
+            // Live step counter on stderr (stdout stays byte-identical
+            // to the serial driver); quick runs finish before a tick.
+            let total = cfu_bench::fig6::ladder_len();
+            let progress = Arc::new(AtomicU64::new(0));
+            let watched = Arc::clone(&progress);
+            let done = AtomicBool::new(false);
+            std::thread::scope(|scope| {
+                scope.spawn(|| {
+                    let mut last = 0;
+                    while !done.load(Ordering::Relaxed) {
+                        std::thread::sleep(Duration::from_millis(500));
+                        let snap = watched.load(Ordering::Relaxed);
+                        if snap != last {
+                            eprintln!("progress: {snap}/{total} ladder steps");
+                            last = snap;
+                        }
+                    }
+                });
+                let rows = cfu_bench::fig6::run_ladder_parallel_observed(n, Some(progress));
+                done.store(true, Ordering::Relaxed);
+                rows
+            })
+        }
         None => cfu_bench::fig6::run_ladder(),
     };
     print!("{}", cfu_bench::fig6::render(&rows));

@@ -8,6 +8,9 @@
 //! worker pool. Outputs are byte-identical at any thread count (pinned
 //! in `tests/ladder_parallel.rs`).
 
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
 use cfu_core::cfu1::Cfu1;
 use cfu_core::{Cfu, NullCfu, Resources};
 use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace};
@@ -42,6 +45,23 @@ pub struct Fig4Row {
 ///
 /// Panics if deployment or inference fails (harness-level bug).
 pub fn run_step(input_hw: usize, full_width: bool, variant: Conv1x1Variant) -> Profile {
+    run_step_configured(CpuConfig::arty_default(), input_hw, full_width, variant)
+}
+
+/// [`run_step`] with an explicit CPU configuration — the hook host-only
+/// knobs like [`CpuConfig::with_decode_cache`] reach the ladder through
+/// (guest-visible results must not depend on `cpu`'s host-only fields;
+/// pinned in `tests/ladder_parallel.rs`).
+///
+/// # Panics
+///
+/// Panics if deployment or inference fails (harness-level bug).
+pub fn run_step_configured(
+    cpu: CpuConfig,
+    input_hw: usize,
+    full_width: bool,
+    variant: Conv1x1Variant,
+) -> Profile {
     let board = Board::arty_a7_35t();
     let model = if full_width {
         models::mobilenet_v2_full(input_hw, 2, 1)
@@ -50,7 +70,7 @@ pub fn run_step(input_hw: usize, full_width: bool, variant: Conv1x1Variant) -> P
     };
     let input = models::synthetic_input(&model, 42);
     let bus = board.build_bus(None);
-    let mut cfg = DeployConfig::new(CpuConfig::arty_default(), "main_ram", "main_ram", "main_ram");
+    let mut cfg = DeployConfig::new(cpu, "main_ram", "main_ram", "main_ram");
     cfg.registry = KernelRegistry { conv1x1: Some(variant), ..Default::default() };
     let cfu: Box<dyn Cfu> = match variant.required_stage() {
         Some(stage) => Box::new(Cfu1::new(stage)),
@@ -65,11 +85,22 @@ pub fn run_step(input_hw: usize, full_width: bool, variant: Conv1x1Variant) -> P
 /// selects the width-1.0 MobileNetV2 (the paper-scale workload); width
 /// 0.35 keeps smoke tests fast.
 pub fn run_ladder(input_hw: usize, full_width: bool) -> Vec<Fig4Row> {
+    run_ladder_configured(CpuConfig::arty_default(), input_hw, full_width)
+}
+
+/// Number of steps in the Figure-4 ladder (progress-readout totals).
+pub fn ladder_len() -> u64 {
+    Conv1x1Variant::LADDER.len() as u64
+}
+
+/// [`run_ladder`] with an explicit CPU configuration (host-only knobs
+/// such as the decode cache; rows must be identical for any such knob).
+pub fn run_ladder_configured(cpu: CpuConfig, input_hw: usize, full_width: bool) -> Vec<Fig4Row> {
     let mut rows = Vec::new();
     let mut baseline_conv = 0u64;
     let mut baseline_total = 0u64;
     for variant in Conv1x1Variant::LADDER {
-        let profile = run_step(input_hw, full_width, variant);
+        let profile = run_step_configured(cpu, input_hw, full_width, variant);
         let conv1x1_cycles = profile.cycles_for(OpKind::Conv2d1x1);
         let total_cycles = profile.total_cycles();
         if variant == Conv1x1Variant::Generic {
@@ -115,6 +146,7 @@ impl SearchSpace for Fig4Space {
 /// 1x1-CONV_2D operator cycles, `resources` the CFU cost of the step.
 #[derive(Debug, Clone, Copy)]
 pub struct Fig4Evaluator {
+    cpu: CpuConfig,
     input_hw: usize,
     full_width: bool,
 }
@@ -122,13 +154,18 @@ pub struct Fig4Evaluator {
 impl Fig4Evaluator {
     /// Creates the evaluator at the given input resolution and width.
     pub fn new(input_hw: usize, full_width: bool) -> Self {
-        Fig4Evaluator { input_hw, full_width }
+        Fig4Evaluator::configured(CpuConfig::arty_default(), input_hw, full_width)
+    }
+
+    /// Creates the evaluator with an explicit CPU configuration.
+    pub fn configured(cpu: CpuConfig, input_hw: usize, full_width: bool) -> Self {
+        Fig4Evaluator { cpu, input_hw, full_width }
     }
 }
 
 impl Evaluator<Conv1x1Variant> for Fig4Evaluator {
     fn evaluate(&mut self, variant: &Conv1x1Variant) -> EvalResult {
-        let profile = run_step(self.input_hw, self.full_width, *variant);
+        let profile = run_step_configured(self.cpu, self.input_hw, self.full_width, *variant);
         let cfu_resources = match variant.required_stage() {
             Some(stage) => Cfu1::new(stage).resources(),
             None => Resources::ZERO,
@@ -149,10 +186,28 @@ impl Evaluator<Conv1x1Variant> for Fig4Evaluator {
 /// the engine's memo cache with the same arithmetic as [`run_ladder`],
 /// so the output is byte-identical to the serial driver.
 pub fn run_ladder_parallel(input_hw: usize, full_width: bool, threads: usize) -> Vec<Fig4Row> {
+    run_ladder_parallel_configured(CpuConfig::arty_default(), input_hw, full_width, threads, None)
+}
+
+/// [`run_ladder_parallel`] with an explicit CPU configuration and an
+/// optional shared progress counter (bumped once per evaluated step —
+/// the live readout `fig4_mnv2_ladder` prints to stderr during long
+/// full-width sweeps). Rows and CSV stay byte-identical for any
+/// host-only `cpu` change and any `threads`.
+pub fn run_ladder_parallel_configured(
+    cpu: CpuConfig,
+    input_hw: usize,
+    full_width: bool,
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+) -> Vec<Fig4Row> {
     let space = Fig4Space;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
-    study.run(&move || Fig4Evaluator::new(input_hw, full_width), space.size());
+    if let Some(counter) = progress {
+        study.attach_progress(counter);
+    }
+    study.run(&move || Fig4Evaluator::configured(cpu, input_hw, full_width), space.size());
     let mut rows = Vec::new();
     let mut baseline_conv = 0u64;
     let mut baseline_total = 0u64;

@@ -12,6 +12,7 @@
 //! [`EnergyEstimate`]: cfu_sim::energy::EnergyEstimate
 
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use cfu_core::cfu2::Cfu2;
 use cfu_core::{Cfu, NullCfu};
@@ -243,6 +244,11 @@ pub fn run_ladder() -> Vec<Fig6Row> {
     rows
 }
 
+/// Number of steps in the Figure-6 ladder (progress-readout totals).
+pub fn ladder_len() -> u64 {
+    Fig6Step::LADDER.len() as u64
+}
+
 /// The Figure-6 ladder as a degenerate one-axis design space over
 /// [`Fig6Step`].
 #[derive(Debug, Clone, Copy)]
@@ -291,9 +297,22 @@ impl Evaluator<Fig6Step> for Fig6Evaluator {
 /// arithmetic as [`run_ladder`], so the output is byte-identical to the
 /// serial driver at any thread count.
 pub fn run_ladder_parallel(threads: usize) -> Vec<Fig6Row> {
+    run_ladder_parallel_observed(threads, None)
+}
+
+/// [`run_ladder_parallel`] with an optional shared progress counter,
+/// bumped once per evaluated step — the live readout `fig6_kws_ladder`
+/// prints to stderr. Purely observational: rows are unaffected.
+pub fn run_ladder_parallel_observed(
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+) -> Vec<Fig6Row> {
     let space = Fig6Space;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
+    if let Some(counter) = progress {
+        study.attach_progress(counter);
+    }
     study.run(&|| Fig6Evaluator, space.size());
     let clock_hz = Board::fomu().clock_hz as f64;
     let baseline =

@@ -17,6 +17,25 @@ fn fig4_engine_path_matches_legacy_csv_at_any_thread_count() {
 }
 
 #[test]
+fn fig4_csv_is_identical_with_the_decode_cache_off() {
+    // The `--no-decode-cache` escape hatch must be invisible in every
+    // published number: the ISS fast path may only change wall-clock
+    // time, never cycles, so the rendered CSV is byte-identical.
+    use cfu_sim::CpuConfig;
+    let on = fig4::to_csv(&fig4::run_ladder_configured(
+        CpuConfig::arty_default().with_decode_cache(true),
+        16,
+        false,
+    ));
+    let off = fig4::to_csv(&fig4::run_ladder_configured(
+        CpuConfig::arty_default().with_decode_cache(false),
+        16,
+        false,
+    ));
+    assert_eq!(on, off, "fig4 CSV must not depend on the decode cache");
+}
+
+#[test]
 fn fig6_engine_path_matches_legacy_csv_at_any_thread_count() {
     let legacy = fig6::to_csv(&fig6::run_ladder());
     for threads in [1, 4] {

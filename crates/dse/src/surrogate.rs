@@ -26,6 +26,9 @@
 //! fronts are bit-identical at any worker-thread count, exactly like
 //! [`ParallelStudy`](crate::ParallelStudy).
 
+use std::sync::atomic::AtomicU64;
+use std::sync::Arc;
+
 use cfu_sim::{BranchPredictor, Divider, Multiplier, Shifter};
 
 use crate::eval::EvalResult;
@@ -328,6 +331,7 @@ pub struct SurrogateStudy<O, M, S: SearchSpace = DesignSpace> {
     energy_archive: ParetoArchive<S::Point>,
     cache: MemoCache<S::Point>,
     proposed: u64,
+    progress: Option<Arc<AtomicU64>>,
 }
 
 impl<S, O, M> SurrogateStudy<O, M, S>
@@ -350,7 +354,17 @@ where
             energy_archive: ParetoArchive::new(),
             cache: MemoCache::new(),
             proposed: 0,
+            progress: None,
         }
+    }
+
+    /// Attaches a shared counter that `run` increments once per
+    /// evaluated point (memo hits included), mirroring
+    /// [`ParallelStudy::attach_progress`](crate::ParallelStudy::attach_progress):
+    /// callers can watch a long surrogate-guided sweep from another
+    /// thread. Purely observational — results are unaffected.
+    pub fn attach_progress(&mut self, counter: Arc<AtomicU64>) {
+        self.progress = Some(counter);
     }
 
     /// The design space.
@@ -404,7 +418,13 @@ where
                 candidates
             };
             let points: Vec<S::Point> = selected.iter().map(|&i| self.space.point(i)).collect();
-            let results = evaluate_batch(&points, factory, &self.cache, self.threads, None);
+            let results = evaluate_batch(
+                &points,
+                factory,
+                &self.cache,
+                self.threads,
+                self.progress.as_deref(),
+            );
             let batch: Vec<(u64, EvalResult)> = selected.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
             for ((_, result), point) in batch.iter().zip(&points) {
@@ -553,6 +573,26 @@ mod tests {
         guided.run(&|| ResourceEvaluator::new(1_000_000), 80);
         assert_eq!(guided.archive().front(), plain.archive().front());
         assert_eq!(guided.energy_archive().front(), plain.energy_archive().front());
+    }
+
+    #[test]
+    fn progress_counter_reaches_trial_count() {
+        use std::sync::atomic::Ordering;
+        for threads in [1, 4] {
+            let counter = Arc::new(AtomicU64::new(0));
+            let mut study = SurrogateStudy::new(
+                DesignSpace::small(),
+                crate::RandomSearch::new(3),
+                RidgeSurrogate::default_lambda(),
+                4,
+                threads,
+            );
+            study.attach_progress(Arc::clone(&counter));
+            study.run(&|| ResourceEvaluator::new(1_000_000), 100);
+            // Every evaluated trial ticks the counter, memo hits included;
+            // screened-out candidates do not.
+            assert_eq!(counter.load(Ordering::Relaxed), 100, "at {threads} threads");
+        }
     }
 
     #[test]

@@ -610,6 +610,71 @@ impl Inst {
     pub fn is_store(&self) -> bool {
         matches!(self, Inst::Sb { .. } | Inst::Sh { .. } | Inst::Sw { .. })
     }
+
+    /// `true` for instructions that (may) redirect the PC or stop the
+    /// core: jumps, conditional branches, `ecall` and `ebreak`. These end
+    /// the straight-line runs a predecoding simulator can batch.
+    pub fn transfers_control(&self) -> bool {
+        matches!(self, Inst::Jal { .. } | Inst::Jalr { .. } | Inst::Ecall | Inst::Ebreak)
+            || self.is_branch()
+    }
+
+    /// Source registers `(rs1, rs2)` read by this instruction, if any —
+    /// the operand fields a pipeline model needs for hazard detection.
+    /// Instructions with only immediate/CSR operands return `(None, None)`.
+    pub fn sources(&self) -> (Option<Reg>, Option<Reg>) {
+        use Inst::*;
+        match *self {
+            Jalr { rs1, .. }
+            | Lb { rs1, .. }
+            | Lh { rs1, .. }
+            | Lw { rs1, .. }
+            | Lbu { rs1, .. }
+            | Lhu { rs1, .. }
+            | Addi { rs1, .. }
+            | Slti { rs1, .. }
+            | Sltiu { rs1, .. }
+            | Xori { rs1, .. }
+            | Ori { rs1, .. }
+            | Andi { rs1, .. }
+            | Slli { rs1, .. }
+            | Srli { rs1, .. }
+            | Srai { rs1, .. }
+            | Csrrw { rs1, .. }
+            | Csrrs { rs1, .. }
+            | Csrrc { rs1, .. } => (Some(rs1), None),
+            Beq { rs1, rs2, .. }
+            | Bne { rs1, rs2, .. }
+            | Blt { rs1, rs2, .. }
+            | Bge { rs1, rs2, .. }
+            | Bltu { rs1, rs2, .. }
+            | Bgeu { rs1, rs2, .. }
+            | Sb { rs1, rs2, .. }
+            | Sh { rs1, rs2, .. }
+            | Sw { rs1, rs2, .. }
+            | Add { rs1, rs2, .. }
+            | Sub { rs1, rs2, .. }
+            | Sll { rs1, rs2, .. }
+            | Slt { rs1, rs2, .. }
+            | Sltu { rs1, rs2, .. }
+            | Xor { rs1, rs2, .. }
+            | Srl { rs1, rs2, .. }
+            | Sra { rs1, rs2, .. }
+            | Or { rs1, rs2, .. }
+            | And { rs1, rs2, .. }
+            | Mul { rs1, rs2, .. }
+            | Mulh { rs1, rs2, .. }
+            | Mulhsu { rs1, rs2, .. }
+            | Mulhu { rs1, rs2, .. }
+            | Div { rs1, rs2, .. }
+            | Divu { rs1, rs2, .. }
+            | Rem { rs1, rs2, .. }
+            | Remu { rs1, rs2, .. }
+            | Cfu { rs1, rs2, .. }
+            | Cfu1 { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
+            _ => (None, None),
+        }
+    }
 }
 
 impl fmt::Display for Inst {

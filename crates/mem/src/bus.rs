@@ -81,6 +81,11 @@ impl fmt::Debug for Mapped {
 #[derive(Debug, Default)]
 pub struct Bus {
     regions: Vec<Mapped>,
+    /// Bumped on every mutation of memory contents ([`Bus::write`] and
+    /// [`Bus::load_image`]); consumers caching derived views of memory
+    /// (e.g. the simulator's predecoded-instruction store) compare it to
+    /// detect staleness.
+    generation: u64,
 }
 
 impl Bus {
@@ -171,6 +176,7 @@ impl Bus {
     ///
     /// [`MemError::Unmapped`] for holes in the map, or any device error
     /// with the *absolute* fault address.
+    #[inline]
     pub fn read(&mut self, addr: u32, buf: &mut [u8]) -> Result<u64, MemError> {
         let (idx, offset) = self.route(addr, buf.len())?;
         let m = &mut self.regions[idx];
@@ -194,6 +200,7 @@ impl Bus {
         m.stats.writes += 1;
         m.stats.bytes_written += data.len() as u64;
         m.stats.write_cycles += cycles;
+        self.generation = self.generation.wrapping_add(1);
         Ok(cycles)
     }
 
@@ -266,7 +273,20 @@ impl Bus {
     pub fn load_image(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
         let (idx, offset) = self.route(addr, data.len())?;
         let m = &mut self.regions[idx];
-        m.device.poke(offset, data).map_err(|e| rebase(e, m.info.base))
+        m.device.poke(offset, data).map_err(|e| rebase(e, m.info.base))?;
+        self.generation = self.generation.wrapping_add(1);
+        Ok(())
+    }
+
+    /// Memory-mutation counter: incremented by every successful
+    /// [`write`](Bus::write) and [`load_image`](Bus::load_image).
+    ///
+    /// Host-side caches of derived memory state (such as a predecoded
+    /// instruction store) snapshot this value and treat any change as a
+    /// signal that cached contents may be stale. Reads and
+    /// [`peek`](Bus::peek) never move it.
+    pub fn generation(&self) -> u64 {
+        self.generation
     }
 
     /// Downcasts the device in `id`'s region to a concrete type, for
@@ -383,6 +403,24 @@ mod tests {
         // does touch the device read path; assert only that reads counter is
         // untouched by design (stats recorded in Bus::read, not device).
         assert_eq!(bus.stats(rom).reads, 0);
+    }
+
+    #[test]
+    fn generation_tracks_mutations_only() {
+        let mut bus = demo_bus();
+        let g0 = bus.generation();
+        bus.read_u32(0x1000_0000).unwrap();
+        let mut b = [0u8; 4];
+        bus.peek(0x1000_0000, &mut b).unwrap();
+        assert_eq!(bus.generation(), g0, "reads and peeks must not move the generation");
+        bus.write_u32(0x1000_0000, 7).unwrap();
+        assert_eq!(bus.generation(), g0 + 1);
+        bus.load_image(0, &[1, 2, 3, 4]).unwrap();
+        assert_eq!(bus.generation(), g0 + 2);
+        // Failed writes leave memory untouched and the generation alone.
+        assert!(bus.write_u8(0x0000_0010, 1).is_err());
+        assert!(bus.read_u32(0x2000_0000).is_err());
+        assert_eq!(bus.generation(), g0 + 2);
     }
 
     #[test]

@@ -219,6 +219,7 @@ impl Cache {
     /// the tag also tracks the LRU victim, so a miss does not walk the
     /// ways a second time. This is the hot path of every simulated load,
     /// store and fetch.
+    #[inline]
     pub fn access(&mut self, addr: u32) -> bool {
         self.tick += 1;
         let tick = self.tick;
@@ -248,6 +249,33 @@ impl Cache {
         }
         *line = Line { tag, valid: true, lru: tick };
         false
+    }
+
+    /// Records a hit without a tag lookup, for callers that can prove the
+    /// access would hit.
+    ///
+    /// Contract: the caller's previous operation on *this* cache was an
+    /// [`access`](Cache::access) / [`fill`](Cache::fill) /
+    /// [`note_hit`](Cache::note_hit) of the **same line**, with no other
+    /// cache operation in between. Under that contract the line is
+    /// resident and already most-recently-used, so skipping the LRU
+    /// re-touch cannot change any future hit/miss/eviction decision: the
+    /// relative order of last-touch times across lines is preserved, and
+    /// the internal tick counter is not otherwise observable. Used by the
+    /// simulator's predecoded fast path for consecutive fetches within
+    /// one I-cache line.
+    #[inline]
+    pub fn note_hit(&mut self) {
+        self.stats.hits += 1;
+    }
+
+    /// Bulk form of [`note_hit`](Cache::note_hit): records `n` proven
+    /// hits at once. Same contract per counted hit; callers may defer
+    /// the ticks as long as the statistics are not observed in between
+    /// (hit counts have no effect on replacement decisions).
+    #[inline]
+    pub fn note_hits(&mut self, n: u64) {
+        self.stats.hits += n;
     }
 }
 
@@ -322,6 +350,29 @@ mod tests {
         assert!(CacheConfig { size_bytes: 1024, ways: 0, line_bytes: 32 }.validate().is_err());
         assert!(CacheConfig { size_bytes: 1024, ways: 1, line_bytes: 24 }.validate().is_err());
         assert!(CacheConfig::vexriscv_default().validate().is_ok());
+    }
+
+    #[test]
+    fn note_hit_matches_repeated_access_exactly() {
+        // Two caches driven identically, except one replaces repeated
+        // same-line accesses with `note_hit`. Contents, stats and every
+        // later eviction decision must agree.
+        let mut a = Cache::new(cfg(64, 2)); // 1 set of 2 ways
+        let mut b = Cache::new(cfg(64, 2));
+        a.access(0);
+        b.access(0);
+        for _ in 0..3 {
+            a.access(4); // same 32B line as 0 → guaranteed hits
+            b.note_hit();
+        }
+        a.access(64);
+        b.access(64);
+        a.access(128); // evicts the LRU way — must pick the same victim
+        b.access(128);
+        assert_eq!(a.stats(), b.stats());
+        for addr in [0, 64, 128] {
+            assert_eq!(a.contains(addr), b.contains(addr), "residency diverged at {addr:#x}");
+        }
     }
 
     #[test]

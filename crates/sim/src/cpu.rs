@@ -9,6 +9,7 @@
 //! feature knobs.
 
 use std::fmt;
+use std::sync::Arc;
 
 use cfu_core::{Cfu, CfuError, CfuOp, NullCfu};
 use cfu_isa::{Csr, Inst, Reg};
@@ -16,6 +17,7 @@ use cfu_mem::{Bus, Cache, MemError};
 
 use crate::bpred::PredictorState;
 use crate::config::CpuConfig;
+use crate::decode_cache::{Block, BlockInst, DecodeCache, MAX_BLOCK, STALL_DYNAMIC};
 
 /// Addresses at or above this bypass the caches (peripheral/CSR space,
 /// matching the LiteX CSR region placement).
@@ -176,6 +178,12 @@ pub struct Cpu {
     /// when tracing is off.
     trace: std::collections::VecDeque<(u32, Inst)>,
     trace_depth: usize,
+    /// Host-side predecoded-instruction store (see `decode_cache.rs`);
+    /// inert when `config.decode_cache` is false.
+    decode: DecodeCache,
+    /// The [`Bus::generation`] the decode cache's contents reflect; any
+    /// external mutation moves the bus counter past this and flushes.
+    seen_generation: u64,
 }
 
 impl fmt::Debug for Cpu {
@@ -200,6 +208,7 @@ impl Cpu {
 
     /// Creates a CPU with a CFU on the custom-0 port.
     pub fn with_cfu(config: CpuConfig, bus: Bus, cfu: impl Cfu + 'static) -> Self {
+        let seen_generation = bus.generation();
         Cpu {
             config,
             regs: [0; 32],
@@ -218,6 +227,8 @@ impl Cpu {
             stopped: None,
             trace: std::collections::VecDeque::new(),
             trace_depth: 0,
+            decode: DecodeCache::new(config.decode_cache),
+            seen_generation,
         }
     }
 
@@ -295,6 +306,11 @@ impl Cpu {
         self.stats
     }
 
+    /// Why the program stopped, if it has (sticky until reset).
+    pub fn stop_reason(&self) -> Option<StopReason> {
+        self.stopped
+    }
+
     /// Bytes written via the console syscall (the `printf()` debugging
     /// channel the paper mentions).
     pub fn console(&self) -> &[u8] {
@@ -338,11 +354,28 @@ impl Cpu {
     ///
     /// Returns the first [`SimError`] the program triggers.
     pub fn run(&mut self, max_instructions: u64) -> Result<StopReason, SimError> {
-        for _ in 0..max_instructions {
+        if !self.config.decode_cache {
+            for _ in 0..max_instructions {
+                if let Some(reason) = self.stopped {
+                    return Ok(reason);
+                }
+                self.step_decode()?;
+            }
+            return Ok(self.stopped.unwrap_or(StopReason::BudgetExhausted));
+        }
+        let mut remaining = max_instructions;
+        while remaining > 0 {
             if let Some(reason) = self.stopped {
                 return Ok(reason);
             }
-            self.step()?;
+            self.sync_generation();
+            remaining -= self.run_predecoded(remaining)?;
+            if remaining == 0 || self.stopped.is_some() {
+                continue; // reported at the loop top
+            }
+            // Decode miss at the current PC: one slow step primes it.
+            self.step_decode()?;
+            remaining -= 1;
         }
         Ok(self.stopped.unwrap_or(StopReason::BudgetExhausted))
     }
@@ -353,6 +386,19 @@ impl Cpu {
     ///
     /// Any fault the instruction raises.
     pub fn step(&mut self) -> Result<(), SimError> {
+        if self.config.decode_cache {
+            self.sync_generation();
+            let pc = self.pc;
+            if let Some((inst, ilen)) = self.decode.entry(pc) {
+                return self.exec_predecoded(pc, inst, ilen, inst.sources(), &mut None);
+            }
+        }
+        self.step_decode()
+    }
+
+    /// The slow path: fetch and decode one instruction from memory,
+    /// priming the decode cache for future visits.
+    fn step_decode(&mut self) -> Result<(), SimError> {
         let pc = self.pc;
         let (inst, ilen) = if self.config.compressed {
             let low = self.fetch_parcel(pc, true)?;
@@ -366,19 +412,365 @@ impl Cpu {
                 let charge = (pc + 2).is_multiple_of(4);
                 let high = self.fetch_parcel(pc + 2, charge)?;
                 let word = u32::from(low) | (u32::from(high) << 16);
-                (Inst::decode(word).map_err(|_| SimError::Illegal { pc, word })?, 4)
+                (decode_word(pc, word)?, 4)
             }
         } else {
             let word = self.fetch(pc)?;
-            (Inst::decode(word).map_err(|_| SimError::Illegal { pc, word })?, 4)
+            (decode_word(pc, word)?, 4)
         };
+        if self.config.decode_cache {
+            self.decode.fill(pc, inst, ilen);
+        }
+        self.retire(pc, inst, ilen, inst.sources())
+    }
+
+    // ---- predecoded fast path -------------------------------------------
+
+    /// Flushes the decode cache if anything other than this core's own
+    /// stores has written memory since the last sync.
+    fn sync_generation(&mut self) {
+        let generation = self.bus.generation();
+        if generation != self.seen_generation {
+            self.decode.flush();
+            self.seen_generation = generation;
+        }
+    }
+
+    /// Executes predecoded basic blocks starting at the current PC until
+    /// a decode miss, a stop, a fault, an invalidating store or the
+    /// budget runs out; returns the number of instructions retired.
+    fn run_predecoded(&mut self, budget: u64) -> Result<u64, SimError> {
+        let mut executed = 0u64;
+        // I-cache line of the previous predecoded fetch. Valid across
+        // block boundaries because only fetches touch the I-cache, and
+        // every fetch inside this call flows through `charge_fetch`.
+        let mut last_line = None;
+        let mut pend = Pending::default();
+        let result = self.dispatch_blocks(budget, &mut executed, &mut last_line, &mut pend);
+        // Flush deferred charges on every exit path — including faults —
+        // so any observer of the statistics after `run` returns sees
+        // exactly the counters the slow path would have produced.
+        self.stats.cycles += pend.cycles;
+        self.stats.instructions += pend.insts;
+        if pend.icache_hits > 0 {
+            self.icache
+                .as_mut()
+                .expect("deferred hits imply an I-cache")
+                .note_hits(pend.icache_hits);
+        }
+        result?;
+        Ok(executed)
+    }
+
+    /// The block-dispatch loop behind [`run_predecoded`]. Deferred
+    /// charges accumulate in `pend` (flushed by the caller and before
+    /// every `sync` instruction); per-instruction work mirrors
+    /// [`retire`] with the fetch/hazard components precomputed at block
+    /// build time.
+    fn dispatch_blocks(
+        &mut self,
+        budget: u64,
+        executed: &mut u64,
+        last_line: &mut Option<u32>,
+        pend: &mut Pending,
+    ) -> Result<(), SimError> {
+        let trace_on = self.trace_depth > 0;
+        'dispatch: while *executed < budget {
+            let Some(block) = self.block_at(self.pc) else { break };
+            let start = block.insts[0].pc;
+            // Tight guest loops land back on the same block start; rerun
+            // the block we already hold instead of re-looking it up.
+            loop {
+                // Budget accounting is hoisted out of the per-instruction
+                // loop: run a slice that cannot overshoot, count it once.
+                let take = usize::try_from(budget - *executed)
+                    .map_or(block.insts.len(), |room| block.insts.len().min(room));
+                for (done, e) in block.insts[..take].iter().enumerate() {
+                    // Fetch timing: the same-line case is a proven hit
+                    // (one cycle, one deferred hit tick); everything else
+                    // replays the full access.
+                    if e.same_line {
+                        pend.icache_hits += 1;
+                        pend.cycles += 1;
+                    } else if e.cached {
+                        self.icache_charge(e.pc, e.lines[0], last_line)?;
+                        if e.fetches == 2 {
+                            self.icache_charge(e.pc + 2, e.lines[1], last_line)?;
+                        }
+                    } else {
+                        self.charge_fetch_timing(e.pc, u32::from(e.ilen), last_line)?;
+                    }
+                    if e.sync {
+                        // Stores read `stats.cycles` (write-buffer
+                        // drain), CSR reads expose both counters: they
+                        // must observe exact values.
+                        self.stats.cycles += pend.cycles;
+                        self.stats.instructions += pend.insts;
+                        pend.cycles = 0;
+                        pend.insts = 0;
+                    }
+                    if trace_on {
+                        if self.trace.len() == self.trace_depth {
+                            self.trace.pop_front();
+                        }
+                        self.trace.push_back((e.pc, e.inst));
+                    }
+                    match e.stall {
+                        STALL_DYNAMIC => self.charge_hazards(e.srcs),
+                        0 => {}
+                        s => {
+                            if e.sync {
+                                self.stats.cycles += u64::from(s);
+                            } else {
+                                pend.cycles += u64::from(s);
+                            }
+                        }
+                    }
+                    if !self.exec_deferred(e, pend) {
+                        self.execute(e.pc, e.inst, u32::from(e.ilen))?;
+                    }
+                    if e.sync {
+                        self.stats.instructions += 1;
+                    } else {
+                        pend.insts += 1;
+                    }
+                    if e.is_store && self.decode.take_store_clash() {
+                        // A store just hit cached code — possibly a later
+                        // entry of this very block. Re-dispatch from
+                        // wherever the store left the PC; the stale
+                        // blocks are gone.
+                        *executed += done as u64 + 1;
+                        continue 'dispatch;
+                    }
+                }
+                *executed += take as u64;
+                if *executed == budget {
+                    break 'dispatch;
+                }
+                // Only a block's final instruction can stop the core
+                // (`ecall` / `ebreak` end blocks), so one check per block
+                // suffices.
+                if self.stopped.is_some() {
+                    break 'dispatch;
+                }
+                if self.pc != start {
+                    break;
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// The cached block starting at `pc`, building (and memoizing) one
+    /// from decode-cache entries when missing. Only *complete* blocks —
+    /// ended by a control transfer or [`MAX_BLOCK`] — are memoized, so a
+    /// run truncated at a still-cold entry is re-extended on later visits
+    /// instead of being frozen short. Fetch-timing metadata (charged
+    /// parcel count, I-cache line addresses, cacheability) is precomputed
+    /// here — the geometry is fixed for the CPU's lifetime — so the
+    /// dispatch loop avoids per-instruction address math.
+    fn block_at(&mut self, pc: u32) -> Option<Arc<Block>> {
+        if let Some(block) = self.decode.block(pc) {
+            return Some(block);
+        }
+        let line_mask = self.icache.as_ref().map(|c| !(c.config().line_bytes - 1));
+        let bypassing = self.config.bypassing;
+        let mut insts = Vec::new();
+        let mut complete = false;
+        let mut cur = pc;
+        // Last charged I-cache line of the most recent *cached*
+        // instruction — uncached fetches never touch the I-cache, so the
+        // resident line survives them. Unknown at the block head.
+        let mut prev_line: Option<u32> = None;
+        let mut prev_inst: Option<Inst> = None;
+        while insts.len() < MAX_BLOCK {
+            let Some((inst, ilen)) = self.decode.entry(cur) else { break };
+            let fetches: u8 = if self.config.compressed && ilen == 4 && (cur + 2).is_multiple_of(4)
+            {
+                2
+            } else {
+                1
+            };
+            // Every charged parcel must sit below the uncached window for
+            // the precomputed I-cache path to apply.
+            let last_charged = cur.wrapping_add(2 * (u32::from(fetches) - 1));
+            let cached = line_mask.is_some() && cur < UNCACHED_BASE && last_charged < UNCACHED_BASE;
+            let mask = line_mask.unwrap_or(!0);
+            let lines = [cur & mask, cur.wrapping_add(2) & mask];
+            let srcs = inst.sources();
+            insts.push(BlockInst {
+                pc: cur,
+                inst,
+                ilen: ilen as u8,
+                srcs,
+                cached,
+                fetches,
+                lines,
+                is_store: inst.is_store(),
+                same_line: cached && fetches == 1 && prev_line == Some(lines[0]),
+                sync: inst.is_store()
+                    || matches!(
+                        inst,
+                        Inst::Csrrw { .. }
+                            | Inst::Csrrs { .. }
+                            | Inst::Csrrc { .. }
+                            | Inst::Csrrwi { .. }
+                            | Inst::Csrrsi { .. }
+                            | Inst::Csrrci { .. }
+                    ),
+                stall: match prev_inst {
+                    None => STALL_DYNAMIC,
+                    Some(p) => hazard_stall(p, srcs, bypassing),
+                },
+            });
+            if cached {
+                prev_line = Some(lines[usize::from(fetches) - 1]);
+            }
+            prev_inst = Some(inst);
+            if inst.transfers_control() {
+                complete = true;
+                break;
+            }
+            cur = cur.wrapping_add(ilen);
+        }
+        if insts.is_empty() {
+            return None;
+        }
+        complete |= insts.len() == MAX_BLOCK;
+        let block = Arc::new(Block { insts });
+        if complete {
+            self.decode.insert_block(pc, Arc::clone(&block));
+        }
+        Some(block)
+    }
+
+    /// Executes one predecoded instruction: identical charges, statistics
+    /// and architectural effects to the slow path, minus the byte reads
+    /// and decode the cached entry makes redundant.
+    fn exec_predecoded(
+        &mut self,
+        pc: u32,
+        inst: Inst,
+        ilen: u32,
+        srcs: (Option<Reg>, Option<Reg>),
+        last_line: &mut Option<u32>,
+    ) -> Result<(), SimError> {
+        self.charge_fetch_timing(pc, ilen, last_line)?;
+        self.retire(pc, inst, ilen, srcs)
+    }
+
+    /// Charges the fetch timing the slow path would for the instruction
+    /// at `pc` — every cycle, cache update and device-statistics effect,
+    /// without materializing the bytes.
+    fn charge_fetch_timing(
+        &mut self,
+        pc: u32,
+        ilen: u32,
+        last_line: &mut Option<u32>,
+    ) -> Result<(), SimError> {
+        if self.config.compressed {
+            self.charge_fetch_access(pc, 2, last_line)?;
+            // Second parcel of a 32-bit instruction is charged only when
+            // it crosses into a new device word (mirrors `step_decode`);
+            // the uncharged case was a pure peek — nothing to replay.
+            if ilen == 4 && (pc + 2).is_multiple_of(4) {
+                self.charge_fetch_access(pc + 2, 2, last_line)?;
+            }
+            Ok(())
+        } else {
+            self.charge_fetch_access(pc, 4, last_line)
+        }
+    }
+
+    /// Cached-fetch charge with the line address precomputed at
+    /// block-build time: [`Cache::note_hit`] when the previous fetch in
+    /// this dispatch touched the same line, else a full access (with a
+    /// line fill on miss). Callers guarantee an I-cache exists and
+    /// `addr` is below the uncached window (`BlockInst::cached`).
+    #[inline]
+    fn icache_charge(
+        &mut self,
+        addr: u32,
+        line_addr: u32,
+        last_line: &mut Option<u32>,
+    ) -> Result<(), SimError> {
+        let cache = self.icache.as_mut().expect("cached block entries require an I-cache");
+        if *last_line == Some(line_addr) {
+            cache.note_hit();
+            self.stats.cycles += 1;
+            return Ok(());
+        }
+        let line = cache.config().line_bytes;
+        if cache.access(addr) {
+            self.stats.cycles += 1;
+        } else {
+            let mut buf = vec![0u8; line as usize];
+            let cycles = self
+                .bus
+                .read(line_addr, &mut buf)
+                .map_err(|source| SimError::Mem { pc: addr, source })?;
+            self.stats.cycles += 1 + cycles;
+        }
+        *last_line = Some(line_addr);
+        Ok(())
+    }
+
+    /// Timing-only replay of one charged fetch access: the I-cache (or
+    /// uncached bus) traffic of `fetch`/`fetch_parcel`, minus their
+    /// trailing peeks. `last_line` tracks the previous fetch's I-cache
+    /// line so consecutive same-line fetches use [`Cache::note_hit`]
+    /// (exact under its guaranteed-resident contract).
+    fn charge_fetch_access(
+        &mut self,
+        addr: u32,
+        bytes: usize,
+        last_line: &mut Option<u32>,
+    ) -> Result<(), SimError> {
+        let wrap = |source| SimError::Mem { pc: addr, source };
+        if addr >= UNCACHED_BASE || self.icache.is_none() {
+            // Uncached fetches pay the device on every access — the read
+            // (and its DeviceStats) is the cost, so it cannot be skipped.
+            let mut buf = [0u8; 4];
+            let cycles = self.bus.read(addr, &mut buf[..bytes]).map_err(wrap)?;
+            self.charge(cycles);
+            return Ok(());
+        }
+        let cache = self.icache.as_mut().expect("checked above");
+        let line = cache.config().line_bytes;
+        let line_addr = addr & !(line - 1);
+        if *last_line == Some(line_addr) {
+            cache.note_hit();
+            self.charge(1);
+            return Ok(());
+        }
+        if cache.access(addr) {
+            self.charge(1);
+        } else {
+            let mut buf = vec![0u8; line as usize];
+            let cycles = self.bus.read(line_addr, &mut buf).map_err(wrap)?;
+            self.charge(1 + cycles);
+        }
+        *last_line = Some(line_addr);
+        Ok(())
+    }
+
+    /// Trace, hazard stalls, execution and retirement — shared by the
+    /// slow and predecoded paths (fetch timing already charged).
+    #[inline]
+    fn retire(
+        &mut self,
+        pc: u32,
+        inst: Inst,
+        ilen: u32,
+        srcs: (Option<Reg>, Option<Reg>),
+    ) -> Result<(), SimError> {
         if self.trace_depth > 0 {
             if self.trace.len() == self.trace_depth {
                 self.trace.pop_front();
             }
             self.trace.push_back((pc, inst));
         }
-        self.charge_hazards(&inst);
+        self.charge_hazards(srcs);
         self.execute(pc, inst, ilen)?;
         self.stats.instructions += 1;
         Ok(())
@@ -386,6 +778,7 @@ impl Cpu {
 
     // ---- timing helpers -------------------------------------------------
 
+    #[inline]
     fn charge(&mut self, cycles: u64) {
         self.stats.cycles += cycles;
     }
@@ -442,6 +835,7 @@ impl Cpu {
         Ok(u32::from_le_bytes(b))
     }
 
+    #[inline]
     fn data_read(&mut self, pc: u32, addr: u32, len: u32) -> Result<u32, SimError> {
         let wrap = |source| SimError::Mem { pc, source };
         let addr = self.check_align(pc, addr, len)?;
@@ -472,6 +866,16 @@ impl Cpu {
         let bytes = value.to_le_bytes();
         // Functional write (device time computed below via the buffer).
         let device_cycles = self.bus.write(addr, &bytes[..len as usize]).map_err(wrap)?;
+        if self.config.decode_cache {
+            // Self-modifying code: a store landing inside cached code
+            // invalidates the affected predecoded entries. Our own store
+            // bumped the bus generation — resync so it is not mistaken
+            // for an external mutation.
+            if self.decode.overlaps_code(addr, len) {
+                self.decode.invalidate_store(addr, len);
+            }
+            self.seen_generation = self.bus.generation();
+        }
         if addr >= UNCACHED_BASE {
             self.charge(device_cycles);
             return Ok(());
@@ -507,15 +911,17 @@ impl Cpu {
         }
     }
 
-    /// Data-hazard stalls for `inst` given the previous instruction.
-    fn charge_hazards(&mut self, inst: &Inst) {
+    /// Data-hazard stalls given the previous instruction and this one's
+    /// source registers (precomputed via [`Inst::sources`]).
+    #[inline]
+    fn charge_hazards(&mut self, srcs: (Option<Reg>, Option<Reg>)) {
         let Some(prev) = self.prev_rd else {
             return;
         };
         if prev.is_zero() {
             return;
         }
-        let (a, b) = source_regs(inst);
+        let (a, b) = srcs;
         let uses_prev = a == Some(prev) || b == Some(prev);
         if !uses_prev {
             return;
@@ -535,6 +941,72 @@ impl Cpu {
     }
 
     // ---- execution ------------------------------------------------------
+
+    /// Executes the register-to-register arms inline with their cycle
+    /// charge deferred into `pend`, mirroring the corresponding
+    /// [`execute`](Self::execute) arms exactly: same result value, same
+    /// `prev_rd`/`prev_was_load` update, same next PC, same cycle count
+    /// (merely accumulated instead of charged). Only arms that cannot
+    /// fault, cannot transfer control, and cannot observe or be observed
+    /// through the live counters qualify. Returns `false` for anything
+    /// else so the dispatch loop falls back to the generic path.
+    #[inline]
+    fn exec_deferred(&mut self, e: &BlockInst, pend: &mut Pending) -> bool {
+        use Inst::*;
+        let (rd, value, cycles) = match e.inst {
+            Lui { rd, imm } => (rd, imm as u32, 1),
+            Auipc { rd, imm } => (rd, e.pc.wrapping_add(imm as u32), 1),
+            Addi { rd, rs1, imm } => (rd, self.reg(rs1).wrapping_add(imm as u32), 1),
+            Slti { rd, rs1, imm } => (rd, u32::from((self.reg(rs1) as i32) < imm), 1),
+            Sltiu { rd, rs1, imm } => (rd, u32::from(self.reg(rs1) < imm as u32), 1),
+            Xori { rd, rs1, imm } => (rd, self.reg(rs1) ^ imm as u32, 1),
+            Ori { rd, rs1, imm } => (rd, self.reg(rs1) | imm as u32, 1),
+            Andi { rd, rs1, imm } => (rd, self.reg(rs1) & imm as u32, 1),
+            Slli { rd, rs1, shamt } => {
+                (rd, self.reg(rs1) << shamt, self.config.shift_cycles(u32::from(shamt)))
+            }
+            Srli { rd, rs1, shamt } => {
+                (rd, self.reg(rs1) >> shamt, self.config.shift_cycles(u32::from(shamt)))
+            }
+            Srai { rd, rs1, shamt } => (
+                rd,
+                ((self.reg(rs1) as i32) >> shamt) as u32,
+                self.config.shift_cycles(u32::from(shamt)),
+            ),
+            Add { rd, rs1, rs2 } => (rd, self.reg(rs1).wrapping_add(self.reg(rs2)), 1),
+            Sub { rd, rs1, rs2 } => (rd, self.reg(rs1).wrapping_sub(self.reg(rs2)), 1),
+            Sll { rd, rs1, rs2 } => {
+                let sh = self.reg(rs2) & 0x1F;
+                (rd, self.reg(rs1) << sh, self.config.shift_cycles(sh))
+            }
+            Slt { rd, rs1, rs2 } => {
+                (rd, u32::from((self.reg(rs1) as i32) < (self.reg(rs2) as i32)), 1)
+            }
+            Sltu { rd, rs1, rs2 } => (rd, u32::from(self.reg(rs1) < self.reg(rs2)), 1),
+            Xor { rd, rs1, rs2 } => (rd, self.reg(rs1) ^ self.reg(rs2), 1),
+            Srl { rd, rs1, rs2 } => {
+                let sh = self.reg(rs2) & 0x1F;
+                (rd, self.reg(rs1) >> sh, self.config.shift_cycles(sh))
+            }
+            Sra { rd, rs1, rs2 } => {
+                let sh = self.reg(rs2) & 0x1F;
+                (rd, ((self.reg(rs1) as i32) >> sh) as u32, self.config.shift_cycles(sh))
+            }
+            Or { rd, rs1, rs2 } => (rd, self.reg(rs1) | self.reg(rs2), 1),
+            And { rd, rs1, rs2 } => (rd, self.reg(rs1) & self.reg(rs2), 1),
+            Mul { rd, rs1, rs2 } => {
+                self.stats.muls += 1;
+                (rd, self.reg(rs1).wrapping_mul(self.reg(rs2)), self.config.mul_cycles())
+            }
+            _ => return false,
+        };
+        pend.cycles += cycles;
+        self.set_reg(rd, value);
+        self.prev_rd = Some(rd);
+        self.prev_was_load = false;
+        self.pc = e.pc.wrapping_add(u32::from(e.ilen));
+        true
+    }
 
     #[allow(clippy::too_many_lines)]
     fn execute(&mut self, pc: u32, inst: Inst, ilen: u32) -> Result<(), SimError> {
@@ -852,58 +1324,37 @@ fn branch_fields(inst: &Inst) -> (Reg, Reg, i32) {
     }
 }
 
-/// Source registers of an instruction (for hazard modelling).
-fn source_regs(inst: &Inst) -> (Option<Reg>, Option<Reg>) {
-    use Inst::*;
-    match *inst {
-        Jalr { rs1, .. }
-        | Lb { rs1, .. }
-        | Lh { rs1, .. }
-        | Lw { rs1, .. }
-        | Lbu { rs1, .. }
-        | Lhu { rs1, .. }
-        | Addi { rs1, .. }
-        | Slti { rs1, .. }
-        | Sltiu { rs1, .. }
-        | Xori { rs1, .. }
-        | Ori { rs1, .. }
-        | Andi { rs1, .. }
-        | Slli { rs1, .. }
-        | Srli { rs1, .. }
-        | Srai { rs1, .. }
-        | Csrrw { rs1, .. }
-        | Csrrs { rs1, .. }
-        | Csrrc { rs1, .. } => (Some(rs1), None),
-        Beq { rs1, rs2, .. }
-        | Bne { rs1, rs2, .. }
-        | Blt { rs1, rs2, .. }
-        | Bge { rs1, rs2, .. }
-        | Bltu { rs1, rs2, .. }
-        | Bgeu { rs1, rs2, .. }
-        | Sb { rs1, rs2, .. }
-        | Sh { rs1, rs2, .. }
-        | Sw { rs1, rs2, .. }
-        | Add { rs1, rs2, .. }
-        | Sub { rs1, rs2, .. }
-        | Sll { rs1, rs2, .. }
-        | Slt { rs1, rs2, .. }
-        | Sltu { rs1, rs2, .. }
-        | Xor { rs1, rs2, .. }
-        | Srl { rs1, rs2, .. }
-        | Sra { rs1, rs2, .. }
-        | Or { rs1, rs2, .. }
-        | And { rs1, rs2, .. }
-        | Mul { rs1, rs2, .. }
-        | Mulh { rs1, rs2, .. }
-        | Mulhsu { rs1, rs2, .. }
-        | Mulhu { rs1, rs2, .. }
-        | Div { rs1, rs2, .. }
-        | Divu { rs1, rs2, .. }
-        | Rem { rs1, rs2, .. }
-        | Remu { rs1, rs2, .. }
-        | Cfu { rs1, rs2, .. }
-        | Cfu1 { rs1, rs2, .. } => (Some(rs1), Some(rs2)),
-        _ => (None, None),
+/// Maps a raw fetch word that fails to decode onto [`SimError::Illegal`],
+/// keeping the fault's PC. Single definition shared by every decode site.
+fn decode_word(pc: u32, word: u32) -> Result<Inst, SimError> {
+    Inst::decode(word).map_err(|_| SimError::Illegal { pc, word })
+}
+
+/// Deferred fast-path charges. Only stores (write-buffer drain reads
+/// `stats.cycles`) and CSR reads observe the live counters mid-run, so
+/// everything else accumulates in registers and flushes at those sync
+/// points and on every exit from `run_predecoded`.
+#[derive(Default)]
+struct Pending {
+    cycles: u64,
+    insts: u64,
+    icache_hits: u64,
+}
+
+/// The stall [`Cpu::charge_hazards`] would compute when the previous
+/// instruction is statically known — replicates `execute`'s
+/// `prev_rd = inst.rd()` / `prev_was_load` bookkeeping at block-build
+/// time.
+fn hazard_stall(prev: Inst, srcs: (Option<Reg>, Option<Reg>), bypassing: bool) -> u8 {
+    let Some(rd) = prev.rd() else { return 0 };
+    if rd.is_zero() || (srcs.0 != Some(rd) && srcs.1 != Some(rd)) {
+        return 0;
+    }
+    match (prev.is_load(), bypassing) {
+        (true, true) => 1,
+        (true, false) => 2,
+        (false, true) => 0,
+        (false, false) => 1,
     }
 }
 

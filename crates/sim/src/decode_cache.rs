@@ -1,0 +1,297 @@
+//! Host-side predecoded-instruction store for the ISS fast path.
+//!
+//! The structure mirrors what production simulators do (gem5's decode
+//! cache, QEMU's TCG translation blocks): a direct-mapped cache of
+//! decoded instructions keyed by guest PC, plus basic blocks grouping
+//! straight-line runs of predecoded entries so the dispatch loop can
+//! execute them without per-instruction fetch-decode work. Everything
+//! here is invisible to the guest — timing, statistics and architectural
+//! state are charged by `cpu.rs` exactly as on the slow path.
+//!
+//! Coherence with guest memory uses two mechanisms:
+//!
+//! * [`cfu_mem::Bus::generation`] detects *external* mutation (test
+//!   pokes, image reloads) between steps; any change flushes everything.
+//! * Stores executed by the guest itself are checked against the PC
+//!   bounds of cached code; overlapping stores invalidate the affected
+//!   decode lines, drop all blocks, and raise a `store_clash` flag so an
+//!   in-flight block stops trusting its remaining entries (self-modifying
+//!   code that patches the very next instruction).
+
+use std::sync::Arc;
+
+use cfu_isa::{Inst, Reg};
+
+/// Number of decode-cache lines. PCs are 2-aligned (RV32C parcels), so
+/// this covers 8 KiB of compressed / 16 KiB of uncompressed code before
+/// aliasing — comfortably larger than TinyML inner loops.
+const LINES: usize = 4096;
+
+/// Number of direct-mapped basic-block slots.
+const BLOCK_SLOTS: usize = 1024;
+
+/// Longest straight-line run grouped into one block.
+pub(crate) const MAX_BLOCK: usize = 64;
+
+/// One predecoded instruction inside a basic block, with the operand
+/// and fetch-timing fields the per-instruction loop would otherwise
+/// recompute: source registers for hazard modelling, plus the I-cache
+/// line address of each charged parcel access (valid when `cached`).
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct BlockInst {
+    /// Guest PC of this instruction.
+    pub pc: u32,
+    /// The decoded instruction.
+    pub inst: Inst,
+    /// Encoded length in bytes (2 or 4).
+    pub ilen: u8,
+    /// Precomputed `(rs1, rs2)` for hazard modelling.
+    pub srcs: (Option<Reg>, Option<Reg>),
+    /// Fetch timing goes through the I-cache (an I-cache exists and the
+    /// PC is below the uncached window); when false the dispatch loop
+    /// falls back to the generic per-access charge path.
+    pub cached: bool,
+    /// Number of charged parcel accesses (1, or 2 for a 32-bit
+    /// instruction in RVC mode whose second parcel starts a new word).
+    pub fetches: u8,
+    /// I-cache line address of each charged access (element `k` is the
+    /// parcel at `pc + 2k`); meaningful only when `cached`.
+    pub lines: [u32; 2],
+    /// This instruction can write memory, so the dispatch loop must
+    /// re-check the store-clash flag after executing it.
+    pub is_store: bool,
+    /// Single charged access on the same I-cache line as the previous
+    /// instruction's last charged access in this block: the fetch is a
+    /// guaranteed hit (one cycle, one hit tick), no lookup needed.
+    pub same_line: bool,
+    /// This instruction observes the live cycle / retired-instruction
+    /// counters mid-execution (stores feed the write buffer from
+    /// `stats.cycles`; CSR reads expose both), so deferred charges must
+    /// be flushed before it runs.
+    pub sync: bool,
+    /// Precomputed data-hazard stall against the statically known
+    /// previous instruction of this block; [`STALL_DYNAMIC`] for the
+    /// block head, whose predecessor is only known at run time.
+    pub stall: u8,
+}
+
+/// Sentinel for [`BlockInst::stall`]: compute the hazard stall
+/// dynamically from the CPU's `prev_rd` / `prev_was_load` state.
+pub(crate) const STALL_DYNAMIC: u8 = u8::MAX;
+
+/// A straight-line run of predecoded instructions ending at the first
+/// control transfer (or [`MAX_BLOCK`]).
+#[derive(Debug)]
+pub(crate) struct Block {
+    /// The instructions, in execution order.
+    pub insts: Vec<BlockInst>,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Line {
+    tag: u32,
+    inst: Inst,
+    ilen: u8,
+}
+
+/// The predecoded store: decode lines + block slots + code-range bounds.
+#[derive(Debug, Default)]
+pub(crate) struct DecodeCache {
+    lines: Vec<Option<Line>>,
+    blocks: Vec<Option<(u32, Arc<Block>)>>,
+    /// Lowest PC ever cached (inclusive) since the last flush.
+    code_lo: u32,
+    /// Highest PC+4 ever cached (exclusive) since the last flush.
+    code_hi: u32,
+    /// Set when a guest store invalidated cached code; the block
+    /// dispatcher takes and clears it to bail out of the current block.
+    store_clash: bool,
+}
+
+impl DecodeCache {
+    /// Creates the store; `enabled = false` allocates nothing and makes
+    /// every lookup miss, so a disabled CPU pays only a branch.
+    pub fn new(enabled: bool) -> Self {
+        DecodeCache {
+            lines: if enabled { vec![None; LINES] } else { Vec::new() },
+            blocks: if enabled { vec![None; BLOCK_SLOTS] } else { Vec::new() },
+            code_lo: u32::MAX,
+            code_hi: 0,
+            store_clash: false,
+        }
+    }
+
+    fn line_index(pc: u32) -> usize {
+        ((pc >> 1) as usize) & (LINES - 1)
+    }
+
+    fn block_index(pc: u32) -> usize {
+        ((pc >> 1) as usize) & (BLOCK_SLOTS - 1)
+    }
+
+    /// The predecoded `(inst, ilen)` at `pc`, if cached.
+    pub fn entry(&self, pc: u32) -> Option<(Inst, u32)> {
+        let line = self.lines.get(Self::line_index(pc))?.as_ref()?;
+        (line.tag == pc).then_some((line.inst, u32::from(line.ilen)))
+    }
+
+    /// Caches the decoded instruction at `pc`. No-op when disabled.
+    pub fn fill(&mut self, pc: u32, inst: Inst, ilen: u32) {
+        if self.lines.is_empty() {
+            return;
+        }
+        let idx = Self::line_index(pc);
+        self.lines[idx] = Some(Line { tag: pc, inst, ilen: ilen as u8 });
+        self.code_lo = self.code_lo.min(pc);
+        self.code_hi = self.code_hi.max(pc.wrapping_add(4));
+    }
+
+    /// Whether a write to `[addr, addr + len)` could touch any PC this
+    /// store has ever cached. Conservative (bounds, not exact lines).
+    pub fn overlaps_code(&self, addr: u32, len: u32) -> bool {
+        // An instruction starting up to 3 bytes below `addr` can extend
+        // into the written range.
+        self.code_lo.saturating_sub(3) < addr.wrapping_add(len) && addr < self.code_hi
+    }
+
+    /// Invalidates decode lines whose instruction may overlap the written
+    /// range, drops all blocks (they may embed stale copies, including
+    /// entries whose lines were since evicted), and raises `store_clash`.
+    pub fn invalidate_store(&mut self, addr: u32, len: u32) {
+        let end = addr.wrapping_add(len);
+        // Candidate starts: 2-aligned PCs in [addr - 3, end) (max ilen 4),
+        // rounding the lower bound *up* to alignment — an instruction at
+        // `addr - 4` ends exactly at `addr` and must survive.
+        let mut pc = addr.saturating_sub(3).next_multiple_of(2);
+        while pc < end {
+            if let Some(slot) = self.lines.get_mut(Self::line_index(pc)) {
+                if slot.is_some_and(|l| l.tag == pc) {
+                    *slot = None;
+                }
+            }
+            pc += 2;
+        }
+        self.blocks.fill(None);
+        self.store_clash = true;
+    }
+
+    /// Takes and clears the store-clash flag.
+    pub fn take_store_clash(&mut self) -> bool {
+        std::mem::take(&mut self.store_clash)
+    }
+
+    /// Drops every cached line and block (external memory mutation).
+    pub fn flush(&mut self) {
+        self.lines.fill(None);
+        self.blocks.fill(None);
+        self.code_lo = u32::MAX;
+        self.code_hi = 0;
+        self.store_clash = false;
+    }
+
+    /// The cached block starting exactly at `pc`, if any.
+    pub fn block(&self, pc: u32) -> Option<Arc<Block>> {
+        let (start, block) = self.blocks.get(Self::block_index(pc))?.as_ref()?;
+        (*start == pc).then(|| Arc::clone(block))
+    }
+
+    /// Installs a block starting at `pc` (overwrites any slot alias).
+    pub fn insert_block(&mut self, pc: u32, block: Arc<Block>) {
+        if self.blocks.is_empty() {
+            return;
+        }
+        let idx = Self::block_index(pc);
+        self.blocks[idx] = Some((pc, block));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addi(imm: i32) -> Inst {
+        Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm }
+    }
+
+    #[test]
+    fn fill_entry_roundtrip() {
+        let mut dc = DecodeCache::new(true);
+        assert_eq!(dc.entry(0x100), None);
+        dc.fill(0x100, addi(1), 4);
+        assert_eq!(dc.entry(0x100), Some((addi(1), 4)));
+        // Same line index, different tag → miss, and refill replaces.
+        let alias = 0x100 + (LINES as u32 * 2);
+        assert_eq!(dc.entry(alias), None);
+        dc.fill(alias, addi(2), 4);
+        assert_eq!(dc.entry(0x100), None);
+        assert_eq!(dc.entry(alias), Some((addi(2), 4)));
+    }
+
+    #[test]
+    fn disabled_cache_is_inert() {
+        let mut dc = DecodeCache::new(false);
+        dc.fill(0, addi(1), 4);
+        assert_eq!(dc.entry(0), None);
+        dc.insert_block(0, Arc::new(Block { insts: Vec::new() }));
+        assert!(dc.block(0).is_none());
+        assert!(!dc.overlaps_code(0, 4));
+    }
+
+    #[test]
+    fn store_invalidation_hits_straddling_instructions() {
+        let mut dc = DecodeCache::new(true);
+        // A 4-byte instruction at 0x10 spans [0x10, 0x14); a 1-byte write
+        // at 0x13 must kill it, a write at 0x14 must not.
+        dc.fill(0x10, addi(1), 4);
+        assert!(dc.overlaps_code(0x13, 1));
+        dc.invalidate_store(0x13, 1);
+        assert_eq!(dc.entry(0x10), None);
+        assert!(dc.take_store_clash());
+        assert!(!dc.take_store_clash(), "flag is take-once");
+
+        dc.fill(0x10, addi(1), 4);
+        dc.invalidate_store(0x14, 1);
+        assert_eq!(dc.entry(0x10), Some((addi(1), 4)), "write past the end leaves it");
+    }
+
+    #[test]
+    fn bounds_track_cached_pcs() {
+        let mut dc = DecodeCache::new(true);
+        assert!(!dc.overlaps_code(0, u32::MAX), "empty cache overlaps nothing");
+        dc.fill(0x40, addi(1), 4);
+        dc.fill(0x80, addi(2), 4);
+        assert!(dc.overlaps_code(0x40, 1));
+        assert!(dc.overlaps_code(0x83, 1));
+        assert!(!dc.overlaps_code(0x84, 64));
+        dc.flush();
+        assert!(!dc.overlaps_code(0x40, 1));
+        assert_eq!(dc.entry(0x40), None);
+    }
+
+    #[test]
+    fn blocks_key_on_exact_start() {
+        let mut dc = DecodeCache::new(true);
+        let b = Arc::new(Block {
+            insts: vec![BlockInst {
+                pc: 0x20,
+                inst: addi(1),
+                ilen: 4,
+                srcs: (None, None),
+                cached: false,
+                fetches: 1,
+                lines: [0; 2],
+                is_store: false,
+                same_line: false,
+                sync: false,
+                stall: STALL_DYNAMIC,
+            }],
+        });
+        dc.insert_block(0x20, Arc::clone(&b));
+        assert!(dc.block(0x20).is_some());
+        assert!(dc.block(0x24).is_none());
+        // Stores drop all blocks.
+        dc.fill(0x20, addi(1), 4);
+        dc.invalidate_store(0x20, 4);
+        assert!(dc.block(0x20).is_none());
+    }
+}

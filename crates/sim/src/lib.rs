@@ -37,6 +37,7 @@
 mod bpred;
 mod config;
 mod cpu;
+mod decode_cache;
 pub mod energy;
 mod timed_core;
 

@@ -260,6 +260,21 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn alu(&mut self, n: u32) -> Result<(), MemError> {
+        // Predecoded fast path: with no code region declared
+        // (`code_len == 4`) every non-compressed fetch charges exactly 1
+        // cycle, resets `code_pc` to `window_base` (which never moves,
+        // since the window spans the whole 4-byte region) and bumps the
+        // dwell counter — so `n` iterations collapse to closed-form
+        // updates. Compressed mode is excluded: its 3-byte stride gives
+        // the PC walk a 2-fetch period this closed form would not match.
+        if self.config.decode_cache && self.code_len == 4 && !self.config.compressed {
+            self.stats.instructions += u64::from(n);
+            self.charge(2 * u64::from(n));
+            self.window_fetches =
+                ((u64::from(self.window_fetches) + u64::from(n)) % u64::from(WINDOW_DWELL)) as u32;
+            self.code_pc = self.window_base;
+            return Ok(());
+        }
         for _ in 0..n {
             self.fetch()?;
             self.charge(1);
@@ -627,6 +642,30 @@ mod tests {
             }
         }
         assert!(slow.cycles() > fast.cycles() + 100 * 30);
+    }
+
+    #[test]
+    fn batched_alu_matches_looped_fetches_exactly() {
+        // The closed-form alu() batch must leave stats AND the synthetic
+        // PC walk in exactly the state the per-fetch loop produces,
+        // including across WINDOW_DWELL boundaries and interleaved with
+        // operations that fetch one at a time.
+        let run = |fast: bool| {
+            let mut core = TimedCore::new(
+                CpuConfig::arty_default().with_decode_cache(fast),
+                bus_with_flash(SpiWidth::Quad),
+            );
+            core.set_code_region(0x1000_0000, 4).unwrap(); // minimal region → ideal fetch
+            core.alu(300).unwrap();
+            core.mul().unwrap();
+            core.alu(600).unwrap(); // crosses the 512-fetch dwell reset
+            core.branch(3, true).unwrap();
+            core.alu(7).unwrap();
+            core.store_u32(0x1000_4000, 1).unwrap();
+            core.alu(100).unwrap();
+            core.stats()
+        };
+        assert_eq!(run(true), run(false));
     }
 
     #[test]

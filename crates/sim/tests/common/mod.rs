@@ -1,0 +1,29 @@
+//! Shared helpers for the ISS integration suites: fast/slow-path parity
+//! assertions for the predecoded-trace decode cache.
+
+use cfu_isa::Reg;
+use cfu_sim::Cpu;
+
+/// Asserts that two finished CPUs — one run with the decode cache, one
+/// without — are indistinguishable across every observable: statistics,
+/// architectural state, console output, cache counters, and per-device
+/// bus traffic. This is the hard invariant of the predecoded fast path.
+pub fn assert_parity(fast: &Cpu, slow: &Cpu) {
+    assert_eq!(fast.stats(), slow.stats(), "CpuStats must be bit-identical");
+    assert_eq!(fast.pc(), slow.pc(), "final PC");
+    for i in 0..32 {
+        let r = Reg::new(i).expect("valid index");
+        assert_eq!(fast.reg(r), slow.reg(r), "register x{i}");
+    }
+    assert_eq!(fast.console(), slow.console(), "console output");
+    assert_eq!(fast.icache_stats(), slow.icache_stats(), "I-cache stats");
+    assert_eq!(fast.dcache_stats(), slow.dcache_stats(), "D-cache stats");
+    for ((id_f, info), (id_s, _)) in fast.bus().regions().zip(slow.bus().regions()) {
+        assert_eq!(
+            fast.bus().stats(id_f),
+            slow.bus().stats(id_s),
+            "device stats for region {}",
+            info.name
+        );
+    }
+}

@@ -7,10 +7,31 @@ use cfu_mem::{Bus, SpiFlash, SpiWidth, Sram};
 use cfu_sim::{Cpu, CpuConfig, StopReason, TimedCore};
 use proptest::prelude::*;
 
+mod common;
+
 fn sram_bus() -> Bus {
     let mut bus = Bus::new();
     bus.map("sram", 0, Sram::new(64 << 10));
     bus
+}
+
+/// Runs a compressed-mode image under both the predecoded fast path and
+/// the plain fetch-decode loop, asserts bit-identical observables
+/// (parcel-straddle charging included), and returns the fast-path CPU
+/// with its stop reason.
+fn run_image(parts: &[Encoding], budget: u64) -> (Cpu, StopReason) {
+    let bytes = image(parts);
+    let [fast, slow] = [true, false].map(|decode_cache| {
+        let config =
+            CpuConfig::arty_default().with_compressed(true).with_decode_cache(decode_cache);
+        let mut cpu = Cpu::new(config, sram_bus());
+        cpu.bus_mut().load_image(0, &bytes).unwrap();
+        let stop = cpu.run(budget).unwrap();
+        (cpu, stop)
+    });
+    assert_eq!(fast.1, slow.1, "stop reason");
+    common::assert_parity(&fast.0, &slow.0);
+    fast
 }
 
 /// Builds a byte image from a mix of 16-bit and 32-bit encodings.
@@ -48,9 +69,7 @@ fn mixed_compressed_program_runs() {
         Full(Inst::Addi { rd: Reg::A7, rs1: Reg::ZERO, imm: 93 }),
         Full(Inst::Ecall),
     ];
-    let mut cpu = Cpu::new(CpuConfig::arty_default().with_compressed(true), sram_bus());
-    cpu.bus_mut().load_image(0, &image(&parts)).unwrap();
-    let stop = cpu.run(1000).unwrap();
+    let (_, stop) = run_image(&parts, 1000);
     assert_eq!(stop, StopReason::Exit(15)); // 5+4+3+2+1
 }
 
@@ -64,9 +83,7 @@ fn compressed_jal_links_pc_plus_2() {
         Full(Inst::Addi { rd: Reg::A7, rs1: Reg::ZERO, imm: 93 }),
         Full(Inst::Ecall),
     ];
-    let mut cpu = Cpu::new(CpuConfig::arty_default().with_compressed(true), sram_bus());
-    cpu.bus_mut().load_image(0, &image(&parts)).unwrap();
-    cpu.run(100).unwrap();
+    let (cpu, _) = run_image(&parts, 100);
     assert_eq!(cpu.reg(Reg::RA), 2, "link register must be pc+2 for c.jal");
     assert_eq!(cpu.reg(Reg::A0), 0, "skipped instruction must not run");
 }
@@ -84,9 +101,8 @@ fn compressed_stack_ops() {
         Full(Inst::Addi { rd: Reg::A7, rs1: Reg::ZERO, imm: 93 }),
         Full(Inst::Ecall),
     ];
-    let mut cpu = Cpu::new(CpuConfig::arty_default().with_compressed(true), sram_bus());
-    cpu.bus_mut().load_image(0, &image(&parts)).unwrap();
-    assert_eq!(cpu.run(100).unwrap(), StopReason::Exit(42));
+    let (cpu, stop) = run_image(&parts, 100);
+    assert_eq!(stop, StopReason::Exit(42));
     assert_eq!(cpu.reg(Reg::SP), 1024 - 32);
 }
 

@@ -1,0 +1,202 @@
+//! Coherence tests for the predecoded-trace fast path: self-modifying
+//! code, external image mutation, and uncached execution must all give
+//! bit-identical architectural state and timing with the decode cache
+//! on and off.
+
+use cfu_isa::{Assembler, Inst, Reg};
+use cfu_mem::{Bus, Sram};
+use cfu_sim::{Cpu, CpuConfig, StopReason, UNCACHED_BASE};
+
+mod common;
+
+fn sram_bus() -> Bus {
+    let mut bus = Bus::new();
+    bus.map("sram", 0, Sram::new(64 << 10));
+    bus
+}
+
+/// Runs `src` under both paths, asserts parity, returns the fast CPU.
+fn dual_run(config: CpuConfig, base: u32, src: &str) -> Cpu {
+    let program = Assembler::new(base).assemble(src).expect("assembles");
+    let [fast, slow] = [true, false].map(|decode_cache| {
+        let mut bus = sram_bus();
+        if base >= UNCACHED_BASE {
+            bus.map("uncached_sram", base, Sram::new(64 << 10));
+        }
+        let mut cpu = Cpu::new(config.with_decode_cache(decode_cache), bus);
+        cpu.load_program(&program).expect("loads");
+        cpu.run(1_000_000).expect("runs");
+        cpu
+    });
+    common::assert_parity(&fast, &slow);
+    fast
+}
+
+#[test]
+fn patching_an_already_executed_instruction_takes_effect() {
+    // Pass 1 executes `addi a0, a0, 1` at `site` (predecoding it), then
+    // patches the site to `addi a0, a0, 2` and loops. Pass 2 must run
+    // the patched instruction: a0 = 1 + 2 = 3. A stale decode cache
+    // would replay the original and give 2.
+    let patched = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 2 }.encode();
+    let src = format!(
+        r#"
+        main:
+            li s0, 0
+            la s1, site
+            la s2, newinst
+            lw s2, 0(s2)
+        pass:
+        site:
+            addi a0, a0, 1
+            addi s0, s0, 1
+            li t0, 2
+            blt s0, t0, patch
+            li a7, 93
+            ecall
+        patch:
+            sw s2, 0(s1)
+            j pass
+        .align 2
+        newinst: .word {patched}
+        "#
+    );
+    let cpu = dual_run(CpuConfig::arty_default(), 0, &src);
+    assert_eq!(cpu.reg(Reg::A0), 3, "patched instruction must execute on the second pass");
+}
+
+#[test]
+fn store_patching_a_later_instruction_in_the_same_block_takes_effect() {
+    // The store and its target sit in one straight-line run (the same
+    // basic block): the store patches `site`, two instructions ahead,
+    // with a different `addi` each pass. Pass 1 must execute imm=9,
+    // pass 2 imm=13 → a0 = 22. A block that keeps dispatching its
+    // predecoded entries after the clash would replay 9 twice (18).
+    let nine = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 9 }.encode();
+    let thirteen = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 13 }.encode();
+    let src = format!(
+        r#"
+        main:
+            li s0, 0
+        pass:
+            slli t1, s0, 2
+            la t2, table
+            add t2, t2, t1
+            lw s2, 0(t2)
+            la s1, site
+            sw s2, 0(s1)
+            nop
+        site:
+            addi a0, a0, 5
+            addi s0, s0, 1
+            li t0, 2
+            blt s0, t0, pass
+            li a7, 93
+            ecall
+        .align 2
+        table: .word {nine}, {thirteen}
+        "#
+    );
+    let cpu = dual_run(CpuConfig::arty_default(), 0, &src);
+    assert_eq!(cpu.reg(Reg::A0), 9 + 13, "each pass must run that pass's patch");
+}
+
+#[test]
+fn external_image_mutation_between_runs_is_picked_up() {
+    // `load_image` through `bus_mut()` bypasses the core's store path;
+    // the bus generation counter is what flushes the decode cache.
+    let add_one = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 1 };
+    let jump_back = Inst::Jal { rd: Reg::ZERO, imm: -4 };
+    let mut image = add_one.encode().to_le_bytes().to_vec();
+    image.extend_from_slice(&jump_back.encode().to_le_bytes());
+    let [fast, slow] = [true, false].map(|decode_cache| {
+        let config = CpuConfig::arty_default().with_decode_cache(decode_cache);
+        let mut cpu = Cpu::new(config, sram_bus());
+        cpu.bus_mut().load_image(0, &image).unwrap();
+        // Ten instructions: five (addi, jal) pairs — a0 = 5, and the
+        // addi at pc=0 is firmly predecoded.
+        assert_eq!(cpu.run(10).unwrap(), StopReason::BudgetExhausted);
+        assert_eq!(cpu.reg(Reg::A0), 5);
+        // Hot-patch the addi externally: now each pass adds 100.
+        let patched = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 100 };
+        cpu.bus_mut().load_image(0, &patched.encode().to_le_bytes()).unwrap();
+        assert_eq!(cpu.run(4).unwrap(), StopReason::BudgetExhausted);
+        cpu
+    });
+    assert_eq!(fast.reg(Reg::A0), 5 + 200, "both patched passes must use the new encoding");
+    common::assert_parity(&fast, &slow);
+}
+
+#[test]
+fn uncached_execution_matches_without_decode_cache() {
+    // Above UNCACHED_BASE every fetch pays the device; the fast path
+    // must keep charging (and counting) those reads one for one.
+    let src = "
+        li a0, 0
+        li t0, 50
+    loop:
+        addi a0, a0, 3
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    ";
+    let cpu = dual_run(CpuConfig::arty_default(), UNCACHED_BASE, src);
+    assert_eq!(cpu.reg(Reg::A0), 150);
+}
+
+#[test]
+fn no_icache_config_matches_without_decode_cache() {
+    // fomu_baseline has no I-cache: fetches charge the raw bus even
+    // below UNCACHED_BASE, a distinct fast-path branch.
+    let src = "
+        li a0, 0
+        li t0, 20
+    loop:
+        addi a0, a0, 7
+        addi t0, t0, -1
+        bnez t0, loop
+        li a7, 93
+        ecall
+    ";
+    let cpu = dual_run(CpuConfig::fomu_baseline(), 0, src);
+    assert_eq!(cpu.reg(Reg::A0), 140);
+}
+
+#[test]
+fn single_stepping_matches_run_with_decode_cache() {
+    // `step()` uses the per-instruction fast entry (no block dispatch);
+    // it must observe the same invalidation rules as `run()`.
+    let patched = Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm: 2 }.encode();
+    let src = format!(
+        r#"
+        main:
+            li s0, 0
+            la s1, site
+            la s2, newinst
+            lw s2, 0(s2)
+        pass:
+        site:
+            addi a0, a0, 1
+            addi s0, s0, 1
+            li t0, 2
+            blt s0, t0, patch
+            li a7, 93
+            ecall
+        patch:
+            sw s2, 0(s1)
+            j pass
+        .align 2
+        newinst: .word {patched}
+        "#
+    );
+    let program = Assembler::new(0).assemble(&src).expect("assembles");
+    let mut stepped = Cpu::new(CpuConfig::arty_default(), sram_bus());
+    stepped.load_program(&program).expect("loads");
+    while stepped.stop_reason().is_none() {
+        stepped.step().expect("steps");
+    }
+    let ran = dual_run(CpuConfig::arty_default(), 0, &src);
+    common::assert_parity(&stepped, &ran);
+    assert_eq!(stepped.reg(Reg::A0), 3);
+}

@@ -6,18 +6,29 @@ use cfu_mem::{Bus, Sram};
 use cfu_sim::{Cpu, CpuConfig, StopReason};
 use proptest::prelude::*;
 
+mod common;
+
 fn sram_bus() -> Bus {
     let mut bus = Bus::new();
     bus.map("sram", 0, Sram::new(64 << 10));
     bus
 }
 
+/// Runs `src` twice — once with the predecoded-trace fast path, once on
+/// the plain fetch-decode loop — asserts every observable is
+/// bit-identical between the two, and returns the fast-path CPU. Every
+/// program test in this file doubles as a parity test.
 fn run(src: &str) -> Cpu {
     let program = Assembler::new(0).assemble(src).expect("assembles");
-    let mut cpu = Cpu::new(CpuConfig::arty_default(), sram_bus());
-    cpu.load_program(&program).expect("loads");
-    cpu.run(2_000_000).expect("runs");
-    cpu
+    let [fast, slow] = [true, false].map(|decode_cache| {
+        let config = CpuConfig::arty_default().with_decode_cache(decode_cache);
+        let mut cpu = Cpu::new(config, sram_bus());
+        cpu.load_program(&program).expect("loads");
+        cpu.run(2_000_000).expect("runs");
+        cpu
+    });
+    common::assert_parity(&fast, &slow);
+    fast
 }
 
 #[test]
