@@ -1,12 +1,16 @@
 //! Regenerates Figure 7: design-space-exploration Pareto fronts.
 //!
 //! Usage: `fig7_dse_pareto [--trials N] [--input-hw N] [--threads N]
-//! [--random]` (defaults: 120 trials per curve, 16x16 MobileNetV2,
-//! regularized evolution, 1 worker thread). The three curves run as
-//! three concurrent studies, each on `--threads` workers; per-curve
-//! progress counters print to stderr while the sweep runs. The Pareto
-//! fronts are byte-identical for every `--threads` value; threads only
-//! change wall-clock time.
+//! [--random] [--retime|--no-retime]` (defaults: 120 trials per curve,
+//! 16x16 MobileNetV2, regularized evolution, 1 worker thread, retime
+//! on). The three curves run as three concurrent studies, each on
+//! `--threads` workers; per-curve progress counters print to stderr
+//! while the sweep runs. The Pareto fronts are byte-identical for every
+//! `--threads` value and for both retime modes; those knobs only change
+//! wall-clock time. With retime on (the default), each curve executes
+//! the guest once to capture its operation trace and scores every other
+//! design point by replaying the trace through timing-only machinery;
+//! `--no-retime` executes the guest for every point instead.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::Duration;
@@ -33,6 +37,8 @@ fn main() {
                     args.next().and_then(|v| v.parse().ok()).expect("--threads needs an integer");
             }
             "--random" => cfg.evolutionary = false,
+            "--retime" => cfg.retime = true,
+            "--no-retime" => cfg.retime = false,
             "--csv" => {
                 csv_path = Some(args.next().expect("--csv needs a path"));
             }
@@ -40,7 +46,7 @@ fn main() {
                 svg_path = Some(args.next().expect("--svg needs a path"));
             }
             other => {
-                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --threads N --random --csv PATH --svg PATH");
+                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --threads N --random --retime --no-retime --csv PATH --svg PATH");
                 std::process::exit(2);
             }
         }
@@ -74,6 +80,13 @@ fn main() {
         done.store(true, Ordering::Relaxed);
         curves
     });
+    if cfg.retime {
+        let (captures, replays): (u64, u64) = (0..3)
+            .filter_map(|i| progress.store(i))
+            .map(|s| (s.captures(), s.replays()))
+            .fold((0, 0), |(c, r), (dc, dr)| (c + dc, r + dr));
+        eprintln!("retime: {captures} capture run(s), {replays} point(s) scored by trace replay");
+    }
     print!("{}", render(&curves));
     if let Some(path) = csv_path {
         std::fs::write(&path, cfu_bench::fig7::to_csv(&curves)).expect("write csv");

@@ -62,6 +62,35 @@ pub fn run_step_configured(
     full_width: bool,
     variant: Conv1x1Variant,
 ) -> Profile {
+    run_step_inner(cpu, input_hw, full_width, variant, false).0
+}
+
+/// [`run_step_configured`] while capturing the committed operation
+/// trace. Every Figure-4 rung swaps the deployed 1x1-conv kernel, so
+/// each step is its own retime group — the capture/replay pipeline
+/// degenerates to capture-only here, but the trace is still recorded
+/// (and serializable) for offline retiming.
+///
+/// # Panics
+///
+/// As [`run_step_configured`].
+pub fn run_step_configured_captured(
+    cpu: CpuConfig,
+    input_hw: usize,
+    full_width: bool,
+    variant: Conv1x1Variant,
+) -> (Profile, cfu_sim::Trace) {
+    let (profile, trace) = run_step_inner(cpu, input_hw, full_width, variant, true);
+    (profile, trace.expect("capture requested"))
+}
+
+fn run_step_inner(
+    cpu: CpuConfig,
+    input_hw: usize,
+    full_width: bool,
+    variant: Conv1x1Variant,
+    capture: bool,
+) -> (Profile, Option<cfu_sim::Trace>) {
     let board = Board::arty_a7_35t();
     let model = if full_width {
         models::mobilenet_v2_full(input_hw, 2, 1)
@@ -77,8 +106,13 @@ pub fn run_step_configured(
         None => Box::new(NullCfu),
     };
     let mut dep = Deployment::new(model, bus, cfu, &cfg).expect("fig4 deployment");
-    let (_, profile) = dep.run(&input).expect("fig4 inference");
-    profile
+    if capture {
+        let (_, profile, trace) = dep.run_captured(&input).expect("fig4 inference");
+        (profile, Some(trace))
+    } else {
+        let (_, profile) = dep.run(&input).expect("fig4 inference");
+        (profile, None)
+    }
 }
 
 /// Runs the whole ladder at the given input resolution. `full_width`
@@ -180,6 +214,57 @@ impl Evaluator<Conv1x1Variant> for Fig4Evaluator {
     }
 }
 
+/// [`Fig4Evaluator`] routed through the capture/replay pipeline. Every
+/// Figure-4 step deploys a different kernel, so each step is a
+/// singleton retime group: every point captures, none replay, and rows
+/// are byte-identical to [`Fig4Evaluator`] by construction. Wired so a
+/// sweep whose every point is an eligibility boundary still exercises
+/// the pipeline's bookkeeping (and records serializable traces).
+#[derive(Debug, Clone)]
+pub struct RetimedFig4Evaluator {
+    inner: Fig4Evaluator,
+    store: Arc<cfu_dse::TraceStore<u8>>,
+}
+
+impl RetimedFig4Evaluator {
+    /// Creates the evaluator over a shared trace store.
+    pub fn new(
+        cpu: CpuConfig,
+        input_hw: usize,
+        full_width: bool,
+        store: Arc<cfu_dse::TraceStore<u8>>,
+    ) -> Self {
+        RetimedFig4Evaluator { inner: Fig4Evaluator::configured(cpu, input_hw, full_width), store }
+    }
+}
+
+impl Evaluator<Conv1x1Variant> for RetimedFig4Evaluator {
+    fn evaluate(&mut self, variant: &Conv1x1Variant) -> EvalResult {
+        let Fig4Evaluator { cpu, input_hw, full_width } = self.inner;
+        let group = Conv1x1Variant::LADDER.iter().position(|v| v == variant).unwrap_or(0) as u8;
+        let profile = crate::fig6::capture_or_replay(
+            &self.store,
+            group,
+            || run_step_configured_captured(cpu, input_hw, full_width, *variant),
+            // Per-operator cycles (`aux`) come from the execute-mode
+            // profile; singleton groups never reach this branch.
+            |_trace| None,
+            || run_step_configured(cpu, input_hw, full_width, *variant),
+        );
+        let cfu_resources = match variant.required_stage() {
+            Some(stage) => Cfu1::new(stage).resources(),
+            None => Resources::ZERO,
+        };
+        EvalResult {
+            latency: profile.total_cycles(),
+            resources: cfu_resources,
+            fits: true,
+            energy_uj: 0.0,
+            aux: profile.cycles_for(OpKind::Conv2d1x1),
+        }
+    }
+}
+
 /// Runs the ladder through the parallel DSE engine: `GridSearch` over
 /// [`Fig4Space`] at full budget walks the steps in ladder order, and
 /// each batch fans out over `threads` workers. Rows are rebuilt from
@@ -187,6 +272,20 @@ impl Evaluator<Conv1x1Variant> for Fig4Evaluator {
 /// so the output is byte-identical to the serial driver.
 pub fn run_ladder_parallel(input_hw: usize, full_width: bool, threads: usize) -> Vec<Fig4Row> {
     run_ladder_parallel_configured(CpuConfig::arty_default(), input_hw, full_width, threads, None)
+}
+
+/// [`run_ladder_parallel`] scored through the capture/replay pipeline
+/// (see [`RetimedFig4Evaluator`]); rows are byte-identical.
+pub fn run_ladder_parallel_retimed(
+    input_hw: usize,
+    full_width: bool,
+    threads: usize,
+) -> Vec<Fig4Row> {
+    let cpu = CpuConfig::arty_default();
+    let store = Arc::new(cfu_dse::TraceStore::new());
+    run_ladder_engine(threads, None, &move || {
+        RetimedFig4Evaluator::new(cpu, input_hw, full_width, Arc::clone(&store))
+    })
 }
 
 /// [`run_ladder_parallel`] with an explicit CPU configuration and an
@@ -201,13 +300,23 @@ pub fn run_ladder_parallel_configured(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
 ) -> Vec<Fig4Row> {
+    run_ladder_engine(threads, progress, &move || {
+        Fig4Evaluator::configured(cpu, input_hw, full_width)
+    })
+}
+
+fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Conv1x1Variant>>(
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+    factory: &F,
+) -> Vec<Fig4Row> {
     let space = Fig4Space;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
     if let Some(counter) = progress {
         study.attach_progress(counter);
     }
-    study.run(&move || Fig4Evaluator::configured(cpu, input_hw, full_width), space.size());
+    study.run(factory, space.size());
     let mut rows = Vec::new();
     let mut baseline_conv = 0u64;
     let mut baseline_total = 0u64;

@@ -16,9 +16,10 @@ use std::sync::Arc;
 
 use cfu_core::cfu2::Cfu2;
 use cfu_core::{Cfu, NullCfu};
-use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace};
+use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace, TraceStore};
 use cfu_mem::SpiWidth;
-use cfu_sim::{CpuConfig, Multiplier};
+use cfu_sim::energy::EnergyEstimate;
+use cfu_sim::{CpuConfig, Multiplier, Trace, TraceReplayer};
 use cfu_soc::{Board, SocBuilder, SocFeatures};
 use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
 use cfu_tflm::models;
@@ -114,6 +115,26 @@ impl Fig6Step {
             Box::new(NullCfu)
         }
     }
+
+    /// Retime-eligibility group: steps in one group run the *same*
+    /// committed operation stream (same deployment layout, kernel
+    /// registry and CFU) and differ only in timing knobs (SPI width,
+    /// I-cache, multiplier) — so one captured trace serves the group.
+    ///
+    /// * `Baseline`/`QuadSpi` differ only in flash timing;
+    /// * `SramOpsAndModel` moves the layout (new stream), then
+    ///   `LargerIcache`/`FastMult` only change CPU timing on top of it;
+    /// * each kernel/CFU change (`MacConv`, `PostProc`, `SwSpecialize`)
+    ///   issues a different stream and gets its own group.
+    pub fn retime_group(self) -> u8 {
+        match self {
+            Fig6Step::Baseline | Fig6Step::QuadSpi => 0,
+            Fig6Step::SramOpsAndModel | Fig6Step::LargerIcache | Fig6Step::FastMult => 1,
+            Fig6Step::MacConv => 2,
+            Fig6Step::PostProc => 3,
+            Fig6Step::SwSpecialize => 4,
+        }
+    }
 }
 
 impl PartialOrd for Fig6Step {
@@ -153,22 +174,74 @@ pub struct Fig6Row {
 ///
 /// Panics if deployment or inference fails.
 pub fn run_step(step: Fig6Step) -> u64 {
+    run_step_inner(step, false).0
+}
+
+/// [`run_step`] while capturing the committed operation trace, for
+/// retime-only replay of the step's timing siblings (see
+/// [`Fig6Step::retime_group`]).
+///
+/// # Panics
+///
+/// As [`run_step`].
+pub fn run_step_captured(step: Fig6Step) -> (u64, Trace) {
+    let (cycles, trace) = run_step_inner(step, true);
+    (cycles, trace.expect("capture requested"))
+}
+
+fn run_step_inner(step: Fig6Step, capture: bool) -> (u64, Option<Trace>) {
+    run_step_inner_as(step, step.cpu(), capture)
+}
+
+/// Runs the KWS workload with `step`'s deployment, kernels, and SoC
+/// features but an overridden CPU — a *timing sibling* of `step` (same
+/// committed instruction stream, different timing knobs). The retime
+/// ablation bench uses this to score points between ladder rungs.
+///
+/// # Panics
+///
+/// As [`run_step`].
+pub fn run_step_as(step: Fig6Step, cpu: CpuConfig) -> u64 {
+    run_step_inner_as(step, cpu, false).0
+}
+
+fn run_step_inner_as(step: Fig6Step, cpu: CpuConfig, capture: bool) -> (u64, Option<Trace>) {
     let board = Board::fomu();
     let model = models::ds_cnn_kws(1);
     let input = models::synthetic_input(&model, 7);
-    let soc = SocBuilder::new(board).cpu(step.cpu()).features(step.features()).build();
+    let soc = SocBuilder::new(board).cpu(cpu).features(step.features()).build();
     let bus = soc.build_bus();
     // Baseline placement: weights + code execute-in-place from flash,
     // activations in SRAM (the binary image does not fit in 128 kB).
-    let mut cfg = DeployConfig::new(step.cpu(), "spiflash", "sram", "spiflash");
+    let mut cfg = DeployConfig::new(cpu, "spiflash", "sram", "spiflash");
     cfg.registry = step.registry();
     if step >= Fig6Step::SramOpsAndModel {
         cfg.hot_code_region = Some("sram".to_owned());
         cfg.hot_weights_region = Some("sram".to_owned());
     }
     let mut dep = Deployment::new(model, bus, step.cfu(), &cfg).expect("fig6 deployment");
-    let (_, profile) = dep.run(&input).expect("fig6 inference");
-    profile.total_cycles()
+    if capture {
+        let (_, profile, trace) = dep.run_captured(&input).expect("fig6 inference");
+        (profile.total_cycles(), Some(trace))
+    } else {
+        let (_, profile) = dep.run(&input).expect("fig6 inference");
+        (profile.total_cycles(), None)
+    }
+}
+
+/// Replays a captured group trace under `step`'s timing configuration
+/// (the step's SoC bus — SPI width included — and CPU knobs). Returns
+/// the whole-inference cycle count, or `None` on replay error.
+pub fn replay_step(step: Fig6Step, trace: &Trace) -> Option<u64> {
+    replay_step_as(step, step.cpu(), trace)
+}
+
+/// [`replay_step`] with an overridden CPU — retimes the captured group
+/// trace at a timing sibling of `step` (see [`run_step_as`]).
+pub fn replay_step_as(step: Fig6Step, cpu: CpuConfig, trace: &Trace) -> Option<u64> {
+    let soc = SocBuilder::new(Board::fomu()).cpu(cpu).features(step.features()).build();
+    let mut replayer = TraceReplayer::new(cpu, soc.build_bus());
+    Some(replayer.replay(trace).ok()?.total_cycles())
 }
 
 /// Monotonic process-wide count of [`run_step_with_energy`] invocations.
@@ -191,7 +264,26 @@ pub fn energy_step_evaluations() -> u64 {
 /// # Panics
 ///
 /// Panics if deployment or inference fails.
-pub fn run_step_with_energy(step: Fig6Step) -> (u64, cfu_sim::energy::EnergyEstimate) {
+pub fn run_step_with_energy(step: Fig6Step) -> (u64, EnergyEstimate) {
+    let (cycles, estimate, _) = run_step_with_energy_inner(step, false);
+    (cycles, estimate)
+}
+
+/// [`run_step_with_energy`] while capturing the committed operation
+/// trace (counts as one evaluation, like the uncaptured run).
+///
+/// # Panics
+///
+/// As [`run_step_with_energy`].
+pub fn run_step_with_energy_captured(step: Fig6Step) -> (u64, EnergyEstimate, Trace) {
+    let (cycles, estimate, trace) = run_step_with_energy_inner(step, true);
+    (cycles, estimate, trace.expect("capture requested"))
+}
+
+fn run_step_with_energy_inner(
+    step: Fig6Step,
+    capture: bool,
+) -> (u64, EnergyEstimate, Option<Trace>) {
     ENERGY_STEP_EVALS.fetch_add(1, Ordering::Relaxed);
     let board = Board::fomu();
     let model = models::ds_cnn_kws(1);
@@ -208,10 +300,37 @@ pub fn run_step_with_energy(step: Fig6Step) -> (u64, cfu_sim::energy::EnergyEsti
         cfg.hot_weights_region = Some("sram".to_owned());
     }
     let mut dep = Deployment::new(model, bus, step.cfu(), &cfg).expect("fig6 deployment");
-    let (_, profile) = dep.run(&input).expect("fig6 inference");
+    let (profile, trace) = if capture {
+        let (_, profile, trace) = dep.run_captured(&input).expect("fig6 inference");
+        (profile, Some(trace))
+    } else {
+        let (_, profile) = dep.run(&input).expect("fig6 inference");
+        (profile, None)
+    };
     let params = cfu_sim::energy::EnergyParams::ice40();
     let estimate = cfu_sim::energy::estimate_core(dep.core(), design, &params);
-    (profile.total_cycles(), estimate)
+    (profile.total_cycles(), estimate, trace)
+}
+
+/// Replays a captured group trace under `step`'s timing configuration
+/// and re-runs the iCE40 energy model over the replayed core. Counts as
+/// one evaluation (same contract as [`run_step_with_energy`]) when the
+/// replay succeeds; `None` on replay error (caller falls back to
+/// execute mode, which does its own counting).
+pub fn replay_step_with_energy(step: Fig6Step, trace: &Trace) -> Option<(u64, EnergyEstimate)> {
+    let cfu = step.cfu();
+    let soc = SocBuilder::new(Board::fomu())
+        .cpu(step.cpu())
+        .features(step.features())
+        .cfu(cfu.as_ref())
+        .build();
+    let design = soc.fit_report().used();
+    let mut replayer = TraceReplayer::new(step.cpu(), soc.build_bus());
+    let summary = replayer.replay(trace).ok()?;
+    ENERGY_STEP_EVALS.fetch_add(1, Ordering::Relaxed);
+    let params = cfu_sim::energy::EnergyParams::ice40();
+    let estimate = cfu_sim::energy::estimate_core(replayer.core(), design, &params);
+    Some((summary.total_cycles(), estimate))
 }
 
 /// Runs the whole Figure 6 ladder.
@@ -292,12 +411,100 @@ impl Evaluator<Fig6Step> for Fig6Evaluator {
     }
 }
 
+/// Capture-or-replay scaffolding shared by the retimed ladder
+/// evaluators: the first point of each retime group runs `capture` (its
+/// live result is the point's score and the trace is published), timing
+/// siblings run `replay` on the shared trace, and a failed or
+/// ineligible capture sends every point in the group through
+/// `fallback` (plain execution).
+pub(crate) fn capture_or_replay<R>(
+    store: &TraceStore<u8>,
+    group: u8,
+    capture: impl FnOnce() -> (R, Trace),
+    replay: impl FnOnce(&Trace) -> Option<R>,
+    fallback: impl FnOnce() -> R,
+) -> R {
+    let slot = store.slot(group);
+    let mut own = None;
+    let shared = slot
+        .get_or_init(|| {
+            store.begin_capture();
+            let (result, trace) = capture();
+            own = Some(result);
+            store.finish_capture();
+            Some(Arc::new(trace)).filter(|t| t.retime_safe())
+        })
+        .clone();
+    if let Some(result) = own {
+        return result;
+    }
+    if let Some(trace) = shared {
+        if let Some(result) = replay(&trace) {
+            store.note_replay();
+            return result;
+        }
+    }
+    fallback()
+}
+
+/// [`Fig6Evaluator`] with trace-capture + retime-only replay: the first
+/// step of each [`Fig6Step::retime_group`] executes the guest
+/// (capturing its operation trace); the group's timing siblings replay
+/// that trace instead of re-executing. Scores are bit-identical to
+/// [`Fig6Evaluator`].
+#[derive(Debug, Clone)]
+pub struct RetimedFig6Evaluator {
+    store: Arc<TraceStore<u8>>,
+}
+
+impl RetimedFig6Evaluator {
+    /// Creates an evaluator over a shared trace store (one store per
+    /// sweep, shared by every worker's evaluator).
+    pub fn new(store: Arc<TraceStore<u8>>) -> Self {
+        RetimedFig6Evaluator { store }
+    }
+}
+
+impl Evaluator<Fig6Step> for RetimedFig6Evaluator {
+    fn evaluate(&mut self, step: &Fig6Step) -> EvalResult {
+        let cycles = capture_or_replay(
+            &self.store,
+            step.retime_group(),
+            || run_step_captured(*step),
+            |trace| replay_step(*step, trace),
+            || run_step(*step),
+        );
+        let cfu = step.cfu();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(step.cpu())
+            .features(step.features())
+            .cfu(cfu.as_ref())
+            .build();
+        let fit = soc.fit_report();
+        EvalResult {
+            latency: cycles,
+            resources: fit.used(),
+            fits: fit.fits(),
+            energy_uj: 0.0,
+            aux: 0,
+        }
+    }
+}
+
 /// Runs the ladder through the parallel DSE engine with `threads`
 /// workers; rows are rebuilt from the memo cache with the same
 /// arithmetic as [`run_ladder`], so the output is byte-identical to the
 /// serial driver at any thread count.
 pub fn run_ladder_parallel(threads: usize) -> Vec<Fig6Row> {
     run_ladder_parallel_observed(threads, None)
+}
+
+/// [`run_ladder_parallel`] scored through the capture/replay pipeline
+/// (see [`RetimedFig6Evaluator`]): one guest execution per retime
+/// group, replays for the rest, byte-identical rows.
+pub fn run_ladder_parallel_retimed(threads: usize) -> Vec<Fig6Row> {
+    let store = Arc::new(TraceStore::new());
+    run_ladder_engine(threads, None, &move || RetimedFig6Evaluator::new(Arc::clone(&store)))
 }
 
 /// [`run_ladder_parallel`] with an optional shared progress counter,
@@ -307,13 +514,21 @@ pub fn run_ladder_parallel_observed(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
 ) -> Vec<Fig6Row> {
+    run_ladder_engine(threads, progress, &|| Fig6Evaluator)
+}
+
+fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Fig6Step>>(
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+    factory: &F,
+) -> Vec<Fig6Row> {
     let space = Fig6Space;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
     if let Some(counter) = progress {
         study.attach_progress(counter);
     }
-    study.run(&|| Fig6Evaluator, space.size());
+    study.run(factory, space.size());
     let clock_hz = Board::fomu().clock_hz as f64;
     let baseline =
         study.cache().get(&Fig6Step::Baseline).expect("engine evaluated the baseline step").latency;
@@ -430,16 +645,79 @@ impl Evaluator<Fig6Step> for EnergyLadderEvaluator {
     }
 }
 
+/// [`EnergyLadderEvaluator`] with trace-capture + retime-only replay:
+/// one guest execution per [`Fig6Step::retime_group`], replays for the
+/// group's timing siblings. The replayed [`EnergyEstimate`] threads
+/// through `EvalResult::{energy_uj, aux}` exactly like the executed
+/// one, so memo-cache row rebuilding stays loss-free.
+#[derive(Debug, Clone)]
+pub struct RetimedEnergyLadderEvaluator {
+    store: Arc<TraceStore<u8>>,
+}
+
+impl RetimedEnergyLadderEvaluator {
+    /// Creates an evaluator over a shared trace store.
+    pub fn new(store: Arc<TraceStore<u8>>) -> Self {
+        RetimedEnergyLadderEvaluator { store }
+    }
+}
+
+impl Evaluator<Fig6Step> for RetimedEnergyLadderEvaluator {
+    fn evaluate(&mut self, step: &Fig6Step) -> EvalResult {
+        let (cycles, e) = capture_or_replay(
+            &self.store,
+            step.retime_group(),
+            || {
+                let (cycles, e, trace) = run_step_with_energy_captured(*step);
+                ((cycles, e), trace)
+            },
+            |trace| replay_step_with_energy(*step, trace),
+            || run_step_with_energy(*step),
+        );
+        let cfu = step.cfu();
+        let soc = SocBuilder::new(Board::fomu())
+            .cpu(step.cpu())
+            .features(step.features())
+            .cfu(cfu.as_ref())
+            .build();
+        let fit = soc.fit_report();
+        EvalResult {
+            latency: cycles,
+            resources: fit.used(),
+            fits: fit.fits(),
+            energy_uj: e.total_uj(),
+            aux: e.dynamic_bits(),
+        }
+    }
+}
+
 /// Runs the energy ladder through the parallel DSE engine with
 /// `threads` workers; rows are rebuilt from the memo cache through the
 /// same row-building arithmetic as [`run_energy_ladder`], so the
 /// rendered table is byte-identical to the serial driver at any thread
 /// count — and each step is simulated exactly once.
 pub fn run_energy_ladder_parallel(threads: usize) -> Vec<EnergyRow> {
+    run_energy_ladder_engine(threads, &|| EnergyLadderEvaluator)
+}
+
+/// [`run_energy_ladder_parallel`] scored through the capture/replay
+/// pipeline (see [`RetimedEnergyLadderEvaluator`]): each step still
+/// counts as exactly one evaluation, rows are byte-identical.
+pub fn run_energy_ladder_parallel_retimed(threads: usize) -> Vec<EnergyRow> {
+    let store = Arc::new(TraceStore::new());
+    run_energy_ladder_engine(threads, &move || {
+        RetimedEnergyLadderEvaluator::new(Arc::clone(&store))
+    })
+}
+
+fn run_energy_ladder_engine<F: cfu_dse::EvaluatorFactory<Fig6Step>>(
+    threads: usize,
+    factory: &F,
+) -> Vec<EnergyRow> {
     let space = EnergyLadderSpace;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
-    study.run(&|| EnergyLadderEvaluator, space.size());
+    study.run(factory, space.size());
     let clock_hz = Board::fomu().clock_hz;
     Fig6Step::LADDER
         .iter()

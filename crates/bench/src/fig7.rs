@@ -13,7 +13,7 @@ use std::sync::Arc;
 
 use cfu_dse::{
     CfuChoice, Fig7CurveSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint, RandomSearch,
-    RegularizedEvolution,
+    RegularizedEvolution, TraceStore,
 };
 use cfu_soc::Board;
 use cfu_tflm::models;
@@ -49,11 +49,24 @@ pub struct Fig7Config {
     /// Worker threads per curve. Fronts are identical for every value;
     /// only wall-clock time changes.
     pub threads: usize,
+    /// Trace-capture + retime-only replay: execute the guest once per
+    /// CFU choice, then score every other point by replaying the
+    /// captured trace through timing-only machinery. Results are
+    /// bit-identical either way; replay is ~an order of magnitude
+    /// cheaper per point. On by default.
+    pub retime: bool,
 }
 
 impl Default for Fig7Config {
     fn default() -> Self {
-        Fig7Config { input_hw: 16, trials: 120, evolutionary: true, seed: 11, threads: 1 }
+        Fig7Config {
+            input_hw: 16,
+            trials: 120,
+            evolutionary: true,
+            seed: 11,
+            threads: 1,
+            retime: true,
+        }
     }
 }
 
@@ -64,6 +77,7 @@ impl Default for Fig7Config {
 #[derive(Debug, Default)]
 pub struct Fig7Progress {
     counters: [Arc<AtomicU64>; 3],
+    stores: [Arc<std::sync::OnceLock<Arc<TraceStore>>>; 3],
 }
 
 impl Fig7Progress {
@@ -77,6 +91,18 @@ impl Fig7Progress {
         Arc::clone(&self.counters[i])
     }
 
+    /// Publishes curve `i`'s shared [`TraceStore`] so pollers can render
+    /// capture progress. Called once per curve by the retime-enabled
+    /// driver; later calls are ignored.
+    pub fn publish_store(&self, i: usize, store: Arc<TraceStore>) {
+        let _ = self.stores[i].set(store);
+    }
+
+    /// Curve `i`'s trace store, once published by a retime-enabled run.
+    pub fn store(&self, i: usize) -> Option<&Arc<TraceStore>> {
+        self.stores[i].get()
+    }
+
     /// Points evaluated so far, per curve.
     pub fn snapshot(&self) -> [u64; 3] {
         [
@@ -87,13 +113,19 @@ impl Fig7Progress {
     }
 
     /// One-line readout ("CPU alone 48/120 · ..."), `trials` being the
-    /// per-curve budget.
+    /// per-curve budget. Curves with a capture run in flight show
+    /// "capturing trace…" after their counter.
     pub fn render(&self, trials: u64) -> String {
         let snap = self.snapshot();
         CURVES
             .iter()
             .zip(snap)
-            .map(|(c, n)| format!("{} {n}/{trials}", c.label()))
+            .enumerate()
+            .map(|(i, (c, n))| {
+                let capturing = self.store(i).is_some_and(|s| s.capturing() > 0);
+                let tail = if capturing { " (capturing trace…)" } else { "" };
+                format!("{} {n}/{trials}{tail}", c.label())
+            })
             .collect::<Vec<_>>()
             .join(" · ")
     }
@@ -124,11 +156,24 @@ pub fn run_curve_observed(
     cfg: &Fig7Config,
     progress: Option<Arc<AtomicU64>>,
 ) -> Fig7Curve {
+    run_curve_inner(choice, cfg, progress, None)
+}
+
+fn run_curve_inner(
+    choice: CfuChoice,
+    cfg: &Fig7Config,
+    progress: Option<Arc<AtomicU64>>,
+    publish: Option<(&Fig7Progress, usize)>,
+) -> Fig7Curve {
     let model = models::mobilenet_v2(cfg.input_hw, 2, 1);
     let input = models::synthetic_input(&model, 5);
     // One factory per curve: workers share the model weights and the
     // input tensor by `Arc`, each minting a private evaluator.
-    let factory = InferenceEvaluatorFactory::new(Board::arty_a7_35t(), model, input);
+    let factory =
+        InferenceEvaluatorFactory::new(Board::arty_a7_35t(), model, input).with_retime(cfg.retime);
+    if let (Some((progress, i)), Some(store)) = (publish, factory.trace_store()) {
+        progress.publish_store(i, Arc::clone(store));
+    }
     let space = space_for(choice);
     let (front, evaluated) = if cfg.evolutionary {
         let mut study =
@@ -165,7 +210,8 @@ pub fn run_all_observed(cfg: &Fig7Config, progress: &Fig7Progress) -> Vec<Fig7Cu
             .enumerate()
             .map(|(i, &choice)| {
                 let counter = progress.counter(i);
-                scope.spawn(move || run_curve_observed(choice, cfg, Some(counter)))
+                scope
+                    .spawn(move || run_curve_inner(choice, cfg, Some(counter), Some((progress, i))))
             })
             .collect();
         // Joining in spawn order keeps the output order fixed.

@@ -48,8 +48,14 @@ fn fig6_engine_path_matches_legacy_csv_at_any_thread_count() {
 fn fig7_concurrent_curves_match_the_serial_driver_byte_for_byte() {
     // The pre-unification serial driver: one curve after another, one
     // worker thread each.
-    let serial_cfg =
-        fig7::Fig7Config { input_hw: 8, trials: 24, evolutionary: true, seed: 11, threads: 1 };
+    let serial_cfg = fig7::Fig7Config {
+        input_hw: 8,
+        trials: 24,
+        evolutionary: true,
+        seed: 11,
+        threads: 1,
+        retime: false,
+    };
     let legacy: Vec<fig7::Fig7Curve> =
         fig7::CURVES.iter().map(|&c| fig7::run_curve(c, &serial_cfg)).collect();
     let legacy_csv = fig7::to_csv(&legacy);
@@ -65,6 +71,87 @@ fn fig7_concurrent_curves_match_the_serial_driver_byte_for_byte() {
             fig7::render(&curves),
             legacy_render,
             "fig7 report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn fig4_retime_pipeline_matches_execute_mode_csv() {
+    // Every Figure-4 rung deploys a different kernel, so the pipeline is
+    // capture-only there — rows must still be byte-identical.
+    let execute = fig4::to_csv(&fig4::run_ladder_parallel(16, false, 1));
+    for threads in [1, 4] {
+        let retimed = fig4::to_csv(&fig4::run_ladder_parallel_retimed(16, false, threads));
+        assert_eq!(retimed, execute, "fig4 retime CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig6_retime_pipeline_matches_execute_mode_csv() {
+    // QuadSPI / Larger Icache / Fast Mult are scored by replaying their
+    // group's captured trace; the CSV must not move by a byte.
+    let execute = fig6::to_csv(&fig6::run_ladder_parallel(1));
+    for threads in [1, 4] {
+        let retimed = fig6::to_csv(&fig6::run_ladder_parallel_retimed(threads));
+        assert_eq!(retimed, execute, "fig6 retime CSV diverged at {threads} threads");
+    }
+}
+
+#[test]
+fn fig7_retime_pipeline_matches_execute_mode_csv_and_report() {
+    let base = fig7::Fig7Config {
+        input_hw: 8,
+        trials: 24,
+        evolutionary: true,
+        seed: 11,
+        threads: 1,
+        retime: false,
+    };
+    let execute = fig7::run_all(&base);
+    let (execute_csv, execute_render) = (fig7::to_csv(&execute), fig7::render(&execute));
+    for threads in [1, 4] {
+        let cfg = fig7::Fig7Config { threads, retime: true, ..base };
+        let curves = fig7::run_all(&cfg);
+        assert_eq!(
+            fig7::to_csv(&curves),
+            execute_csv,
+            "fig7 retime CSV diverged at {threads} threads"
+        );
+        assert_eq!(
+            fig7::render(&curves),
+            execute_render,
+            "fig7 retime report diverged at {threads} threads"
+        );
+    }
+}
+
+#[test]
+fn energy_ladder_retime_pipeline_matches_execute_mode_loss_free() {
+    // The replayed energy estimate rides the memo cache through
+    // `EvalResult::{energy_uj, aux}` exactly like the executed one:
+    // both the rendered table (total/dynamic/EDP columns rebuilt from
+    // the cached bits) and the CSV must be byte-identical, and each
+    // step still counts as exactly one evaluation.
+    let steps = fig6::Fig6Step::LADDER.len() as u64;
+    let execute_table = fig6::render_energy(&fig6::run_energy_ladder_parallel(1));
+    let execute_csv = fig6::energy_to_csv(&fig6::run_energy_ladder_parallel(1));
+    for threads in [1, 4] {
+        let before = fig6::energy_step_evaluations();
+        let rows = fig6::run_energy_ladder_parallel_retimed(threads);
+        assert_eq!(
+            fig6::energy_step_evaluations() - before,
+            steps,
+            "retimed energy ladder must count one evaluation per step at {threads} threads"
+        );
+        assert_eq!(
+            fig6::render_energy(&rows),
+            execute_table,
+            "retimed energy table diverged at {threads} threads"
+        );
+        assert_eq!(
+            fig6::energy_to_csv(&rows),
+            execute_csv,
+            "retimed energy CSV diverged at {threads} threads"
         );
     }
 }

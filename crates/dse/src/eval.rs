@@ -1,9 +1,12 @@
 //! Evaluators: mapping a design point to (latency, resources, fits).
 
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use cfu_core::{Cfu, NullCfu, Resources};
+use cfu_sim::{Trace, TraceReplayer};
 use cfu_soc::Board;
 use cfu_tflm::deploy::{ConvKernel, DeployConfig, Deployment, DwKernel, KernelRegistry};
 use cfu_tflm::kernels::conv1x1::Conv1x1Variant;
@@ -103,15 +106,112 @@ impl Evaluator for ResourceEvaluator {
     }
 }
 
+/// One [`TraceStore`] slot: filled exactly once, `None` when the
+/// capture refused retime-eligibility.
+pub type TraceSlot = Arc<OnceLock<Option<Arc<Trace>>>>;
+
+/// A shared store of captured operation traces, one per
+/// retime-eligibility key.
+///
+/// Retime-eligible design points share the guest's *architectural*
+/// behaviour — the committed operation stream — and differ only in
+/// *timing* knobs (caches, predictors, functional-unit latencies). The
+/// store runs the guest once per key (capture), then every other point
+/// with the same key replays the shared [`Trace`] through timing-only
+/// machinery at a fraction of the cost.
+///
+/// The store is shared by `Arc` across a
+/// [`ParallelStudy`](crate::ParallelStudy) worker pool: each slot is a
+/// [`OnceLock`], so exactly one worker performs the capture while racing
+/// workers block briefly and then replay. A slot holding `None` records
+/// a capture that *refused* eligibility (the run failed, or the trace is
+/// not retime-safe) — every point under that key falls back to
+/// execute mode.
+///
+/// Keyed by `K` (default [`CfuChoice`], the Figure-7 eligibility key:
+/// for a fixed board/model/input the operation stream depends only on
+/// which CFU's kernels are deployed). Ladder harnesses key by their own
+/// step-group type.
+#[derive(Debug, Default)]
+pub struct TraceStore<K = CfuChoice> {
+    slots: Mutex<HashMap<K, TraceSlot>>,
+    captures_started: AtomicU64,
+    captures_finished: AtomicU64,
+    replays: AtomicU64,
+}
+
+impl<K: Copy + Eq + Hash> TraceStore<K> {
+    /// An empty store.
+    pub fn new() -> Self {
+        TraceStore {
+            slots: Mutex::new(HashMap::new()),
+            captures_started: AtomicU64::new(0),
+            captures_finished: AtomicU64::new(0),
+            replays: AtomicU64::new(0),
+        }
+    }
+
+    /// The capture slot for `key`, created empty on first request. The
+    /// slot lock is held only for the map probe, never during capture.
+    pub fn slot(&self, key: K) -> TraceSlot {
+        let mut slots = self.slots.lock().expect("trace store poisoned");
+        Arc::clone(slots.entry(key).or_default())
+    }
+
+    /// Marks a capture run as started (drives "capturing trace…"
+    /// progress readouts).
+    pub fn begin_capture(&self) {
+        self.captures_started.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks a capture run as finished.
+    pub fn finish_capture(&self) {
+        self.captures_finished.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Counts one replayed evaluation.
+    pub fn note_replay(&self) {
+        self.replays.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Completed capture runs.
+    pub fn captures(&self) -> u64 {
+        self.captures_finished.load(Ordering::Relaxed)
+    }
+
+    /// Capture runs currently in flight (started, not yet finished).
+    pub fn capturing(&self) -> u64 {
+        self.captures_started
+            .load(Ordering::Relaxed)
+            .saturating_sub(self.captures_finished.load(Ordering::Relaxed))
+    }
+
+    /// Evaluations served by trace replay instead of execution.
+    pub fn replays(&self) -> u64 {
+        self.replays.load(Ordering::Relaxed)
+    }
+}
+
 /// The real evaluator: deploys the workload on the simulated SoC and
 /// measures one inference — the stand-in for the paper's "Verilator, a
 /// cycle-accurate simulator ... used to determine the latency for Vizier
 /// when running experiments at scale in the cloud".
+///
+/// With a [`TraceStore`] attached (see
+/// [`InferenceEvaluator::set_trace_store`]) the evaluator runs the
+/// guest once per [`CfuChoice`] and serves every other point under that
+/// choice by replaying the captured trace through timing-only machinery
+/// — same results, a fraction of the per-point cost.
 pub struct InferenceEvaluator {
     board: Board,
     model: Arc<Model>,
     input: Arc<Tensor>,
     cache: HashMap<DesignPoint, EvalResult>,
+    retime: Option<Arc<TraceStore>>,
+    /// Bus recycled across replays: replay never reads memory contents
+    /// and resets stats/device timing up front, so reusing the mapped
+    /// devices (and their large DRAM allocation) is free speedup.
+    replay_bus: Option<cfu_soc::Bus>,
 }
 
 impl std::fmt::Debug for InferenceEvaluator {
@@ -135,7 +235,21 @@ impl InferenceEvaluator {
     /// the zero-copy constructor used by worker-pool factories: no weight
     /// or input bytes are duplicated per evaluator.
     pub fn with_shared(board: Board, model: impl Into<Arc<Model>>, input: Arc<Tensor>) -> Self {
-        InferenceEvaluator { board, model: model.into(), input, cache: HashMap::new() }
+        InferenceEvaluator {
+            board,
+            model: model.into(),
+            input,
+            cache: HashMap::new(),
+            retime: None,
+            replay_bus: None,
+        }
+    }
+
+    /// Attaches a shared [`TraceStore`]: evaluations become
+    /// capture-once / replay-many per [`CfuChoice`]. Detach by passing
+    /// `None` to return to plain execute mode.
+    pub fn set_trace_store(&mut self, store: Option<Arc<TraceStore>>) {
+        self.retime = store;
     }
 
     /// The shared model handle (for pointer-identity assertions that no
@@ -176,6 +290,98 @@ impl InferenceEvaluator {
         cfg.registry = registry;
         cfg
     }
+
+    /// Runs one inference at `point` in execute mode, optionally
+    /// capturing the committed operation trace. Returns
+    /// `(latency, energy_uj, trace)`; failures yield the sentinel
+    /// `(u64::MAX, inf, None)` exactly as before.
+    fn execute_point(
+        &self,
+        point: &DesignPoint,
+        resources: Resources,
+        capture: bool,
+    ) -> (u64, f64, Option<Trace>) {
+        let (_, cfu) = Self::kernels_for(point.cfu);
+        let cfg = self.deploy_config(point);
+        let bus = self.board.build_bus(None);
+        let params = cfu_sim::energy::default_params_for(&point.cpu);
+        // `Arc::clone` bumps a refcount; the weights are never copied.
+        match Deployment::new(Arc::clone(&self.model), bus, cfu, &cfg) {
+            Ok(mut dep) => {
+                let run = if capture {
+                    dep.run_captured(&self.input)
+                        .map(|(out, profile, trace)| (out, profile, Some(trace)))
+                } else {
+                    dep.run(&self.input).map(|(out, profile)| (out, profile, None))
+                };
+                match run {
+                    Ok((_, profile, trace)) => {
+                        let e = cfu_sim::energy::estimate_core(dep.core(), resources, &params);
+                        (profile.total_cycles(), e.total_uj(), trace)
+                    }
+                    Err(_) => (u64::MAX, f64::INFINITY, None),
+                }
+            }
+            Err(_) => (u64::MAX, f64::INFINITY, None),
+        }
+    }
+
+    /// Replays a captured trace under `point`'s *timing* configuration:
+    /// a fresh board bus (contents are irrelevant to timing), a
+    /// [`TraceReplayer`] with the point's CPU knobs, and the same energy
+    /// model over the replayed core. `None` on replay error (caller
+    /// falls back to execute mode).
+    fn replay_point(
+        &mut self,
+        point: &DesignPoint,
+        resources: Resources,
+        trace: &Trace,
+    ) -> Option<(u64, f64)> {
+        let bus = self.replay_bus.take().unwrap_or_else(|| self.board.build_bus(None));
+        let params = cfu_sim::energy::default_params_for(&point.cpu);
+        let mut replayer = TraceReplayer::new(point.cpu, bus);
+        let result = replayer.replay(trace);
+        let out = result.ok().map(|summary| {
+            let e = cfu_sim::energy::estimate_core(replayer.core(), resources, &params);
+            (summary.total_cycles(), e.total_uj())
+        });
+        self.replay_bus = Some(replayer.into_bus());
+        out
+    }
+
+    /// Scores `point` through the capture/replay pipeline: first point
+    /// under each [`CfuChoice`] executes (capturing), the rest replay.
+    fn evaluate_retimed(
+        &mut self,
+        store: &Arc<TraceStore>,
+        point: &DesignPoint,
+        resources: Resources,
+    ) -> (u64, f64) {
+        let slot = store.slot(point.cfu);
+        let mut captured = None;
+        let shared = slot
+            .get_or_init(|| {
+                store.begin_capture();
+                let (latency, energy_uj, trace) = self.execute_point(point, resources, true);
+                captured = Some((latency, energy_uj));
+                store.finish_capture();
+                // A failed run or a timing-dependent trace refuses
+                // eligibility for the whole key.
+                trace.filter(|t| t.retime_safe()).map(Arc::new)
+            })
+            .clone();
+        if let Some(own) = captured {
+            return own;
+        }
+        if let Some(trace) = shared {
+            if let Some(replayed) = self.replay_point(point, resources, &trace) {
+                store.note_replay();
+                return replayed;
+            }
+        }
+        let (latency, energy_uj, _) = self.execute_point(point, resources, false);
+        (latency, energy_uj)
+    }
 }
 
 impl Evaluator for InferenceEvaluator {
@@ -186,20 +392,12 @@ impl Evaluator for InferenceEvaluator {
         let fabric = cfu_soc::SocFeatures::default().resources();
         let resources = point.resources() + fabric;
         let fits = resources.fits_within(&self.board.budget);
-        let (_, cfu) = Self::kernels_for(point.cfu);
-        let cfg = self.deploy_config(point);
-        let bus = self.board.build_bus(None);
-        let params = cfu_sim::energy::default_params_for(&point.cpu);
-        // `Arc::clone` bumps a refcount; the weights are never copied.
-        let (latency, energy_uj) = match Deployment::new(Arc::clone(&self.model), bus, cfu, &cfg) {
-            Ok(mut dep) => match dep.run(&self.input) {
-                Ok((_, profile)) => {
-                    let e = cfu_sim::energy::estimate_core(dep.core(), resources, &params);
-                    (profile.total_cycles(), e.total_uj())
-                }
-                Err(_) => (u64::MAX, f64::INFINITY),
-            },
-            Err(_) => (u64::MAX, f64::INFINITY),
+        let (latency, energy_uj) = match self.retime.clone() {
+            Some(store) => self.evaluate_retimed(&store, point, resources),
+            None => {
+                let (latency, energy_uj, _) = self.execute_point(point, resources, false);
+                (latency, energy_uj)
+            }
         };
         let result = EvalResult { latency, resources, fits, energy_uj, aux: 0 };
         self.cache.insert(*point, result);
@@ -273,6 +471,28 @@ mod tests {
         let rb = eval.evaluate(&b);
         assert!(rb.resources.luts > ra.resources.luts, "CFU1 costs area");
         assert!(rb.latency < ra.latency, "CFU1 accelerates the conv workload");
+    }
+
+    #[test]
+    fn retimed_evaluation_matches_execute_mode_bit_exactly() {
+        let model = std::sync::Arc::new(models::tiny_test_net(3));
+        let input = std::sync::Arc::new(models::synthetic_input(&model, 4));
+        let board = cfu_soc::Board::arty_a7_35t();
+        let mut plain =
+            InferenceEvaluator::with_shared(board.clone(), Arc::clone(&model), Arc::clone(&input));
+        let mut retimed = InferenceEvaluator::with_shared(board, model, input);
+        let store = Arc::new(TraceStore::new());
+        retimed.set_trace_store(Some(Arc::clone(&store)));
+        let space = DesignSpace::small();
+        // A stride that still visits every CFU choice several times.
+        for i in (0..space.size()).step_by(5) {
+            let p = space.point(i);
+            assert_eq!(retimed.evaluate(&p), plain.evaluate(&p), "point {i} diverged");
+        }
+        // One capture per CFU choice; every other point replayed.
+        assert_eq!(store.captures(), 3);
+        assert_eq!(store.capturing(), 0);
+        assert!(store.replays() > 0, "replay path never taken");
     }
 
     #[test]

@@ -54,7 +54,7 @@ mod pareto;
 mod space;
 mod surrogate;
 
-pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator};
+pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator, TraceStore};
 pub use optimizer::{
     GridSearch, Optimizer, RandomSearch, RegularizedEvolution, SimulatedAnnealing, Study,
     SUGGEST_BATCH,

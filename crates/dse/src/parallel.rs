@@ -25,7 +25,7 @@ use cfu_soc::Board;
 use cfu_tflm::model::Model;
 use cfu_tflm::tensor::Tensor;
 
-use crate::eval::{EvalResult, Evaluator, InferenceEvaluator};
+use crate::eval::{EvalResult, Evaluator, InferenceEvaluator, TraceStore};
 use crate::optimizer::{record_result, Optimizer, SUGGEST_BATCH};
 use crate::pareto::ParetoArchive;
 use crate::space::{DesignPoint, DesignSpace, SearchSpace};
@@ -62,13 +62,37 @@ pub struct InferenceEvaluatorFactory {
     board: Board,
     model: Arc<Model>,
     input: Arc<Tensor>,
+    retime: Option<Arc<TraceStore>>,
 }
 
 impl InferenceEvaluatorFactory {
     /// Creates the factory; `model` may be a bare [`Model`] or an
     /// existing [`Arc<Model>`] handle.
     pub fn new(board: Board, model: impl Into<Arc<Model>>, input: Tensor) -> Self {
-        InferenceEvaluatorFactory { board, model: model.into(), input: Arc::new(input) }
+        InferenceEvaluatorFactory {
+            board,
+            model: model.into(),
+            input: Arc::new(input),
+            retime: None,
+        }
+    }
+
+    /// Enables (or disables) trace-capture + retime-only replay: with
+    /// `enabled`, every evaluator minted by this factory shares one
+    /// [`TraceStore`], so the guest executes once per [`CfuChoice`] and
+    /// all other points under that choice replay the captured trace
+    /// through timing-only machinery. Off by default.
+    ///
+    /// [`CfuChoice`]: crate::CfuChoice
+    pub fn with_retime(mut self, enabled: bool) -> Self {
+        self.retime = enabled.then(|| Arc::new(TraceStore::new()));
+        self
+    }
+
+    /// The shared trace store, when retime mode is enabled — poll its
+    /// counters for "capturing trace…" progress readouts.
+    pub fn trace_store(&self) -> Option<&Arc<TraceStore>> {
+        self.retime.as_ref()
     }
 
     /// The shared model handle (for pointer-identity assertions).
@@ -80,11 +104,13 @@ impl InferenceEvaluatorFactory {
 impl EvaluatorFactory for InferenceEvaluatorFactory {
     type Eval = InferenceEvaluator;
     fn make_evaluator(&self) -> InferenceEvaluator {
-        InferenceEvaluator::with_shared(
+        let mut eval = InferenceEvaluator::with_shared(
             self.board.clone(),
             Arc::clone(&self.model),
             Arc::clone(&self.input),
-        )
+        );
+        eval.set_trace_store(self.retime.clone());
+        eval
     }
 }
 

@@ -86,6 +86,9 @@ pub struct Bus {
     /// (e.g. the simulator's predecoded-instruction store) compare it to
     /// detect staleness.
     generation: u64,
+    /// Index of the most recently routed region — accesses cluster, so
+    /// the common case is one range check instead of a map scan.
+    hot: usize,
 }
 
 impl Bus {
@@ -158,11 +161,17 @@ impl Bus {
     }
 
     fn route(&mut self, addr: u32, len: usize) -> Result<(usize, u32), MemError> {
-        let idx = self
-            .regions
-            .iter()
-            .position(|m| m.info.contains(addr))
-            .ok_or(MemError::Unmapped { addr })?;
+        let idx = if self.regions.get(self.hot).is_some_and(|m| m.info.contains(addr)) {
+            self.hot
+        } else {
+            let idx = self
+                .regions
+                .iter()
+                .position(|m| m.info.contains(addr))
+                .ok_or(MemError::Unmapped { addr })?;
+            self.hot = idx;
+            idx
+        };
         let info = &self.regions[idx].info;
         if u64::from(addr) + len as u64 > info.end() {
             return Err(MemError::OutOfBounds { addr, len });
@@ -309,6 +318,155 @@ impl Bus {
         m.device.reset_timing();
         Ok(())
     }
+
+    /// A [`read`](Bus::read) whose data is discarded: identical routing,
+    /// device-timing evolution, statistics and returned cycle count,
+    /// without the caller providing a buffer. Used by timing-only
+    /// consumers (cache-line fills whose bytes nobody reads, trace
+    /// replay) — the device still observes a real read.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Bus::read).
+    #[inline]
+    pub fn read_cost(&mut self, addr: u32, len: u32) -> Result<u64, MemError> {
+        self.read_cost_run(addr, len, 1)
+    }
+
+    /// The timing of `count` back-to-back reads of `len` bytes, the k-th
+    /// at `addr + k*len` — routing, statistics and device-timing
+    /// evolution identical to `count` individual [`read`](Bus::read)
+    /// calls, without transferring data. When the whole run falls inside
+    /// one region the device charges it through
+    /// [`BusDevice::read_cost_run`] (closed-form for bursty devices);
+    /// a run straddling regions falls back to per-access charging.
+    ///
+    /// # Errors
+    ///
+    /// As [`read`](Bus::read), at the first failing access.
+    pub fn read_cost_run(&mut self, addr: u32, len: u32, count: u32) -> Result<u64, MemError> {
+        if count == 0 {
+            return Ok(0);
+        }
+        let span = u64::from(len) * u64::from(count);
+        if let Ok((idx, offset)) = self.route(addr, span as usize) {
+            let m = &mut self.regions[idx];
+            let cycles =
+                m.device.read_cost_run(offset, len, count).map_err(|e| rebase(e, m.info.base))?;
+            m.stats.reads += u64::from(count);
+            m.stats.bytes_read += span;
+            m.stats.read_cycles += cycles;
+            return Ok(cycles);
+        }
+        // The run leaves the first region (or starts unmapped): charge
+        // per access so partial effects and the fault address match the
+        // individual-read sequence exactly.
+        if count == 1 {
+            let mut scratch = [0u8; 64];
+            return if len as usize <= scratch.len() {
+                self.read(addr, &mut scratch[..len as usize])
+            } else {
+                self.read(addr, &mut vec![0u8; len as usize])
+            };
+        }
+        let mut total = 0u64;
+        for k in 0..count {
+            total += self.read_cost_run(addr + k * len, len, 1)?;
+        }
+        Ok(total)
+    }
+
+    /// `true` when the region containing `addr` reports
+    /// [`BusDevice::timing_stateless`] — its access timing is
+    /// history-free, so charges against it commute with accesses to
+    /// other regions. `false` for unmapped addresses.
+    pub fn timing_stateless_at(&self, addr: u32) -> bool {
+        self.regions
+            .iter()
+            .find(|m| m.info.contains(addr))
+            .is_some_and(|m| m.device.timing_stateless())
+    }
+
+    /// The region containing `addr`, if any.
+    pub fn region_at(&self, addr: u32) -> Option<RegionId> {
+        self.regions.iter().position(|m| m.info.contains(addr)).map(RegionId)
+    }
+
+    /// Credits a region's statistics with `reads` reads totalling
+    /// `bytes` bytes and `cycles` cycles that were charged out-of-band —
+    /// bulk replay paths that memoize a stateless device's access cost
+    /// and account the traffic without routing every access.
+    pub fn note_reads(&mut self, id: RegionId, reads: u64, bytes: u64, cycles: u64) {
+        let stats = &mut self.regions[id.0].stats;
+        stats.reads += reads;
+        stats.bytes_read += bytes;
+        stats.read_cycles += cycles;
+    }
+
+    /// [`timing_stateless_at`](Bus::timing_stateless_at) over a span:
+    /// `true` when every mapped region overlapping `[addr, addr+len)`
+    /// is timing-stateless. Unmapped holes don't disqualify the span —
+    /// an access landing in one faults identically either way.
+    pub fn timing_stateless_range(&self, addr: u32, len: u32) -> bool {
+        let end = u64::from(addr) + u64::from(len);
+        self.regions
+            .iter()
+            .filter(|m| u64::from(m.info.base) < end && m.info.end() > u64::from(addr))
+            .all(|m| m.device.timing_stateless())
+    }
+
+    /// [`BusDevice::timing_partition_mask`] for the region `id`, whose
+    /// containment of `addr` the caller has already established; `span`
+    /// is clamped to the region end. Accesses whose partition masks are
+    /// disjoint commute — see the device-trait method for the contract.
+    pub fn timing_partition_mask(&self, id: RegionId, addr: u32, span: u64) -> u64 {
+        let m = &self.regions[id.0];
+        let off = addr - m.info.base;
+        let span = span.min(m.info.end() - u64::from(addr)) as u32;
+        m.device.timing_partition_mask(off, span.max(1))
+    }
+
+    /// [`BusDevice::timing_partition_hold`] for the region `id`: the
+    /// partition mask of `[addr, addr + span)` plus the *absolute*
+    /// address up to which that mask stays a superset for any contained
+    /// access — lets a caller memoize the mask across a streaming
+    /// pattern (e.g. once per DRAM row).
+    pub fn timing_partition_hold(&self, id: RegionId, addr: u32, span: u64) -> (u64, u32) {
+        let m = &self.regions[id.0];
+        let off = addr - m.info.base;
+        let span = span.min(m.info.end() - u64::from(addr)) as u32;
+        let (mask, hold_end) = m.device.timing_partition_hold(off, span.max(1));
+        (mask, m.info.base.saturating_add(hold_end))
+    }
+
+    /// [`timing_partition_mask`](Bus::timing_partition_mask) with the
+    /// region resolved by address. Unmapped addresses return the
+    /// all-partitions mask (conservative: never claims commutativity
+    /// for an access that will fault).
+    pub fn timing_partition_mask_at(&self, addr: u32, span: u64) -> u64 {
+        match self.region_at(addr) {
+            Some(id) => self.timing_partition_mask(id, addr, span),
+            None => !0,
+        }
+    }
+
+    /// Replays the *device-timing side effect* of a [`peek`](Bus::peek)
+    /// at `addr` — routing plus [`BusDevice::reset_timing`] — without
+    /// transferring any data. For every device in this crate a peek's net
+    /// effect on timing state is exactly the trailing `reset_timing`
+    /// (SRAM is stateless; the flash's sequential-burst tracker and the
+    /// DDR3 open rows are set by the read and then cleared), so a trace
+    /// replayer can stand in for peeks with this call alone.
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::Unmapped`] for holes in the map.
+    #[inline]
+    pub fn reset_device_timing(&mut self, addr: u32) -> Result<(), MemError> {
+        let (idx, _) = self.route(addr, 1)?;
+        self.regions[idx].device.reset_timing();
+        Ok(())
+    }
 }
 
 /// Converts a device-relative fault address into an absolute one.
@@ -428,5 +586,43 @@ mod tests {
         let bus = demo_bus();
         let names: Vec<_> = bus.regions().map(|(_, i)| i.name.clone()).collect();
         assert_eq!(names, ["rom", "sram"]);
+    }
+
+    #[test]
+    fn read_cost_matches_read_exactly() {
+        // Sequential flash reads are timing-stateful (burst tracker), so
+        // interleaving checks that read_cost evolves the device exactly
+        // like read: same cycles, same stats.
+        let mut a = demo_bus();
+        let mut b = demo_bus();
+        let (rom_a, _) = a.region_by_name("rom").unwrap();
+        let (rom_b, _) = b.region_by_name("rom").unwrap();
+        let mut buf = [0u8; 32];
+        for addr in [0u32, 32, 64, 256, 288] {
+            let ca = a.read(addr, &mut buf).unwrap();
+            let cb = b.read_cost(addr, 32).unwrap();
+            assert_eq!(ca, cb, "cycles diverged at {addr:#x}");
+        }
+        assert_eq!(a.stats(rom_a), b.stats(rom_b));
+    }
+
+    #[test]
+    fn reset_device_timing_reproduces_peek_timing_effect() {
+        // After a peek (or a reset_device_timing), the next sequential
+        // flash read must cost the same in both buses: the peek's net
+        // timing effect is exactly the reset.
+        let mut a = demo_bus();
+        let mut b = demo_bus();
+        let mut buf = [0u8; 4];
+        a.read(0, &mut buf).unwrap();
+        b.read(0, &mut buf).unwrap();
+        let mut p = [0u8; 4];
+        a.peek(0x10, &mut p).unwrap();
+        b.reset_device_timing(0x10).unwrap();
+        // A would-be-sequential read: burst state was cleared in both.
+        let ca = a.read(4, &mut buf).unwrap();
+        let cb = b.read(4, &mut buf).unwrap();
+        assert_eq!(ca, cb);
+        assert_eq!(b.generation(), a.generation(), "neither path mutates contents");
     }
 }

@@ -107,6 +107,13 @@ pub struct Cache {
     lines: Vec<Line>,
     stats: CacheStats,
     tick: u64,
+    /// `log2(line_bytes)` — the validated geometry guarantees powers of
+    /// two, so the per-access index/tag math is shifts, not divides.
+    line_shift: u32,
+    /// `sets() - 1`.
+    set_mask: u32,
+    /// `log2(sets())`.
+    set_shift: u32,
 }
 
 impl Cache {
@@ -125,6 +132,9 @@ impl Cache {
             lines: vec![Line::default(); total_lines],
             stats: CacheStats::default(),
             tick: 0,
+            line_shift: config.line_bytes.trailing_zeros(),
+            set_mask: config.sets() - 1,
+            set_shift: config.sets().trailing_zeros(),
         }
     }
 
@@ -151,11 +161,11 @@ impl Cache {
     }
 
     fn set_index(&self, addr: u32) -> usize {
-        ((addr / self.config.line_bytes) & (self.config.sets() - 1)) as usize
+        ((addr >> self.line_shift) & self.set_mask) as usize
     }
 
     fn tag(&self, addr: u32) -> u32 {
-        addr / self.config.line_bytes / self.config.sets()
+        addr >> (self.line_shift + self.set_shift)
     }
 
     fn set_range(&self, addr: u32) -> std::ops::Range<usize> {
@@ -273,6 +283,12 @@ impl Cache {
     /// hits at once. Same contract per counted hit; callers may defer
     /// the ticks as long as the statistics are not observed in between
     /// (hit counts have no effect on replacement decisions).
+    ///
+    /// For **direct-mapped** caches (`ways == 1`) the contract relaxes:
+    /// any access the caller can prove resident may be counted here,
+    /// regardless of what was touched in between — with a single way
+    /// per set there is no replacement choice, so skipping the LRU
+    /// re-touch cannot change any future hit/miss/eviction decision.
     #[inline]
     pub fn note_hits(&mut self, n: u64) {
         self.stats.hits += n;

@@ -54,6 +54,73 @@ pub trait BusDevice: fmt::Debug {
     /// [`MemError::OutOfBounds`] past the end of the device.
     fn poke(&mut self, offset: u32, data: &[u8]) -> Result<(), MemError>;
 
+    /// Timing of `count` back-to-back reads of `len` bytes each, the
+    /// k-th starting at `offset + k*len` (a contiguous ascending burst),
+    /// without transferring data. For an in-bounds run this must be
+    /// *bit-identical* — in returned cycles and in timing-state
+    /// evolution — to calling [`read`](Self::read) `count` times; the
+    /// default does exactly that. Devices whose burst behaviour has a
+    /// closed form override this so timing-only consumers (cache-line
+    /// fills, trace replay) charge long sequential stretches in O(1).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError::OutOfBounds`] when the run leaves the device;
+    /// overrides may detect this up front rather than at the first
+    /// failing access.
+    fn read_cost_run(&mut self, offset: u32, len: u32, count: u32) -> Result<u64, MemError> {
+        let mut total = 0u64;
+        let mut scratch = [0u8; 64];
+        for k in 0..count {
+            let off = offset + k * len;
+            total += if (len as usize) <= scratch.len() {
+                self.read(off, &mut scratch[..len as usize])?
+            } else {
+                self.read(off, &mut vec![0u8; len as usize])?
+            };
+        }
+        Ok(total)
+    }
+
+    /// `true` when the device's access *timing* is a pure function of
+    /// the access length: independent of history AND of the address,
+    /// with [`reset_timing`](Self::reset_timing) a no-op. Stateless
+    /// devices commute with accesses to other regions and their
+    /// per-length cost can be memoized, which lets a trace replayer
+    /// reorder and batch charges around them without changing any
+    /// observable cycle count.
+    fn timing_stateless(&self) -> bool {
+        false
+    }
+
+    /// Folds the independent timing-state partitions touched by accesses
+    /// in `[offset, offset + span)` into a bitmask (partition `p` sets
+    /// bit `p % 64`). Devices whose timing state splits into pieces with
+    /// mutually independent histories (DRAM banks) override this;
+    /// accesses whose partition masks are disjoint commute — charging
+    /// them in either order yields identical cycle counts and identical
+    /// final timing state. The default puts the whole device in one
+    /// partition (bit 0), which is always correct: masks then always
+    /// intersect and callers never reorder. Irrelevant for
+    /// [`timing_stateless`](Self::timing_stateless) devices.
+    fn timing_partition_mask(&self, _offset: u32, _span: u32) -> u64 {
+        1
+    }
+
+    /// [`timing_partition_mask`](Self::timing_partition_mask) plus a
+    /// *hold range*: returns `(mask, hold_end)` such that any access
+    /// `[offset2, offset2 + span2)` with `offset <= offset2` and
+    /// `offset2 + span2 <= hold_end` has a partition mask that is a
+    /// subset of `mask`. Callers use this to memoize the mask across a
+    /// streaming access pattern (one recomputation per DRAM row instead
+    /// of one per access). The default returns a degenerate hold range
+    /// (`offset + span`), which is trivially valid; devices with real
+    /// partitions override this alongside
+    /// [`timing_partition_mask`](Self::timing_partition_mask).
+    fn timing_partition_hold(&self, offset: u32, span: u32) -> (u64, u32) {
+        (self.timing_partition_mask(offset, span), offset.saturating_add(span))
+    }
+
     /// Resets timing-related state (sequential-burst trackers, open rows)
     /// without touching contents. Called between measured runs.
     fn reset_timing(&mut self) {}

@@ -40,6 +40,12 @@ pub struct Ddr3 {
     data: Vec<u8>,
     timing: Ddr3Timing,
     open_rows: Vec<Option<u32>>,
+    /// `log2(row_bytes)` — validated power of two; keeps the per-access
+    /// row math free of integer divides.
+    row_shift: u32,
+    /// `banks - 1` when the bank count is a power of two (the common
+    /// case); `None` falls back to `%`.
+    bank_mask: Option<u32>,
 }
 
 impl Ddr3 {
@@ -57,7 +63,20 @@ impl Ddr3 {
     pub fn with_timing(size: u32, timing: Ddr3Timing) -> Self {
         assert!(timing.banks > 0, "need at least one bank");
         assert!(timing.row_bytes.is_power_of_two(), "row size must be a power of two");
-        Ddr3 { data: vec![0; size as usize], timing, open_rows: vec![None; timing.banks as usize] }
+        Ddr3 {
+            data: vec![0; size as usize],
+            timing,
+            open_rows: vec![None; timing.banks as usize],
+            row_shift: timing.row_bytes.trailing_zeros(),
+            bank_mask: timing.banks.is_power_of_two().then(|| timing.banks - 1),
+        }
+    }
+
+    fn bank_of(&self, row: u32) -> usize {
+        match self.bank_mask {
+            Some(m) => (row & m) as usize,
+            None => (row % self.timing.banks) as usize,
+        }
     }
 
     /// The configured timing parameters.
@@ -66,8 +85,8 @@ impl Ddr3 {
     }
 
     fn access_cycles(&mut self, offset: u32, len: usize) -> u64 {
-        let row = offset / self.timing.row_bytes;
-        let bank = (row % self.timing.banks) as usize;
+        let row = offset >> self.row_shift;
+        let bank = self.bank_of(row);
         let first = if self.open_rows[bank] == Some(row) {
             self.timing.row_hit
         } else {
@@ -99,10 +118,69 @@ impl BusDevice for Ddr3 {
         Ok(cycles)
     }
 
+    fn read_cost_run(&mut self, offset: u32, len: u32, count: u32) -> Result<u64, MemError> {
+        if count == 0 {
+            return Ok(0);
+        }
+        let span = len.checked_mul(count).ok_or(MemError::OutOfBounds { addr: offset, len: 0 })?;
+        check_bounds(self.size(), offset, span as usize)?;
+        // An ascending contiguous run touches each row at most once (the
+        // model charges by an access's *starting* offset): walk the row
+        // segments, paying the open-row check once per segment and a
+        // guaranteed hit for every further access inside it.
+        let beats_extra = ((len as usize).div_ceil(4) as u64 - 1) * self.timing.per_beat;
+        let mut total = u64::from(count) * beats_extra;
+        let mut k = 0u32;
+        while k < count {
+            let seg_off = offset + k * len;
+            let row = seg_off >> self.row_shift;
+            // Accesses whose starting offset stays inside `row` (row end
+            // in u64: the last row of a 4 GiB device ends at 1 << 32).
+            let row_end = u64::from(row + 1) << self.row_shift;
+            let in_row =
+                (((row_end - u64::from(seg_off)).div_ceil(u64::from(len))) as u32).min(count - k);
+            let bank = self.bank_of(row);
+            total += if self.open_rows[bank] == Some(row) {
+                self.timing.row_hit
+            } else {
+                self.open_rows[bank] = Some(row);
+                self.timing.row_miss
+            };
+            total += u64::from(in_row - 1) * self.timing.row_hit;
+            k += in_row;
+        }
+        Ok(total)
+    }
+
     fn poke(&mut self, offset: u32, data: &[u8]) -> Result<(), MemError> {
         check_bounds(self.size(), offset, data.len())?;
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);
         Ok(())
+    }
+
+    fn timing_partition_mask(&self, offset: u32, span: u32) -> u64 {
+        // Each bank's open row evolves independently: the partition of an
+        // access is its row's bank.
+        let t = &self.timing;
+        let first = offset >> self.row_shift;
+        let last = ((u64::from(offset) + u64::from(span.max(1)) - 1) >> self.row_shift) as u32;
+        if u64::from(last - first) + 1 >= u64::from(t.banks) {
+            return if t.banks >= 64 { !0 } else { (1u64 << t.banks) - 1 };
+        }
+        let mut mask = 0u64;
+        for row in first..=last {
+            mask |= 1u64 << (self.bank_of(row) as u32 % 64);
+        }
+        mask
+    }
+
+    fn timing_partition_hold(&self, offset: u32, span: u32) -> (u64, u32) {
+        // The mask of rows [first, last] stays a superset for any access
+        // contained in them: hold until the end of the last covered row.
+        let mask = self.timing_partition_mask(offset, span);
+        let last = (u64::from(offset) + u64::from(span.max(1)) - 1) >> self.row_shift;
+        let hold_end = ((last + 1) << self.row_shift).min(u64::from(self.size())) as u32;
+        (mask, hold_end)
     }
 
     fn reset_timing(&mut self) {

@@ -122,6 +122,23 @@ impl BusDevice for SpiFlash {
         Ok(self.spi_to_sys(spi))
     }
 
+    fn read_cost_run(&mut self, offset: u32, len: u32, count: u32) -> Result<u64, MemError> {
+        if count == 0 {
+            return Ok(0);
+        }
+        let span = len.checked_mul(count).ok_or(MemError::OutOfBounds { addr: offset, len: 0 })?;
+        check_bounds(self.size(), offset, span as usize)?;
+        // First access pays the command/address/dummy sequence unless it
+        // continues the tracked burst; each subsequent read starts
+        // exactly where the previous ended, so it streams data-only.
+        let mut spi = self.width.sck_per_byte() * u64::from(span);
+        if self.next_seq != Some(offset) {
+            spi += self.width.command_overhead();
+        }
+        self.next_seq = Some(offset + span);
+        Ok(self.spi_to_sys(spi))
+    }
+
     fn write(&mut self, offset: u32, _data: &[u8]) -> Result<u64, MemError> {
         Err(MemError::ReadOnly { addr: offset })
     }

@@ -40,6 +40,19 @@ impl BusDevice for Sram {
         Ok(self.access_cycles * n.div_ceil(4) as u64)
     }
 
+    fn read_cost_run(&mut self, offset: u32, len: u32, count: u32) -> Result<u64, MemError> {
+        if count == 0 {
+            return Ok(0);
+        }
+        let span = len.checked_mul(count).ok_or(MemError::OutOfBounds { addr: offset, len: 0 })?;
+        check_bounds(self.size(), offset, span as usize)?;
+        Ok(self.access_cycles * (len as usize).div_ceil(4) as u64 * u64::from(count))
+    }
+
+    fn timing_stateless(&self) -> bool {
+        true
+    }
+
     fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError> {
         check_bounds(self.size(), offset, data.len())?;
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);

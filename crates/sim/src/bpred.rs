@@ -64,6 +64,7 @@ impl PredictorState {
     }
 
     /// Predicts the branch at `pc` with signed `offset`.
+    #[inline]
     pub fn predict(&self, pc: u32, offset: i32) -> Prediction {
         match self.kind {
             BranchPredictor::None => Prediction { taken: false, target_known: false },
@@ -86,25 +87,24 @@ impl PredictorState {
 
     /// Records the actual outcome and returns whether the earlier
     /// prediction (recomputed here) was correct.
+    #[inline]
     pub fn update(&mut self, pc: u32, taken: bool) -> bool {
-        let predicted = self.predict(pc, if taken { -4 } else { 4 });
+        let predicted = self.predict(pc, 4 - 8 * i32::from(taken));
         match self.kind {
             BranchPredictor::None | BranchPredictor::Static => {}
             BranchPredictor::Dynamic { .. } | BranchPredictor::DynamicTarget { .. } => {
                 let i = self.index(pc);
                 let c = &mut self.counters[i];
+                // Saturating 2-bit counter, written branch-free: the
+                // outcome bit `taken` is data-dependent and would cost a
+                // host mispredict per branch on the replay hot path.
                 *c = if taken { (*c + 1).min(3) } else { c.saturating_sub(1) };
-                if taken {
-                    self.btb_valid[i] = true;
-                }
+                self.btb_valid[i] |= taken;
             }
         }
         let correct = predicted.taken == taken;
-        if correct {
-            self.hits += 1;
-        } else {
-            self.misses += 1;
-        }
+        self.hits += u64::from(correct);
+        self.misses += u64::from(!correct);
         correct
     }
 

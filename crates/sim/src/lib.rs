@@ -39,9 +39,14 @@ mod config;
 mod cpu;
 mod decode_cache;
 pub mod energy;
+mod retime;
 mod timed_core;
 
 pub use bpred::{Prediction, PredictorState};
 pub use config::{BranchPredictor, CpuConfig, Divider, Multiplier, Shifter};
 pub use cpu::{syscall, Cpu, CpuStats, SimError, StopReason, UNCACHED_BASE};
+pub use retime::{
+    replay_iss, IssTrace, ReplayError, ReplaySummary, TimingModel, Trace, TraceDecodeError,
+    TraceReplayer,
+};
 pub use timed_core::{TimedCore, TlmStats};

@@ -1,0 +1,1796 @@
+//! Trace capture and retime-only replay.
+//!
+//! Design-space sweeps spend most of their points on configurations that
+//! differ only in *timing* knobs (cache geometry, multiplier latency,
+//! branch predictor, flash width, code placement) while the committed
+//! operation stream is identical. Re-running the full functional model
+//! for every such point is wasted work — the standard fix in full-system
+//! evaluation stacks (gem5's trace CPUs, FEMU's pluggable timing modes)
+//! is to split *capture* from *replay*:
+//!
+//! * **Capture** runs the workload once in execute mode with a
+//!   [`TraceRecorder`] attached ([`crate::TimedCore::start_recording`]).
+//!   Recording is passive — the capture run's own timing and statistics
+//!   are unchanged — and yields a compact, serializable [`Trace`] of the
+//!   committed operation stream.
+//! * **Replay** streams the trace through a [`TraceReplayer`]: only the
+//!   timing machinery runs (I/D caches, branch predictor, bus device
+//!   wait-state models, CFU latencies, the store write buffer). Fetch,
+//!   decode, functional execution, and all tensor arithmetic are skipped
+//!   entirely, yet the resulting [`TlmStats`], per-device traffic and
+//!   layer cycle profile are bit-identical to an execute-mode run under
+//!   the replayed configuration.
+//!
+//! The exactness argument rests on three properties, each pinned by
+//! tests here or in `cfu-mem`:
+//!
+//! 1. [`cfu_mem::Bus::read_cost`] evolves routing, statistics and device
+//!    timing exactly like a data-carrying read, and
+//!    [`cfu_mem::Bus::reset_device_timing`] reproduces the net timing
+//!    effect of a `peek` for every device in the crate.
+//! 2. The synthetic fetch walk is one shared type
+//!    (`timed_core::FetchWalk`), so the finalize pre-pass regenerates
+//!    byte-for-byte the fetch-address stream the live run charged — in
+//!    closed form, one packed record per maximal strictly-sequential
+//!    stretch. Replay charges a stretch in bulk: with an I-cache, per
+//!    *replay-configuration* cache line — the first fetch touching a
+//!    line performs the real access (and miss fill); the rest of the
+//!    stretch inside that line are proven hits (strictly ascending
+//!    addresses keep the line most-recently-used, so skipping them is
+//!    LRU-exact, and a TLM hit charges nothing), recorded via
+//!    [`cfu_mem::Cache::note_hits`]. Without an I-cache the whole
+//!    stretch is priced by one [`cfu_mem::Bus::read_cost_run`] burst.
+//!    Fetch charges are additionally *deferred* — accumulated in a
+//!    counter and flushed only at points whose timing reads or perturbs
+//!    shared state (stores, marks, region switches, loads or peeks
+//!    touching a timing-stateful device): cycle and statistic additions
+//!    commute, and [`cfu_mem::BusDevice::timing_stateless`] devices
+//!    commute with accesses to every other region, so the reordering
+//!    is bit-exact.
+//! 3. Store timing is value-independent (device write latency does not
+//!    depend on the data), so replay writes zeros through the same
+//!    write-buffer model and nobody ever reads the replay bus's contents.
+//!
+//! The [`TimingModel`] trait is the factored timing surface: the live
+//! ISS `Cpu`, the abstract `TimedCore`, and the `TraceReplayer` all
+//! implement it, and [`replay_iss`] drives any of them from a captured
+//! ISS instruction trace ([`IssTrace`]).
+
+use std::fmt;
+
+use cfu_mem::MemError;
+
+use crate::config::CpuConfig;
+use crate::cpu::UNCACHED_BASE;
+use crate::timed_core::{FetchWalk, TimedCore, TlmStats};
+
+/// Op-word tags (low 4 bits of each packed `u64`).
+const TAG_REGION: u64 = 0;
+const TAG_ALU: u64 = 1;
+const TAG_MUL: u64 = 2;
+const TAG_DIV: u64 = 3;
+const TAG_SHIFT: u64 = 4;
+const TAG_BRANCH: u64 = 5;
+const TAG_CALL: u64 = 6;
+const TAG_LOAD: u64 = 7;
+const TAG_STORE: u64 = 8;
+const TAG_CFU: u64 = 9;
+const TAG_CFU_HIDDEN: u64 = 10;
+const TAG_PEEK: u64 = 11;
+const TAG_MARK: u64 = 12;
+
+/// Maximum fetches per packed run (31-bit count field).
+const RUN_COUNT_MAX: u64 = 0x7FFF_FFFF;
+
+/// Serialized-trace magic for TLM traces.
+const TLM_MAGIC: [u8; 4] = *b"CFTR";
+/// Serialized-trace magic for ISS instruction traces.
+const ISS_MAGIC: [u8; 4] = *b"CFIR";
+/// Serialized-trace format version.
+const TRACE_VERSION: u32 = 1;
+
+/// ISS record kinds (bits 32..36 of each header word).
+pub(crate) const K_SIMPLE: u64 = 0;
+pub(crate) const K_SHIFT: u64 = 1;
+pub(crate) const K_MUL: u64 = 2;
+pub(crate) const K_DIV: u64 = 3;
+pub(crate) const K_JAL: u64 = 4;
+pub(crate) const K_JALR: u64 = 5;
+pub(crate) const K_BRANCH: u64 = 6;
+pub(crate) const K_LOAD: u64 = 7;
+pub(crate) const K_STORE: u64 = 8;
+pub(crate) const K_CFU: u64 = 9;
+
+/// A captured committed-operation trace from a [`TimedCore`] run.
+///
+/// The trace stores the abstract operation stream (packed one-or-two
+/// `u64` words per op) plus a derived *fetch-run* index that lets the
+/// replayer charge instruction fetches in line-sized batches. Traces
+/// serialize with [`to_bytes`](Trace::to_bytes) / round-trip with
+/// [`from_bytes`](Trace::from_bytes); the fetch-run index is recomputed
+/// on decode rather than stored.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trace {
+    ops: Vec<u64>,
+    compressed: bool,
+    retime_safe: bool,
+    marks: u32,
+    fetch_runs: Vec<u64>,
+}
+
+impl Trace {
+    /// Number of packed op words (a `Region` op uses two).
+    pub fn words(&self) -> usize {
+        self.ops.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.ops.is_empty()
+    }
+
+    /// Whether replaying this trace under a different *timing*
+    /// configuration is guaranteed to match an execute-mode run. TLM
+    /// captures are always retime-safe; ISS captures clear this when the
+    /// guest observed live counters or modified its own code.
+    pub fn retime_safe(&self) -> bool {
+        self.retime_safe
+    }
+
+    /// RVC setting the trace was captured under (the fetch stride is
+    /// baked into the fetch-run index, so replay requires a matching
+    /// `compressed` flag).
+    pub fn compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// Number of layer marks recorded.
+    pub fn marks(&self) -> u32 {
+        self.marks
+    }
+
+    /// Serializes the trace: magic, version, flags, mark count, op
+    /// count, little-endian op words, FNV-1a checksum.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.ops.len() * 8);
+        out.extend_from_slice(&TLM_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        let flags = u32::from(self.compressed) | (u32::from(self.retime_safe) << 1);
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&self.marks.to_le_bytes());
+        out.extend_from_slice(&(self.ops.len() as u64).to_le_bytes());
+        for w in &self.ops {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a trace serialized by [`to_bytes`](Trace::to_bytes),
+    /// recomputing the fetch-run index.
+    ///
+    /// # Errors
+    ///
+    /// [`TraceDecodeError`] on wrong magic, unknown version, truncation
+    /// or checksum mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<Trace, TraceDecodeError> {
+        let (header, ops, marks, flags) = decode_common(bytes, TLM_MAGIC)?;
+        let _ = header;
+        let compressed = flags & 1 != 0;
+        let retime_safe = flags & 2 != 0;
+        let fetch_runs = compute_fetch_runs(&ops, compressed);
+        Ok(Trace { ops, compressed, retime_safe, marks, fetch_runs })
+    }
+
+    pub(crate) fn fetch_runs(&self) -> &[u64] {
+        &self.fetch_runs
+    }
+
+    pub(crate) fn ops(&self) -> &[u64] {
+        &self.ops
+    }
+}
+
+/// 64-bit FNV-1a over `bytes`.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Shared header/payload/checksum decoding for both trace formats.
+/// Returns `(version, op_words, marks, flags)`.
+fn decode_common(
+    bytes: &[u8],
+    magic: [u8; 4],
+) -> Result<(u32, Vec<u64>, u32, u32), TraceDecodeError> {
+    if bytes.len() < 4 || bytes[..4] != magic {
+        return Err(TraceDecodeError::BadMagic);
+    }
+    if bytes.len() < 24 + 8 {
+        return Err(TraceDecodeError::Truncated);
+    }
+    let word = |i: usize| u32::from_le_bytes(bytes[i..i + 4].try_into().expect("4 bytes"));
+    let version = word(4);
+    if version != TRACE_VERSION {
+        return Err(TraceDecodeError::BadVersion(version));
+    }
+    let flags = word(8);
+    let marks = word(12);
+    let count = u64::from_le_bytes(bytes[16..24].try_into().expect("8 bytes"));
+    let body_end = usize::try_from(count)
+        .ok()
+        .and_then(|c| c.checked_mul(8))
+        .and_then(|b| b.checked_add(24))
+        .unwrap_or(usize::MAX);
+    if body_end == usize::MAX || bytes.len() < body_end + 8 {
+        return Err(TraceDecodeError::Truncated);
+    }
+    let stored = u64::from_le_bytes(bytes[body_end..body_end + 8].try_into().expect("8 bytes"));
+    if fnv1a(&bytes[..body_end]) != stored {
+        return Err(TraceDecodeError::BadChecksum);
+    }
+    let ops = bytes[24..body_end]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("8 bytes")))
+        .collect();
+    Ok((version, ops, marks, flags))
+}
+
+/// Error decoding a serialized trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceDecodeError {
+    /// The byte stream does not start with the trace magic.
+    BadMagic,
+    /// The format version is not understood.
+    BadVersion(u32),
+    /// The byte stream is shorter than its header promises.
+    Truncated,
+    /// The checksum does not match the payload.
+    BadChecksum,
+}
+
+impl fmt::Display for TraceDecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TraceDecodeError::BadMagic => write!(f, "not a serialized trace (bad magic)"),
+            TraceDecodeError::BadVersion(v) => write!(f, "unsupported trace version {v}"),
+            TraceDecodeError::Truncated => write!(f, "serialized trace is truncated"),
+            TraceDecodeError::BadChecksum => write!(f, "serialized trace failed its checksum"),
+        }
+    }
+}
+
+impl std::error::Error for TraceDecodeError {}
+
+/// Error during trace replay.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ReplayError {
+    /// The trace and the replay target disagree structurally (wrong RVC
+    /// setting, fetch stream out of sync, truncated record).
+    Mismatch(&'static str),
+    /// A bus fault while replaying memory timing (e.g. the replay bus
+    /// lacks a region the capture bus had).
+    Mem(MemError),
+}
+
+impl From<MemError> for ReplayError {
+    fn from(e: MemError) -> Self {
+        ReplayError::Mem(e)
+    }
+}
+
+impl fmt::Display for ReplayError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReplayError::Mismatch(why) => write!(f, "trace replay mismatch: {why}"),
+            ReplayError::Mem(e) => write!(f, "trace replay bus fault: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ReplayError {}
+
+/// Records the committed operation stream of a [`TimedCore`] run.
+/// Created by [`TimedCore::start_recording`]; finalized into a [`Trace`]
+/// by [`TimedCore::finish_recording`].
+#[derive(Debug)]
+pub(crate) struct TraceRecorder {
+    ops: Vec<u64>,
+    compressed: bool,
+    marks: u32,
+}
+
+impl TraceRecorder {
+    pub(crate) fn new(compressed: bool) -> Self {
+        TraceRecorder { ops: Vec::new(), compressed, marks: 0 }
+    }
+
+    pub(crate) fn region(&mut self, base: u32, len: u32) {
+        self.ops.push(TAG_REGION | (u64::from(base) << 8));
+        self.ops.push(u64::from(len));
+    }
+
+    /// Records `n` plain ALU instructions, merging with an immediately
+    /// preceding ALU record — exact, since `alu(n)` then `alu(m)` charges
+    /// identically to `alu(n + m)`.
+    pub(crate) fn alu(&mut self, n: u32) {
+        if n == 0 {
+            return;
+        }
+        if let Some(last) = self.ops.last_mut() {
+            if *last & 0xF == TAG_ALU {
+                *last += u64::from(n) << 8;
+                return;
+            }
+        }
+        self.ops.push(TAG_ALU | (u64::from(n) << 8));
+    }
+
+    pub(crate) fn mul(&mut self) {
+        self.ops.push(TAG_MUL);
+    }
+
+    pub(crate) fn div(&mut self) {
+        self.ops.push(TAG_DIV);
+    }
+
+    pub(crate) fn shift(&mut self, shamt: u32) {
+        self.ops.push(TAG_SHIFT | (u64::from(shamt) << 8));
+    }
+
+    pub(crate) fn branch(&mut self, site: u32, taken: bool) {
+        self.ops.push(TAG_BRANCH | (u64::from(taken) << 4) | (u64::from(site) << 8));
+    }
+
+    pub(crate) fn call(&mut self, saved_regs: u32) {
+        self.ops.push(TAG_CALL | (u64::from(saved_regs) << 8));
+    }
+
+    pub(crate) fn load(&mut self, addr: u32, len: u32) {
+        self.ops.push(TAG_LOAD | (u64::from(len) << 4) | (u64::from(addr) << 8));
+    }
+
+    pub(crate) fn store(&mut self, addr: u32, len: u32) {
+        self.ops.push(TAG_STORE | (u64::from(len) << 4) | (u64::from(addr) << 8));
+    }
+
+    pub(crate) fn cfu(&mut self, latency: u32) {
+        self.ops.push(TAG_CFU | (u64::from(latency) << 8));
+    }
+
+    pub(crate) fn cfu_hidden(&mut self) {
+        self.ops.push(TAG_CFU_HIDDEN);
+    }
+
+    pub(crate) fn peek(&mut self, addr: u32) {
+        self.ops.push(TAG_PEEK | (u64::from(addr) << 8));
+    }
+
+    pub(crate) fn mark(&mut self) {
+        self.ops.push(TAG_MARK);
+        self.marks += 1;
+    }
+
+    pub(crate) fn finish(self) -> Trace {
+        let fetch_runs = compute_fetch_runs(&self.ops, self.compressed);
+        Trace {
+            ops: self.ops,
+            compressed: self.compressed,
+            retime_safe: true,
+            marks: self.marks,
+            fetch_runs,
+        }
+    }
+}
+
+/// How many instruction fetches an op word implies. `Region` is handled
+/// by the caller (it re-targets the walk and fetches nothing).
+fn fetches_of(word: u64) -> u64 {
+    match word & 0xF {
+        TAG_ALU => word >> 8,
+        TAG_CALL => 2 + 2 * (word >> 8),
+        TAG_MUL | TAG_DIV | TAG_SHIFT | TAG_BRANCH | TAG_LOAD | TAG_STORE | TAG_CFU => 1,
+        _ => 0,
+    }
+}
+
+/// Accumulates fetch PCs into packed runs:
+/// `pc | count << 32 | ideal << 63`.
+struct RunBuilder {
+    runs: Vec<u64>,
+    start_pc: u32,
+    last_pc: u32,
+    count: u64,
+    ideal: bool,
+    active: bool,
+}
+
+impl RunBuilder {
+    fn new() -> Self {
+        RunBuilder {
+            runs: Vec::new(),
+            start_pc: 0,
+            last_pc: 0,
+            count: 0,
+            ideal: false,
+            active: false,
+        }
+    }
+
+    fn flush(&mut self) {
+        if self.active {
+            self.runs.push(
+                u64::from(self.start_pc) | (self.count << 32) | (u64::from(self.ideal) << 63),
+            );
+            self.active = false;
+        }
+    }
+
+    /// Ideal fetches (no code region): PC-independent, merged freely.
+    fn push_ideal(&mut self, n: u64) {
+        let mut left = n;
+        while left > 0 {
+            if self.active && self.ideal && self.count < RUN_COUNT_MAX {
+                let take = left.min(RUN_COUNT_MAX - self.count);
+                self.count += take;
+                left -= take;
+            } else {
+                self.flush();
+                self.active = true;
+                self.ideal = true;
+                self.start_pc = 0;
+                self.count = 0;
+            }
+        }
+    }
+
+    /// `k` real fetches starting at `pc`, `step` bytes apart; merged
+    /// into the current run when they continue it strictly
+    /// sequentially.
+    fn push_seq(&mut self, pc: u32, step: u32, k: u64) {
+        if k == 0 {
+            return;
+        }
+        if self.active
+            && !self.ideal
+            && pc == self.last_pc.wrapping_add(step)
+            && self.count + k <= RUN_COUNT_MAX
+        {
+            self.count += k;
+            self.last_pc = pc.wrapping_add((k - 1) as u32 * step);
+            return;
+        }
+        self.flush();
+        self.active = true;
+        self.ideal = false;
+        self.start_pc = pc;
+        self.last_pc = pc.wrapping_add((k - 1) as u32 * step);
+        self.count = k;
+    }
+}
+
+/// Regenerates the fetch-address stream an op stream charged (via the
+/// shared [`FetchWalk`]) and compacts it into sequential runs.
+///
+/// In the ideal regime (`code_len == 4`, no real code region) fetch PCs
+/// never reach the cache or bus and the walk state is fully reset by the
+/// next `Region` record, so whole ALU batches collapse to a count
+/// without stepping the walk; real regions use the walk's closed-form
+/// batch advance — either way finalize cost is proportional to the
+/// number of *records*, not instructions.
+fn compute_fetch_runs(ops: &[u64], compressed: bool) -> Vec<u64> {
+    let step: u32 = if compressed { 3 } else { 4 };
+    let mut walk = FetchWalk::default();
+    let mut rb = RunBuilder::new();
+    let mut i = 0;
+    while i < ops.len() {
+        let w = ops[i];
+        if w & 0xF == TAG_REGION {
+            walk.set_region((w >> 8) as u32, ops[i + 1] as u32);
+            i += 2;
+            continue;
+        }
+        let n = fetches_of(w);
+        if walk.code_len == 4 {
+            rb.push_ideal(n);
+        } else {
+            walk.advance_batch(step, n, |pc, k| rb.push_seq(pc, step, k));
+        }
+        i += 1;
+    }
+    rb.flush();
+    rb.runs
+}
+
+/// Number of slots in each [`RunMemo`] table (power of two).
+const RUN_MEMO_SLOTS: usize = 1 << 13;
+
+/// Fixed-size direct-mapped memo tables keyed by packed run records (a
+/// real record is never 0: its count field is nonzero). A hash
+/// collision simply overwrites the slot — a false negative only costs
+/// the exact slow walk, never correctness.
+///
+/// Real (non-synthetic) traces break a fetch run at every taken
+/// branch, so loop iterations re-emit the same handful of records over
+/// and over, usually interleaved (`A,B,A,B,…`) rather than
+/// back-to-back. These tables let the flush walk recognise such
+/// repeats in O(1) instead of re-walking the run line by line.
+struct RunMemo {
+    /// record → "every line of this run is resident in the
+    /// (direct-mapped) I-cache". Epoch-tagged: a miss fill can evict an
+    /// arbitrary proven line, so it advances `epoch`, invalidating the
+    /// whole table in O(1). Exactness: with one way per set there is no
+    /// LRU choice, so replaying a proven run as bulk hits (skipping the
+    /// per-line lookup and LRU re-touch) cannot change any future
+    /// hit/miss/eviction decision.
+    proven: Box<[(u64, u64)]>,
+    epoch: u64,
+    /// record → timing-partition mask of the *whole* run's fetch span.
+    /// A pure function of the record (the bus topology is fixed for the
+    /// lifetime of a replay), so it never needs invalidation.
+    masks: Box<[(u64, u64)]>,
+}
+
+impl RunMemo {
+    fn new() -> Self {
+        RunMemo {
+            proven: vec![(0, 0); RUN_MEMO_SLOTS].into_boxed_slice(),
+            epoch: 1,
+            masks: vec![(0, 0); RUN_MEMO_SLOTS].into_boxed_slice(),
+        }
+    }
+
+    /// Fibonacci-hash slot index for `record`.
+    #[inline]
+    fn slot(record: u64) -> usize {
+        (record.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> (64 - RUN_MEMO_SLOTS.trailing_zeros()))
+            as usize
+    }
+
+    /// Whether `record` was proven all-resident and no icache miss has
+    /// occurred since.
+    #[inline]
+    fn proven_resident(&self, record: u64) -> bool {
+        self.proven[Self::slot(record)] == (record, self.epoch)
+    }
+
+    /// Marks `record`'s lines as resident (valid until the next miss).
+    #[inline]
+    fn prove(&mut self, record: u64) {
+        self.proven[Self::slot(record)] = (record, self.epoch);
+    }
+
+    /// Drops every proven record: some line may have been evicted.
+    #[inline]
+    fn invalidate_proven(&mut self) {
+        self.epoch += 1;
+    }
+
+    /// Memoized partition mask of `record`'s full span, if present.
+    #[inline]
+    fn mask(&self, record: u64) -> Option<u64> {
+        let (r, m) = self.masks[Self::slot(record)];
+        (r == record).then_some(m)
+    }
+
+    /// Memoizes the partition mask of `record`'s full span.
+    #[inline]
+    fn set_mask(&mut self, record: u64, mask: u64) {
+        self.masks[Self::slot(record)] = (record, mask);
+    }
+}
+
+/// Replay-side cursor over a trace's packed fetch runs.
+///
+/// Fetch charges are deferred: [`defer`](FetchCursor::defer) only bumps
+/// a counter, and [`flush`](FetchCursor::flush) settles the backlog in
+/// bulk — per replay-configuration cache line when an I-cache is
+/// present (first fetch touching a line does the real access and miss
+/// fill, the rest of the stretch are proven hits), or as a single
+/// [`cfu_mem::Bus::read_cost_run`] burst when fetches go straight to
+/// the bus. The replay loop flushes at every point whose timing reads
+/// or perturbs shared state, which keeps the reordering bit-exact.
+struct FetchCursor<'a> {
+    runs: &'a [u64],
+    idx: usize,
+    /// Fetches already consumed from the current run.
+    used: u32,
+    /// Fetches deferred but not yet charged.
+    pending: u64,
+    /// Timing-partition bitmask (DRAM banks) of the first `masked`
+    /// pending fetches — see [`pending_mask`](Self::pending_mask).
+    bank_mask: u64,
+    /// Pending fetches already folded into `bank_mask`.
+    masked: u64,
+    /// Run-stream position just past the `masked` fetches.
+    m_idx: usize,
+    m_used: u32,
+    /// Per-record memo tables (proven-resident runs, partition masks).
+    memo: RunMemo,
+}
+
+impl FetchCursor<'_> {
+    /// Defers `n` fetches; charged at the next [`flush`](Self::flush).
+    #[inline]
+    fn defer(&mut self, n: u64) {
+        self.pending += n;
+    }
+
+    /// The timing-partition bitmask of every pending fetch, extended
+    /// lazily (each run record is walked at most once between flushes).
+    /// A load on the code device whose own partition mask is disjoint
+    /// from this one touches only timing state the backlog cannot reach,
+    /// so it commutes with the deferred charges.
+    #[inline]
+    fn pending_mask(&mut self, core: &TimedCore) -> Result<u64, ReplayError> {
+        if self.masked == self.pending {
+            return Ok(self.bank_mask);
+        }
+        self.pending_mask_slow(core)
+    }
+
+    fn pending_mask_slow(&mut self, core: &TimedCore) -> Result<u64, ReplayError> {
+        let step: u32 = if core.config.compressed { 3 } else { 4 };
+        let line = core.icache.as_ref().map(|c| c.config().line_bytes);
+        while self.masked < self.pending {
+            let run = *self
+                .runs
+                .get(self.m_idx)
+                .ok_or(ReplayError::Mismatch("trace fetch stream exhausted"))?;
+            let ideal = run >> 63 != 0;
+            let count = ((run >> 32) & RUN_COUNT_MAX) as u32;
+            let base = run as u32;
+            let take = u64::from(count - self.m_used).min(self.pending - self.masked);
+            if !ideal {
+                // Memoized per record: the mask of the run's *full* span,
+                // a superset of any partial stretch's mask. A superset
+                // can only trigger a spurious (exact) flush, never skip a
+                // required one.
+                let mask = match self.memo.mask(run) {
+                    Some(m) => m,
+                    None => {
+                        let mut lo = base;
+                        let mut span = u64::from(count) * u64::from(step);
+                        // A cached stretch can touch the bus anywhere in
+                        // the lines it fills: round out to line bounds.
+                        if let Some(line) = line.filter(|_| base < UNCACHED_BASE) {
+                            lo = base & !(line - 1);
+                            let end = u64::from(base) + span;
+                            span = end.div_ceil(u64::from(line)) * u64::from(line) - u64::from(lo);
+                        }
+                        let m = core.bus.timing_partition_mask_at(lo, span);
+                        self.memo.set_mask(run, m);
+                        m
+                    }
+                };
+                self.bank_mask |= mask;
+            }
+            self.masked += take;
+            self.m_used += take as u32;
+            if self.m_used == count {
+                self.m_idx += 1;
+                self.m_used = 0;
+            }
+        }
+        Ok(self.bank_mask)
+    }
+
+    /// Charges every deferred fetch against `core`.
+    fn flush(&mut self, core: &mut TimedCore) -> Result<(), ReplayError> {
+        let step: u32 = if core.config.compressed { 3 } else { 4 };
+        while self.pending > 0 {
+            let run = *self
+                .runs
+                .get(self.idx)
+                .ok_or(ReplayError::Mismatch("trace fetch stream exhausted"))?;
+            let ideal = run >> 63 != 0;
+            let count = ((run >> 32) & RUN_COUNT_MAX) as u32;
+            let base = run as u32;
+            // Repeated-pass shortcut: the synthetic walk re-runs each
+            // inner-loop window WINDOW_DWELL/window-length times, so
+            // bit-identical back-to-back run records are the common
+            // case. The previous pass left every line of the run
+            // resident and most-recently-used in its set (guaranteed
+            // when the run's lines land in distinct sets), so re-running
+            // it is all hits with no LRU reordering — O(1) per pass.
+            if !ideal
+                && self.used == 0
+                && u64::from(count) <= self.pending
+                && self.idx > 0
+                && self.runs[self.idx - 1] == run
+            {
+                if let Some(cache) = core.icache.as_mut() {
+                    let line = cache.config().line_bytes;
+                    let shift = line.trailing_zeros();
+                    let last = base.wrapping_add((count - 1) * step);
+                    let distinct_lines = u64::from((last >> shift) - (base >> shift)) + 1;
+                    if last < UNCACHED_BASE && distinct_lines <= u64::from(cache.config().sets()) {
+                        cache.note_hits(u64::from(count));
+                        core.stats.instructions += u64::from(count);
+                        self.pending -= u64::from(count);
+                        self.idx += 1;
+                        continue;
+                    }
+                }
+            }
+            // Proven-resident memo: this exact record completed a full
+            // walk earlier with no intervening I-cache miss, so every
+            // line it touches is still resident. Direct-mapped caches
+            // only (no LRU state to re-touch); the geometry gates
+            // (cacheable, lines in distinct sets) were checked when the
+            // record was proven.
+            if !ideal {
+                if let Some(cache) = core.icache.as_mut() {
+                    if cache.config().ways == 1 && self.memo.proven_resident(run) {
+                        let m = u64::from(count - self.used).min(self.pending);
+                        cache.note_hits(m);
+                        core.stats.instructions += m;
+                        self.used += m as u32;
+                        self.pending -= m;
+                        if self.used == count {
+                            self.idx += 1;
+                            self.used = 0;
+                        }
+                        continue;
+                    }
+                }
+            }
+            let m = u64::from(count - self.used).min(self.pending);
+            if ideal {
+                core.stats.cycles += m;
+            } else {
+                let first_pc = base.wrapping_add(self.used * step);
+                let cached_line = match core.icache.as_ref() {
+                    Some(cache) if first_pc < UNCACHED_BASE => Some(cache.config().line_bytes),
+                    _ => None,
+                };
+                if let Some(line) = cached_line {
+                    let whole_run = self.used == 0 && m == u64::from(count);
+                    // Line of this run's previous fetch, if any — its
+                    // first touch already did the real access, so a
+                    // continuation inside the same line is all hits.
+                    let mut prev_line = (self.used > 0)
+                        .then(|| base.wrapping_add((self.used - 1) * step) & !(line - 1));
+                    let mut pos: u64 = 0;
+                    while pos < m {
+                        let pc = base.wrapping_add((self.used + pos as u32) * step);
+                        let line_start = pc & !(line - 1);
+                        // Fetches of this stretch whose address stays
+                        // inside `line_start`'s line. `step` is 4 in the
+                        // common (non-RVC) case: keep that divide strength-
+                        // reduced, this loop runs once per fetched line.
+                        let in_line = line_start + line - pc;
+                        let chunk = u64::from(if step == 4 {
+                            (in_line + 3) >> 2
+                        } else {
+                            in_line.div_ceil(step)
+                        })
+                        .min(m - pos);
+                        if prev_line == Some(line_start) {
+                            core.icache.as_mut().expect("cached").note_hits(chunk);
+                        } else {
+                            let cache = core.icache.as_mut().expect("cached");
+                            if !cache.access(pc) {
+                                // A fill may evict a line some proven
+                                // record relies on.
+                                self.memo.invalidate_proven();
+                                let cycles = core.bus.read_cost(line_start, line)?;
+                                core.stats.cycles += cycles;
+                            }
+                            if chunk > 1 {
+                                core.icache.as_mut().expect("cached").note_hits(chunk - 1);
+                            }
+                        }
+                        prev_line = Some(line_start);
+                        pos += chunk;
+                    }
+                    // The walk just touched every line of the run: if the
+                    // geometry is safe (direct-mapped, cacheable, lines
+                    // in distinct sets), remember it as proven-resident.
+                    if whole_run {
+                        let cache = core.icache.as_ref().expect("cached");
+                        if cache.config().ways == 1 {
+                            let shift = line.trailing_zeros();
+                            let last = base.wrapping_add((count - 1) * step);
+                            let distinct = u64::from((last >> shift) - (base >> shift)) + 1;
+                            if last < UNCACHED_BASE && distinct <= u64::from(cache.config().sets())
+                            {
+                                self.memo.prove(run);
+                            }
+                        }
+                    }
+                } else {
+                    // Uncached fetches expose the full device latency;
+                    // one contiguous ascending burst prices them all.
+                    let cycles = core.bus.read_cost_run(first_pc, step, m as u32)?;
+                    core.stats.cycles += cycles;
+                }
+            }
+            core.stats.instructions += m;
+            self.used += m as u32;
+            self.pending -= m;
+            if self.used == count {
+                self.idx += 1;
+                self.used = 0;
+            }
+        }
+        // The backlog is empty: restart partition tracking from here.
+        self.bank_mask = 0;
+        self.masked = 0;
+        self.m_idx = self.idx;
+        self.m_used = self.used;
+        Ok(())
+    }
+
+    fn finished(&self) -> bool {
+        self.pending == 0 && self.idx == self.runs.len() && self.used == 0
+    }
+}
+
+/// One bus region's replay-side metadata: identity for commutation
+/// checks, memoized per-length uncached read cost (valid because
+/// [`cfu_mem::BusDevice::timing_stateless`] promises cost is a pure
+/// function of length), and deferred traffic statistics settled in bulk
+/// by [`RegionTable::spill`].
+struct RegionEntry {
+    base: u32,
+    end: u64,
+    id: cfu_mem::RegionId,
+    stateless: bool,
+    /// Memoized uncached read cost per access length (1/2/4 bytes).
+    cost: [Option<u64>; 5],
+    /// Memoized timing-partition mask, valid for accesses contained in
+    /// `[pmask_lo, pmask_hi)` — see [`cfu_mem::Bus::timing_partition_hold`].
+    /// Starts empty (`lo > hi`).
+    pmask: u64,
+    pmask_lo: u32,
+    pmask_hi: u32,
+    deferred_reads: u64,
+    deferred_bytes: u64,
+    deferred_cycles: u64,
+}
+
+/// Region lookup with a hot-entry cache (loads cluster heavily on one
+/// region, so the common case is a single range check).
+struct RegionTable {
+    entries: Vec<RegionEntry>,
+    hot: usize,
+}
+
+impl RegionTable {
+    fn new(bus: &cfu_mem::Bus) -> Self {
+        let entries = bus
+            .regions()
+            .map(|(id, info)| RegionEntry {
+                base: info.base,
+                end: info.end(),
+                id,
+                stateless: bus.timing_stateless_at(info.base),
+                cost: [None; 5],
+                pmask: 0,
+                pmask_lo: 1,
+                pmask_hi: 0,
+                deferred_reads: 0,
+                deferred_bytes: 0,
+                deferred_cycles: 0,
+            })
+            .collect();
+        RegionTable { entries, hot: 0 }
+    }
+
+    /// The region wholly containing `[addr, addr + len)`, if any.
+    fn find(&mut self, addr: u32, len: u32) -> Option<&mut RegionEntry> {
+        let end = u64::from(addr) + u64::from(len);
+        let hit = |e: &RegionEntry| e.base <= addr && end <= e.end;
+        if !self.entries.get(self.hot).is_some_and(hit) {
+            self.hot = self.entries.iter().position(hit)?;
+        }
+        Some(&mut self.entries[self.hot])
+    }
+
+    /// Classifies the devices behind a new code region.
+    fn classify_code(&mut self, bus: &cfu_mem::Bus, base: u32, span: u32) -> CodeDevice {
+        match self.find(base, span) {
+            Some(e) => CodeDevice::Single { id: e.id, stateless: e.stateless },
+            None => CodeDevice::Split { all_stateless: bus.timing_stateless_range(base, span) },
+        }
+    }
+
+    /// Settles deferred read statistics onto the bus's per-region
+    /// counters.
+    fn spill(&mut self, bus: &mut cfu_mem::Bus) {
+        for e in &mut self.entries {
+            if e.deferred_reads > 0 {
+                bus.note_reads(e.id, e.deferred_reads, e.deferred_bytes, e.deferred_cycles);
+                e.deferred_reads = 0;
+                e.deferred_bytes = 0;
+                e.deferred_cycles = 0;
+            }
+        }
+    }
+}
+
+/// The device(s) backing the replayed code region — what pending fetch
+/// charges can touch, and therefore what loads/peeks must synchronize
+/// with.
+#[derive(Clone, Copy)]
+enum CodeDevice {
+    /// No real region declared: fetches never reach the bus.
+    Ideal,
+    /// Code wholly inside one region.
+    Single { id: cfu_mem::RegionId, stateless: bool },
+    /// Code spans several regions (or unmapped space): conservative.
+    Split { all_stateless: bool },
+}
+
+impl CodeDevice {
+    /// Whether an access to `target` (`None` = unmapped) must settle the
+    /// deferred fetch backlog first: only when its timing state and the
+    /// fetch stream's can interact — same device, stateful.
+    fn must_flush_for(self, target: Option<&RegionEntry>) -> bool {
+        let Some(t) = target else {
+            return true;
+        };
+        match self {
+            CodeDevice::Ideal => false,
+            CodeDevice::Single { id, stateless } => id == t.id && !stateless,
+            CodeDevice::Split { all_stateless } => !(all_stateless && t.stateless),
+        }
+    }
+}
+
+/// Statistics of one replay pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ReplaySummary {
+    /// Core statistics, bit-identical to an execute-mode run under the
+    /// replayed configuration.
+    pub stats: TlmStats,
+    /// Cycle counter sampled at every recorded mark, in trace order.
+    /// Capture emits marks in begin/end pairs around each layer, so
+    /// [`layer_cycles`](ReplaySummary::layer_cycles) pairs them up.
+    pub mark_cycles: Vec<u64>,
+}
+
+impl ReplaySummary {
+    /// Per-layer cycle deltas (marks paired begin/end).
+    pub fn layer_cycles(&self) -> Vec<u64> {
+        self.mark_cycles.chunks_exact(2).map(|p| p[1] - p[0]).collect()
+    }
+
+    /// Sum of per-layer cycles (what the profiler's `total_cycles`
+    /// reports in execute mode).
+    pub fn total_cycles(&self) -> u64 {
+        self.mark_cycles.chunks_exact(2).map(|p| p[1] - p[0]).sum()
+    }
+}
+
+/// Streams a captured [`Trace`] through only the timing machinery of a
+/// [`TimedCore`]: caches, branch predictor, bus wait states, CFU
+/// latencies. No functional work happens — the replay bus needs mapped
+/// regions (for routing and device timing) but no model weights.
+///
+/// # Example
+///
+/// ```
+/// use cfu_mem::{Bus, Sram};
+/// use cfu_sim::{CpuConfig, TimedCore, TraceReplayer};
+///
+/// # fn main() -> Result<(), Box<dyn std::error::Error>> {
+/// let build_bus = || {
+///     let mut bus = Bus::new();
+///     bus.map("sram", 0, Sram::new(4096));
+///     bus
+/// };
+/// let mut live = TimedCore::new(CpuConfig::arty_default(), build_bus());
+/// live.start_recording();
+/// live.set_code_region(0, 1024)?;
+/// live.alu(100)?;
+/// live.store_u32(0x40, 7)?;
+/// let trace = live.finish_recording().expect("recording");
+///
+/// let mut replayer = TraceReplayer::new(CpuConfig::arty_default(), build_bus());
+/// let summary = replayer.replay(&trace)?;
+/// assert_eq!(summary.stats, live.stats());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug)]
+pub struct TraceReplayer {
+    core: TimedCore,
+}
+
+impl TraceReplayer {
+    /// Creates a replayer for `config` over `bus` (same board mapping as
+    /// the capture run; contents are irrelevant).
+    pub fn new(config: CpuConfig, bus: cfu_mem::Bus) -> Self {
+        TraceReplayer { core: TimedCore::new(config, bus) }
+    }
+
+    /// The inner core — replayed statistics, cache stats and per-device
+    /// bus traffic (e.g. for the energy model) live here.
+    pub fn core(&self) -> &TimedCore {
+        &self.core
+    }
+
+    /// Consumes the replayer, returning the underlying bus so the next
+    /// replay over the same board mapping can reuse the mapped devices
+    /// instead of rebuilding them. [`replay`](TraceReplayer::replay)
+    /// resets statistics and device timing up front, so a reused bus is
+    /// timing-equivalent to a fresh one.
+    pub fn into_bus(self) -> cfu_mem::Bus {
+        self.core.into_bus()
+    }
+
+    /// Replays `trace`, resetting statistics first.
+    ///
+    /// # Errors
+    ///
+    /// [`ReplayError::Mismatch`] when the trace's RVC setting disagrees
+    /// with the replay configuration or the stream is internally
+    /// inconsistent; [`ReplayError::Mem`] on bus faults (wrong board).
+    pub fn replay(&mut self, trace: &Trace) -> Result<ReplaySummary, ReplayError> {
+        if trace.compressed() != self.core.config.compressed {
+            return Err(ReplayError::Mismatch("trace captured under a different RVC setting"));
+        }
+        self.core.reset_stats();
+        let core = &mut self.core;
+        let mut cur = FetchCursor {
+            runs: trace.fetch_runs(),
+            idx: 0,
+            used: 0,
+            pending: 0,
+            bank_mask: 0,
+            masked: 0,
+            m_idx: 0,
+            m_used: 0,
+            memo: RunMemo::new(),
+        };
+        let mut mark_cycles = Vec::with_capacity(trace.marks() as usize);
+        // Per-region lookup table: pending fetches only ever touch the
+        // *code* device, so a load (or peek) commutes with the deferred
+        // backlog unless it lands on that same device with stateful
+        // timing — and loads on stateless uncached regions collapse to
+        // a memoized per-length charge with statistics settled in bulk.
+        let mut memo = RegionTable::new(&core.bus);
+        // The device(s) behind the active code region. `Ideal` (no
+        // region declared) never touches the bus at all.
+        let mut code = CodeDevice::Ideal;
+        // Per-config costs are loop invariants: hoisting them keeps the
+        // ~10⁷-record dispatch loop free of config matches.
+        let mul_cycles = core.config.mul_cycles();
+        let div_cycles = core.config.div_cycles();
+        let call_base = 2 + 1 + core.config.refill_penalty();
+        let mut it = trace.ops().iter().copied();
+        while let Some(w) = it.next() {
+            match w & 0xF {
+                TAG_REGION => {
+                    let len = it.next().ok_or(ReplayError::Mismatch("truncated region record"))?;
+                    cur.flush(core)?;
+                    let base = (w >> 8) as u32;
+                    let span = (len as u32).max(4);
+                    core.set_code_region(base, span)?;
+                    code = memo.classify_code(&core.bus, base, span);
+                }
+                TAG_ALU => {
+                    let n = w >> 8;
+                    cur.defer(n);
+                    core.charge(n);
+                }
+                TAG_MUL => {
+                    cur.defer(1);
+                    core.stats.muls += 1;
+                    core.charge(mul_cycles);
+                }
+                TAG_DIV => {
+                    cur.defer(1);
+                    core.stats.divs += 1;
+                    core.charge(div_cycles);
+                }
+                TAG_SHIFT => {
+                    cur.defer(1);
+                    let cycles = core.config.shift_cycles((w >> 8) as u32);
+                    core.charge(cycles);
+                }
+                TAG_BRANCH => {
+                    let taken = w >> 4 & 1 != 0;
+                    let site = (w >> 8) as u32;
+                    cur.defer(1);
+                    core.branch_cost(site.wrapping_mul(4), 4 - 8 * i32::from(taken), taken);
+                }
+                TAG_CALL => {
+                    let saved = w >> 8;
+                    cur.defer(2 + 2 * saved);
+                    core.charge(call_base + 2 * saved);
+                }
+                TAG_LOAD => {
+                    let addr = (w >> 8) as u32;
+                    let len = (w >> 4 & 0xF) as u32;
+                    cur.defer(1);
+                    match memo.find(addr, len) {
+                        Some(e)
+                            if e.stateless && (core.dcache.is_none() || addr >= UNCACHED_BASE) =>
+                        {
+                            // Stateless uncached load: per-length cost
+                            // is a constant of the region — charge the
+                            // memoized value, settle traffic stats at
+                            // the end of the replay.
+                            core.stats.loads += 1;
+                            if let Some(c) = e.cost[len as usize] {
+                                core.stats.cycles += c;
+                                e.deferred_reads += 1;
+                                e.deferred_bytes += u64::from(len);
+                                e.deferred_cycles += c;
+                            } else {
+                                let c = core.bus.read_cost(addr, len)?;
+                                core.stats.cycles += c;
+                                e.cost[len as usize] = Some(c);
+                            }
+                        }
+                        entry => {
+                            // A load interacting with the code device's
+                            // stateful timing must observe all earlier
+                            // fetch charges (and vice versa); anything
+                            // else commutes and the backlog rides
+                            // through. Unknown regions flush so the
+                            // fault order stays exact.
+                            let need_flush = match (code, entry) {
+                                // Uncached load on the code device
+                                // itself: it still commutes when its
+                                // timing partition (DRAM bank) is one
+                                // the backlog never touches. Cached
+                                // loads are excluded — their trailing
+                                // device-timing reset spans every
+                                // partition.
+                                (CodeDevice::Single { id, stateless: false }, Some(e))
+                                    if e.id == id
+                                        && (core.dcache.is_none() || addr >= UNCACHED_BASE) =>
+                                {
+                                    // Memoized over the device's hold
+                                    // range (one recomputation per DRAM
+                                    // row); the held mask is a superset,
+                                    // so at worst it forces a spurious —
+                                    // still exact — flush.
+                                    let span = u64::from(len.max(1));
+                                    let lm = if addr >= e.pmask_lo
+                                        && u64::from(addr) + span <= u64::from(e.pmask_hi)
+                                    {
+                                        e.pmask
+                                    } else {
+                                        let (m, hold) =
+                                            core.bus.timing_partition_hold(e.id, addr, span);
+                                        e.pmask = m;
+                                        e.pmask_lo = addr;
+                                        e.pmask_hi = hold;
+                                        m
+                                    };
+                                    cur.pending_mask(core)? & lm != 0
+                                }
+                                (code, entry) => code.must_flush_for(entry.as_deref()),
+                            };
+                            if need_flush {
+                                cur.flush(core)?;
+                            }
+                            core.load_cost(addr, len)?;
+                        }
+                    }
+                }
+                TAG_STORE => {
+                    // The write-buffer drain compares against the live
+                    // cycle counter: settle all deferred charges first.
+                    cur.defer(1);
+                    cur.flush(core)?;
+                    core.store_cost((w >> 8) as u32, (w >> 4 & 0xF) as u32)?;
+                }
+                TAG_CFU => {
+                    cur.defer(1);
+                    core.stats.cfu_ops += 1;
+                    core.charge(w >> 8);
+                }
+                TAG_CFU_HIDDEN => {
+                    core.stats.cfu_ops += 1;
+                }
+                TAG_PEEK => {
+                    let addr = (w >> 8) as u32;
+                    if code.must_flush_for(memo.find(addr, 0).as_deref()) {
+                        cur.flush(core)?;
+                    }
+                    core.bus.reset_device_timing(addr)?;
+                }
+                TAG_MARK => {
+                    cur.flush(core)?;
+                    mark_cycles.push(core.stats.cycles);
+                }
+                _ => return Err(ReplayError::Mismatch("unknown op tag")),
+            }
+        }
+        cur.flush(core)?;
+        if !cur.finished() {
+            return Err(ReplayError::Mismatch("fetch stream not fully consumed"));
+        }
+        memo.spill(&mut core.bus);
+        Ok(ReplaySummary { stats: core.stats, mark_cycles })
+    }
+}
+
+/// The factored per-event timing surface shared by the live ISS
+/// [`Cpu`](crate::Cpu), the transaction-level [`TimedCore`], and the
+/// [`TraceReplayer`].
+///
+/// Each method charges the *timing* of one committed event — cycles,
+/// cache traffic, predictor updates, statistics — with no functional
+/// side effects. [`replay_iss`] drives any implementation from a
+/// captured [`IssTrace`]; the `Cpu` implementation is exact (bit-equal
+/// statistics to a live run of the same instruction stream), while the
+/// `TimedCore` implementation maps ISS events onto the TLM's synthetic
+/// fetch walk.
+pub trait TimingModel {
+    /// The timing configuration being modelled.
+    fn timing_config(&self) -> &CpuConfig;
+    /// Cycles elapsed so far.
+    fn elapsed_cycles(&self) -> u64;
+    /// Instructions retired so far.
+    fn retired_instructions(&self) -> u64;
+    /// Charges `n` flat cycles.
+    fn charge_cycles(&mut self, n: u64);
+    /// Charges the fetch of one instruction at `pc` with encoded length
+    /// `ilen`, retiring it.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from the fetch path.
+    fn fetch_timing(&mut self, pc: u32, ilen: u32) -> Result<(), MemError>;
+    /// Charges a data-hazard stall against the previous instruction
+    /// (`after_load` distinguishes load-use from ALU-use dependencies;
+    /// the penalty depends on the model's bypassing configuration).
+    fn hazard_timing(&mut self, after_load: bool);
+    /// Charges a data load at `addr` of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from the data path.
+    fn load_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError>;
+    /// Charges a data store at `addr` of `len` bytes.
+    ///
+    /// # Errors
+    ///
+    /// Bus faults from the data path.
+    fn store_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError>;
+    /// Charges a conditional branch at `pc` with target offset `offset`
+    /// and outcome `taken` through the predictor.
+    fn branch_timing(&mut self, pc: u32, offset: i32, taken: bool);
+    /// Charges one multiply.
+    fn mul_timing(&mut self);
+    /// Charges one divide.
+    fn div_timing(&mut self);
+    /// Charges one shift by `shamt`.
+    fn shift_timing(&mut self, shamt: u32);
+    /// Charges one CFU operation with the given response latency.
+    fn cfu_timing(&mut self, latency: u32);
+}
+
+/// Data-hazard stall penalty shared by every [`TimingModel`]: load-use
+/// hazards cost 2 (1 bypassed), ALU-use hazards cost 1 (0 bypassed).
+pub(crate) fn hazard_penalty(config: &CpuConfig, after_load: bool) -> u64 {
+    match (after_load, config.bypassing) {
+        (true, true) => 1,
+        (true, false) => 2,
+        (false, true) => 0,
+        (false, false) => 1,
+    }
+}
+
+impl TimingModel for TimedCore {
+    fn timing_config(&self) -> &CpuConfig {
+        &self.config
+    }
+
+    fn elapsed_cycles(&self) -> u64 {
+        self.stats.cycles
+    }
+
+    fn retired_instructions(&self) -> u64 {
+        self.stats.instructions
+    }
+
+    fn charge_cycles(&mut self, n: u64) {
+        self.charge(n);
+    }
+
+    fn fetch_timing(&mut self, _pc: u32, _ilen: u32) -> Result<(), MemError> {
+        // The TLM fetches from its synthetic walk, not the guest PC.
+        self.fetch()
+    }
+
+    fn hazard_timing(&mut self, after_load: bool) {
+        let n = hazard_penalty(&self.config, after_load);
+        self.charge(n);
+    }
+
+    fn load_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.load_cost(addr, len)
+    }
+
+    fn store_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.store_cost(addr, len)
+    }
+
+    fn branch_timing(&mut self, pc: u32, offset: i32, taken: bool) {
+        self.branch_cost(pc, offset, taken);
+    }
+
+    fn mul_timing(&mut self) {
+        self.mul_cost();
+    }
+
+    fn div_timing(&mut self) {
+        self.div_cost();
+    }
+
+    fn shift_timing(&mut self, shamt: u32) {
+        let cycles = self.config.shift_cycles(shamt);
+        self.charge(cycles);
+    }
+
+    fn cfu_timing(&mut self, latency: u32) {
+        self.stats.cfu_ops += 1;
+        self.charge(u64::from(latency));
+    }
+}
+
+impl TimingModel for TraceReplayer {
+    fn timing_config(&self) -> &CpuConfig {
+        self.core.timing_config()
+    }
+
+    fn elapsed_cycles(&self) -> u64 {
+        self.core.elapsed_cycles()
+    }
+
+    fn retired_instructions(&self) -> u64 {
+        self.core.retired_instructions()
+    }
+
+    fn charge_cycles(&mut self, n: u64) {
+        self.core.charge_cycles(n);
+    }
+
+    fn fetch_timing(&mut self, pc: u32, ilen: u32) -> Result<(), MemError> {
+        self.core.fetch_timing(pc, ilen)
+    }
+
+    fn hazard_timing(&mut self, after_load: bool) {
+        self.core.hazard_timing(after_load);
+    }
+
+    fn load_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.core.load_timing(addr, len)
+    }
+
+    fn store_timing(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.core.store_timing(addr, len)
+    }
+
+    fn branch_timing(&mut self, pc: u32, offset: i32, taken: bool) {
+        self.core.branch_timing(pc, offset, taken);
+    }
+
+    fn mul_timing(&mut self) {
+        self.core.mul_timing();
+    }
+
+    fn div_timing(&mut self) {
+        self.core.div_timing();
+    }
+
+    fn shift_timing(&mut self, shamt: u32) {
+        self.core.shift_timing(shamt);
+    }
+
+    fn cfu_timing(&mut self, latency: u32) {
+        self.core.cfu_timing(latency);
+    }
+}
+
+/// A captured committed-instruction trace from an ISS [`Cpu`](crate::Cpu)
+/// run (one header word per retired instruction, plus a payload word for
+/// branches, loads, stores, and CFU ops).
+///
+/// Created by [`Cpu::start_recording`](crate::Cpu::start_recording) /
+/// [`Cpu::finish_recording`](crate::Cpu::finish_recording) and replayed
+/// through any [`TimingModel`] by [`replay_iss`]. Unlike the TLM
+/// [`Trace`], ISS captures can observe their own timing (cycle-counter
+/// CSR reads) or rewrite their own code; such traces still record the
+/// committed stream faithfully but clear
+/// [`retime_safe`](IssTrace::retime_safe), refusing replay under a
+/// *different* timing configuration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct IssTrace {
+    records: Vec<u64>,
+    compressed: bool,
+    retime_safe: bool,
+}
+
+impl IssTrace {
+    /// Number of packed record words.
+    pub fn words(&self) -> usize {
+        self.records.len()
+    }
+
+    /// `true` when the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Whether replaying under a different timing configuration is
+    /// guaranteed to match a fresh execute-mode run. Cleared when the
+    /// capture run read a live cycle/instruction counter CSR or stored
+    /// into the address range it fetched instructions from
+    /// (self-modifying code) — in both cases the committed stream could
+    /// depend on timing, so only same-configuration replay is exact.
+    pub fn retime_safe(&self) -> bool {
+        self.retime_safe
+    }
+
+    /// RVC setting the trace was captured under; replay requires a
+    /// matching `compressed` flag (fetch parcel charging differs).
+    pub fn compressed(&self) -> bool {
+        self.compressed
+    }
+
+    /// Serializes the trace in the same envelope as
+    /// [`Trace::to_bytes`], under the ISS magic.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(32 + self.records.len() * 8);
+        out.extend_from_slice(&ISS_MAGIC);
+        out.extend_from_slice(&TRACE_VERSION.to_le_bytes());
+        let flags = u32::from(self.compressed) | (u32::from(self.retime_safe) << 1);
+        out.extend_from_slice(&flags.to_le_bytes());
+        out.extend_from_slice(&0u32.to_le_bytes());
+        out.extend_from_slice(&(self.records.len() as u64).to_le_bytes());
+        for w in &self.records {
+            out.extend_from_slice(&w.to_le_bytes());
+        }
+        let sum = fnv1a(&out);
+        out.extend_from_slice(&sum.to_le_bytes());
+        out
+    }
+
+    /// Decodes a trace serialized by [`to_bytes`](IssTrace::to_bytes).
+    ///
+    /// # Errors
+    ///
+    /// [`TraceDecodeError`] on wrong magic, unknown version, truncation
+    /// or checksum mismatch.
+    pub fn from_bytes(bytes: &[u8]) -> Result<IssTrace, TraceDecodeError> {
+        let (_, records, _, flags) = decode_common(bytes, ISS_MAGIC)?;
+        Ok(IssTrace { records, compressed: flags & 1 != 0, retime_safe: flags & 2 != 0 })
+    }
+}
+
+/// Records the committed instruction stream of an ISS [`Cpu`](crate::Cpu)
+/// run. Header words carry `pc | kind << 32 | hazard << 36 |
+/// (ilen == 4) << 38 | shamt << 40`; branch/load/store/CFU records append
+/// one payload word each.
+#[derive(Debug)]
+pub(crate) struct IssRecorder {
+    records: Vec<u64>,
+    compressed: bool,
+    retime_safe: bool,
+    /// Byte extent of every fetched instruction, for the self-modifying
+    /// code check at finish time.
+    code_lo: u32,
+    code_hi: u32,
+    /// Byte extent of every store.
+    store_lo: u32,
+    store_hi: u32,
+}
+
+impl IssRecorder {
+    pub(crate) fn new(compressed: bool) -> Self {
+        IssRecorder {
+            records: Vec::new(),
+            compressed,
+            retime_safe: true,
+            code_lo: u32::MAX,
+            code_hi: 0,
+            store_lo: u32::MAX,
+            store_hi: 0,
+        }
+    }
+
+    /// Records one retired instruction's header. `haz` is the data-hazard
+    /// class (0 none, 1 ALU-use, 2 load-use); `extra` carries the shift
+    /// amount for `K_SHIFT`.
+    pub(crate) fn inst(&mut self, pc: u32, ilen: u32, haz: u8, kind: u64, extra: u64) {
+        self.code_lo = self.code_lo.min(pc);
+        self.code_hi = self.code_hi.max(pc.wrapping_add(ilen));
+        self.records.push(
+            u64::from(pc)
+                | (kind << 32)
+                | (u64::from(haz) << 36)
+                | (u64::from(ilen == 4) << 38)
+                | (extra << 40),
+        );
+    }
+
+    pub(crate) fn load_payload(&mut self, addr: u32, len: u32) {
+        self.records.push(u64::from(addr) | (u64::from(len) << 32));
+    }
+
+    pub(crate) fn store_payload(&mut self, addr: u32, len: u32) {
+        self.store_lo = self.store_lo.min(addr);
+        self.store_hi = self.store_hi.max(addr.wrapping_add(len));
+        self.records.push(u64::from(addr) | (u64::from(len) << 32));
+    }
+
+    pub(crate) fn branch_payload(&mut self, offset: i32, taken: bool) {
+        self.records.push(u64::from(offset as u32) | (u64::from(taken) << 32));
+    }
+
+    pub(crate) fn cfu_payload(&mut self, latency: u32) {
+        self.records.push(u64::from(latency));
+    }
+
+    /// The guest read a live cycle/instruction counter: the committed
+    /// stream may depend on timing.
+    pub(crate) fn counter_observed(&mut self) {
+        self.retime_safe = false;
+    }
+
+    pub(crate) fn finish(self) -> IssTrace {
+        // Conservative self-modifying-code check: any overlap between the
+        // total store extent and the total fetched-code extent clears
+        // retime-eligibility (the trace itself is still faithful — it
+        // records what actually committed).
+        let smc = self.store_hi > self.code_lo && self.store_lo < self.code_hi;
+        IssTrace {
+            records: self.records,
+            compressed: self.compressed,
+            retime_safe: self.retime_safe && !smc,
+        }
+    }
+}
+
+/// Streams a captured [`IssTrace`] through a [`TimingModel`]: per record
+/// one fetch charge, an optional hazard stall, and the kind-specific
+/// timing event. Replaying onto a fresh [`Cpu`](crate::Cpu) over the
+/// same board mapping reproduces the capture run's statistics exactly;
+/// replaying onto a differently-configured `Cpu` is exact whenever
+/// [`IssTrace::retime_safe`] holds.
+///
+/// # Errors
+///
+/// [`ReplayError::Mismatch`] when the trace's RVC setting disagrees with
+/// the model's configuration or a record is truncated;
+/// [`ReplayError::Mem`] on bus faults from the timing paths.
+pub fn replay_iss<T: TimingModel>(trace: &IssTrace, model: &mut T) -> Result<(), ReplayError> {
+    if trace.compressed() != model.timing_config().compressed {
+        return Err(ReplayError::Mismatch("trace captured under a different RVC setting"));
+    }
+    let recs = &trace.records;
+    let mut i = 0;
+    while i < recs.len() {
+        let w = recs[i];
+        i += 1;
+        let pc = w as u32;
+        let kind = (w >> 32) & 0xF;
+        let haz = (w >> 36) & 0x3;
+        let ilen = if (w >> 38) & 1 != 0 { 4 } else { 2 };
+        model.fetch_timing(pc, ilen)?;
+        if haz != 0 {
+            model.hazard_timing(haz == 2);
+        }
+        let payload = || -> Result<u64, ReplayError> {
+            let p = *recs.get(i).ok_or(ReplayError::Mismatch("truncated ISS record"))?;
+            Ok(p)
+        };
+        match kind {
+            K_SIMPLE => model.charge_cycles(1),
+            K_SHIFT => model.shift_timing(((w >> 40) & 0x1F) as u32),
+            K_MUL => model.mul_timing(),
+            K_DIV => model.div_timing(),
+            K_JAL => model.charge_cycles(2),
+            K_JALR => {
+                let refill = model.timing_config().refill_penalty();
+                model.charge_cycles(1 + refill);
+            }
+            K_BRANCH => {
+                let p = payload()?;
+                i += 1;
+                model.branch_timing(pc, p as u32 as i32, (p >> 32) & 1 != 0);
+            }
+            K_LOAD => {
+                let p = payload()?;
+                i += 1;
+                model.load_timing(p as u32, (p >> 32) as u32)?;
+            }
+            K_STORE => {
+                let p = payload()?;
+                i += 1;
+                model.store_timing(p as u32, (p >> 32) as u32)?;
+            }
+            K_CFU => {
+                let p = payload()?;
+                i += 1;
+                model.cfu_timing(p as u32);
+            }
+            _ => return Err(ReplayError::Mismatch("unknown ISS record kind")),
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cfu_mem::{Bus, SpiFlash, SpiWidth, Sram};
+
+    fn build_bus() -> Bus {
+        let mut bus = Bus::new();
+        bus.map("flash", 0, SpiFlash::new(1 << 20, SpiWidth::Single));
+        bus.map("sram", 0x1000_0000, Sram::new(128 << 10));
+        bus
+    }
+
+    fn capture_workload(config: CpuConfig) -> (TlmStats, Trace) {
+        let mut core = TimedCore::new(config, build_bus());
+        core.start_recording();
+        core.mark_layer();
+        core.set_code_region(0, 4096).unwrap();
+        for i in 0..50 {
+            core.alu(37).unwrap();
+            core.mul().unwrap();
+            core.shift(i % 31).unwrap();
+            core.branch(3, i % 7 != 0).unwrap();
+            core.store_u32(0x1000_0000 + i * 4, i).unwrap();
+            core.load_u32(0x1000_0000 + i * 4).unwrap();
+            core.call(4).unwrap();
+            core.peek_u32(0x1000_0000).unwrap();
+        }
+        core.mark_layer();
+        core.set_code_region(0x1000_0000, 2048).unwrap();
+        core.mark_layer();
+        core.alu(500).unwrap();
+        core.div().unwrap();
+        core.mark_layer();
+        (core.stats(), core.finish_recording().expect("recording"))
+    }
+
+    #[test]
+    fn replay_matches_capture_stats_exactly() {
+        for config in [
+            CpuConfig::arty_default(),
+            CpuConfig::fomu_baseline(),
+            CpuConfig::fomu_with_icache(2048),
+            CpuConfig::arty_default().with_compressed(true),
+        ] {
+            let (live, trace) = capture_workload(config);
+            assert!(trace.retime_safe());
+            let mut rp = TraceReplayer::new(config, build_bus());
+            let summary = rp.replay(&trace).unwrap();
+            assert_eq!(summary.stats, live, "stats diverged for {config:?}");
+            assert_eq!(summary.mark_cycles.len(), 4);
+            assert_eq!(summary.mark_cycles[3], live.cycles);
+        }
+    }
+
+    #[test]
+    fn replay_under_different_timing_matches_fresh_execution() {
+        // Capture once under the baseline; replay under a *different*
+        // timing configuration must equal executing under it.
+        let base = CpuConfig::fomu_baseline();
+        let (_, trace) = capture_workload(base);
+        for target in [
+            CpuConfig::fomu_with_icache(4096),
+            CpuConfig::fomu_baseline().with_multiplier(crate::config::Multiplier::SingleCycleDsp),
+            CpuConfig {
+                branch_predictor: crate::config::BranchPredictor::Dynamic { entries: 64 },
+                ..CpuConfig::fomu_baseline()
+            },
+        ] {
+            let (live, _) = capture_workload(target);
+            let mut rp = TraceReplayer::new(target, build_bus());
+            let summary = rp.replay(&trace).unwrap();
+            assert_eq!(summary.stats, live, "replay diverged for {target:?}");
+        }
+    }
+
+    #[test]
+    fn replay_device_stats_match_execute() {
+        let config = CpuConfig::fomu_with_icache(2048);
+        let (_, trace) = capture_workload(CpuConfig::fomu_baseline());
+        let mut rp = TraceReplayer::new(config, build_bus());
+        rp.replay(&trace).unwrap();
+
+        let mut live = TimedCore::new(config, build_bus());
+        // Re-run the same workload (no recording).
+        live.set_code_region(0, 4096).unwrap();
+        for i in 0..50 {
+            live.alu(37).unwrap();
+            live.mul().unwrap();
+            live.shift(i % 31).unwrap();
+            live.branch(3, i % 7 != 0).unwrap();
+            live.store_u32(0x1000_0000 + i * 4, i).unwrap();
+            live.load_u32(0x1000_0000 + i * 4).unwrap();
+            live.call(4).unwrap();
+            live.peek_u32(0x1000_0000).unwrap();
+        }
+        live.set_code_region(0x1000_0000, 2048).unwrap();
+        live.alu(500).unwrap();
+        live.div().unwrap();
+
+        for (id, info) in live.bus().regions() {
+            let (rid, _) = rp.core().bus().region_by_name(&info.name).expect("same mapping");
+            assert_eq!(
+                live.bus().stats(id),
+                rp.core().bus().stats(rid),
+                "device stats diverged for {}",
+                info.name
+            );
+        }
+        assert_eq!(live.icache_stats(), rp.core().icache_stats());
+    }
+
+    #[test]
+    fn serialization_round_trips() {
+        let (_, trace) = capture_workload(CpuConfig::arty_default());
+        let bytes = trace.to_bytes();
+        let back = Trace::from_bytes(&bytes).unwrap();
+        assert_eq!(back, trace, "fetch-run index must be recomputed identically");
+
+        // Replay of the round-tripped trace matches the original.
+        let config = CpuConfig::arty_default();
+        let a = TraceReplayer::new(config, build_bus()).replay(&trace).unwrap();
+        let b = TraceReplayer::new(config, build_bus()).replay(&back).unwrap();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_rejects_corruption() {
+        let (_, trace) = capture_workload(CpuConfig::arty_default());
+        let bytes = trace.to_bytes();
+        assert_eq!(Trace::from_bytes(b"nope"), Err(TraceDecodeError::BadMagic));
+        assert_eq!(Trace::from_bytes(&bytes[..bytes.len() - 4]), Err(TraceDecodeError::Truncated));
+        let mut flipped = bytes.clone();
+        let mid = flipped.len() / 2;
+        flipped[mid] ^= 0x40;
+        assert_eq!(Trace::from_bytes(&flipped), Err(TraceDecodeError::BadChecksum));
+        let mut vers = bytes;
+        vers[4] = 99;
+        assert_eq!(Trace::from_bytes(&vers), Err(TraceDecodeError::BadVersion(99)));
+    }
+
+    #[test]
+    fn rvc_mismatch_is_rejected() {
+        let (_, trace) = capture_workload(CpuConfig::arty_default().with_compressed(true));
+        let mut rp = TraceReplayer::new(CpuConfig::arty_default(), build_bus());
+        assert!(matches!(rp.replay(&trace), Err(ReplayError::Mismatch(_))));
+    }
+
+    #[test]
+    fn alu_records_merge() {
+        let mut r = TraceRecorder::new(false);
+        r.alu(3);
+        r.alu(0);
+        r.alu(7);
+        assert_eq!(r.ops, vec![TAG_ALU | (10 << 8)]);
+        r.mul();
+        r.alu(2);
+        assert_eq!(r.ops.len(), 3);
+    }
+
+    #[test]
+    fn replay_on_wrong_board_faults_cleanly() {
+        let (_, trace) = capture_workload(CpuConfig::arty_default());
+        let mut tiny = Bus::new();
+        tiny.map("flash", 0, SpiFlash::new(1 << 20, SpiWidth::Single));
+        // No SRAM region: the first SRAM store must surface a Mem error.
+        let mut rp = TraceReplayer::new(CpuConfig::arty_default(), tiny);
+        assert!(matches!(rp.replay(&trace), Err(ReplayError::Mem(_))));
+    }
+}

@@ -20,6 +20,7 @@ use cfu_mem::{Bus, Cache, MemError};
 use crate::bpred::PredictorState;
 use crate::config::CpuConfig;
 use crate::cpu::UNCACHED_BASE;
+use crate::retime::TraceRecorder;
 
 /// Depth of the store write buffer (matches the ISS).
 const WRITE_BUFFER_DEPTH: usize = 4;
@@ -74,21 +75,18 @@ pub struct TlmStats {
 /// # }
 /// ```
 pub struct TimedCore {
-    config: CpuConfig,
-    bus: Bus,
-    icache: Option<Cache>,
-    dcache: Option<Cache>,
-    bpred: PredictorState,
+    pub(crate) config: CpuConfig,
+    pub(crate) bus: Bus,
+    pub(crate) icache: Option<Cache>,
+    pub(crate) dcache: Option<Cache>,
+    pub(crate) bpred: PredictorState,
     cfu: Box<dyn Cfu>,
-    stats: TlmStats,
-    code_base: u32,
-    code_len: u32,
-    code_pc: u32,
-    /// Start of the active inner-loop window within the code region.
-    window_base: u32,
-    /// Fetches issued since the window last moved.
-    window_fetches: u32,
+    pub(crate) stats: TlmStats,
+    pub(crate) walk: FetchWalk,
     write_buffer: VecDeque<u64>,
+    /// Trace recorder for capture mode ([`crate::Trace`]); `None` (the
+    /// default) costs one branch per operation.
+    recorder: Option<TraceRecorder>,
 }
 
 /// Size of the active inner-loop window: kernels spend their time in
@@ -97,6 +95,96 @@ const CODE_WINDOW: u32 = 256;
 /// Fetches before the active window advances (≈ 8 passes over the
 /// window: inner loops re-execute, then control moves on).
 const WINDOW_DWELL: u32 = 8 * (CODE_WINDOW / 4);
+
+/// The synthetic program-counter walk shared by the live [`TimedCore`]
+/// fetch path and the trace machinery (`retime.rs` regenerates the exact
+/// same fetch-address stream when compacting a captured trace into
+/// line runs). Factoring it into one type is what guarantees capture,
+/// replay and live execution agree on every fetch address.
+#[derive(Debug, Clone, Copy, Default)]
+pub(crate) struct FetchWalk {
+    pub(crate) code_base: u32,
+    pub(crate) code_len: u32,
+    pub(crate) code_pc: u32,
+    /// Start of the active inner-loop window within the code region.
+    pub(crate) window_base: u32,
+    /// Fetches issued since the window last moved.
+    pub(crate) window_fetches: u32,
+}
+
+impl FetchWalk {
+    /// Re-targets the walk at a fresh code region (mirrors
+    /// [`TimedCore::set_code_region`], including the 4-byte floor).
+    pub(crate) fn set_region(&mut self, base: u32, len: u32) {
+        self.code_base = base;
+        self.code_len = len.max(4);
+        self.code_pc = base;
+        self.window_base = base;
+        self.window_fetches = 0;
+    }
+
+    /// Advances one fetch of `step` bytes, returning the fetched PC and
+    /// whether this region uses the ideal 1-cycle fetch (`code_len == 4`,
+    /// i.e. no real region was declared).
+    #[inline]
+    pub(crate) fn next(&mut self, step: u32) -> (u32, bool) {
+        let pc = self.code_pc;
+        self.code_pc += step;
+        let window_len = CODE_WINDOW.min(self.code_len);
+        if self.code_pc >= (self.window_base + window_len).min(self.code_base + self.code_len) {
+            self.code_pc = self.window_base;
+        }
+        self.window_fetches += 1;
+        if self.window_fetches >= WINDOW_DWELL {
+            self.window_fetches = 0;
+            self.window_base += window_len;
+            if self.window_base >= self.code_base + self.code_len {
+                self.window_base = self.code_base;
+            }
+            self.code_pc = self.window_base;
+        }
+        (pc, self.code_len == 4)
+    }
+
+    /// Advances the walk by `n` fetches in closed form, reporting each
+    /// maximal strictly-sequential stretch as `(start_pc, count)` via
+    /// `emit`. The emitted PC stream is byte-identical to calling
+    /// [`next`](Self::next) `n` times: `next` only redirects the PC
+    /// *after* returning the fetch that trips a window wrap or a dwell
+    /// slide, so every fetch up to and including that one extends the
+    /// current sequential stretch.
+    pub(crate) fn advance_batch(&mut self, step: u32, n: u64, mut emit: impl FnMut(u32, u64)) {
+        let mut left = n;
+        while left > 0 {
+            let window_len = CODE_WINDOW.min(self.code_len);
+            let window_end = (self.window_base + window_len).min(self.code_base + self.code_len);
+            // Fetches until (and including) the one that reaches the
+            // window end, and until the dwell counter trips; both are
+            // ≥ 1 because `code_pc < window_end` and
+            // `window_fetches < WINDOW_DWELL` hold between calls.
+            let to_wrap = u64::from((window_end - self.code_pc).div_ceil(step));
+            let to_dwell = u64::from(WINDOW_DWELL - self.window_fetches);
+            let k = left.min(to_wrap).min(to_dwell);
+            emit(self.code_pc, k);
+            self.code_pc += k as u32 * step;
+            self.window_fetches += k as u32;
+            // Re-apply `next`'s post-fetch updates once, in its order:
+            // wrap to the window base first, then the dwell slide.
+            if self.code_pc >= window_end {
+                self.code_pc = self.window_base;
+            }
+            if self.window_fetches >= WINDOW_DWELL {
+                self.window_fetches = 0;
+                self.window_base += window_len;
+                if self.window_base >= self.code_base + self.code_len {
+                    self.window_base = self.code_base;
+                }
+                self.code_pc = self.window_base;
+            }
+            left -= k;
+        }
+    }
+}
 
 impl fmt::Debug for TimedCore {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
@@ -123,12 +211,9 @@ impl TimedCore {
             bpred: PredictorState::new(config.branch_predictor),
             cfu: Box::new(cfu),
             stats: TlmStats::default(),
-            code_base: 0,
-            code_len: 0,
-            code_pc: 0,
-            window_base: 0,
-            window_fetches: 0,
+            walk: FetchWalk::default(),
             write_buffer: VecDeque::new(),
+            recorder: None,
         }
     }
 
@@ -156,6 +241,15 @@ impl TimedCore {
     /// timing-free [`Bus::load_image`]/[`Bus::peek`] for that).
     pub fn bus_mut(&mut self) -> &mut Bus {
         &mut self.bus
+    }
+
+    /// Consumes the core, returning its bus — the mapped devices can be
+    /// handed to another core or replayer instead of being rebuilt
+    /// (the next measurement's [`reset_stats`](Self::reset_stats)
+    /// clears statistics and device timing, making a reused bus
+    /// timing-equivalent to a fresh one).
+    pub fn into_bus(self) -> Bus {
+        self.bus
     }
 
     /// The attached CFU (hardware model).
@@ -188,15 +282,35 @@ impl TimedCore {
     /// Fails if the region is not mapped on the bus.
     pub fn set_code_region(&mut self, base: u32, len: u32) -> Result<(), MemError> {
         self.bus.region_of(base).ok_or(MemError::Unmapped { addr: base })?;
-        self.code_base = base;
-        self.code_len = len.max(4);
-        self.code_pc = base;
-        self.window_base = base;
-        self.window_fetches = 0;
+        if let Some(r) = &mut self.recorder {
+            r.region(base, len);
+        }
+        self.walk.set_region(base, len);
         Ok(())
     }
 
-    fn charge(&mut self, cycles: u64) {
+    /// Begins recording every subsequent charged operation into a
+    /// [`crate::Trace`]. Recording is passive: charges, statistics and
+    /// functional effects are identical to an unrecorded run.
+    pub fn start_recording(&mut self) {
+        self.recorder = Some(TraceRecorder::new(self.config.compressed));
+    }
+
+    /// Records a layer boundary (profile granularity for replay).
+    /// No-op when not recording.
+    pub fn mark_layer(&mut self) {
+        if let Some(r) = &mut self.recorder {
+            r.mark();
+        }
+    }
+
+    /// Stops recording and returns the finalized trace, or `None` if
+    /// [`start_recording`](Self::start_recording) was never called.
+    pub fn finish_recording(&mut self) -> Option<crate::Trace> {
+        self.recorder.take().map(TraceRecorder::finish)
+    }
+
+    pub(crate) fn charge(&mut self, cycles: u64) {
         self.stats.cycles += cycles;
     }
 
@@ -206,27 +320,13 @@ impl TimedCore {
     /// the window slides through the kernel's footprint every
     /// [`WINDOW_DWELL`] fetches — matching real kernels, which re-execute
     /// small loops rather than sweeping their whole `.text` linearly.
-    fn fetch(&mut self) -> Result<(), MemError> {
+    pub(crate) fn fetch(&mut self) -> Result<(), MemError> {
         self.stats.instructions += 1;
-        let pc = self.code_pc;
         // RVC code is ~70% 16-bit parcels: 3 bytes per instruction on
         // average, which is what the fetch stream actually pulls.
         let step = if self.config.compressed { 3 } else { 4 };
-        self.code_pc += step;
-        let window_len = CODE_WINDOW.min(self.code_len);
-        if self.code_pc >= (self.window_base + window_len).min(self.code_base + self.code_len) {
-            self.code_pc = self.window_base;
-        }
-        self.window_fetches += 1;
-        if self.window_fetches >= WINDOW_DWELL {
-            self.window_fetches = 0;
-            self.window_base += window_len;
-            if self.window_base >= self.code_base + self.code_len {
-                self.window_base = self.code_base;
-            }
-            self.code_pc = self.window_base;
-        }
-        if self.code_len == 4 {
+        let (pc, ideal) = self.walk.next(step);
+        if ideal {
             // No code region declared: assume an ideal 1-cycle fetch.
             self.charge(1);
             return Ok(());
@@ -238,16 +338,16 @@ impl TimedCore {
                     // of the consuming operation's base cycle.
                 } else {
                     let line = cache.config().line_bytes;
-                    let mut buf = vec![0u8; line as usize];
-                    let cycles = self.bus.read(pc & !(line - 1), &mut buf)?;
+                    // The fill's bytes are never read (contents live in
+                    // the backing device): cost-only read.
+                    let cycles = self.bus.read_cost(pc & !(line - 1), line)?;
                     self.charge(cycles);
                 }
             }
             _ => {
                 // Uncached fetch over the wishbone: the full device
                 // latency is exposed (no stream buffer).
-                let mut buf = [0u8; 4];
-                let cycles = self.bus.read(pc, &mut buf[..step as usize])?;
+                let cycles = self.bus.read_cost(pc, step)?;
                 self.charge(cycles);
             }
         }
@@ -260,6 +360,16 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn alu(&mut self, n: u32) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.alu(n);
+        }
+        self.alu_inner(n)
+    }
+
+    /// [`alu`](Self::alu) without the recording hook — used internally by
+    /// composite operations (like [`call`](Self::call)) whose recorded
+    /// form already implies the ALU work, so it must not be double-traced.
+    fn alu_inner(&mut self, n: u32) -> Result<(), MemError> {
         // Predecoded fast path: with no code region declared
         // (`code_len == 4`) every non-compressed fetch charges exactly 1
         // cycle, resets `code_pc` to `window_base` (which never moves,
@@ -267,12 +377,12 @@ impl TimedCore {
         // dwell counter — so `n` iterations collapse to closed-form
         // updates. Compressed mode is excluded: its 3-byte stride gives
         // the PC walk a 2-fetch period this closed form would not match.
-        if self.config.decode_cache && self.code_len == 4 && !self.config.compressed {
+        if self.config.decode_cache && self.walk.code_len == 4 && !self.config.compressed {
             self.stats.instructions += u64::from(n);
             self.charge(2 * u64::from(n));
-            self.window_fetches =
-                ((u64::from(self.window_fetches) + u64::from(n)) % u64::from(WINDOW_DWELL)) as u32;
-            self.code_pc = self.window_base;
+            self.walk.window_fetches = ((u64::from(self.walk.window_fetches) + u64::from(n))
+                % u64::from(WINDOW_DWELL)) as u32;
+            self.walk.code_pc = self.walk.window_base;
             return Ok(());
         }
         for _ in 0..n {
@@ -288,10 +398,24 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn mul(&mut self) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.mul();
+        }
         self.fetch()?;
+        self.mul_cost();
+        Ok(())
+    }
+
+    /// Post-fetch multiply charge, shared with trace replay.
+    pub(crate) fn mul_cost(&mut self) {
         self.stats.muls += 1;
         self.charge(self.config.mul_cycles());
-        Ok(())
+    }
+
+    /// Post-fetch divide charge, shared with trace replay.
+    pub(crate) fn div_cost(&mut self) {
+        self.stats.divs += 1;
+        self.charge(self.config.div_cycles());
     }
 
     /// Charges one divide instruction.
@@ -300,9 +424,11 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn div(&mut self) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.div();
+        }
         self.fetch()?;
-        self.stats.divs += 1;
-        self.charge(self.config.div_cycles());
+        self.div_cost();
         Ok(())
     }
 
@@ -312,6 +438,9 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn shift(&mut self, shamt: u32) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.shift(shamt);
+        }
         self.fetch()?;
         self.charge(self.config.shift_cycles(shamt));
         Ok(())
@@ -324,19 +453,30 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn branch(&mut self, site: u32, taken: bool) -> Result<(), MemError> {
-        self.fetch()?;
-        self.stats.branches += 1;
-        self.charge(1);
-        let pc = site.wrapping_mul(4);
-        let prediction = self.bpred.predict(pc, if taken { -4 } else { 4 });
-        let correct = self.bpred.update(pc, taken);
-        if !correct {
-            self.stats.mispredicts += 1;
-            self.charge(self.config.refill_penalty());
-        } else if taken && !prediction.target_known {
-            self.charge(1);
+        if let Some(r) = &mut self.recorder {
+            r.branch(site, taken);
         }
+        self.fetch()?;
+        self.branch_cost(site.wrapping_mul(4), if taken { -4 } else { 4 }, taken);
         Ok(())
+    }
+
+    /// Post-fetch branch charge through the predictor, shared with trace
+    /// replay and the [`crate::TimingModel`] impl. `pc` and `offset` are
+    /// the predictor's view of the branch (the TLM derives them from the
+    /// stable site id and the outcome).
+    pub(crate) fn branch_cost(&mut self, pc: u32, offset: i32, taken: bool) {
+        self.stats.branches += 1;
+        let prediction = self.bpred.predict(pc, offset);
+        let correct = self.bpred.update(pc, taken);
+        self.stats.mispredicts += u64::from(!correct);
+        // Arithmetic form of: mispredict → refill, correct taken branch
+        // without a known target → 1-cycle redirect. The outcome is
+        // data-dependent, so a branchy form mispredicts on the host.
+        self.charge(
+            1 + u64::from(!correct) * self.config.refill_penalty()
+                + u64::from(correct & taken & !prediction.target_known),
+        );
     }
 
     /// Charges a function call/return pair plus `saved_regs` stack
@@ -346,16 +486,22 @@ impl TimedCore {
     ///
     /// Bus faults from instruction fetch.
     pub fn call(&mut self, saved_regs: u32) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.call(saved_regs);
+        }
         // jal + jalr-ret redirects.
         self.fetch()?;
         self.charge(2);
         self.fetch()?;
         self.charge(1 + self.config.refill_penalty());
         // Stack traffic is SRAM/stack-cached: approximate 2 cycles per reg.
-        self.alu(2 * saved_regs)
+        self.alu_inner(2 * saved_regs)
     }
 
     fn timed_read(&mut self, addr: u32, len: u32) -> Result<u32, MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.load(addr, len);
+        }
         self.fetch()?;
         self.stats.loads += 1;
         if addr >= UNCACHED_BASE || self.dcache.is_none() {
@@ -369,8 +515,7 @@ impl TimedCore {
             self.charge(1);
         } else {
             let line = cache.config().line_bytes;
-            let mut buf = vec![0u8; line as usize];
-            let cycles = self.bus.read(addr & !(line - 1), &mut buf)?;
+            let cycles = self.bus.read_cost(addr & !(line - 1), line)?;
             self.charge(1 + cycles);
         }
         let mut b = [0u8; 4];
@@ -378,14 +523,58 @@ impl TimedCore {
         Ok(u32::from_le_bytes(b))
     }
 
+    /// Post-fetch timing of [`timed_read`](Self::timed_read) with the
+    /// data path removed (trace replay): same cache traffic, fill reads,
+    /// charges and device-timing evolution — the trailing peek collapses
+    /// to its net effect, [`Bus::reset_device_timing`].
+    pub(crate) fn load_cost(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.stats.loads += 1;
+        if addr >= UNCACHED_BASE || self.dcache.is_none() {
+            let cycles = self.bus.read_cost(addr, len)?;
+            self.charge(cycles);
+            return Ok(());
+        }
+        let cache = self.dcache.as_mut().expect("checked above");
+        if cache.access(addr) {
+            self.charge(1);
+        } else {
+            let line = cache.config().line_bytes;
+            let cycles = self.bus.read_cost(addr & !(line - 1), line)?;
+            self.charge(1 + cycles);
+        }
+        self.bus.reset_device_timing(addr)
+    }
+
     fn timed_write(&mut self, addr: u32, value: u32, len: u32) -> Result<(), MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.store(addr, len);
+        }
         self.fetch()?;
         self.stats.stores += 1;
         let bytes = value.to_le_bytes();
         let device_cycles = self.bus.write(addr, &bytes[..len as usize])?;
+        self.drain_store(addr, device_cycles);
+        Ok(())
+    }
+
+    /// Post-fetch timing of [`timed_write`](Self::timed_write) with the
+    /// stored value replaced by zeros (trace replay: the replay bus's
+    /// contents are never read, and no device's write timing depends on
+    /// the data).
+    pub(crate) fn store_cost(&mut self, addr: u32, len: u32) -> Result<(), MemError> {
+        self.stats.stores += 1;
+        let device_cycles = self.bus.write(addr, &[0u8; 4][..len as usize])?;
+        self.drain_store(addr, device_cycles);
+        Ok(())
+    }
+
+    /// The write-through buffer model shared by live stores and replay:
+    /// uncached stores expose the device latency; cached ones drain
+    /// through the 4-deep buffer against the live cycle counter.
+    pub(crate) fn drain_store(&mut self, addr: u32, device_cycles: u64) {
         if addr >= UNCACHED_BASE {
             self.charge(device_cycles);
-            return Ok(());
+            return;
         }
         let now = self.stats.cycles;
         while let Some(&front) = self.write_buffer.front() {
@@ -402,7 +591,6 @@ impl TimedCore {
         let start = self.write_buffer.back().copied().unwrap_or(self.stats.cycles);
         self.write_buffer.push_back(start.max(self.stats.cycles) + device_cycles);
         self.charge(1);
-        Ok(())
     }
 
     /// Timed signed 8-bit load.
@@ -470,9 +658,23 @@ impl TimedCore {
         // set_code_region, which Bus does not allow.
         self.fetch().expect("code region validated at set_code_region");
         self.stats.cfu_ops += 1;
-        let resp = self.cfu.execute(op, rs1, rs2)?;
-        self.charge(u64::from(resp.latency));
-        Ok(resp.value)
+        match self.cfu.execute(op, rs1, rs2) {
+            Ok(resp) => {
+                if let Some(r) = &mut self.recorder {
+                    r.cfu(resp.latency);
+                }
+                self.charge(u64::from(resp.latency));
+                Ok(resp.value)
+            }
+            Err(e) => {
+                // The failed op still fetched and counted; a zero-latency
+                // record replays that exactly (charge(0) is a no-op).
+                if let Some(r) = &mut self.recorder {
+                    r.cfu(0);
+                }
+                Err(e)
+            }
+        }
     }
 
     /// Issues a CFU op *in the shadow of an in-flight CFU computation*
@@ -485,6 +687,9 @@ impl TimedCore {
     ///
     /// [`CfuError`] from the CFU.
     pub fn cfu_hidden(&mut self, op: CfuOp, rs1: u32, rs2: u32) -> Result<u32, CfuError> {
+        if let Some(r) = &mut self.recorder {
+            r.cfu_hidden();
+        }
         self.stats.cfu_ops += 1;
         Ok(self.cfu.execute(op, rs1, rs2)?.value)
     }
@@ -496,6 +701,9 @@ impl TimedCore {
     ///
     /// Bus faults.
     pub fn peek_u32(&mut self, addr: u32) -> Result<u32, MemError> {
+        if let Some(r) = &mut self.recorder {
+            r.peek(addr);
+        }
         let mut b = [0u8; 4];
         self.bus.peek(addr, &mut b)?;
         Ok(u32::from_le_bytes(b))

@@ -1,0 +1,196 @@
+//! ISS trace capture/replay integration tests: same-config replay is
+//! bit-exact, retime-safe traces replay exactly under *different* timing
+//! configurations, self-modifying code cleanly loses retime-eligibility,
+//! and serialization round-trips.
+
+use cfu_core::templates::SimdAddCfu;
+use cfu_isa::Assembler;
+use cfu_mem::{Bus, SpiFlash, SpiWidth, Sram};
+use cfu_sim::{replay_iss, Cpu, CpuConfig, CpuStats, IssTrace};
+
+fn build_bus() -> Bus {
+    let mut bus = Bus::new();
+    bus.map("flash", 0, SpiFlash::new(1 << 20, SpiWidth::Single));
+    bus.map("sram", 0x1000_0000, Sram::new(64 << 10));
+    bus
+}
+
+/// A timing-independent workload exercising every record kind: ALU ops,
+/// shifts (immediate and register), mul/div, branches both ways, loads,
+/// stores, jal/jalr, and CFU ops.
+const WORKLOAD: &str = "
+     li s0, 0x1000_0000
+     li t1, 40
+     li s1, 0
+    loop:
+     addi t2, t1, 3
+     slli t3, t2, 2
+     srl  t4, t3, t1
+     mul  t5, t2, t3
+     add  s1, s1, t5
+     sw   s1, 0(s0)
+     lw   t6, 0(s0)
+     cfu  0, 0, t6, t6, t2
+     jal  ra, leaf
+     addi t1, t1, -1
+     bnez t1, loop
+     li a0, 9
+     rem a1, s1, a0
+     li a7, 93
+     mv a0, a1
+     ecall
+    leaf:
+     sw ra, 4(s0)
+     lw ra, 4(s0)
+     ret
+";
+
+fn capture(config: CpuConfig) -> (CpuStats, IssTrace, Cpu) {
+    let program = Assembler::new(0).assemble(WORKLOAD).expect("asm");
+    let mut cpu = Cpu::with_cfu(config, build_bus(), SimdAddCfu::new());
+    cpu.load_program(&program).unwrap();
+    cpu.start_recording();
+    cpu.run(1_000_000).unwrap();
+    let trace = cpu.finish_recording().expect("recording");
+    (cpu.stats(), trace, cpu)
+}
+
+fn execute_fresh(config: CpuConfig) -> Cpu {
+    let program = Assembler::new(0).assemble(WORKLOAD).expect("asm");
+    let mut cpu = Cpu::with_cfu(config, build_bus(), SimdAddCfu::new());
+    cpu.load_program(&program).unwrap();
+    cpu.run(1_000_000).unwrap();
+    cpu
+}
+
+fn assert_replay_matches(live: &Cpu, replayed: &Cpu) {
+    assert_eq!(replayed.stats(), live.stats(), "CpuStats diverged");
+    assert_eq!(replayed.icache_stats(), live.icache_stats(), "I-cache stats diverged");
+    assert_eq!(replayed.dcache_stats(), live.dcache_stats(), "D-cache stats diverged");
+    for (id, info) in live.bus().regions() {
+        let (rid, _) = replayed.bus().region_by_name(&info.name).expect("same board");
+        assert_eq!(
+            live.bus().stats(id),
+            replayed.bus().stats(rid),
+            "device stats diverged for {}",
+            info.name
+        );
+    }
+}
+
+#[test]
+fn iss_replay_same_config_is_bit_exact() {
+    for config in
+        [CpuConfig::arty_default(), CpuConfig::fomu_baseline(), CpuConfig::fomu_with_icache(2048)]
+    {
+        let (live_stats, trace, live) = capture(config);
+        assert!(trace.retime_safe(), "workload is timing-independent");
+        assert!(!trace.is_empty());
+        let mut target = Cpu::new(config, build_bus());
+        replay_iss(&trace, &mut target).unwrap();
+        assert_eq!(target.stats(), live_stats, "stats diverged for {config:?}");
+        assert_replay_matches(&live, &target);
+    }
+}
+
+#[test]
+fn iss_replay_cross_config_matches_fresh_execution() {
+    // Capture once under the slowest baseline; replaying under any other
+    // *timing* configuration must equal a fresh execute-mode run there.
+    let (_, trace, _) = capture(CpuConfig::fomu_baseline());
+    for target_config in [
+        CpuConfig::arty_default(),
+        CpuConfig::fomu_with_icache(4096),
+        CpuConfig {
+            multiplier: cfu_sim::Multiplier::Iterative,
+            branch_predictor: cfu_sim::BranchPredictor::None,
+            ..CpuConfig::fomu_baseline()
+        },
+    ] {
+        let live = execute_fresh(target_config);
+        let mut target = Cpu::new(target_config, build_bus());
+        replay_iss(&trace, &mut target).unwrap();
+        assert_replay_matches(&live, &target);
+    }
+}
+
+#[test]
+fn self_modifying_code_loses_retime_eligibility() {
+    // The program overwrites its own `addi a0, zero, 11` with
+    // `addi a0, zero, 77` before executing it, then runs it. Capture must
+    // record the committed stream faithfully (exit code 77, same-config
+    // replay still exact) while clearing `retime_safe`.
+    let src = "
+         la t0, patch
+         li t1, 0x04D00513    # addi a0, zero, 77
+         sw t1, 0(t0)
+        patch:
+         addi a0, zero, 11
+         li a7, 93
+         ecall
+    ";
+    // Code must live in writable memory for the patch store to land.
+    let writable_bus = || {
+        let mut bus = Bus::new();
+        bus.map("sram", 0, Sram::new(64 << 10));
+        bus
+    };
+    let program = Assembler::new(0).assemble(src).expect("asm");
+    let config = CpuConfig::arty_default();
+    let mut cpu = Cpu::new(config, writable_bus());
+    cpu.load_program(&program).unwrap();
+    cpu.start_recording();
+    let stop = cpu.run(1000).unwrap();
+    assert_eq!(stop, cfu_sim::StopReason::Exit(77), "patched instruction must commit");
+    let trace = cpu.finish_recording().expect("recording");
+    assert!(!trace.retime_safe(), "SMC must refuse retime-eligibility");
+
+    // The capture is still faithful: same-config replay is bit-exact.
+    let mut target = Cpu::new(config, writable_bus());
+    replay_iss(&trace, &mut target).unwrap();
+    assert_eq!(target.stats(), cpu.stats());
+}
+
+#[test]
+fn counter_reads_lose_retime_eligibility() {
+    let src = "
+         rdcycle t0
+         li a7, 93
+         li a0, 0
+         ecall
+    ";
+    let program = Assembler::new(0).assemble(src).expect("asm");
+    let mut cpu = Cpu::new(CpuConfig::arty_default(), build_bus());
+    cpu.load_program(&program).unwrap();
+    cpu.start_recording();
+    cpu.run(1000).unwrap();
+    let trace = cpu.finish_recording().expect("recording");
+    assert!(!trace.retime_safe(), "counter observation must refuse retime-eligibility");
+}
+
+#[test]
+fn iss_trace_serialization_round_trips() {
+    let (_, trace, _) = capture(CpuConfig::arty_default());
+    let bytes = trace.to_bytes();
+    let back = IssTrace::from_bytes(&bytes).unwrap();
+    assert_eq!(back, trace);
+
+    // Replay of the round-tripped trace matches the original replay.
+    let config = CpuConfig::arty_default();
+    let mut a = Cpu::new(config, build_bus());
+    replay_iss(&trace, &mut a).unwrap();
+    let mut b = Cpu::new(config, build_bus());
+    replay_iss(&back, &mut b).unwrap();
+    assert_eq!(a.stats(), b.stats());
+
+    // The two trace formats are not confusable.
+    assert!(cfu_sim::Trace::from_bytes(&bytes).is_err());
+}
+
+#[test]
+fn recording_is_passive() {
+    // Capture-mode timing equals plain execute-mode timing.
+    let (live_stats, _, _) = capture(CpuConfig::arty_default());
+    let plain = execute_fresh(CpuConfig::arty_default());
+    assert_eq!(plain.stats(), live_stats);
+}

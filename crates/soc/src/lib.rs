@@ -38,7 +38,10 @@ mod fit;
 mod peripherals;
 
 pub use boards::{Board, MemorySpec};
+// What `Board::build_bus` returns — re-exported so downstream crates
+// can name the type without a direct `cfu-mem` dependency.
 pub use builder::{Soc, SocBuilder};
+pub use cfu_mem::Bus;
 pub use features::SocFeatures;
 pub use fit::FitReport;
 pub use peripherals::{Timer, Uart};

@@ -386,6 +386,38 @@ impl Deployment {
     ///
     /// Panics if `input`'s shape does not match the model input slot.
     pub fn run(&mut self, input: &Tensor) -> Result<(Tensor, Profile), KernelError> {
+        let (out, profile, _) = self.run_inner(input, false)?;
+        Ok((out, profile))
+    }
+
+    /// Runs one inference exactly like [`Deployment::run`] while
+    /// capturing the committed operation stream into a
+    /// [`cfu_sim::Trace`]. Capture is passive — the returned profile and
+    /// the core's statistics are identical to an uncaptured run — and
+    /// layer boundaries are recorded as begin/end mark pairs so a
+    /// replayed trace reproduces the per-layer cycle profile
+    /// (`ReplaySummary::layer_cycles`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Deployment::run`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `input`'s shape does not match the model input slot.
+    pub fn run_captured(
+        &mut self,
+        input: &Tensor,
+    ) -> Result<(Tensor, Profile, cfu_sim::Trace), KernelError> {
+        let (out, profile, trace) = self.run_inner(input, true)?;
+        Ok((out, profile, trace.expect("capture requested")))
+    }
+
+    fn run_inner(
+        &mut self,
+        input: &Tensor,
+        capture: bool,
+    ) -> Result<(Tensor, Profile, Option<cfu_sim::Trace>), KernelError> {
         let in_slot = self.model.input_slot;
         assert_eq!(
             input.shape, self.model.slots[in_slot].shape,
@@ -393,6 +425,9 @@ impl Deployment {
             self.model.name
         );
         self.core.reset_stats();
+        if capture {
+            self.core.start_recording();
+        }
         let bytes: Vec<u8> = input.data.iter().map(|&v| v as u8).collect();
         let addr = self.slot_addrs[in_slot];
         self.core.bus_mut().load_image(addr, &bytes)?;
@@ -400,7 +435,13 @@ impl Deployment {
         let mut profile = Profile::new();
         for li in 0..self.model.layers.len() {
             let before = self.core.cycles();
+            if capture {
+                self.core.mark_layer();
+            }
             self.dispatch(li)?;
+            if capture {
+                self.core.mark_layer();
+            }
             let layer = &self.model.layers[li];
             let macs = match &layer.op {
                 Op::Conv2d(p) => p.macs(self.model.slots[layer.inputs[0]].shape),
@@ -417,7 +458,8 @@ impl Deployment {
         }
 
         let out = self.read_slot(self.model.output_slot)?;
-        Ok((out, profile))
+        let trace = if capture { self.core.finish_recording() } else { None };
+        Ok((out, profile, trace))
     }
 
     /// Reads a tensor slot back from simulated memory (timing-free).

@@ -73,8 +73,14 @@ fn fig6_ladder_shape_holds() {
 /// points ("CFU designs can create a richer design space").
 #[test]
 fn fig7_cfu_curves_extend_the_front() {
-    let cfg =
-        fig7::Fig7Config { input_hw: 16, trials: 30, evolutionary: false, seed: 3, threads: 2 };
+    let cfg = fig7::Fig7Config {
+        input_hw: 16,
+        trials: 30,
+        evolutionary: false,
+        seed: 3,
+        threads: 2,
+        retime: true,
+    };
     let curves = fig7::run_all(&cfg);
     assert_eq!(curves.len(), 3);
     let best = |choice: CfuChoice| {
