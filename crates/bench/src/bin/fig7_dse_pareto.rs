@@ -11,16 +11,25 @@
 //! the guest once to capture its operation trace and scores every other
 //! design point by replaying the trace through timing-only machinery;
 //! `--no-retime` executes the guest for every point instead.
+//!
+//! `--store PATH` persists every freshly simulated point to an
+//! append-only result store at PATH; `--resume` additionally hydrates
+//! prior results from it, so a warm re-run performs zero guest
+//! simulations while printing byte-identical fronts.
 
 use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-use cfu_bench::fig7::{render, run_all_observed, Fig7Config, Fig7Progress};
+use cfu_bench::fig7::{render, run_all_stored, Fig7Config, Fig7Progress, Fig7Store};
+use cfu_dse::ResultStore;
 
 fn main() {
     let mut cfg = Fig7Config::default();
     let mut csv_path: Option<String> = None;
     let mut svg_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
+    let mut resume = false;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
@@ -45,12 +54,27 @@ fn main() {
             "--svg" => {
                 svg_path = Some(args.next().expect("--svg needs a path"));
             }
+            "--store" => {
+                store_path = Some(args.next().expect("--store needs a path"));
+            }
+            "--resume" => resume = true,
             other => {
-                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --threads N --random --retime --no-retime --csv PATH --svg PATH");
+                eprintln!("unknown flag {other}; supported: --trials N --input-hw N --threads N --random --retime --no-retime --csv PATH --svg PATH --store PATH --resume");
                 std::process::exit(2);
             }
         }
     }
+    if resume && store_path.is_none() {
+        eprintln!("--resume requires --store PATH");
+        std::process::exit(2);
+    }
+    let store = store_path.as_deref().map(|path| {
+        let file = ResultStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open result store {path}: {e}");
+            std::process::exit(2);
+        });
+        Fig7Store::new(Arc::new(file), cfg.input_hw, resume)
+    });
     let space = cfu_dse::DesignSpace::paper_scale();
     println!("Figure 7 — DSE of CPU vs CFU configurations (MobileNetV2 workload)");
     println!(
@@ -76,7 +100,7 @@ fn main() {
                 }
             }
         });
-        let curves = run_all_observed(&cfg, &progress);
+        let curves = run_all_stored(&cfg, &progress, store.as_ref());
         done.store(true, Ordering::Relaxed);
         curves
     });
@@ -86,6 +110,13 @@ fn main() {
             .map(|s| (s.captures(), s.replays()))
             .fold((0, 0), |(c, r), (dc, dr)| (c + dc, r + dr));
         eprintln!("retime: {captures} capture run(s), {replays} point(s) scored by trace replay");
+    }
+    if let (Some(path), Some(store)) = (&store_path, &store) {
+        eprintln!(
+            "store: {path}: {} prior result(s) loaded, {} new result(s) appended",
+            store.hydrated(),
+            store.appended()
+        );
     }
     print!("{}", render(&curves));
     if let Some(path) = csv_path {

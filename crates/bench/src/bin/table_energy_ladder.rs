@@ -15,10 +15,21 @@
 //! the iCE40-class energy model to show the co-design's *energy* story:
 //! memory-system and CFU optimizations cut energy about as hard as they
 //! cut time, because idle cycles leak.
+//!
+//! `--store PATH` persists every freshly simulated step to an
+//! append-only result store; `--resume` additionally hydrates prior
+//! results from it, so a warm re-run performs zero simulations (and
+//! zero trace captures) while printing a byte-identical table.
+
+use std::sync::Arc;
+
+use cfu_dse::{ResultStore, StudyStore};
 
 fn main() {
     let mut threads: Option<usize> = None;
     let mut csv_path: Option<String> = None;
+    let mut store_path: Option<String> = None;
+    let mut resume = false;
     let mut retime = true;
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
@@ -33,21 +44,52 @@ fn main() {
             }
             "--retime" => retime = true,
             "--no-retime" => retime = false,
+            "--store" => {
+                store_path = Some(args.next().expect("--store needs a path"));
+            }
+            "--resume" => resume = true,
             other => {
                 eprintln!(
-                    "unknown flag {other}; supported: --threads N --csv PATH --retime --no-retime"
+                    "unknown flag {other}; supported: --threads N --csv PATH --retime --no-retime --store PATH --resume"
                 );
                 std::process::exit(2);
             }
         }
     }
+    if resume && store_path.is_none() {
+        eprintln!("--resume requires --store PATH");
+        std::process::exit(2);
+    }
+    let store = store_path.as_deref().map(|path| {
+        let file = ResultStore::open(path).unwrap_or_else(|e| {
+            eprintln!("cannot open result store {path}: {e}");
+            std::process::exit(2);
+        });
+        let ctx = cfu_bench::fig6::energy_store_context();
+        Arc::new(StudyStore::new(Arc::new(file), ctx).with_resume(resume))
+    });
     println!("Energy across the Figure 6 KWS ladder (Fomu, iCE40 energy model)\n");
-    let rows = match (threads, retime) {
-        (Some(n), true) => cfu_bench::fig6::run_energy_ladder_parallel_retimed(n),
-        (Some(n), false) => cfu_bench::fig6::run_energy_ladder_parallel(n),
-        (None, true) => cfu_bench::fig6::run_energy_ladder_parallel_retimed(1),
-        (None, false) => cfu_bench::fig6::run_energy_ladder(),
+    let rows = match (threads, &store) {
+        // A store routes every mode through the engine (the no-threads
+        // serial driver is pinned byte-identical to it), so fresh rows
+        // are recorded and warm resumes skip the simulator entirely.
+        (_, Some(_)) => cfu_bench::fig6::run_energy_ladder_parallel_stored(
+            threads.unwrap_or(1),
+            retime,
+            store.clone(),
+        ),
+        (Some(n), None) if retime => cfu_bench::fig6::run_energy_ladder_parallel_retimed(n),
+        (Some(n), None) => cfu_bench::fig6::run_energy_ladder_parallel(n),
+        (None, None) if retime => cfu_bench::fig6::run_energy_ladder_parallel_retimed(1),
+        (None, None) => cfu_bench::fig6::run_energy_ladder(),
     };
+    if let (Some(path), Some(handle)) = (&store_path, &store) {
+        eprintln!(
+            "store: {path}: {} prior result(s) loaded, {} new result(s) appended",
+            handle.hydrated(),
+            handle.appended()
+        );
+    }
     print!("{}", cfu_bench::fig6::render_energy(&rows));
     if let Some(path) = &csv_path {
         std::fs::write(path, cfu_bench::fig6::energy_to_csv(&rows)).expect("write csv");

@@ -13,7 +13,10 @@ use std::sync::Arc;
 
 use cfu_core::cfu1::Cfu1;
 use cfu_core::{Cfu, NullCfu, Resources};
-use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace};
+use cfu_dse::{
+    key_fingerprint, CfuChoice, DesignPoint, EvalResult, Evaluator, GridSearch, ParallelStudy,
+    SearchSpace, StoreContext, StudyStore,
+};
 use cfu_sim::CpuConfig;
 use cfu_soc::Board;
 use cfu_tflm::deploy::{DeployConfig, Deployment, KernelRegistry};
@@ -265,6 +268,18 @@ impl Evaluator<Conv1x1Variant> for RetimedFig4Evaluator {
     }
 }
 
+/// The persistent-store context for a Figure-4 sweep. The ladder's
+/// searched axis is only the kernel variant, so everything else that
+/// moves the numbers — input resolution, model width, and the fixed CPU
+/// configuration — goes into the workload tag. The CPU is folded in by
+/// its [`StoreKey`](cfu_dse::StoreKey) fingerprint, which excludes
+/// host-only knobs: `--no-decode-cache` runs share the cache.
+pub fn store_context(cpu: CpuConfig, input_hw: usize, full_width: bool) -> StoreContext {
+    let fp = key_fingerprint(&DesignPoint { cpu, cfu: CfuChoice::None });
+    let width = if full_width { "100" } else { "035" };
+    StoreContext::new(format!("fig4-mnv2-hw{input_hw}-w{width}-cpu{fp:016x}"))
+}
+
 /// Runs the ladder through the parallel DSE engine: `GridSearch` over
 /// [`Fig4Space`] at full budget walks the steps in ladder order, and
 /// each batch fans out over `threads` workers. Rows are rebuilt from
@@ -283,7 +298,7 @@ pub fn run_ladder_parallel_retimed(
 ) -> Vec<Fig4Row> {
     let cpu = CpuConfig::arty_default();
     let store = Arc::new(cfu_dse::TraceStore::new());
-    run_ladder_engine(threads, None, &move || {
+    run_ladder_engine(threads, None, None, &move || {
         RetimedFig4Evaluator::new(cpu, input_hw, full_width, Arc::clone(&store))
     })
 }
@@ -300,7 +315,23 @@ pub fn run_ladder_parallel_configured(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
 ) -> Vec<Fig4Row> {
-    run_ladder_engine(threads, progress, &move || {
+    run_ladder_parallel_stored(cpu, input_hw, full_width, threads, progress, None)
+}
+
+/// [`run_ladder_parallel_configured`] with an optional persistent
+/// result store (see [`store_context`] for what keys the records):
+/// freshly simulated steps are appended, and a resume-mode handle
+/// hydrates prior results so a warm ladder re-runs without a single
+/// simulation. Rows stay byte-identical either way.
+pub fn run_ladder_parallel_stored(
+    cpu: CpuConfig,
+    input_hw: usize,
+    full_width: bool,
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<StudyStore<Conv1x1Variant>>>,
+) -> Vec<Fig4Row> {
+    run_ladder_engine(threads, progress, store, &move || {
         Fig4Evaluator::configured(cpu, input_hw, full_width)
     })
 }
@@ -308,6 +339,7 @@ pub fn run_ladder_parallel_configured(
 fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Conv1x1Variant>>(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<StudyStore<Conv1x1Variant>>>,
     factory: &F,
 ) -> Vec<Fig4Row> {
     let space = Fig4Space;
@@ -315,6 +347,9 @@ fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Conv1x1Variant>>(
     let mut study = ParallelStudy::new(space, optimizer, threads);
     if let Some(counter) = progress {
         study.attach_progress(counter);
+    }
+    if let Some(handle) = store {
+        study.attach_store(handle);
     }
     study.run(factory, space.size());
     let mut rows = Vec::new();

@@ -16,7 +16,10 @@ use std::sync::Arc;
 
 use cfu_core::cfu2::Cfu2;
 use cfu_core::{Cfu, NullCfu};
-use cfu_dse::{EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace, TraceStore};
+use cfu_dse::{
+    EvalResult, Evaluator, GridSearch, ParallelStudy, SearchSpace, StoreContext, StoreKey,
+    StudyStore, TraceStore,
+};
 use cfu_mem::SpiWidth;
 use cfu_sim::energy::EnergyEstimate;
 use cfu_sim::{CpuConfig, Multiplier, Trace, TraceReplayer};
@@ -135,6 +138,52 @@ impl Fig6Step {
             Fig6Step::SwSpecialize => 4,
         }
     }
+}
+
+/// Stable on-disk key for the persistent result store: one tag byte in
+/// the published ladder order. Appending future steps extends the tags;
+/// existing records stay valid.
+impl StoreKey for Fig6Step {
+    fn encode_key(&self, out: &mut Vec<u8>) {
+        out.push(match self {
+            Fig6Step::Baseline => 0,
+            Fig6Step::QuadSpi => 1,
+            Fig6Step::SramOpsAndModel => 2,
+            Fig6Step::LargerIcache => 3,
+            Fig6Step::FastMult => 4,
+            Fig6Step::MacConv => 5,
+            Fig6Step::PostProc => 6,
+            Fig6Step::SwSpecialize => 7,
+        });
+    }
+
+    fn decode_key(bytes: &[u8]) -> Option<Self> {
+        match bytes {
+            [0] => Some(Fig6Step::Baseline),
+            [1] => Some(Fig6Step::QuadSpi),
+            [2] => Some(Fig6Step::SramOpsAndModel),
+            [3] => Some(Fig6Step::LargerIcache),
+            [4] => Some(Fig6Step::FastMult),
+            [5] => Some(Fig6Step::MacConv),
+            [6] => Some(Fig6Step::PostProc),
+            [7] => Some(Fig6Step::SwSpecialize),
+            _ => None,
+        }
+    }
+}
+
+/// The persistent-store context for the Figure-6 performance ladder.
+/// Everything that moves the numbers is a function of the step itself,
+/// so a plain workload tag suffices.
+pub fn store_context() -> StoreContext {
+    StoreContext::new("fig6-kws")
+}
+
+/// The persistent-store context for the energy-extension ladder —
+/// distinct from [`store_context`] because energy rows carry extra
+/// payload (`energy_uj`/`aux`) the performance sweep leaves zero.
+pub fn energy_store_context() -> StoreContext {
+    StoreContext::new("fig6-kws-energy")
 }
 
 impl PartialOrd for Fig6Step {
@@ -504,7 +553,7 @@ pub fn run_ladder_parallel(threads: usize) -> Vec<Fig6Row> {
 /// group, replays for the rest, byte-identical rows.
 pub fn run_ladder_parallel_retimed(threads: usize) -> Vec<Fig6Row> {
     let store = Arc::new(TraceStore::new());
-    run_ladder_engine(threads, None, &move || RetimedFig6Evaluator::new(Arc::clone(&store)))
+    run_ladder_engine(threads, None, None, &move || RetimedFig6Evaluator::new(Arc::clone(&store)))
 }
 
 /// [`run_ladder_parallel`] with an optional shared progress counter,
@@ -514,12 +563,25 @@ pub fn run_ladder_parallel_observed(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
 ) -> Vec<Fig6Row> {
-    run_ladder_engine(threads, progress, &|| Fig6Evaluator)
+    run_ladder_engine(threads, progress, None, &|| Fig6Evaluator)
+}
+
+/// [`run_ladder_parallel_observed`] with an optional persistent result
+/// store (context: [`store_context`]): fresh steps are appended, and a
+/// resume-mode handle hydrates prior results so a warm ladder re-runs
+/// with zero simulations. Rows stay byte-identical either way.
+pub fn run_ladder_parallel_stored(
+    threads: usize,
+    progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<StudyStore<Fig6Step>>>,
+) -> Vec<Fig6Row> {
+    run_ladder_engine(threads, progress, store, &|| Fig6Evaluator)
 }
 
 fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Fig6Step>>(
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<StudyStore<Fig6Step>>>,
     factory: &F,
 ) -> Vec<Fig6Row> {
     let space = Fig6Space;
@@ -527,6 +589,9 @@ fn run_ladder_engine<F: cfu_dse::EvaluatorFactory<Fig6Step>>(
     let mut study = ParallelStudy::new(space, optimizer, threads);
     if let Some(counter) = progress {
         study.attach_progress(counter);
+    }
+    if let Some(handle) = store {
+        study.attach_store(handle);
     }
     study.run(factory, space.size());
     let clock_hz = Board::fomu().clock_hz as f64;
@@ -697,7 +762,7 @@ impl Evaluator<Fig6Step> for RetimedEnergyLadderEvaluator {
 /// rendered table is byte-identical to the serial driver at any thread
 /// count — and each step is simulated exactly once.
 pub fn run_energy_ladder_parallel(threads: usize) -> Vec<EnergyRow> {
-    run_energy_ladder_engine(threads, &|| EnergyLadderEvaluator)
+    run_energy_ladder_engine(threads, None, &|| EnergyLadderEvaluator)
 }
 
 /// [`run_energy_ladder_parallel`] scored through the capture/replay
@@ -705,18 +770,42 @@ pub fn run_energy_ladder_parallel(threads: usize) -> Vec<EnergyRow> {
 /// counts as exactly one evaluation, rows are byte-identical.
 pub fn run_energy_ladder_parallel_retimed(threads: usize) -> Vec<EnergyRow> {
     let store = Arc::new(TraceStore::new());
-    run_energy_ladder_engine(threads, &move || {
+    run_energy_ladder_engine(threads, None, &move || {
         RetimedEnergyLadderEvaluator::new(Arc::clone(&store))
     })
 }
 
+/// The energy ladder with an optional persistent result store (context:
+/// [`energy_store_context`]) on top of the retime-or-execute choice. A
+/// resume-mode handle hydrates prior rows so the warm table re-renders
+/// with zero simulations *and* zero trace captures; rows stay
+/// byte-identical in all four mode combinations.
+pub fn run_energy_ladder_parallel_stored(
+    threads: usize,
+    retime: bool,
+    store: Option<Arc<StudyStore<Fig6Step>>>,
+) -> Vec<EnergyRow> {
+    if retime {
+        let traces = Arc::new(TraceStore::new());
+        run_energy_ladder_engine(threads, store, &move || {
+            RetimedEnergyLadderEvaluator::new(Arc::clone(&traces))
+        })
+    } else {
+        run_energy_ladder_engine(threads, store, &|| EnergyLadderEvaluator)
+    }
+}
+
 fn run_energy_ladder_engine<F: cfu_dse::EvaluatorFactory<Fig6Step>>(
     threads: usize,
+    store: Option<Arc<StudyStore<Fig6Step>>>,
     factory: &F,
 ) -> Vec<EnergyRow> {
     let space = EnergyLadderSpace;
     let optimizer = GridSearch::new(&space, space.size());
     let mut study = ParallelStudy::new(space, optimizer, threads);
+    if let Some(handle) = store {
+        study.attach_store(handle);
+    }
     study.run(factory, space.size());
     let clock_hz = Board::fomu().clock_hz;
     Fig6Step::LADDER

@@ -12,8 +12,8 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 use cfu_dse::{
-    CfuChoice, Fig7CurveSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint, RandomSearch,
-    RegularizedEvolution, TraceStore,
+    CfuChoice, DesignPoint, Fig7CurveSpace, InferenceEvaluatorFactory, ParallelStudy, ParetoPoint,
+    RandomSearch, RegularizedEvolution, ResultStore, StoreContext, StudyStore, TraceStore,
 };
 use cfu_soc::Board;
 use cfu_tflm::models;
@@ -137,6 +137,47 @@ pub fn space_for(choice: CfuChoice) -> Fig7CurveSpace {
     Fig7CurveSpace::new(choice)
 }
 
+/// Persistent-store binding for a Figure-7 run: one shared
+/// [`ResultStore`] file, one [`StudyStore`] handle per curve (indexed
+/// like [`CURVES`]). Each curve gets its own workload tag —
+/// `fig7-mnv2-hw{N}-cfu{i}` — so hydration and the counters stay exact
+/// per curve even though all three append to one file.
+#[derive(Debug)]
+pub struct Fig7Store {
+    handles: [Arc<StudyStore<DesignPoint>>; 3],
+}
+
+impl Fig7Store {
+    /// Binds `store` for a run at `input_hw` resolution. With `resume`,
+    /// each curve hydrates its prior results into the study's memo
+    /// cache before exploring (a fully warm store means zero guest
+    /// simulations); without it, prior results are ignored but fresh
+    /// ones are still appended.
+    pub fn new(store: Arc<ResultStore>, input_hw: usize, resume: bool) -> Self {
+        Fig7Store {
+            handles: std::array::from_fn(|i| {
+                let ctx = StoreContext::new(format!("fig7-mnv2-hw{input_hw}-cfu{i}"));
+                Arc::new(StudyStore::new(Arc::clone(&store), ctx).with_resume(resume))
+            }),
+        }
+    }
+
+    /// Curve `i`'s study-store handle (indexed like [`CURVES`]).
+    pub fn handle(&self, i: usize) -> Arc<StudyStore<DesignPoint>> {
+        Arc::clone(&self.handles[i])
+    }
+
+    /// Prior results hydrated into memo caches, summed over the curves.
+    pub fn hydrated(&self) -> u64 {
+        self.handles.iter().map(|h| h.hydrated()).sum()
+    }
+
+    /// Fresh results appended to the store, summed over the curves.
+    pub fn appended(&self) -> u64 {
+        self.handles.iter().map(|h| h.appended()).sum()
+    }
+}
+
 /// Explores one curve.
 ///
 /// # Panics
@@ -156,7 +197,7 @@ pub fn run_curve_observed(
     cfg: &Fig7Config,
     progress: Option<Arc<AtomicU64>>,
 ) -> Fig7Curve {
-    run_curve_inner(choice, cfg, progress, None)
+    run_curve_inner(choice, cfg, progress, None, None)
 }
 
 fn run_curve_inner(
@@ -164,6 +205,7 @@ fn run_curve_inner(
     cfg: &Fig7Config,
     progress: Option<Arc<AtomicU64>>,
     publish: Option<(&Fig7Progress, usize)>,
+    store: Option<Arc<StudyStore<DesignPoint>>>,
 ) -> Fig7Curve {
     let model = models::mobilenet_v2(cfg.input_hw, 2, 1);
     let input = models::synthetic_input(&model, 5);
@@ -181,12 +223,18 @@ fn run_curve_inner(
         if let Some(counter) = progress {
             study.attach_progress(counter);
         }
+        if let Some(handle) = store {
+            study.attach_store(handle);
+        }
         study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
     } else {
         let mut study = ParallelStudy::new(space, RandomSearch::new(cfg.seed), cfg.threads);
         if let Some(counter) = progress {
             study.attach_progress(counter);
+        }
+        if let Some(handle) = store {
+            study.attach_store(handle);
         }
         study.run(&factory, cfg.trials);
         (study.archive().front(), study.archive().evaluated())
@@ -204,14 +252,29 @@ pub fn run_all(cfg: &Fig7Config) -> Vec<Fig7Curve> {
 
 /// [`run_all`] with live per-curve progress counters.
 pub fn run_all_observed(cfg: &Fig7Config, progress: &Fig7Progress) -> Vec<Fig7Curve> {
+    run_all_stored(cfg, progress, None)
+}
+
+/// [`run_all_observed`] with an optional persistent result store: every
+/// freshly simulated point is appended to `store`'s file, and (in
+/// resume mode) each curve hydrates its prior results before exploring.
+/// Fronts are byte-identical with or without a store — persistence only
+/// changes wall-clock time.
+pub fn run_all_stored(
+    cfg: &Fig7Config,
+    progress: &Fig7Progress,
+    store: Option<&Fig7Store>,
+) -> Vec<Fig7Curve> {
     std::thread::scope(|scope| {
         let handles: Vec<_> = CURVES
             .iter()
             .enumerate()
             .map(|(i, &choice)| {
                 let counter = progress.counter(i);
-                scope
-                    .spawn(move || run_curve_inner(choice, cfg, Some(counter), Some((progress, i))))
+                let handle = store.map(|s| s.handle(i));
+                scope.spawn(move || {
+                    run_curve_inner(choice, cfg, Some(counter), Some((progress, i)), handle)
+                })
             })
             .collect();
         // Joining in spawn order keeps the output order fixed.

@@ -23,7 +23,12 @@
 //!   [`Features`], pure Rust) ranks an oversampled candidate batch and
 //!   only the predicted-best go to the simulator,
 //! * [`ParetoArchive`] — non-dominated (resources, latency) front
-//!   extraction for the Figure 7 curves.
+//!   extraction for the Figure 7 curves,
+//! * [`ResultStore`] — an on-disk, append-only, content-addressed
+//!   corpus of evaluated points keyed by `(point, workload,
+//!   sim-version)`; attach a [`StudyStore`] to either study driver to
+//!   persist fresh evaluations and resume interrupted sweeps with zero
+//!   re-simulation.
 //!
 //! The engine is generic over [`SearchSpace`], so degenerate spaces
 //! (e.g. the Figure-4/Figure-6 ladder sweeps in `cfu-bench`) run
@@ -52,6 +57,7 @@ mod optimizer;
 mod parallel;
 mod pareto;
 mod space;
+mod store;
 mod surrogate;
 
 pub use eval::{EvalResult, Evaluator, InferenceEvaluator, ResourceEvaluator, TraceStore};
@@ -62,4 +68,5 @@ pub use optimizer::{
 pub use parallel::{EvaluatorFactory, InferenceEvaluatorFactory, MemoCache, ParallelStudy};
 pub use pareto::{ParetoArchive, ParetoPoint};
 pub use space::{CfuChoice, DesignPoint, DesignSpace, Fig7CurveSpace, SearchSpace};
+pub use store::{key_fingerprint, ResultStore, StoreContext, StoreKey, StudyStore, SIM_VERSION};
 pub use surrogate::{Features, RidgeSurrogate, Surrogate, SurrogateStudy};

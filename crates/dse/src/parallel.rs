@@ -29,6 +29,7 @@ use crate::eval::{EvalResult, Evaluator, InferenceEvaluator, TraceStore};
 use crate::optimizer::{record_result, Optimizer, SUGGEST_BATCH};
 use crate::pareto::ParetoArchive;
 use crate::space::{DesignPoint, DesignSpace, SearchSpace};
+use crate::store::{StoreKey, StoreSink, StudyStore};
 
 /// Mints one evaluator per worker thread.
 ///
@@ -125,6 +126,27 @@ const MEMO_SHARDS: usize = 16;
 /// take one shard lock for the duration of a `HashMap` probe — workers
 /// evaluating different points proceed without contention. Generic
 /// over the candidate type `P` (default [`DesignPoint`]).
+///
+/// The cache is in-memory and per-study; to persist results across
+/// processes, attach a [`StudyStore`](crate::StudyStore), which
+/// hydrates these shards from disk at study startup.
+///
+/// # Example
+///
+/// ```
+/// use cfu_dse::{DesignSpace, Evaluator, MemoCache, ResourceEvaluator};
+///
+/// let space = DesignSpace::small();
+/// let cache = MemoCache::new();
+/// let mut evaluator = ResourceEvaluator::new(1_000_000);
+/// let point = space.point(7);
+/// // First probe computes and stores; the revisit is a pure lookup.
+/// let first = cache.get_or_compute(&point, || evaluator.evaluate(&point));
+/// assert_eq!(cache.get(&point), Some(first));
+/// assert_eq!(cache.len(), 1);
+/// let again = cache.get_or_compute(&point, || unreachable!("memo hit"));
+/// assert_eq!(again, first);
+/// ```
 #[derive(Debug)]
 pub struct MemoCache<P = DesignPoint> {
     shards: [Mutex<HashMap<P, EvalResult>>; MEMO_SHARDS],
@@ -213,6 +235,7 @@ pub struct ParallelStudy<O, S: SearchSpace = DesignSpace> {
     cache: MemoCache<S::Point>,
     threads: usize,
     progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<dyn StoreSink<S::Point>>>,
 }
 
 impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
@@ -227,6 +250,7 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
             cache: MemoCache::new(),
             threads: threads.max(1),
             progress: None,
+            store: None,
         }
     }
 
@@ -237,6 +261,20 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
     /// results are unaffected.
     pub fn attach_progress(&mut self, counter: Arc<AtomicU64>) {
         self.progress = Some(counter);
+    }
+
+    /// Attaches a persistent [`StudyStore`]: in resume mode every prior
+    /// result under the study's context hydrates the memo cache right
+    /// now (so known points never reach the evaluator), and in every
+    /// mode each freshly simulated point is appended back to the store,
+    /// flushed after each batch merge. Purely observational for the
+    /// search itself: fronts are byte-identical with or without a store.
+    pub fn attach_store(&mut self, store: Arc<StudyStore<S::Point>>)
+    where
+        S::Point: StoreKey + 'static,
+    {
+        store.hydrate_into(&self.cache);
+        self.store = Some(store);
     }
 
     /// The design space.
@@ -282,6 +320,7 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
                 &self.cache,
                 self.threads,
                 self.progress.as_deref(),
+                self.store.as_deref(),
             );
             let batch: Vec<(u64, EvalResult)> = indices.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
@@ -290,6 +329,9 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
                 record_result(&mut self.archive, &mut self.energy_archive, *point, result);
             }
             remaining -= batch.len() as u64;
+            if let Some(store) = &self.store {
+                store.flush_sink();
+            }
         }
     }
 }
@@ -297,7 +339,9 @@ impl<S: SearchSpace, O: Optimizer<S>> ParallelStudy<O, S> {
 /// Evaluates one batch of points on `threads` workers, returning results
 /// in input order. Workers pull work items off a shared atomic cursor so
 /// an expensive point never stalls the rest of the batch behind it.
-/// `progress` (when supplied) is bumped once per completed point.
+/// `progress` (when supplied) is bumped once per completed point;
+/// `store` (when supplied) records each *freshly computed* result —
+/// memo hits, including store-hydrated ones, are never re-recorded.
 /// Shared by [`ParallelStudy`] and [`crate::SurrogateStudy`].
 pub(crate) fn evaluate_batch<P, F>(
     points: &[P],
@@ -305,6 +349,7 @@ pub(crate) fn evaluate_batch<P, F>(
     cache: &MemoCache<P>,
     threads: usize,
     progress: Option<&AtomicU64>,
+    store: Option<&dyn StoreSink<P>>,
 ) -> Vec<EvalResult>
 where
     P: Copy + Eq + Hash + Send + Sync,
@@ -315,13 +360,20 @@ where
             counter.fetch_add(1, Ordering::Relaxed);
         }
     };
+    let compute = |evaluator: &mut F::Eval, point: &P| {
+        let result = evaluator.evaluate(point);
+        if let Some(sink) = store {
+            sink.record(point, &result);
+        }
+        result
+    };
     let workers = threads.max(1).min(points.len().max(1));
     if workers == 1 {
         let mut evaluator = factory.make_evaluator();
         return points
             .iter()
             .map(|p| {
-                let result = cache.get_or_compute(p, || evaluator.evaluate(p));
+                let result = cache.get_or_compute(p, || compute(&mut evaluator, p));
                 tick();
                 result
             })
@@ -338,7 +390,7 @@ where
                     loop {
                         let slot = cursor.fetch_add(1, Ordering::Relaxed);
                         let Some(point) = points.get(slot) else { break };
-                        let result = cache.get_or_compute(point, || evaluator.evaluate(point));
+                        let result = cache.get_or_compute(point, || compute(&mut evaluator, point));
                         tick();
                         local.push((slot, result));
                     }

@@ -36,6 +36,7 @@ use crate::optimizer::{record_result, Optimizer, SUGGEST_BATCH};
 use crate::parallel::{evaluate_batch, EvaluatorFactory, MemoCache};
 use crate::pareto::ParetoArchive;
 use crate::space::{CfuChoice, DesignPoint, DesignSpace, SearchSpace};
+use crate::store::{StoreKey, StoreSink, StudyStore};
 
 /// A fixed-length numeric encoding of a candidate configuration, for
 /// surrogate models.
@@ -332,6 +333,7 @@ pub struct SurrogateStudy<O, M, S: SearchSpace = DesignSpace> {
     cache: MemoCache<S::Point>,
     proposed: u64,
     progress: Option<Arc<AtomicU64>>,
+    store: Option<Arc<dyn StoreSink<S::Point>>>,
 }
 
 impl<S, O, M> SurrogateStudy<O, M, S>
@@ -355,6 +357,7 @@ where
             cache: MemoCache::new(),
             proposed: 0,
             progress: None,
+            store: None,
         }
     }
 
@@ -365,6 +368,21 @@ where
     /// thread. Purely observational — results are unaffected.
     pub fn attach_progress(&mut self, counter: Arc<AtomicU64>) {
         self.progress = Some(counter);
+    }
+
+    /// Attaches a persistent [`StudyStore`], mirroring
+    /// [`ParallelStudy::attach_store`](crate::ParallelStudy::attach_store):
+    /// resume mode hydrates the memo cache now, and every freshly
+    /// simulated point is appended back and flushed after each batch.
+    /// Note the surrogate still observes hydrated results as their
+    /// points come up, so guided selection stays deterministic whether
+    /// the result came from disk or a live simulator.
+    pub fn attach_store(&mut self, store: Arc<StudyStore<S::Point>>)
+    where
+        S::Point: StoreKey + 'static,
+    {
+        store.hydrate_into(&self.cache);
+        self.store = Some(store);
     }
 
     /// The design space.
@@ -424,6 +442,7 @@ where
                 &self.cache,
                 self.threads,
                 self.progress.as_deref(),
+                self.store.as_deref(),
             );
             let batch: Vec<(u64, EvalResult)> = selected.iter().copied().zip(results).collect();
             self.optimizer.observe_batch(&batch);
@@ -432,6 +451,9 @@ where
                 record_result(&mut self.archive, &mut self.energy_archive, *point, result);
             }
             remaining -= batch.len() as u64;
+            if let Some(store) = &self.store {
+                store.flush_sink();
+            }
         }
     }
 }
