@@ -85,7 +85,7 @@ fn bench_bpred_sweep(c: &mut Criterion) {
                 let mut core = TimedCore::new(cfg, sram_bus());
                 core.set_code_region(0, 1024).unwrap();
                 for i in 0..20_000u32 {
-                    core.branch(3, i % 100 != 99).unwrap();
+                    core.branch(3, true, i % 100 != 99).unwrap();
                 }
                 std::hint::black_box(core.cycles())
             });

@@ -74,7 +74,12 @@ use crate::space::{CfuChoice, DesignPoint};
 /// Changes that provably cannot move any published number (host-side
 /// speedups, refactors pinned by parity tests) must **not** bump it —
 /// that is what keeps warm caches warm across releases.
-pub const SIM_VERSION: u32 = 1;
+///
+/// Version 2: `BranchPredictor::Static` points gained real mispredict
+/// accounting (the predictor previously scored a prediction recomputed
+/// from the outcome, so BTFN never missed) — every Static design point's
+/// cycle count legitimately moved.
+pub const SIM_VERSION: u32 = 2;
 
 /// File magic: "CFU Result Store".
 const STORE_MAGIC: [u8; 4] = *b"CFRS";

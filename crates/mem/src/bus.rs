@@ -1,8 +1,10 @@
 //! The system bus: an address map routing accesses to devices.
 
+use std::any::Any;
 use std::fmt;
 
 use crate::device::{BusDevice, ReadResult};
+use crate::sram::Sram;
 
 use crate::error::MemError;
 
@@ -61,10 +63,43 @@ impl DeviceStats {
     }
 }
 
+/// The device behind a region. Plain SRAM backs nearly every hot access
+/// (fetch peeks, load/store data, cache-line fills) and its accesses are
+/// cheaper than a `dyn` indirect call, so it gets its own statically
+/// dispatched arm; everything else stays behind the trait object. The
+/// split is invisible outside this module — every arm runs the same
+/// [`BusDevice`] methods.
+enum Slot {
+    Sram(Sram),
+    Other(Box<dyn BusDevice>),
+}
+
+impl Slot {
+    #[inline]
+    fn dev(&mut self) -> &mut dyn BusDevice {
+        match self {
+            Slot::Sram(s) => s,
+            Slot::Other(d) => &mut **d,
+        }
+    }
+
+    #[inline]
+    fn dev_ref(&self) -> &dyn BusDevice {
+        match self {
+            Slot::Sram(s) => s,
+            Slot::Other(d) => &**d,
+        }
+    }
+}
+
 struct Mapped {
     info: RegionInfo,
-    device: Box<dyn BusDevice>,
+    slot: Slot,
     stats: DeviceStats,
+    /// [`BusDevice::timing_stateless`], sampled at map time (the trait
+    /// documents it as a constant property): lets [`Bus::peek`] skip the
+    /// virtual `reset_timing` call for devices where it is a no-op.
+    timing_stateless: bool,
 }
 
 impl fmt::Debug for Mapped {
@@ -119,7 +154,15 @@ impl Bus {
                 e.end(),
             );
         }
-        self.regions.push(Mapped { info, device: Box::new(device), stats: DeviceStats::default() });
+        let timing_stateless = device.timing_stateless();
+        // Concrete-type probe for the static-dispatch arm; the `Option`
+        // dance moves the device out again without double-boxing.
+        let mut holder = Some(device);
+        let slot = match (&mut holder as &mut dyn Any).downcast_mut::<Option<Sram>>() {
+            Some(sram) => Slot::Sram(sram.take().expect("just matched")),
+            None => Slot::Other(Box::new(holder.take().expect("untaken"))),
+        };
+        self.regions.push(Mapped { info, slot, stats: DeviceStats::default(), timing_stateless });
         RegionId(self.regions.len() - 1)
     }
 
@@ -156,10 +199,11 @@ impl Bus {
     pub fn reset_stats(&mut self) {
         for m in &mut self.regions {
             m.stats = DeviceStats::default();
-            m.device.reset_timing();
+            m.slot.dev().reset_timing();
         }
     }
 
+    #[inline]
     fn route(&mut self, addr: u32, len: usize) -> Result<(usize, u32), MemError> {
         let idx = if self.regions.get(self.hot).is_some_and(|m| m.info.contains(addr)) {
             self.hot
@@ -189,7 +233,11 @@ impl Bus {
     pub fn read(&mut self, addr: u32, buf: &mut [u8]) -> Result<u64, MemError> {
         let (idx, offset) = self.route(addr, buf.len())?;
         let m = &mut self.regions[idx];
-        let cycles = m.device.read(offset, buf).map_err(|e| rebase(e, m.info.base))?;
+        let cycles = match &mut m.slot {
+            Slot::Sram(s) => s.read(offset, buf),
+            Slot::Other(d) => d.read(offset, buf),
+        }
+        .map_err(|e| rebase(e, m.info.base))?;
         m.stats.reads += 1;
         m.stats.bytes_read += buf.len() as u64;
         m.stats.read_cycles += cycles;
@@ -202,10 +250,15 @@ impl Bus {
     ///
     /// [`MemError::Unmapped`], [`MemError::ReadOnly`] (ROM regions) or
     /// [`MemError::OutOfBounds`].
+    #[inline]
     pub fn write(&mut self, addr: u32, data: &[u8]) -> Result<u64, MemError> {
         let (idx, offset) = self.route(addr, data.len())?;
         let m = &mut self.regions[idx];
-        let cycles = m.device.write(offset, data).map_err(|e| rebase(e, m.info.base))?;
+        let cycles = match &mut m.slot {
+            Slot::Sram(s) => s.write(offset, data),
+            Slot::Other(d) => d.write(offset, data),
+        }
+        .map_err(|e| rebase(e, m.info.base))?;
         m.stats.writes += 1;
         m.stats.bytes_written += data.len() as u64;
         m.stats.write_cycles += cycles;
@@ -282,7 +335,7 @@ impl Bus {
     pub fn load_image(&mut self, addr: u32, data: &[u8]) -> Result<(), MemError> {
         let (idx, offset) = self.route(addr, data.len())?;
         let m = &mut self.regions[idx];
-        m.device.poke(offset, data).map_err(|e| rebase(e, m.info.base))?;
+        m.slot.dev().poke(offset, data).map_err(|e| rebase(e, m.info.base))?;
         self.generation = self.generation.wrapping_add(1);
         Ok(())
     }
@@ -303,7 +356,7 @@ impl Bus {
     /// [`BusDevice::as_any`]). Returns `None` when the device does not
     /// opt in or the type does not match.
     pub fn device_as<T: 'static>(&self, id: RegionId) -> Option<&T> {
-        self.regions[id.0].device.as_any()?.downcast_ref::<T>()
+        self.regions[id.0].slot.dev_ref().as_any()?.downcast_ref::<T>()
     }
 
     /// Timing-free read for debuggers and golden-test checks.
@@ -311,12 +364,24 @@ impl Bus {
     /// # Errors
     ///
     /// [`MemError::Unmapped`] / [`MemError::OutOfBounds`].
+    #[inline]
     pub fn peek(&mut self, addr: u32, buf: &mut [u8]) -> Result<(), MemError> {
         let (idx, offset) = self.route(addr, buf.len())?;
         let m = &mut self.regions[idx];
-        m.device.read(offset, buf).map_err(|e| rebase(e, m.info.base))?;
-        m.device.reset_timing();
-        Ok(())
+        match &mut m.slot {
+            // SRAM is timing-stateless: no reset needed, and the read
+            // inlines (this is the data source for every cached load and
+            // predecoded fetch).
+            Slot::Sram(s) => s.read(offset, buf).map(drop),
+            Slot::Other(d) => {
+                let r = d.read(offset, buf).map(drop);
+                if r.is_ok() && !m.timing_stateless {
+                    d.reset_timing();
+                }
+                r
+            }
+        }
+        .map_err(|e| rebase(e, m.info.base))
     }
 
     /// A [`read`](Bus::read) whose data is discarded: identical routing,
@@ -351,8 +416,11 @@ impl Bus {
         let span = u64::from(len) * u64::from(count);
         if let Ok((idx, offset)) = self.route(addr, span as usize) {
             let m = &mut self.regions[idx];
-            let cycles =
-                m.device.read_cost_run(offset, len, count).map_err(|e| rebase(e, m.info.base))?;
+            let cycles = match &mut m.slot {
+                Slot::Sram(s) => s.read_cost_run(offset, len, count),
+                Slot::Other(d) => d.read_cost_run(offset, len, count),
+            }
+            .map_err(|e| rebase(e, m.info.base))?;
             m.stats.reads += u64::from(count);
             m.stats.bytes_read += span;
             m.stats.read_cycles += cycles;
@@ -381,10 +449,7 @@ impl Bus {
     /// history-free, so charges against it commute with accesses to
     /// other regions. `false` for unmapped addresses.
     pub fn timing_stateless_at(&self, addr: u32) -> bool {
-        self.regions
-            .iter()
-            .find(|m| m.info.contains(addr))
-            .is_some_and(|m| m.device.timing_stateless())
+        self.regions.iter().find(|m| m.info.contains(addr)).is_some_and(|m| m.timing_stateless)
     }
 
     /// The region containing `addr`, if any.
@@ -412,7 +477,7 @@ impl Bus {
         self.regions
             .iter()
             .filter(|m| u64::from(m.info.base) < end && m.info.end() > u64::from(addr))
-            .all(|m| m.device.timing_stateless())
+            .all(|m| m.timing_stateless)
     }
 
     /// [`BusDevice::timing_partition_mask`] for the region `id`, whose
@@ -423,7 +488,7 @@ impl Bus {
         let m = &self.regions[id.0];
         let off = addr - m.info.base;
         let span = span.min(m.info.end() - u64::from(addr)) as u32;
-        m.device.timing_partition_mask(off, span.max(1))
+        m.slot.dev_ref().timing_partition_mask(off, span.max(1))
     }
 
     /// [`BusDevice::timing_partition_hold`] for the region `id`: the
@@ -435,7 +500,7 @@ impl Bus {
         let m = &self.regions[id.0];
         let off = addr - m.info.base;
         let span = span.min(m.info.end() - u64::from(addr)) as u32;
-        let (mask, hold_end) = m.device.timing_partition_hold(off, span.max(1));
+        let (mask, hold_end) = m.slot.dev_ref().timing_partition_hold(off, span.max(1));
         (mask, m.info.base.saturating_add(hold_end))
     }
 
@@ -464,7 +529,7 @@ impl Bus {
     #[inline]
     pub fn reset_device_timing(&mut self, addr: u32) -> Result<(), MemError> {
         let (idx, _) = self.route(addr, 1)?;
-        self.regions[idx].device.reset_timing();
+        self.regions[idx].slot.dev().reset_timing();
         Ok(())
     }
 }

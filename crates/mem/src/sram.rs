@@ -32,14 +32,25 @@ impl BusDevice for Sram {
         self.data.len() as u32
     }
 
+    #[inline]
     fn read(&mut self, offset: u32, buf: &mut [u8]) -> Result<u64, MemError> {
         check_bounds(self.size(), offset, buf.len())?;
         let n = buf.len();
-        buf.copy_from_slice(&self.data[offset as usize..offset as usize + n]);
+        let src = &self.data[offset as usize..offset as usize + n];
+        if n <= 4 {
+            // Bus words: a byte loop compiles to direct loads where the
+            // runtime-length memcpy of `copy_from_slice` costs a call.
+            for (d, s) in buf.iter_mut().zip(src) {
+                *d = *s;
+            }
+        } else {
+            buf.copy_from_slice(src);
+        }
         // One access per 32-bit beat.
         Ok(self.access_cycles * n.div_ceil(4) as u64)
     }
 
+    #[inline]
     fn read_cost_run(&mut self, offset: u32, len: u32, count: u32) -> Result<u64, MemError> {
         if count == 0 {
             return Ok(0);
@@ -49,10 +60,12 @@ impl BusDevice for Sram {
         Ok(self.access_cycles * (len as usize).div_ceil(4) as u64 * u64::from(count))
     }
 
+    #[inline]
     fn timing_stateless(&self) -> bool {
         true
     }
 
+    #[inline]
     fn write(&mut self, offset: u32, data: &[u8]) -> Result<u64, MemError> {
         check_bounds(self.size(), offset, data.len())?;
         self.data[offset as usize..offset as usize + data.len()].copy_from_slice(data);

@@ -21,8 +21,10 @@ pub struct Prediction {
 /// use cfu_sim::{BranchPredictor, PredictorState};
 /// let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 16 });
 /// // Train a loop-back branch: after two taken outcomes it predicts taken.
-/// p.update(0x100, true);
-/// p.update(0x100, true);
+/// let pred = p.predict(0x100, -4);
+/// p.update(0x100, pred, true);
+/// let pred = p.predict(0x100, -4);
+/// p.update(0x100, pred, true);
 /// assert!(p.predict(0x100, -4).taken);
 /// ```
 #[derive(Debug, Clone)]
@@ -37,11 +39,16 @@ pub struct PredictorState {
 }
 
 impl PredictorState {
-    /// Creates predictor state for `kind`.
+    /// Creates predictor state for `kind`. Table sizes are rounded up to
+    /// the next power of two (minimum 1): [`index`](Self::index) masks
+    /// with `len - 1`, so any other size would alias PCs to wrong slots —
+    /// and `entries: 0` would index out of bounds. `CpuConfig::validate`
+    /// rejects such configurations up front; this guard keeps directly
+    /// constructed predictor state safe too.
     pub fn new(kind: BranchPredictor) -> Self {
         let entries = match kind {
             BranchPredictor::Dynamic { entries } | BranchPredictor::DynamicTarget { entries } => {
-                entries as usize
+                entries.max(1).next_power_of_two() as usize
             }
             _ => 0,
         };
@@ -85,11 +92,17 @@ impl PredictorState {
         }
     }
 
-    /// Records the actual outcome and returns whether the earlier
-    /// prediction (recomputed here) was correct.
+    /// Records the actual outcome, trains the tables, and returns whether
+    /// `prediction` — the value [`predict`](Self::predict) returned for
+    /// this branch *before* its outcome was known — was correct.
+    ///
+    /// Taking the real prediction (instead of recomputing one here from a
+    /// synthesized offset) matters for [`BranchPredictor::Static`]: BTFN
+    /// predicts from the branch *direction*, and an offset derived from
+    /// the outcome would make the recomputed prediction agree with the
+    /// outcome by construction — Static would never mispredict.
     #[inline]
-    pub fn update(&mut self, pc: u32, taken: bool) -> bool {
-        let predicted = self.predict(pc, 4 - 8 * i32::from(taken));
+    pub fn update(&mut self, pc: u32, prediction: Prediction, taken: bool) -> bool {
         match self.kind {
             BranchPredictor::None | BranchPredictor::Static => {}
             BranchPredictor::Dynamic { .. } | BranchPredictor::DynamicTarget { .. } => {
@@ -102,7 +115,7 @@ impl PredictorState {
                 self.btb_valid[i] |= taken;
             }
         }
-        let correct = predicted.taken == taken;
+        let correct = prediction.taken == taken;
         self.hits += u64::from(correct);
         self.misses += u64::from(!correct);
         correct
@@ -117,6 +130,13 @@ impl PredictorState {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    /// Predict-then-update with the real offset, the way every call site
+    /// drives the predictor.
+    fn observe(p: &mut PredictorState, pc: u32, offset: i32, taken: bool) -> bool {
+        let prediction = p.predict(pc, offset);
+        p.update(pc, prediction, taken)
+    }
 
     #[test]
     fn none_never_predicts_taken() {
@@ -133,15 +153,27 @@ mod tests {
     }
 
     #[test]
+    fn static_mispredicts_against_its_heuristic() {
+        // BTFN must be *wrong* on forward-taken and backward-not-taken
+        // branches — the regression the synthesized-offset update hid.
+        let mut p = PredictorState::new(BranchPredictor::Static);
+        assert!(!observe(&mut p, 0x100, 8, true), "forward taken must mispredict");
+        assert!(!observe(&mut p, 0x100, -8, false), "backward not-taken must mispredict");
+        assert!(observe(&mut p, 0x100, -8, true), "backward taken is correct");
+        assert!(observe(&mut p, 0x100, 8, false), "forward not-taken is correct");
+        assert_eq!(p.stats(), (2, 2));
+    }
+
+    #[test]
     fn dynamic_learns_bias() {
         let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 16 });
         assert!(!p.predict(0x40, -4).taken); // starts weakly not-taken
-        p.update(0x40, true);
-        p.update(0x40, true);
+        observe(&mut p, 0x40, -4, true);
+        observe(&mut p, 0x40, -4, true);
         assert!(p.predict(0x40, -4).taken);
-        p.update(0x40, false);
-        p.update(0x40, false);
-        p.update(0x40, false);
+        observe(&mut p, 0x40, -4, false);
+        observe(&mut p, 0x40, -4, false);
+        observe(&mut p, 0x40, -4, false);
         assert!(!p.predict(0x40, -4).taken);
     }
 
@@ -149,7 +181,7 @@ mod tests {
     fn dynamic_target_learns_targets() {
         let mut p = PredictorState::new(BranchPredictor::DynamicTarget { entries: 16 });
         assert!(!p.predict(0x80, -4).target_known);
-        p.update(0x80, true);
+        observe(&mut p, 0x80, -4, true);
         assert!(p.predict(0x80, -4).target_known);
     }
 
@@ -157,9 +189,30 @@ mod tests {
     fn aliasing_uses_modulo_indexing() {
         let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 4 });
         // pc 0x0 and pc 0x10 alias in a 4-entry table (index = pc>>2 & 3).
-        p.update(0x0, true);
-        p.update(0x0, true);
+        observe(&mut p, 0x0, -4, true);
+        observe(&mut p, 0x0, -4, true);
         assert!(p.predict(0x10, -4).taken);
+    }
+
+    #[test]
+    fn table_sizes_round_up_to_powers_of_two() {
+        // entries: 0 must not index out of bounds; a non-power-of-two
+        // must not alias PCs that a proper table would keep apart.
+        for kind in
+            [BranchPredictor::Dynamic { entries: 0 }, BranchPredictor::DynamicTarget { entries: 0 }]
+        {
+            let mut p = PredictorState::new(kind);
+            observe(&mut p, 0x0, -4, true);
+            observe(&mut p, 0x0, -4, true);
+            assert!(p.predict(0x0, -4).taken, "one-entry table still trains");
+        }
+        // 100 rounds to 128: pc 0x0 (index 0) and pc 0x190 (index 100)
+        // stay distinct, which a 100-entry modulo table would conflate.
+        let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 100 });
+        observe(&mut p, 0x0, -4, true);
+        observe(&mut p, 0x0, -4, true);
+        assert!(p.predict(0x0, -4).taken);
+        assert!(!p.predict(0x190, -4).taken, "0x190 must not alias 0x0 in a 128-entry table");
     }
 
     #[test]
@@ -168,7 +221,7 @@ mod tests {
         let mut p = PredictorState::new(BranchPredictor::Dynamic { entries: 64 });
         for _ in 0..3 {
             for i in 0..100 {
-                p.update(0x200, i != 99);
+                observe(&mut p, 0x200, -4, i != 99);
             }
         }
         let (hits, misses) = p.stats();

@@ -421,5 +421,12 @@ mod tests {
             ..CpuConfig::arty_default()
         };
         assert!(bad.validate().is_err());
+        // entries: 0 is not a power of two either — a zero-size table
+        // would otherwise mask indices against `0 - 1`.
+        let bad = CpuConfig {
+            branch_predictor: BranchPredictor::DynamicTarget { entries: 0 },
+            ..CpuConfig::arty_default()
+        };
+        assert!(bad.validate().is_err());
     }
 }

@@ -17,7 +17,9 @@ use cfu_mem::{Bus, Cache, MemError};
 
 use crate::bpred::PredictorState;
 use crate::config::CpuConfig;
-use crate::decode_cache::{Block, BlockInst, DecodeCache, MAX_BLOCK, STALL_DYNAMIC};
+use crate::decode_cache::{
+    Block, BlockInst, DecodeCache, Handler, MAX_SUPERBLOCK, NO_CHAIN, STALL_DYNAMIC,
+};
 use crate::retime::{
     hazard_penalty, IssRecorder, IssTrace, TimingModel, K_BRANCH, K_CFU, K_DIV, K_JAL, K_JALR,
     K_LOAD, K_MUL, K_SHIFT, K_SIMPLE, K_STORE,
@@ -525,8 +527,7 @@ impl Cpu {
                         self.charge_fetch_timing(e.pc, u32::from(e.ilen), last_line)?;
                     }
                     if e.sync {
-                        // Stores read `stats.cycles` (write-buffer
-                        // drain), CSR reads expose both counters: they
+                        // CSR reads expose both live counters: they
                         // must observe exact values.
                         self.stats.cycles += pend.cycles;
                         self.stats.instructions += pend.insts;
@@ -550,9 +551,7 @@ impl Cpu {
                             }
                         }
                     }
-                    if !self.exec_deferred(e, pend) {
-                        self.execute(e.pc, e.inst, u32::from(e.ilen))?;
-                    }
+                    (e.handler)(self, e, pend)?;
                     if e.sync {
                         self.stats.instructions += 1;
                     } else {
@@ -563,6 +562,13 @@ impl Cpu {
                         // entry of this very block. Re-dispatch from
                         // wherever the store left the PC; the stale
                         // blocks are gone.
+                        *executed += done as u64 + 1;
+                        continue 'dispatch;
+                    }
+                    if e.expected_next != NO_CHAIN && self.pc != e.expected_next {
+                        // Chain seam whose build-time prediction missed:
+                        // the superblock's remaining entries are for the
+                        // other path. Re-dispatch from the real PC.
                         *executed += done as u64 + 1;
                         continue 'dispatch;
                     }
@@ -585,21 +591,37 @@ impl Cpu {
         Ok(())
     }
 
-    /// The cached block starting at `pc`, building (and memoizing) one
-    /// from decode-cache entries when missing. Only *complete* blocks —
-    /// ended by a control transfer or [`MAX_BLOCK`] — are memoized, so a
-    /// run truncated at a still-cold entry is re-extended on later visits
-    /// instead of being frozen short. Fetch-timing metadata (charged
-    /// parcel count, I-cache line addresses, cacheability) is precomputed
-    /// here — the geometry is fixed for the CPU's lifetime — so the
-    /// dispatch loop avoids per-instruction address math.
+    /// The cached superblock starting at `pc`, building (and memoizing)
+    /// one from decode-cache entries when missing. Only *complete* blocks
+    /// — ended by an unchainable control transfer or [`MAX_SUPERBLOCK`] —
+    /// are memoized, so a run truncated at a still-cold entry is
+    /// re-extended on later visits instead of being frozen short.
+    ///
+    /// Building chains across predictable control flow: a direct jump
+    /// (`jal`) always continues at its target, and a conditional branch
+    /// continues at its BTFN-predicted successor (backward → target,
+    /// forward → fall-through), with the guess recorded in
+    /// [`BlockInst::expected_next`] and guarded at dispatch. Chains only
+    /// extend into already-predecoded targets — a cold target ends the
+    /// block, and execution-order priming makes that rare after warmup —
+    /// and never back to the superblock's own head, which the dispatch
+    /// rerun loop already handles without a lookup.
+    ///
+    /// Fetch-timing metadata (charged parcel count, I-cache line
+    /// addresses, cacheability) is precomputed here — the geometry is
+    /// fixed for the CPU's lifetime — so the dispatch loop avoids
+    /// per-instruction address math. The `prev_line`/`prev_inst` state
+    /// deliberately flows across chain seams: whenever the seam guard
+    /// holds, build order equals execution order, and when it fails the
+    /// dispatcher abandons the rest of the block before using any
+    /// cross-seam precomputation.
     fn block_at(&mut self, pc: u32) -> Option<Arc<Block>> {
         if let Some(block) = self.decode.block(pc) {
             return Some(block);
         }
         let line_mask = self.icache.as_ref().map(|c| !(c.config().line_bytes - 1));
         let bypassing = self.config.bypassing;
-        let mut insts = Vec::new();
+        let mut insts: Vec<BlockInst> = Vec::new();
         let mut complete = false;
         let mut cur = pc;
         // Last charged I-cache line of the most recent *cached*
@@ -607,7 +629,7 @@ impl Cpu {
         // resident line survives them. Unknown at the block head.
         let mut prev_line: Option<u32> = None;
         let mut prev_inst: Option<Inst> = None;
-        while insts.len() < MAX_BLOCK {
+        while insts.len() < MAX_SUPERBLOCK {
             let Some((inst, ilen)) = self.decode.entry(cur) else { break };
             let fetches: u8 = if self.config.compressed && ilen == 4 && (cur + 2).is_multiple_of(4)
             {
@@ -632,35 +654,62 @@ impl Cpu {
                 lines,
                 is_store: inst.is_store(),
                 same_line: cached && fetches == 1 && prev_line == Some(lines[0]),
-                sync: inst.is_store()
-                    || matches!(
-                        inst,
-                        Inst::Csrrw { .. }
-                            | Inst::Csrrs { .. }
-                            | Inst::Csrrc { .. }
-                            | Inst::Csrrwi { .. }
-                            | Inst::Csrrsi { .. }
-                            | Inst::Csrrci { .. }
-                    ),
+                sync: matches!(
+                    inst,
+                    Inst::Csrrw { .. }
+                        | Inst::Csrrs { .. }
+                        | Inst::Csrrc { .. }
+                        | Inst::Csrrwi { .. }
+                        | Inst::Csrrsi { .. }
+                        | Inst::Csrrci { .. }
+                ),
                 stall: match prev_inst {
                     None => STALL_DYNAMIC,
                     Some(p) => hazard_stall(p, srcs, bypassing),
                 },
+                expected_next: NO_CHAIN,
+                handler: handler_for(&inst),
             });
             if cached {
                 prev_line = Some(lines[usize::from(fetches) - 1]);
             }
             prev_inst = Some(inst);
-            if inst.transfers_control() {
-                complete = true;
-                break;
+            if !inst.transfers_control() {
+                cur = cur.wrapping_add(ilen);
+                continue;
             }
-            cur = cur.wrapping_add(ilen);
+            let target = match inst {
+                Inst::Jal { imm, .. } => Some(cur.wrapping_add(imm as u32)),
+                ref b if b.is_branch() => {
+                    let (_, _, imm) = branch_fields(b);
+                    // BTFN build-time guess, matching the Static
+                    // predictor and typical loop shape; wrong guesses
+                    // only cost a re-dispatch.
+                    Some(if imm < 0 {
+                        cur.wrapping_add(imm as u32)
+                    } else {
+                        cur.wrapping_add(ilen)
+                    })
+                }
+                // jalr targets are data-dependent; ecall/ebreak can stop
+                // the core. Neither chains.
+                _ => None,
+            };
+            match target {
+                Some(t) if t != pc && self.decode.entry(t).is_some() => {
+                    insts.last_mut().expect("just pushed").expected_next = t;
+                    cur = t;
+                }
+                _ => {
+                    complete = true;
+                    break;
+                }
+            }
         }
         if insts.is_empty() {
             return None;
         }
-        complete |= insts.len() == MAX_BLOCK;
+        complete |= insts.len() == MAX_SUPERBLOCK;
         let block = Arc::new(Block { insts });
         if complete {
             self.decode.insert_block(pc, Arc::clone(&block));
@@ -728,10 +777,12 @@ impl Cpu {
         if cache.access(addr) {
             self.stats.cycles += 1;
         } else {
-            let mut buf = vec![0u8; line as usize];
+            // Line fill: nobody reads the bytes (data comes from `peek`
+            // at the consumer), so `read_cost` — contractually identical
+            // in cycles, stats and device timing — avoids the buffer.
             let cycles = self
                 .bus
-                .read(line_addr, &mut buf)
+                .read_cost(line_addr, line)
                 .map_err(|source| SimError::Mem { pc: addr, source })?;
             self.stats.cycles += 1 + cycles;
         }
@@ -770,8 +821,7 @@ impl Cpu {
         if cache.access(addr) {
             self.charge(1);
         } else {
-            let mut buf = vec![0u8; line as usize];
-            let cycles = self.bus.read(line_addr, &mut buf).map_err(wrap)?;
+            let cycles = self.bus.read_cost(line_addr, line).map_err(wrap)?;
             self.charge(1 + cycles);
         }
         *last_line = Some(line_addr);
@@ -874,8 +924,7 @@ impl Cpu {
             } else {
                 let line = cache.config().line_bytes;
                 let line_addr = pc & !(line - 1);
-                let mut buf = vec![0u8; line as usize];
-                let cycles = self.bus.read(line_addr, &mut buf).map_err(wrap)?;
+                let cycles = self.bus.read_cost(line_addr, line).map_err(wrap)?;
                 self.charge(1 + cycles);
             }
         }
@@ -897,8 +946,7 @@ impl Cpu {
         } else {
             let line = cache.config().line_bytes;
             let line_addr = pc & !(line - 1);
-            let mut buf = vec![0u8; line as usize];
-            let cycles = self.bus.read(line_addr, &mut buf).map_err(wrap)?;
+            let cycles = self.bus.read_cost(line_addr, line).map_err(wrap)?;
             self.charge(1 + cycles);
         }
         // The fetched word itself comes via a timing-free peek: the cache
@@ -927,8 +975,7 @@ impl Cpu {
         } else {
             let line = cache.config().line_bytes;
             let line_addr = addr & !(line - 1);
-            let mut buf = vec![0u8; line as usize];
-            let cycles = self.bus.read(line_addr, &mut buf).map_err(wrap)?;
+            let cycles = self.bus.read_cost(line_addr, line).map_err(wrap)?;
             self.charge(1 + cycles);
         }
         let mut b = [0u8; 4];
@@ -1028,70 +1075,91 @@ impl Cpu {
 
     // ---- execution ------------------------------------------------------
 
-    /// Executes the register-to-register arms inline with their cycle
-    /// charge deferred into `pend`, mirroring the corresponding
-    /// [`execute`](Self::execute) arms exactly: same result value, same
-    /// `prev_rd`/`prev_was_load` update, same next PC, same cycle count
-    /// (merely accumulated instead of charged). Only arms that cannot
-    /// fault, cannot transfer control, and cannot observe or be observed
-    /// through the live counters qualify. Returns `false` for anything
-    /// else so the dispatch loop falls back to the generic path.
+    /// [`data_read`](Self::data_read) with the cycle charge deferred into
+    /// `pend` — identical access order, cache effects and device traffic.
+    /// Fast-path only, so there is no recorder to feed.
     #[inline]
-    fn exec_deferred(&mut self, e: &BlockInst, pend: &mut Pending) -> bool {
-        use Inst::*;
-        let (rd, value, cycles) = match e.inst {
-            Lui { rd, imm } => (rd, imm as u32, 1),
-            Auipc { rd, imm } => (rd, e.pc.wrapping_add(imm as u32), 1),
-            Addi { rd, rs1, imm } => (rd, self.reg(rs1).wrapping_add(imm as u32), 1),
-            Slti { rd, rs1, imm } => (rd, u32::from((self.reg(rs1) as i32) < imm), 1),
-            Sltiu { rd, rs1, imm } => (rd, u32::from(self.reg(rs1) < imm as u32), 1),
-            Xori { rd, rs1, imm } => (rd, self.reg(rs1) ^ imm as u32, 1),
-            Ori { rd, rs1, imm } => (rd, self.reg(rs1) | imm as u32, 1),
-            Andi { rd, rs1, imm } => (rd, self.reg(rs1) & imm as u32, 1),
-            Slli { rd, rs1, shamt } => {
-                (rd, self.reg(rs1) << shamt, self.config.shift_cycles(u32::from(shamt)))
+    fn data_read_deferred(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        len: u32,
+        pend: &mut Pending,
+    ) -> Result<u32, SimError> {
+        let wrap = |source| SimError::Mem { pc, source };
+        let addr = self.check_align(pc, addr, len)?;
+        if addr >= UNCACHED_BASE || self.dcache.is_none() {
+            let mut buf = [0u8; 4];
+            let cycles = self.bus.read(addr, &mut buf[..len as usize]).map_err(wrap)?;
+            pend.cycles += cycles;
+            return Ok(u32::from_le_bytes(buf));
+        }
+        let cache = self.dcache.as_mut().expect("checked above");
+        if cache.access(addr) {
+            pend.cycles += 1;
+        } else {
+            let line = cache.config().line_bytes;
+            let line_addr = addr & !(line - 1);
+            let cycles = self.bus.read_cost(line_addr, line).map_err(wrap)?;
+            pend.cycles += 1 + cycles;
+        }
+        let mut b = [0u8; 4];
+        self.bus.peek(addr, &mut b[..len as usize]).map_err(wrap)?;
+        Ok(u32::from_le_bytes(b))
+    }
+
+    /// [`data_write`](Self::data_write) with the cycle charge deferred
+    /// into `pend`. Fast-path only (the decode cache is live and there is
+    /// no recorder), so the self-modifying-code invalidation always runs.
+    #[inline]
+    fn data_write_deferred(
+        &mut self,
+        pc: u32,
+        addr: u32,
+        value: u32,
+        len: u32,
+        pend: &mut Pending,
+    ) -> Result<(), SimError> {
+        let wrap = |source| SimError::Mem { pc, source };
+        let addr = self.check_align(pc, addr, len)?;
+        let bytes = value.to_le_bytes();
+        let device_cycles = self.bus.write(addr, &bytes[..len as usize]).map_err(wrap)?;
+        if self.decode.overlaps_code(addr, len) {
+            self.decode.invalidate_store(addr, len);
+        }
+        self.seen_generation = self.bus.generation();
+        if addr >= UNCACHED_BASE {
+            pend.cycles += device_cycles;
+            return Ok(());
+        }
+        self.drain_store_deferred(device_cycles, pend);
+        Ok(())
+    }
+
+    /// [`drain_store`](Self::drain_store) replayed at the virtual time
+    /// `stats.cycles + pend.cycles` — the exact cycle the store would run
+    /// at had `pend` been flushed first. Completion times in the buffer
+    /// are absolute, so comparing and charging against the virtual now
+    /// commutes with the eventual flush: both orders leave identical
+    /// buffer contents and identical total cycles. This is what lets
+    /// stores stay on the deferred path instead of forcing a flush.
+    fn drain_store_deferred(&mut self, device_cycles: u64, pend: &mut Pending) {
+        let now = self.stats.cycles + pend.cycles;
+        while let Some(&front) = self.write_buffer.front() {
+            if front <= now {
+                self.write_buffer.pop_front();
+            } else {
+                break;
             }
-            Srli { rd, rs1, shamt } => {
-                (rd, self.reg(rs1) >> shamt, self.config.shift_cycles(u32::from(shamt)))
-            }
-            Srai { rd, rs1, shamt } => (
-                rd,
-                ((self.reg(rs1) as i32) >> shamt) as u32,
-                self.config.shift_cycles(u32::from(shamt)),
-            ),
-            Add { rd, rs1, rs2 } => (rd, self.reg(rs1).wrapping_add(self.reg(rs2)), 1),
-            Sub { rd, rs1, rs2 } => (rd, self.reg(rs1).wrapping_sub(self.reg(rs2)), 1),
-            Sll { rd, rs1, rs2 } => {
-                let sh = self.reg(rs2) & 0x1F;
-                (rd, self.reg(rs1) << sh, self.config.shift_cycles(sh))
-            }
-            Slt { rd, rs1, rs2 } => {
-                (rd, u32::from((self.reg(rs1) as i32) < (self.reg(rs2) as i32)), 1)
-            }
-            Sltu { rd, rs1, rs2 } => (rd, u32::from(self.reg(rs1) < self.reg(rs2)), 1),
-            Xor { rd, rs1, rs2 } => (rd, self.reg(rs1) ^ self.reg(rs2), 1),
-            Srl { rd, rs1, rs2 } => {
-                let sh = self.reg(rs2) & 0x1F;
-                (rd, self.reg(rs1) >> sh, self.config.shift_cycles(sh))
-            }
-            Sra { rd, rs1, rs2 } => {
-                let sh = self.reg(rs2) & 0x1F;
-                (rd, ((self.reg(rs1) as i32) >> sh) as u32, self.config.shift_cycles(sh))
-            }
-            Or { rd, rs1, rs2 } => (rd, self.reg(rs1) | self.reg(rs2), 1),
-            And { rd, rs1, rs2 } => (rd, self.reg(rs1) & self.reg(rs2), 1),
-            Mul { rd, rs1, rs2 } => {
-                self.stats.muls += 1;
-                (rd, self.reg(rs1).wrapping_mul(self.reg(rs2)), self.config.mul_cycles())
-            }
-            _ => return false,
-        };
-        pend.cycles += cycles;
-        self.set_reg(rd, value);
-        self.prev_rd = Some(rd);
-        self.prev_was_load = false;
-        self.pc = e.pc.wrapping_add(u32::from(e.ilen));
-        true
+        }
+        if self.write_buffer.len() >= WRITE_BUFFER_DEPTH {
+            let front = self.write_buffer.pop_front().expect("nonempty");
+            pend.cycles += front - now; // stall until a slot drains
+        }
+        let now = self.stats.cycles + pend.cycles;
+        let start = self.write_buffer.back().copied().unwrap_or(now);
+        self.write_buffer.push_back(start.max(now) + device_cycles);
+        pend.cycles += 1;
     }
 
     #[allow(clippy::too_many_lines)]
@@ -1135,7 +1203,7 @@ impl Cpu {
                     r.branch_payload(imm, taken);
                 }
                 let prediction = self.bpred.predict(pc, imm);
-                let correct = self.bpred.update(pc, taken);
+                let correct = self.bpred.update(pc, prediction, taken);
                 self.stats.branches += 1;
                 self.charge(1);
                 if !correct {
@@ -1500,7 +1568,7 @@ impl TimingModel for Cpu {
 
     fn branch_timing(&mut self, pc: u32, offset: i32, taken: bool) {
         let prediction = self.bpred.predict(pc, offset);
-        let correct = self.bpred.update(pc, taken);
+        let correct = self.bpred.update(pc, prediction, taken);
         self.stats.branches += 1;
         self.charge(1);
         if !correct {
@@ -1551,12 +1619,13 @@ fn decode_word(pc: u32, word: u32) -> Result<Inst, SimError> {
     Inst::decode(word).map_err(|_| SimError::Illegal { pc, word })
 }
 
-/// Deferred fast-path charges. Only stores (write-buffer drain reads
-/// `stats.cycles`) and CSR reads observe the live counters mid-run, so
+/// Deferred fast-path charges. Only CSR reads observe the live counters
+/// mid-run (the write-buffer drain is replayed against the virtual time
+/// `stats.cycles + pend.cycles`, see [`Cpu::drain_store_deferred`]), so
 /// everything else accumulates in registers and flushes at those sync
 /// points and on every exit from `run_predecoded`.
 #[derive(Default)]
-struct Pending {
+pub(crate) struct Pending {
     cycles: u64,
     insts: u64,
     icache_hits: u64,
@@ -1576,6 +1645,302 @@ fn hazard_stall(prev: Inst, srcs: (Option<Reg>, Option<Reg>), bypassing: bool) -
         (true, false) => 2,
         (false, true) => 0,
         (false, false) => 1,
+    }
+}
+
+// ---- threaded-code handlers ---------------------------------------------
+//
+// One function per opcode (family), selected once at block-build time by
+// `handler_for` and stored in each `BlockInst`: the dispatch loop pays an
+// indirect call instead of a full opcode match per instruction. Every
+// handler mirrors the corresponding `execute` arm exactly — same result
+// value, same statistics, same `prev_rd`/`prev_was_load` bookkeeping,
+// same next PC — with the cycle charge deferred into `Pending` wherever
+// nothing can observe the live counters mid-stream. Counter-observing
+// instructions (CSR reads, marked `sync`) and the rare rest (fence,
+// ecall/ebreak, CFU) fall through `h_slow` to `execute`, whose direct
+// charges commute with the deferred ones.
+
+/// Defines a handler for a register-writing ALU-class instruction whose
+/// body computes `(value, cycles)` from the destructured fields. The
+/// caller names the `cpu`/`pc` bindings its body uses (macro hygiene:
+/// identifiers created inside the macro are invisible to the body).
+macro_rules! alu_handler {
+    ($name:ident, $variant:ident { $($f:ident),* }, |$cpu:ident, $pc:ident| $body:expr) => {
+        fn $name(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+            let Inst::$variant { rd, $($f,)* .. } = e.inst else { unreachable!() };
+            #[allow(unused_variables)]
+            let $pc = e.pc;
+            let (value, cycles) = {
+                #[allow(unused_variables)]
+                let $cpu = &mut *cpu;
+                $body
+            };
+            pend.cycles += cycles;
+            cpu.set_reg(rd, value);
+            cpu.prev_rd = Some(rd);
+            cpu.prev_was_load = false;
+            cpu.pc = e.pc.wrapping_add(u32::from(e.ilen));
+            Ok(())
+        }
+    };
+}
+
+alu_handler!(h_lui, Lui { imm }, |cpu, pc| (imm as u32, 1));
+alu_handler!(h_auipc, Auipc { imm }, |cpu, pc| (pc.wrapping_add(imm as u32), 1));
+alu_handler!(h_addi, Addi { rs1, imm }, |cpu, pc| (cpu.reg(rs1).wrapping_add(imm as u32), 1));
+alu_handler!(h_slti, Slti { rs1, imm }, |cpu, pc| (u32::from((cpu.reg(rs1) as i32) < imm), 1));
+alu_handler!(h_sltiu, Sltiu { rs1, imm }, |cpu, pc| (u32::from(cpu.reg(rs1) < imm as u32), 1));
+alu_handler!(h_xori, Xori { rs1, imm }, |cpu, pc| (cpu.reg(rs1) ^ imm as u32, 1));
+alu_handler!(h_ori, Ori { rs1, imm }, |cpu, pc| (cpu.reg(rs1) | imm as u32, 1));
+alu_handler!(h_andi, Andi { rs1, imm }, |cpu, pc| (cpu.reg(rs1) & imm as u32, 1));
+alu_handler!(h_slli, Slli { rs1, shamt }, |cpu, pc| {
+    (cpu.reg(rs1) << shamt, cpu.config.shift_cycles(u32::from(shamt)))
+});
+alu_handler!(h_srli, Srli { rs1, shamt }, |cpu, pc| {
+    (cpu.reg(rs1) >> shamt, cpu.config.shift_cycles(u32::from(shamt)))
+});
+alu_handler!(h_srai, Srai { rs1, shamt }, |cpu, pc| {
+    (((cpu.reg(rs1) as i32) >> shamt) as u32, cpu.config.shift_cycles(u32::from(shamt)))
+});
+alu_handler!(h_add, Add { rs1, rs2 }, |cpu, pc| (cpu.reg(rs1).wrapping_add(cpu.reg(rs2)), 1));
+alu_handler!(h_sub, Sub { rs1, rs2 }, |cpu, pc| (cpu.reg(rs1).wrapping_sub(cpu.reg(rs2)), 1));
+alu_handler!(h_sll, Sll { rs1, rs2 }, |cpu, pc| {
+    let sh = cpu.reg(rs2) & 0x1F;
+    (cpu.reg(rs1) << sh, cpu.config.shift_cycles(sh))
+});
+alu_handler!(h_slt, Slt { rs1, rs2 }, |cpu, pc| {
+    (u32::from((cpu.reg(rs1) as i32) < (cpu.reg(rs2) as i32)), 1)
+});
+alu_handler!(h_sltu, Sltu { rs1, rs2 }, |cpu, pc| (u32::from(cpu.reg(rs1) < cpu.reg(rs2)), 1));
+alu_handler!(h_xor, Xor { rs1, rs2 }, |cpu, pc| (cpu.reg(rs1) ^ cpu.reg(rs2), 1));
+alu_handler!(h_srl, Srl { rs1, rs2 }, |cpu, pc| {
+    let sh = cpu.reg(rs2) & 0x1F;
+    (cpu.reg(rs1) >> sh, cpu.config.shift_cycles(sh))
+});
+alu_handler!(h_sra, Sra { rs1, rs2 }, |cpu, pc| {
+    let sh = cpu.reg(rs2) & 0x1F;
+    (((cpu.reg(rs1) as i32) >> sh) as u32, cpu.config.shift_cycles(sh))
+});
+alu_handler!(h_or, Or { rs1, rs2 }, |cpu, pc| (cpu.reg(rs1) | cpu.reg(rs2), 1));
+alu_handler!(h_and, And { rs1, rs2 }, |cpu, pc| (cpu.reg(rs1) & cpu.reg(rs2), 1));
+alu_handler!(h_mul, Mul { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.muls += 1;
+    (cpu.reg(rs1).wrapping_mul(cpu.reg(rs2)), cpu.config.mul_cycles())
+});
+alu_handler!(h_mulh, Mulh { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.muls += 1;
+    let v = (i64::from(cpu.reg(rs1) as i32) * i64::from(cpu.reg(rs2) as i32)) >> 32;
+    (v as u32, cpu.config.mul_cycles())
+});
+alu_handler!(h_mulhsu, Mulhsu { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.muls += 1;
+    let v = (i64::from(cpu.reg(rs1) as i32) * i64::from(cpu.reg(rs2))) >> 32;
+    (v as u32, cpu.config.mul_cycles())
+});
+alu_handler!(h_mulhu, Mulhu { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.muls += 1;
+    let v = (u64::from(cpu.reg(rs1)) * u64::from(cpu.reg(rs2))) >> 32;
+    (v as u32, cpu.config.mul_cycles())
+});
+alu_handler!(h_div, Div { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.divs += 1;
+    let a = cpu.reg(rs1) as i32;
+    let b = cpu.reg(rs2) as i32;
+    let v = if b == 0 {
+        -1i32
+    } else if a == i32::MIN && b == -1 {
+        a
+    } else {
+        a / b
+    };
+    (v as u32, cpu.config.div_cycles())
+});
+alu_handler!(h_divu, Divu { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.divs += 1;
+    let b = cpu.reg(rs2);
+    (cpu.reg(rs1).checked_div(b).unwrap_or(u32::MAX), cpu.config.div_cycles())
+});
+alu_handler!(h_rem, Rem { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.divs += 1;
+    let a = cpu.reg(rs1) as i32;
+    let b = cpu.reg(rs2) as i32;
+    let v = if b == 0 {
+        a
+    } else if a == i32::MIN && b == -1 {
+        0
+    } else {
+        a % b
+    };
+    (v as u32, cpu.config.div_cycles())
+});
+alu_handler!(h_remu, Remu { rs1, rs2 }, |cpu, pc| {
+    cpu.stats.divs += 1;
+    let b = cpu.reg(rs2);
+    let v = if b == 0 { cpu.reg(rs1) } else { cpu.reg(rs1) % b };
+    (v, cpu.config.div_cycles())
+});
+
+/// Defines a handler for one load width with its value-extension rule.
+macro_rules! load_handler {
+    ($name:ident, $variant:ident, $len:expr, |$v:ident| $ext:expr) => {
+        fn $name(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+            let Inst::$variant { rd, rs1, imm } = e.inst else { unreachable!() };
+            cpu.stats.loads += 1;
+            let addr = cpu.reg(rs1).wrapping_add(imm as u32);
+            let $v = cpu.data_read_deferred(e.pc, addr, $len, pend)?;
+            cpu.set_reg(rd, $ext);
+            cpu.prev_rd = Some(rd);
+            cpu.prev_was_load = true;
+            cpu.pc = e.pc.wrapping_add(u32::from(e.ilen));
+            Ok(())
+        }
+    };
+}
+
+load_handler!(h_lb, Lb, 1, |v| (v as u8 as i8) as i32 as u32);
+load_handler!(h_lbu, Lbu, 1, |v| v & 0xFF);
+load_handler!(h_lh, Lh, 2, |v| (v as u16 as i16) as i32 as u32);
+load_handler!(h_lhu, Lhu, 2, |v| v & 0xFFFF);
+load_handler!(h_lw, Lw, 4, |v| v);
+
+/// Defines a handler for one store width.
+macro_rules! store_handler {
+    ($name:ident, $variant:ident, $len:expr) => {
+        fn $name(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+            let Inst::$variant { rs1, rs2, imm } = e.inst else { unreachable!() };
+            cpu.stats.stores += 1;
+            let addr = cpu.reg(rs1).wrapping_add(imm as u32);
+            cpu.data_write_deferred(e.pc, addr, cpu.reg(rs2), $len, pend)?;
+            cpu.prev_rd = None;
+            cpu.prev_was_load = false;
+            cpu.pc = e.pc.wrapping_add(u32::from(e.ilen));
+            Ok(())
+        }
+    };
+}
+
+store_handler!(h_sb, Sb, 1);
+store_handler!(h_sh, Sh, 2);
+store_handler!(h_sw, Sw, 4);
+
+/// All six conditional branches: evaluate, score the prediction (the real
+/// one — see `PredictorState::update`), defer the cycle charges.
+fn h_branch(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+    let (rs1, rs2, imm) = branch_fields(&e.inst);
+    let a = cpu.reg(rs1);
+    let b = cpu.reg(rs2);
+    let taken = match e.inst {
+        Inst::Beq { .. } => a == b,
+        Inst::Bne { .. } => a != b,
+        Inst::Blt { .. } => (a as i32) < (b as i32),
+        Inst::Bge { .. } => (a as i32) >= (b as i32),
+        Inst::Bltu { .. } => a < b,
+        _ => a >= b,
+    };
+    let prediction = cpu.bpred.predict(e.pc, imm);
+    let correct = cpu.bpred.update(e.pc, prediction, taken);
+    cpu.stats.branches += 1;
+    pend.cycles += 1;
+    if !correct {
+        cpu.stats.mispredicts += 1;
+        pend.cycles += cpu.config.refill_penalty();
+    } else if taken && !prediction.target_known {
+        pend.cycles += 1; // redirect bubble even when predicted
+    }
+    cpu.prev_rd = None;
+    cpu.prev_was_load = false;
+    cpu.pc =
+        if taken { e.pc.wrapping_add(imm as u32) } else { e.pc.wrapping_add(u32::from(e.ilen)) };
+    Ok(())
+}
+
+fn h_jal(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+    let Inst::Jal { rd, imm } = e.inst else { unreachable!() };
+    pend.cycles += 2; // 1 + redirect bubble
+    cpu.set_reg(rd, e.pc.wrapping_add(u32::from(e.ilen)));
+    cpu.prev_rd = Some(rd);
+    cpu.prev_was_load = false;
+    cpu.pc = e.pc.wrapping_add(imm as u32);
+    Ok(())
+}
+
+fn h_jalr(cpu: &mut Cpu, e: &BlockInst, pend: &mut Pending) -> Result<(), SimError> {
+    let Inst::Jalr { rd, rs1, imm } = e.inst else { unreachable!() };
+    pend.cycles += 1 + cpu.config.refill_penalty();
+    // Target before link write: `jalr rd, rd` reads the old value.
+    let target = cpu.reg(rs1).wrapping_add(imm as u32) & !1;
+    cpu.set_reg(rd, e.pc.wrapping_add(u32::from(e.ilen)));
+    cpu.prev_rd = Some(rd);
+    cpu.prev_was_load = false;
+    cpu.pc = target;
+    Ok(())
+}
+
+/// Fallback for instructions that must see (or publish) exact live
+/// counters or are too rare to specialize: the generic `execute` arm,
+/// charging `stats.cycles` directly. Direct and deferred charges commute
+/// because none of these arms read the cycle counter (CSR reads do, but
+/// they are marked `sync`, so the dispatcher flushes `pend` first).
+fn h_slow(cpu: &mut Cpu, e: &BlockInst, _pend: &mut Pending) -> Result<(), SimError> {
+    cpu.execute(e.pc, e.inst, u32::from(e.ilen))
+}
+
+/// The threaded-dispatch target for `inst` (see module comment above).
+fn handler_for(inst: &Inst) -> Handler {
+    use Inst::*;
+    match inst {
+        Lui { .. } => h_lui,
+        Auipc { .. } => h_auipc,
+        Jal { .. } => h_jal,
+        Jalr { .. } => h_jalr,
+        Beq { .. } | Bne { .. } | Blt { .. } | Bge { .. } | Bltu { .. } | Bgeu { .. } => h_branch,
+        Lb { .. } => h_lb,
+        Lbu { .. } => h_lbu,
+        Lh { .. } => h_lh,
+        Lhu { .. } => h_lhu,
+        Lw { .. } => h_lw,
+        Sb { .. } => h_sb,
+        Sh { .. } => h_sh,
+        Sw { .. } => h_sw,
+        Addi { .. } => h_addi,
+        Slti { .. } => h_slti,
+        Sltiu { .. } => h_sltiu,
+        Xori { .. } => h_xori,
+        Ori { .. } => h_ori,
+        Andi { .. } => h_andi,
+        Slli { .. } => h_slli,
+        Srli { .. } => h_srli,
+        Srai { .. } => h_srai,
+        Add { .. } => h_add,
+        Sub { .. } => h_sub,
+        Sll { .. } => h_sll,
+        Slt { .. } => h_slt,
+        Sltu { .. } => h_sltu,
+        Xor { .. } => h_xor,
+        Srl { .. } => h_srl,
+        Sra { .. } => h_sra,
+        Or { .. } => h_or,
+        And { .. } => h_and,
+        Mul { .. } => h_mul,
+        Mulh { .. } => h_mulh,
+        Mulhsu { .. } => h_mulhsu,
+        Mulhu { .. } => h_mulhu,
+        Div { .. } => h_div,
+        Divu { .. } => h_divu,
+        Rem { .. } => h_rem,
+        Remu { .. } => h_remu,
+        Fence
+        | Ecall
+        | Ebreak
+        | Csrrw { .. }
+        | Csrrs { .. }
+        | Csrrc { .. }
+        | Csrrwi { .. }
+        | Csrrsi { .. }
+        | Csrrci { .. }
+        | Cfu { .. }
+        | Cfu1 { .. } => h_slow,
     }
 }
 

@@ -22,6 +22,8 @@ use std::sync::Arc;
 
 use cfu_isa::{Inst, Reg};
 
+use crate::cpu::{Cpu, Pending, SimError};
+
 /// Number of decode-cache lines. PCs are 2-aligned (RV32C parcels), so
 /// this covers 8 KiB of compressed / 16 KiB of uncompressed code before
 /// aliasing — comfortably larger than TinyML inner loops.
@@ -30,8 +32,19 @@ const LINES: usize = 4096;
 /// Number of direct-mapped basic-block slots.
 const BLOCK_SLOTS: usize = 1024;
 
-/// Longest straight-line run grouped into one block.
-pub(crate) const MAX_BLOCK: usize = 64;
+/// Longest run of instructions grouped into one superblock, counting
+/// across chained branch/jump seams.
+pub(crate) const MAX_SUPERBLOCK: usize = 256;
+
+/// Threaded-code dispatch target for one predecoded instruction: the
+/// architectural execution and (deferred) cycle charge of exactly that
+/// opcode, selected once at block-build time so the dispatch loop pays
+/// an indirect call instead of a full opcode match per instruction.
+pub(crate) type Handler = fn(&mut Cpu, &BlockInst, &mut Pending) -> Result<(), SimError>;
+
+/// Sentinel for [`BlockInst::expected_next`]: this instruction is not a
+/// chain seam (PCs are 2-aligned, so an odd value can never collide).
+pub(crate) const NO_CHAIN: u32 = 1;
 
 /// One predecoded instruction inside a basic block, with the operand
 /// and fetch-timing fields the per-instruction loop would otherwise
@@ -73,14 +86,25 @@ pub(crate) struct BlockInst {
     /// previous instruction of this block; [`STALL_DYNAMIC`] for the
     /// block head, whose predecessor is only known at run time.
     pub stall: u8,
+    /// PC the block builder assumed execution continues at after this
+    /// instruction — the chain guess at a superblock seam (predicted
+    /// branch direction / jump target). [`NO_CHAIN`] everywhere else.
+    /// The dispatch loop re-dispatches from the real PC whenever the
+    /// guess was wrong, so a mispredicted seam costs one lookup, never
+    /// correctness.
+    pub expected_next: u32,
+    /// Threaded-dispatch function for this opcode (see [`Handler`]).
+    pub handler: Handler,
 }
 
 /// Sentinel for [`BlockInst::stall`]: compute the hazard stall
 /// dynamically from the CPU's `prev_rd` / `prev_was_load` state.
 pub(crate) const STALL_DYNAMIC: u8 = u8::MAX;
 
-/// A straight-line run of predecoded instructions ending at the first
-/// control transfer (or [`MAX_BLOCK`]).
+/// A superblock: a run of predecoded instructions in predicted execution
+/// order, chained across taken-by-prediction branches and direct jumps,
+/// ending at the first unpredictable control transfer (or
+/// [`MAX_SUPERBLOCK`]).
 #[derive(Debug)]
 pub(crate) struct Block {
     /// The instructions, in execution order.
@@ -101,8 +125,10 @@ pub(crate) struct DecodeCache {
     blocks: Vec<Option<(u32, Arc<Block>)>>,
     /// Lowest PC ever cached (inclusive) since the last flush.
     code_lo: u32,
-    /// Highest PC+4 ever cached (exclusive) since the last flush.
-    code_hi: u32,
+    /// Highest PC+4 ever cached (exclusive) since the last flush. Held
+    /// as `u64` so code at the top of the address space does not wrap
+    /// the bound to a small value and silently stop overlapping.
+    code_hi: u64,
     /// Set when a guest store invalidated cached code; the block
     /// dispatcher takes and clears it to bail out of the current block.
     store_clash: bool,
@@ -143,29 +169,36 @@ impl DecodeCache {
         let idx = Self::line_index(pc);
         self.lines[idx] = Some(Line { tag: pc, inst, ilen: ilen as u8 });
         self.code_lo = self.code_lo.min(pc);
-        self.code_hi = self.code_hi.max(pc.wrapping_add(4));
+        self.code_hi = self.code_hi.max(u64::from(pc) + 4);
     }
 
     /// Whether a write to `[addr, addr + len)` could touch any PC this
     /// store has ever cached. Conservative (bounds, not exact lines).
+    /// Ranges are widened to `u64` so a write ending at the top of the
+    /// address space cannot wrap to a small end and miss the overlap.
     pub fn overlaps_code(&self, addr: u32, len: u32) -> bool {
         // An instruction starting up to 3 bytes below `addr` can extend
         // into the written range.
-        self.code_lo.saturating_sub(3) < addr.wrapping_add(len) && addr < self.code_hi
+        let end = u64::from(addr) + u64::from(len);
+        u64::from(self.code_lo.saturating_sub(3)) < end && u64::from(addr) < self.code_hi
     }
 
     /// Invalidates decode lines whose instruction may overlap the written
     /// range, drops all blocks (they may embed stale copies, including
     /// entries whose lines were since evicted), and raises `store_clash`.
     pub fn invalidate_store(&mut self, addr: u32, len: u32) {
-        let end = addr.wrapping_add(len);
+        // Sweep in u64 space: a write reaching the top of the address
+        // space must not wrap `end` below `addr` (which would skip the
+        // sweep entirely and leave stale decode lines behind). No PC
+        // above 0xFFFF_FFFF exists, so clamping to 2^32 loses nothing.
+        let end = (u64::from(addr) + u64::from(len)).min(1 << 32);
         // Candidate starts: 2-aligned PCs in [addr - 3, end) (max ilen 4),
         // rounding the lower bound *up* to alignment — an instruction at
         // `addr - 4` ends exactly at `addr` and must survive.
-        let mut pc = addr.saturating_sub(3).next_multiple_of(2);
+        let mut pc = u64::from(addr.saturating_sub(3).next_multiple_of(2));
         while pc < end {
-            if let Some(slot) = self.lines.get_mut(Self::line_index(pc)) {
-                if slot.is_some_and(|l| l.tag == pc) {
+            if let Some(slot) = self.lines.get_mut(Self::line_index(pc as u32)) {
+                if slot.is_some_and(|l| l.tag == pc as u32) {
                     *slot = None;
                 }
             }
@@ -211,6 +244,10 @@ mod tests {
 
     fn addi(imm: i32) -> Inst {
         Inst::Addi { rd: Reg::A0, rs1: Reg::A0, imm }
+    }
+
+    fn stub_handler(_: &mut Cpu, _: &BlockInst, _: &mut Pending) -> Result<(), SimError> {
+        Ok(())
     }
 
     #[test]
@@ -269,6 +306,23 @@ mod tests {
     }
 
     #[test]
+    fn store_invalidation_survives_address_space_wrap() {
+        // A store whose byte range reaches the top of the address space
+        // used to wrap `addr + len` to a small value, so neither the
+        // overlap check nor the sweep saw code cached up there.
+        let mut dc = DecodeCache::new(true);
+        dc.fill(0xFFFF_FFFC, addi(1), 4);
+        assert!(dc.overlaps_code(0xFFFF_FFFE, 4), "wrapping write range must overlap");
+        dc.invalidate_store(0xFFFF_FFFE, 4);
+        assert_eq!(dc.entry(0xFFFF_FFFC), None, "stale line must be swept");
+        assert!(dc.take_store_clash());
+        // A write just below the cached instruction still leaves it.
+        dc.fill(0xFFFF_FFFC, addi(1), 4);
+        dc.invalidate_store(0xFFFF_FFF8, 4);
+        assert_eq!(dc.entry(0xFFFF_FFFC), Some((addi(1), 4)));
+    }
+
+    #[test]
     fn blocks_key_on_exact_start() {
         let mut dc = DecodeCache::new(true);
         let b = Arc::new(Block {
@@ -284,6 +338,8 @@ mod tests {
                 same_line: false,
                 sync: false,
                 stall: STALL_DYNAMIC,
+                expected_next: NO_CHAIN,
+                handler: stub_handler,
             }],
         });
         dc.insert_block(0x20, Arc::clone(&b));

@@ -86,8 +86,11 @@ const RUN_COUNT_MAX: u64 = 0x7FFF_FFFF;
 const TLM_MAGIC: [u8; 4] = *b"CFTR";
 /// Serialized-trace magic for ISS instruction traces.
 const ISS_MAGIC: [u8; 4] = *b"CFIR";
-/// Serialized-trace format version.
-const TRACE_VERSION: u32 = 1;
+/// Serialized-trace format version. Bumped to 2 when branch records
+/// gained the static-direction bit (bit 5): version-1 traces synthesized
+/// the predictor offset from the outcome, which hid every Static-point
+/// mispredict, so they can no longer be replayed faithfully.
+const TRACE_VERSION: u32 = 2;
 
 /// ISS record kinds (bits 32..36 of each header word).
 pub(crate) const K_SIMPLE: u64 = 0;
@@ -343,8 +346,13 @@ impl TraceRecorder {
         self.ops.push(TAG_SHIFT | (u64::from(shamt) << 8));
     }
 
-    pub(crate) fn branch(&mut self, site: u32, taken: bool) {
-        self.ops.push(TAG_BRANCH | (u64::from(taken) << 4) | (u64::from(site) << 8));
+    pub(crate) fn branch(&mut self, site: u32, backward: bool, taken: bool) {
+        self.ops.push(
+            TAG_BRANCH
+                | (u64::from(taken) << 4)
+                | (u64::from(backward) << 5)
+                | (u64::from(site) << 8),
+        );
     }
 
     pub(crate) fn call(&mut self, saved_regs: u32) {
@@ -1098,9 +1106,10 @@ impl TraceReplayer {
                 }
                 TAG_BRANCH => {
                     let taken = w >> 4 & 1 != 0;
+                    let backward = w >> 5 & 1 != 0;
                     let site = (w >> 8) as u32;
                     cur.defer(1);
-                    core.branch_cost(site.wrapping_mul(4), 4 - 8 * i32::from(taken), taken);
+                    core.branch_cost(site.wrapping_mul(4), if backward { -4 } else { 4 }, taken);
                 }
                 TAG_CALL => {
                     let saved = w >> 8;
@@ -1646,7 +1655,8 @@ mod tests {
             core.alu(37).unwrap();
             core.mul().unwrap();
             core.shift(i % 31).unwrap();
-            core.branch(3, i % 7 != 0).unwrap();
+            core.branch(3, true, i % 7 != 0).unwrap();
+            core.branch(4, false, i % 5 == 0).unwrap();
             core.store_u32(0x1000_0000 + i * 4, i).unwrap();
             core.load_u32(0x1000_0000 + i * 4).unwrap();
             core.call(4).unwrap();
@@ -1692,6 +1702,10 @@ mod tests {
                 branch_predictor: crate::config::BranchPredictor::Dynamic { entries: 64 },
                 ..CpuConfig::fomu_baseline()
             },
+            CpuConfig {
+                branch_predictor: crate::config::BranchPredictor::Static,
+                ..CpuConfig::fomu_baseline()
+            },
         ] {
             let (live, _) = capture_workload(target);
             let mut rp = TraceReplayer::new(target, build_bus());
@@ -1714,7 +1728,8 @@ mod tests {
             live.alu(37).unwrap();
             live.mul().unwrap();
             live.shift(i % 31).unwrap();
-            live.branch(3, i % 7 != 0).unwrap();
+            live.branch(3, true, i % 7 != 0).unwrap();
+            live.branch(4, false, i % 5 == 0).unwrap();
             live.store_u32(0x1000_0000 + i * 4, i).unwrap();
             live.load_u32(0x1000_0000 + i * 4).unwrap();
             live.call(4).unwrap();

@@ -447,28 +447,32 @@ impl TimedCore {
     }
 
     /// Charges a conditional branch at stable site `site` with outcome
-    /// `taken`, consulting the configured predictor.
+    /// `taken`, consulting the configured predictor. `backward` is the
+    /// branch's static direction (a loop back-edge points backward, a
+    /// skip-over-the-body check points forward): the BTFN Static
+    /// predictor predicts from it, so it must reflect the real control
+    /// structure, not the outcome.
     ///
     /// # Errors
     ///
     /// Bus faults from instruction fetch.
-    pub fn branch(&mut self, site: u32, taken: bool) -> Result<(), MemError> {
+    pub fn branch(&mut self, site: u32, backward: bool, taken: bool) -> Result<(), MemError> {
         if let Some(r) = &mut self.recorder {
-            r.branch(site, taken);
+            r.branch(site, backward, taken);
         }
         self.fetch()?;
-        self.branch_cost(site.wrapping_mul(4), if taken { -4 } else { 4 }, taken);
+        self.branch_cost(site.wrapping_mul(4), if backward { -4 } else { 4 }, taken);
         Ok(())
     }
 
     /// Post-fetch branch charge through the predictor, shared with trace
     /// replay and the [`crate::TimingModel`] impl. `pc` and `offset` are
     /// the predictor's view of the branch (the TLM derives them from the
-    /// stable site id and the outcome).
+    /// stable site id and its static direction).
     pub(crate) fn branch_cost(&mut self, pc: u32, offset: i32, taken: bool) {
         self.stats.branches += 1;
         let prediction = self.bpred.predict(pc, offset);
-        let correct = self.bpred.update(pc, taken);
+        let correct = self.bpred.update(pc, prediction, taken);
         self.stats.mispredicts += u64::from(!correct);
         // Arithmetic form of: mispredict → refill, correct taken branch
         // without a known target → 1-cycle redirect. The outcome is
@@ -813,7 +817,7 @@ mod tests {
         dynamic.set_code_region(0x1000_0000, 256).unwrap();
         for core in [&mut none, &mut dynamic] {
             for i in 0..1000 {
-                core.branch(7, i % 100 != 99).unwrap();
+                core.branch(7, true, i % 100 != 99).unwrap();
             }
         }
         assert!(none.cycles() > dynamic.cycles() + 1000);
@@ -867,7 +871,7 @@ mod tests {
             core.alu(300).unwrap();
             core.mul().unwrap();
             core.alu(600).unwrap(); // crosses the 512-fetch dwell reset
-            core.branch(3, true).unwrap();
+            core.branch(3, true, true).unwrap();
             core.alu(7).unwrap();
             core.store_u32(0x1000_4000, 1).unwrap();
             core.alu(100).unwrap();

@@ -5,7 +5,7 @@
 
 use cfu_isa::{Assembler, Inst, Reg};
 use cfu_mem::{Bus, Sram};
-use cfu_sim::{Cpu, CpuConfig, StopReason, UNCACHED_BASE};
+use cfu_sim::{BranchPredictor, Cpu, CpuConfig, StopReason, UNCACHED_BASE};
 
 mod common;
 
@@ -161,6 +161,86 @@ fn no_icache_config_matches_without_decode_cache() {
     ";
     let cpu = dual_run(CpuConfig::fomu_baseline(), 0, src);
     assert_eq!(cpu.reg(Reg::A0), 140);
+}
+
+#[test]
+fn static_predictor_mispredicts_and_charges_refill() {
+    // A loop closed by a *forward taken* branch: BTFN predicts
+    // not-taken, so every looping iteration mispredicts. The old update
+    // path synthesized the offset from the outcome and scored Static as
+    // always correct — zero mispredicts, refill never charged.
+    let src = "
+        li a0, 0
+        li t0, 40
+    top:
+        addi a0, a0, 1
+        addi t0, t0, -1
+        bnez t0, again
+        li a7, 93
+        ecall
+    again:
+        j top
+    ";
+    let config =
+        CpuConfig { branch_predictor: BranchPredictor::Static, ..CpuConfig::arty_default() };
+    let deep = dual_run(config, 0, src);
+    assert!(
+        deep.stats().mispredicts >= 39,
+        "forward-taken loop branch must mispredict under BTFN: {:?}",
+        deep.stats()
+    );
+    // The refill penalty really lands per mispredict: the only
+    // pipeline-depth-sensitive cost in this program is the branch
+    // refill, so cycles differ by exactly mispredicts x Δpenalty.
+    let shallow_config = CpuConfig { pipeline_depth: 2, ..config };
+    let shallow = dual_run(shallow_config, 0, src);
+    assert_eq!(shallow.stats().mispredicts, deep.stats().mispredicts);
+    let delta = config.refill_penalty() - shallow_config.refill_penalty();
+    assert_eq!(
+        deep.stats().cycles - shallow.stats().cycles,
+        deep.stats().mispredicts * delta,
+        "every mispredict must charge the refill penalty"
+    );
+}
+
+#[test]
+fn superblock_chaining_matches_slow_path_on_nested_loops() {
+    // Nested loops with both branch directions and a jump seam: the
+    // fast path chains these into superblocks (backward-taken guesses,
+    // forward fall-through guesses, jal targets) and must stay
+    // bit-identical to the slow path under every predictor and with or
+    // without an I-cache. The ~50%-taken forward branch exercises the
+    // seam guard's bail-and-redispatch path constantly.
+    let src = "
+        li a0, 0
+        li t0, 6          # outer counter
+    outer:
+        li t1, 5          # inner counter
+    inner:
+        addi a0, a0, 1
+        andi t2, a0, 1
+        beqz t2, skip     # forward, data-dependent direction
+        addi a0, a0, 2
+    skip:
+        addi t1, t1, -1
+        bnez t1, inner    # backward taken
+        addi t0, t0, -1
+        bnez t0, outer    # backward taken
+        li a7, 93
+        ecall
+    ";
+    for predictor in [
+        BranchPredictor::None,
+        BranchPredictor::Static,
+        BranchPredictor::Dynamic { entries: 16 },
+        BranchPredictor::DynamicTarget { entries: 16 },
+    ] {
+        for base in [CpuConfig::arty_default(), CpuConfig::fomu_baseline()] {
+            let cpu = dual_run(CpuConfig { branch_predictor: predictor, ..base }, 0, src);
+            // 30 inner passes x (beqz + bnez) + 6 outer bnez = 66.
+            assert_eq!(cpu.stats().branches, 66, "all three branches retire every pass");
+        }
+    }
 }
 
 #[test]

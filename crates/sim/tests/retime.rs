@@ -106,6 +106,12 @@ fn iss_replay_cross_config_matches_fresh_execution() {
             branch_predictor: cfu_sim::BranchPredictor::None,
             ..CpuConfig::fomu_baseline()
         },
+        // Static scores BTFN against the trace's *real* branch offsets:
+        // replay must reproduce execute-mode mispredicts bit-exactly.
+        CpuConfig {
+            branch_predictor: cfu_sim::BranchPredictor::Static,
+            ..CpuConfig::arty_default()
+        },
     ] {
         let live = execute_fresh(target_config);
         let mut target = Cpu::new(target_config, build_bus());

@@ -167,7 +167,7 @@ fn sw_specialized(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelE
                 let wv = i32::from(core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?);
                 core.mul()?;
                 core.alu(2)?; // pointer bumps + accumulate
-                core.branch(site::IC, ic + 1 != in_ch)?;
+                core.branch(site::IC, true, ic + 1 != in_ch)?;
                 acc += (xv + input_offset) * wv;
             }
             let (bias, mult, shift) = load_channel_params(core, &job.data, oc)?;
@@ -176,9 +176,9 @@ fn sw_specialized(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelE
             let scaled = arith::multiply_by_quantized_multiplier(acc, mult, shift);
             let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
             core.store_u8(job.output.element_addr(y, x, oc), v as i8 as u8)?;
-            core.branch(site::OC, oc + 1 != p.filter.out_ch)?;
+            core.branch(site::OC, true, oc + 1 != p.filter.out_ch)?;
         }
-        core.branch(site::PIXEL, true)?;
+        core.branch(site::PIXEL, true, true)?;
     }
     Ok(())
 }
@@ -225,7 +225,7 @@ fn cfu_postproc(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelErr
                 let wv = i32::from(core.load_i8(job.data.filter_addr + (oc * in_ch + ic) as u32)?);
                 core.mul()?;
                 core.alu(2)?;
-                core.branch(site::IC, ic + 1 != in_ch)?;
+                core.branch(site::IC, true, ic + 1 != in_ch)?;
                 acc += (xv + input_offset) * wv;
             }
             // One custom instruction replaces the whole software
@@ -244,9 +244,9 @@ fn cfu_postproc(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelErr
                 ),
             );
             core.store_u8(job.output.element_addr(y, x, oc), v as i8 as u8)?;
-            core.branch(site::OC, oc + 1 != p.filter.out_ch)?;
+            core.branch(site::OC, true, oc + 1 != p.filter.out_ch)?;
         }
-        core.branch(site::PIXEL, true)?;
+        core.branch(site::PIXEL, true, true)?;
     }
     Ok(())
 }
@@ -286,7 +286,7 @@ fn cfu_buffered(
             for w in 0..in_words {
                 let word = core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
                 core.cfu(ops::WRITE_FILTER, word, 0)?;
-                core.branch(site::TILE, w + 1 != in_words)?;
+                core.branch(site::TILE, true, w + 1 != in_words)?;
             }
         }
         for (y, x) in pixels(job) {
@@ -327,16 +327,16 @@ fn cfu_buffered(
                             acc += (xv + input_offset) * wv;
                         }
                     }
-                    core.branch(site::IC, w + 1 != in_words)?;
+                    core.branch(site::IC, true, w + 1 != in_words)?;
                 }
                 if cfu_mac {
                     acc = core.cfu(ops::TAKE_ACC, 0, 0)? as i32;
                 }
                 let v = core.cfu(ops::POSTPROC, acc as u32, 0)? as i32;
                 core.store_u8(job.output.element_addr(y, x, oc), v as i8 as u8)?;
-                core.branch(site::OC, oc + 1 != tile_end)?;
+                core.branch(site::OC, true, oc + 1 != tile_end)?;
             }
-            core.branch(site::PIXEL, true)?;
+            core.branch(site::PIXEL, true, true)?;
         }
         tile_start = tile_end;
     }
@@ -373,7 +373,7 @@ fn cfu_run(
             for w in 0..in_words {
                 let word = core.load_u32(job.data.filter_addr + (oc * in_ch + 4 * w) as u32)?;
                 core.cfu(ops::WRITE_FILTER, word, 0)?;
-                core.branch(site::TILE, w + 1 != in_words)?;
+                core.branch(site::TILE, true, w + 1 != in_words)?;
             }
         }
         let mut first_pixel = true;
@@ -398,7 +398,7 @@ fn cfu_run(
                 while oc < tile_end {
                     let packed = core.cfu(ops::RUN4, 0, 0)?;
                     core.store_u32(job.output.element_addr(y, x, oc), packed)?;
-                    core.branch(site::OC, oc + 4 < tile_end)?;
+                    core.branch(site::OC, true, oc + 4 < tile_end)?;
                     oc += 4;
                 }
             } else {
@@ -410,10 +410,10 @@ fn cfu_run(
                         core.cfu(ops::POSTPROC, value, 0)? as i32
                     };
                     core.store_u8(job.output.element_addr(y, x, oc), v as i8 as u8)?;
-                    core.branch(site::OC, oc + 1 != tile_end)?;
+                    core.branch(site::OC, true, oc + 1 != tile_end)?;
                 }
             }
-            core.branch(site::PIXEL, true)?;
+            core.branch(site::PIXEL, true, true)?;
         }
         tile_start = tile_end;
     }

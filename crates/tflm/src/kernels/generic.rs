@@ -82,7 +82,7 @@ pub fn conv2d(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelError
                         // The generic kernel evaluates the 4-way bounds
                         // check per tap.
                         core.alu(4)?;
-                        core.branch(site::CONV_PAD, !in_bounds)?;
+                        core.branch(site::CONV_PAD, false, !in_bounds)?;
                         if !in_bounds {
                             continue;
                         }
@@ -101,10 +101,10 @@ pub fn conv2d(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelError
                             )?);
                             core.mul()?;
                             core.alu(2)?; // offset add + accumulate
-                            core.branch(site::CONV_IC, ic + 1 != input.shape.c)?;
+                            core.branch(site::CONV_IC, true, ic + 1 != input.shape.c)?;
                             acc += (x + input_offset) * w;
                         }
-                        core.branch(site::CONV_TAP, dx + 1 != p.filter.kw)?;
+                        core.branch(site::CONV_TAP, true, dx + 1 != p.filter.kw)?;
                     }
                 }
                 let (bias, mult, shift) = load_channel_params(core, &job.data, oc)?;
@@ -114,7 +114,7 @@ pub fn conv2d(core: &mut TimedCore, job: &ConvJob<'_>) -> Result<(), KernelError
                 let scaled = arith::multiply_by_quantized_multiplier(acc, mult, shift);
                 let v = arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max);
                 core.store_u8(job.output.element_addr(oy, ox, oc), v as i8 as u8)?;
-                core.branch(site::CONV_OC, oc + 1 != out_shape.c)?;
+                core.branch(site::CONV_OC, true, oc + 1 != out_shape.c)?;
             }
         }
     }
@@ -151,7 +151,7 @@ pub fn depthwise_conv2d(core: &mut TimedCore, job: &DwJob<'_>) -> Result<(), Ker
                             && iy < input.shape.h as isize
                             && ix < input.shape.w as isize;
                         core.alu(4)?;
-                        core.branch(site::DW_PAD, !in_bounds)?;
+                        core.branch(site::DW_PAD, false, !in_bounds)?;
                         if !in_bounds {
                             continue;
                         }
@@ -168,7 +168,7 @@ pub fn depthwise_conv2d(core: &mut TimedCore, job: &DwJob<'_>) -> Result<(), Ker
                         )?);
                         core.mul()?;
                         core.alu(2)?;
-                        core.branch(site::DW_TAP, dx + 1 != p.filter.kw)?;
+                        core.branch(site::DW_TAP, true, dx + 1 != p.filter.kw)?;
                         acc += (x + input_offset) * w;
                     }
                 }
@@ -206,7 +206,7 @@ pub fn fully_connected(core: &mut TimedCore, job: &FcJob<'_>) -> Result<(), Kern
             let w = i32::from(core.load_i8(job.data.filter_addr + (oc * n + i) as u32)?);
             core.mul()?;
             core.alu(3)?; // pointer bumps + accumulate
-            core.branch(site::FC_IN, i + 1 != n)?;
+            core.branch(site::FC_IN, true, i + 1 != n)?;
             acc += (x + input_offset) * w;
         }
         let (bias, mult, shift) = load_channel_params(core, &job.data, oc)?;
@@ -250,7 +250,7 @@ pub fn avg_pool(
                             && iy < input.shape.h as isize
                             && ix < input.shape.w as isize;
                         core.alu(4)?;
-                        core.branch(site::POOL_TAP, !in_bounds)?;
+                        core.branch(site::POOL_TAP, false, !in_bounds)?;
                         if !in_bounds {
                             continue;
                         }
@@ -307,13 +307,13 @@ pub fn max_pool(
                             && iy < input.shape.h as isize
                             && ix < input.shape.w as isize;
                         core.alu(4)?;
-                        core.branch(site::POOL_TAP, !in_bounds)?;
+                        core.branch(site::POOL_TAP, false, !in_bounds)?;
                         if !in_bounds {
                             continue;
                         }
                         let v = core.load_i8(input.element_addr(iy as usize, ix as usize, c))?;
                         core.alu(1)?;
-                        core.branch(site::POOL_TAP + 1, v > best)?;
+                        core.branch(site::POOL_TAP + 1, false, v > best)?;
                         best = best.max(v);
                     }
                 }
@@ -359,7 +359,7 @@ pub fn add(
         let rb = arith::multiply_by_quantized_multiplier(sb, m2, s2);
         let v = arith::multiply_by_quantized_multiplier(ra + rb, mo, so) + out_quant.zero_point;
         core.store_u8(output.addr + i as u32, (v.clamp(-128, 127) as i8) as u8)?;
-        core.branch(site::ADD_ELEM, i + 1 != n)?;
+        core.branch(site::ADD_ELEM, true, i + 1 != n)?;
     }
     Ok(())
 }
@@ -383,7 +383,7 @@ pub fn softmax(
     for i in 0..n {
         let v = core.load_i8(input.addr + i as u32)?;
         core.alu(2)?;
-        core.branch(site::SOFTMAX_ELEM, false)?;
+        core.branch(site::SOFTMAX_ELEM, false, false)?;
         data.push(v);
     }
     for _ in 0..n {

@@ -93,7 +93,7 @@ pub fn conv2d_cfu2(
                     let iy = (oy * p.stride + dy) as isize - pad_y as isize;
                     let row_ok = iy >= 0 && iy < input.shape.h as isize;
                     core.alu(2)?;
-                    core.branch(site::EDGE, !row_ok)?;
+                    core.branch(site::EDGE, false, !row_ok)?;
                     if !row_ok {
                         continue;
                     }
@@ -104,7 +104,7 @@ pub fn conv2d_cfu2(
                             let col_ok = ix >= 0 && ix < input.shape.w as isize;
                             if !specialized {
                                 core.alu(2)?;
-                                core.branch(site::EDGE + 1, !col_ok)?;
+                                core.branch(site::EDGE + 1, false, !col_ok)?;
                             }
                             if !col_ok {
                                 continue;
@@ -125,7 +125,7 @@ pub fn conv2d_cfu2(
                                         + p.filter.offset(oc, dy, dx, 4 * w) as u32,
                                 )?;
                                 core.cfu(ops::MAC4, inp, filt)?;
-                                core.branch(site::IC, w + 1 != p.filter.in_ch / 4)?;
+                                core.branch(site::IC, true, w + 1 != p.filter.in_ch / 4)?;
                             }
                         }
                     } else {
@@ -135,7 +135,7 @@ pub fn conv2d_cfu2(
                             let ix = (ox * p.stride + dx) as isize - pad_x as isize;
                             let all_ok = ix >= 0 && ix + 4 <= input.shape.w as isize;
                             core.alu(if specialized { 16 } else { 40 })?;
-                            core.branch(site::EDGE + 2, !all_ok)?;
+                            core.branch(site::EDGE + 2, false, !all_ok)?;
                             if all_ok {
                                 let inp = core.load_u32(input.element_addr(iy, ix as usize, 0))?;
                                 let filt = core.load_u32(
@@ -161,7 +161,7 @@ pub fn conv2d_cfu2(
                             dx += 4;
                         }
                     }
-                    core.branch(site::TAP, dy + 1 != p.filter.kh)?;
+                    core.branch(site::TAP, true, dy + 1 != p.filter.kh)?;
                 }
                 let v = if cfu_postproc {
                     // Read-and-postprocess in one fused custom instruction.
@@ -173,7 +173,7 @@ pub fn conv2d_cfu2(
                     arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max)
                 };
                 core.store_u8(job.output.element_addr(oy, ox, oc), v as i8 as u8)?;
-                core.branch(site::PIX, true)?;
+                core.branch(site::PIX, true, true)?;
             }
         }
     }
@@ -225,7 +225,7 @@ pub fn depthwise_cfu2(
                             && iy < input.shape.h as isize
                             && ix < input.shape.w as isize;
                         core.alu(if specialized { 5 } else { 14 })?;
-                        core.branch(site::EDGE, !ok)?;
+                        core.branch(site::EDGE, false, !ok)?;
                         if !ok {
                             continue;
                         }
@@ -234,7 +234,7 @@ pub fn depthwise_cfu2(
                             .load_i8(job.data.filter_addr + p.filter.offset(c, dy, dx, 0) as u32)?;
                         // One lane of the 4-way MAC replaces mul+add.
                         core.cfu(ops::MAC1, x as i32 as u32, f as i32 as u32)?;
-                        core.branch(site::TAP, dx + 1 != p.filter.kw)?;
+                        core.branch(site::TAP, true, dx + 1 != p.filter.kw)?;
                     }
                 }
                 let v = if cfu_postproc {
@@ -247,7 +247,7 @@ pub fn depthwise_cfu2(
                     arith::clamp_activation(scaled + p.out_quant.zero_point, act_min, act_max)
                 };
                 core.store_u8(job.output.element_addr(oy, ox, c), v as i8 as u8)?;
-                core.branch(site::PIX, true)?;
+                core.branch(site::PIX, true, true)?;
             }
         }
     }

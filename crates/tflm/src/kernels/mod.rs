@@ -171,8 +171,8 @@ pub fn charge_software_requant(core: &mut TimedCore) -> Result<(), MemError> {
     core.alu(18)?; // 64-bit adds/carries, nudge, pack
     core.shift(8)?; // rounding divide-by-POT
     core.alu(3)?;
-    core.branch(1001, false)?; // clamp low
-    core.branch(1002, false)?; // clamp high
+    core.branch(1001, false, false)?; // clamp low
+    core.branch(1002, false, false)?; // clamp high
     Ok(())
 }
 

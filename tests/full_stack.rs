@@ -48,7 +48,7 @@ fn iss_and_tlm_agree_on_microkernel() {
         core.mul().unwrap();
         core.store_u32(addr, v.wrapping_mul(N - i)).unwrap();
         core.alu(2).unwrap(); // pointer/counter bumps
-        core.branch(1, i + 1 != N).unwrap();
+        core.branch(1, true, i + 1 != N).unwrap();
     }
     let tlm_cycles = core.cycles();
 
